@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- --full
+
+examples:
+	for e in quickstart linear_regression spam_filter page_quality \
+	         autotune_explorer out_of_core insurance_claims; do \
+	  echo "== $$e"; dune exec examples/$$e.exe; done
+
+clean:
+	dune clean
+
+.PHONY: all test test-verbose bench bench-full examples clean
