@@ -1,0 +1,1 @@
+bench/ablations.ml: Fusion Gen Gpu_sim Gpulibs List Matrix Ml_algos Rng Sysml Util

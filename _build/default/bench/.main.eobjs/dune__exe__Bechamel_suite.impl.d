@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Blas Fusion Gen Gpulibs Hashtbl Instance Lazy List Matrix Measure Ml_algos Rng Staged Sysml Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/figures.ml: Float Fusion Gen Gpulibs List Matrix Rng Util Vec

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bechamel_suite Figures Gpu_sim List Printf Sys Tables Unix Util

@@ -1,0 +1,1 @@
+bench/tables.ml: Array Blas Csr Float Fusion Gen List Matrix Ml_algos Printf Rng String Sysml Util

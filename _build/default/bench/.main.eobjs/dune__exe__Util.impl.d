@@ -1,0 +1,1 @@
+bench/util.ml: Device Float Gpu_sim List Printf Sim Stats Stdlib String

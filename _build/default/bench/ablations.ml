@@ -1,0 +1,123 @@
+(* Ablation benches for the design choices DESIGN.md calls out:
+   hierarchical aggregation, texture binding, coarsening, and the dense
+   code generator. *)
+open Matrix
+open Util
+
+let run (s : scale) =
+  header "Ablations: contribution of each design choice";
+  let rng = Rng.create 301 in
+  let x = Gen.sparse_uniform rng ~rows:s.sparse_rows ~cols:1024 ~density:0.01 in
+  let y = Gen.vector rng 1024 in
+  let time options plan =
+    let _, reports, _ =
+      Fusion.Fused_sparse.pattern ?options ?plan device x ~y ~alpha:1.0 ()
+    in
+    total reports
+  in
+  let base = time None None in
+  row "sparse X^T(Xy), %dx1024, density 0.01: baseline %.3f ms" s.sparse_rows
+    base;
+  let no_hier =
+    time (Some { Fusion.Fused_sparse.use_texture = true; hierarchical = false })
+      None
+  in
+  row "  - hierarchical aggregation OFF (global atomics only): %.3f ms (%.2fx slower)"
+    no_hier (no_hier /. base);
+  let no_tex =
+    time (Some { Fusion.Fused_sparse.use_texture = false; hierarchical = true })
+      None
+  in
+  row "  - texture binding of y OFF: %.3f ms (%.2fx slower; y is cacheable at this width)"
+    no_tex (no_tex /. base);
+  (* texture binding matters once y outgrows the caches: the KDD regime *)
+  let wide =
+    Gen.sparse_mixture (Rng.create 306) ~rows:(s.sparse_rows / 2)
+      ~cols:300_000 ~nnz_per_row:28 ~hot_fraction:0.3 ~hot_cols:20_000 ()
+  in
+  let ywide = Gen.vector (Rng.create 307) 300_000 in
+  let time_wide options =
+    let _, reports, _ =
+      Fusion.Fused_sparse.pattern ~options device wide ~y:ywide ~alpha:1.0 ()
+    in
+    total reports
+  in
+  let wide_tex = time_wide Fusion.Fused_sparse.default_options in
+  let wide_notex =
+    time_wide { Fusion.Fused_sparse.use_texture = false; hierarchical = true }
+  in
+  row "  - texture binding on a 300k-column matrix: %.3f vs %.3f ms (%.2fx slower without)"
+    wide_tex wide_notex (wide_notex /. wide_tex);
+  (* coarsening C = 1: one row per vector, grid explodes, every block
+     flushes the shared buffer for one row's worth of work *)
+  let chosen = Fusion.Tuning.sparse_plan device x in
+  (match
+     Fusion.Tuning.sparse_plan_with device x ~vs:chosen.Fusion.Tuning.sp_vs
+       ~bs:chosen.Fusion.Tuning.sp_bs ~coarsening:1
+   with
+  | Some plan ->
+      let no_coarse = time None (Some plan) in
+      row "  - coarsening OFF (C=1 instead of %d): %.3f ms (%.2fx slower)"
+        chosen.Fusion.Tuning.sp_coarsening no_coarse (no_coarse /. base)
+  | None -> note "  (C=1 plan not launchable)");
+  (* dense codegen *)
+  let rngd = Rng.create 302 in
+  let xd = Gen.dense rngd ~rows:s.dense_rows ~cols:256 in
+  let yd = Gen.vector rngd 256 in
+  let _, rgen, _, _ = Fusion.Fused_dense.pattern device xd ~y:yd ~alpha:1.0 () in
+  let _, rnogen, _, _ =
+    Fusion.Fused_dense.pattern ~codegen:false device xd ~y:yd ~alpha:1.0 ()
+  in
+  row "dense X^T(Xy), %dx256: generated kernel %.3f ms" s.dense_rows
+    (total rgen);
+  row "  - code generation OFF (indexed registers spill to local): %.3f ms (%.2fx slower)"
+    (total rnogen)
+    (total rnogen /. total rgen);
+  (* hybrid scheduling: the future-work cost model in action *)
+  header "Ablation: hybrid CPU/GPU scheduling (the paper's future work)";
+  let d = Ml_algos.Dataset.synthetic_sparse (Rng.create 303) ~rows:s.sparse_rows ~cols:512 in
+  let xx = match d.Ml_algos.Dataset.features with
+    | Fusion.Executor.Sparse m -> m
+    | Fusion.Executor.Dense _ -> assert false
+  in
+  let f =
+    Fusion.Executor.pattern device d.Ml_algos.Dataset.features
+      ~y:(Gen.vector (Rng.create 304) 512) ~alpha:1.0 ()
+  in
+  let cpu_ms = Gpulibs.Cpu_model.pattern_sparse_ms cpu xx ~with_v:false ~with_z:false in
+  List.iter
+    (fun iterations ->
+      let decision =
+        Sysml.Sched.decide_iterative ~cpu_ms_per_iter:cpu_ms
+          ~gpu_kernel_ms_per_iter:f.Fusion.Executor.time_ms
+          ~one_time_transfer_bytes:(Fusion.Executor.bytes d.Ml_algos.Dataset.features)
+          ~iterations device
+      in
+      row "  %4d iterations -> %s (gpu est %.1f ms vs cpu est %.1f ms)"
+        iterations
+        (match decision.Sysml.Sched.place with
+        | Sysml.Sched.Gpu -> "GPU"
+        | Sysml.Sched.Cpu -> "CPU")
+        decision.Sysml.Sched.est_gpu_ms decision.Sysml.Sched.est_cpu_ms)
+    [ 1; 5; 50 ];
+  (* device sensitivity: the tuner adapts the plan to each device and the
+     fused-vs-library verdict must survive the hardware change *)
+  header "Ablation: device sensitivity";
+  let rng2 = Rng.create 305 in
+  let xs = Gen.sparse_uniform rng2 ~rows:s.sparse_rows ~cols:1024 ~density:0.01 in
+  let ys = Gen.vector rng2 1024 in
+  List.iter
+    (fun dev ->
+      let input = Fusion.Executor.Sparse xs in
+      let f = Fusion.Executor.pattern dev input ~y:ys ~alpha:1.0 () in
+      let l =
+        Fusion.Executor.pattern ~engine:Library dev input ~y:ys ~alpha:1.0 ()
+      in
+      let plan = Fusion.Tuning.sparse_plan dev xs in
+      row "  %-36s fused %6.3f ms, library %6.3f ms (%.0fx)  [VS=%d BS=%d C=%d]"
+        dev.Gpu_sim.Device.name f.Fusion.Executor.time_ms
+        l.Fusion.Executor.time_ms
+        (l.Fusion.Executor.time_ms /. f.Fusion.Executor.time_ms)
+        plan.Fusion.Tuning.sp_vs plan.Fusion.Tuning.sp_bs
+        plan.Fusion.Tuning.sp_coarsening)
+    [ Gpu_sim.Device.gtx_titan; Gpu_sim.Device.tesla_k20x; Gpu_sim.Device.gtx_680 ]

@@ -1,0 +1,101 @@
+(* Wall-clock micro-benchmarks (Bechamel), one per table/figure: these
+   time the *simulator itself* executing the operation each experiment is
+   built on, on small fixed inputs — a regression guard for the harness
+   rather than a reproduction artefact (the reproduction numbers come
+   from the simulated device times printed by the tables/figures). *)
+open Bechamel
+open Toolkit
+open Matrix
+
+let device = Util.device
+let cpu = Util.cpu
+
+let inputs =
+  lazy
+    (let rng = Rng.create 401 in
+     let x = Gen.sparse_uniform rng ~rows:2000 ~cols:256 ~density:0.01 in
+     let xd = Gen.dense rng ~rows:2000 ~cols:128 in
+     let y = Gen.vector rng 256 in
+     let yd = Gen.vector rng 128 in
+     let p = Gen.vector rng 2000 in
+     let kdd =
+       Gen.sparse_mixture rng ~rows:2000 ~cols:20_000 ~nnz_per_row:28
+         ~hot_fraction:0.3 ~hot_cols:1500 ()
+     in
+     let ykdd = Gen.vector rng 20_000 in
+     let adj = Ml_algos.Dataset.adjacency rng ~nodes:500 ~out_degree:5 in
+     (x, xd, y, yd, p, kdd, ykdd, adj))
+
+let staged f = Staged.stage f
+
+let tests () =
+  let x, xd, y, yd, p, kdd, ykdd, adj = Lazy.force inputs in
+  let targets = Blas.csrmv x y in
+  [
+    Test.make ~name:"table1:trace-hits"
+      (staged (fun () -> ignore (Ml_algos.Hits.run ~iterations:3 device adj)));
+    Test.make ~name:"table2:cpu-lr-iteration"
+      (staged (fun () ->
+           ignore
+             (Ml_algos.Linreg_cg.fit_cpu ~max_iterations:2 (Sparse x)
+                ~targets)));
+    Test.make ~name:"fig2:fused-xty"
+      (staged (fun () -> ignore (Fusion.Fused_sparse.xt_p device x p ~alpha:1.0)));
+    Test.make ~name:"fig2:cusparse-csrmvt"
+      (staged (fun () -> ignore (Gpulibs.Cusparse.csrmv_t device x p)));
+    Test.make ~name:"fig3:fused-xtxy"
+      (staged (fun () ->
+           ignore (Fusion.Fused_sparse.pattern device x ~y ~alpha:1.0 ())));
+    Test.make ~name:"fig4:fused-full-pattern"
+      (staged (fun () ->
+           ignore
+             (Fusion.Fused_sparse.pattern device x ~y ~v:p ~beta_z:(0.5, y)
+                ~alpha:2.0 ())));
+    Test.make ~name:"fig5:fused-dense"
+      (staged (fun () ->
+           ignore (Fusion.Fused_dense.pattern device xd ~y:yd ~alpha:1.0 ())));
+    Test.make ~name:"fig6:tuner-plan"
+      (staged (fun () -> ignore (Fusion.Tuning.sparse_plan device x)));
+    Test.make ~name:"table4:fused-large-n"
+      (staged (fun () ->
+           ignore (Fusion.Fused_sparse.pattern device kdd ~y:ykdd ~alpha:1.0 ())));
+    Test.make ~name:"table5:lr-cg-fused-iter"
+      (staged (fun () ->
+           ignore
+             (Ml_algos.Linreg_cg.fit ~max_iterations:1 device (Sparse x)
+                ~targets)));
+    Test.make ~name:"table6:systemml-run"
+      (staged (fun () ->
+           let d =
+             {
+               Ml_algos.Dataset.features = Sparse x;
+               targets;
+               name = "bench";
+               scale = 1.0;
+             }
+           in
+           ignore
+             (Sysml.Runtime.systemml ~max_iterations:2 ~measure_iterations:2
+                device cpu d)));
+  ]
+
+let run () =
+  Util.header "Bechamel micro-benchmarks (harness wall-clock, ns per run)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Util.row "  %-28s %12.0f ns/run" name est
+          | _ -> Util.row "  %-28s (no estimate)" name)
+        analyzed)
+    (tests ())

@@ -1,0 +1,192 @@
+(* Regeneration of the paper's figures (as text series/bars). *)
+open Matrix
+open Util
+
+let sparse_case seed ~rows ~cols =
+  let rng = Rng.create seed in
+  let x = Gen.sparse_uniform rng ~rows ~cols ~density:0.01 in
+  let y = Gen.vector rng cols in
+  let p = Gen.vector rng rows in
+  let v = Gen.vector rng rows in
+  let z = Gen.vector rng cols in
+  (x, y, p, v, z)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: X^T y sparse — speedup over cuSPARSE (top), global load
+   transactions (bottom), and iterations to amortise an explicit
+   transpose (second axis). *)
+
+let fig2 (s : scale) =
+  header "Figure 2: X^T x y, sparse, speedup vs cuSPARSE and load counts";
+  note "rows=%d (paper 500k), density 0.01" s.sparse_rows;
+  row "%6s %9s | %12s %12s %7s | %6s" "n" "speedup" "loads(fused)"
+    "loads(cusp)" "ratio" "iter#";
+  let speedups = ref [] in
+  List.iter
+    (fun cols ->
+      let x, _, p, _, _ = sparse_case 201 ~rows:s.sparse_rows ~cols in
+      let _, rf, _ = Fusion.Fused_sparse.xt_p device x p ~alpha:1.0 in
+      let _, rc = Gpulibs.Cusparse.csrmv_t device x p in
+      let t_f = total rf and t_c = total rc in
+      speedups := (t_c /. t_f) :: !speedups;
+      (* amortisation axis: explicit transpose, then fast csrmv over X^T *)
+      let xt, r_tr = Gpulibs.Cusparse.csr2csc device x in
+      let _, r_fast = Gpulibs.Cusparse.csrmv device xt p in
+      let gain = t_c -. total r_fast in
+      let iters =
+        if gain <= 0.0 then infinity
+        else Float.ceil (total r_tr /. gain)
+      in
+      row "%6d %8.1fx | %12d %12d %6.1fx | %6.0f" cols (t_c /. t_f)
+        (dram_transactions rf) (dram_transactions rc)
+        (float_of_int (dram_transactions rc)
+        /. float_of_int (dram_transactions rf))
+        iters)
+    columns_sweep;
+  note "average speedup %.1fx (paper: ~35x average, up to 67x)"
+    (mean !speedups)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 and 4: X^T(Xy) and the full pattern, sparse. *)
+
+let sparse_pattern_figure ~title ~full (s : scale) ~paper =
+  header title;
+  note "rows=%d (paper 500k), density 0.01" s.sparse_rows;
+  row "%6s %12s %12s %12s" "n" "vs cuSPARSE" "vs BIDMat" "vs BIDMat-CPU";
+  let acc = ref ([], [], []) in
+  List.iter
+    (fun cols ->
+      let x, y, _, v, z = sparse_case 202 ~rows:s.sparse_rows ~cols in
+      let input = Fusion.Executor.Sparse x in
+      let v' = if full then Some v else None in
+      let beta_z = if full then Some (0.5, z) else None in
+      let f =
+        Fusion.Executor.pattern ~engine:Fused device input ~y ?v:v' ?beta_z
+          ~alpha:2.0 ()
+      in
+      let l =
+        Fusion.Executor.pattern ~engine:Library device input ~y ?v:v' ?beta_z
+          ~alpha:2.0 ()
+      in
+      (* BIDMat-GPU: its own kernels for both legs *)
+      let p1, rb1 = Gpulibs.Bidmat.csrmv device x y in
+      let p1 = if full then Vec.mul_elementwise v p1 else p1 in
+      let _, rb2 = Gpulibs.Bidmat.csrmv_t device x p1 in
+      let t_bid = total (rb1 @ rb2) in
+      let t_cpu =
+        Gpulibs.Cpu_model.pattern_sparse_ms cpu x ~with_v:full ~with_z:full
+      in
+      let t_f = f.Fusion.Executor.time_ms in
+      let s1 = l.Fusion.Executor.time_ms /. t_f in
+      let s2 = t_bid /. t_f in
+      let s3 = t_cpu /. t_f in
+      let a, b, c = !acc in
+      acc := (s1 :: a, s2 :: b, s3 :: c);
+      row "%6d %11.1fx %11.1fx %11.1fx" cols s1 s2 s3)
+    columns_sweep;
+  let a, b, c = !acc in
+  note "averages: cuSPARSE %.1fx, BIDMat-GPU %.1fx, BIDMat-CPU %.1fx" (mean a)
+    (mean b) (mean c);
+  note "paper averages: %s" paper
+
+let fig3 s =
+  sparse_pattern_figure ~title:"Figure 3: X^T x (X x y), sparse" ~full:false s
+    ~paper:"cuSPARSE 20.3x, BIDMat-GPU 14.7x, BIDMat-CPU (MKL) 9.3x"
+
+let fig4 s =
+  sparse_pattern_figure
+    ~title:"Figure 4: a*X^T x (v.(X x y)) + b*z, sparse" ~full:true s
+    ~paper:"cuSPARSE/cuBLAS 26.2x, BIDMat-GPU 19.6x, BIDMat-CPU 13.4x"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: X^T(Xy) on dense matrices. *)
+
+let fig5 (s : scale) =
+  header "Figure 5: X^T x (X x y), dense";
+  note "rows=%d (paper: 500k; the 6GB device bounds n at that height)"
+    s.dense_rows;
+  row "%6s %12s %12s %12s" "n" "vs cuBLAS" "vs BIDMat" "vs BIDMat-CPU";
+  let acc = ref ([], [], []) in
+  List.iter
+    (fun cols ->
+      let rng = Rng.create 203 in
+      let x = Gen.dense rng ~rows:s.dense_rows ~cols in
+      let y = Gen.vector rng cols in
+      let _, rf, _, _ = Fusion.Fused_dense.pattern device x ~y ~alpha:1.0 () in
+      let t_f = total rf in
+      let p1, r1 = Gpulibs.Cublas.gemv device x y in
+      let _, r2 = Gpulibs.Cublas.gemv_t device x p1 in
+      let _, rb2 = Gpulibs.Bidmat.gemv_t device x p1 in
+      let t_cublas = total (r1 @ r2) in
+      let t_bid = total (r1 @ rb2) in
+      let t_cpu =
+        Gpulibs.Cpu_model.pattern_dense_ms cpu ~rows:s.dense_rows ~cols
+          ~with_v:false ~with_z:false
+      in
+      let s1 = t_cublas /. t_f and s2 = t_bid /. t_f and s3 = t_cpu /. t_f in
+      let a, b, c = !acc in
+      acc := (s1 :: a, s2 :: b, s3 :: c);
+      row "%6d %11.2fx %11.2fx %11.2fx" cols s1 s2 s3)
+    dense_columns_sweep;
+  let a, b, c = !acc in
+  note "averages: cuBLAS %.2fx, BIDMat-GPU %.2fx, BIDMat-CPU %.2fx" (mean a)
+    (mean b) (mean c);
+  note "paper averages: cuBLAS 4.27x, BIDMat-GPU 2.18x, BIDMat-CPU 15.3x"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: the launch-parameter search space for the sparse kernel on
+   a 500k x 1k matrix, vs the analytical model's choice. *)
+
+let fig6 (s : scale) =
+  header "Figure 6: launch-parameter space, sparse X^T(Xy), n=1024";
+  let rng = Rng.create 204 in
+  let x = Gen.sparse_uniform rng ~rows:s.fig6_rows ~cols:1024 ~density:0.01 in
+  let y = Gen.vector rng 1024 in
+  let chosen = Fusion.Tuning.sparse_plan device x in
+  let time_of plan =
+    let _, reports, _ =
+      Fusion.Fused_sparse.pattern ~plan device x ~y ~alpha:1.0 ()
+    in
+    total reports
+  in
+  let space = Fusion.Tuning.enumerate_sparse_plans device x ~vs:chosen.sp_vs in
+  let space =
+    List.filteri (fun i _ -> i mod s.fig6_stride = 0) space
+  in
+  note "exploring %d launch configurations (VS=%d fixed by Eq. 4)..."
+    (List.length space) chosen.Fusion.Tuning.sp_vs;
+  let evaluated =
+    List.map (fun (bs, c, plan) -> (bs, c, time_of plan)) space
+  in
+  let best_bs, best_c, best =
+    List.fold_left
+      (fun (bb, bc, bt) (bs, c, t) -> if t < bt then (bs, c, t) else (bb, bc, bt))
+      (0, 0, infinity) evaluated
+  in
+  let worst =
+    List.fold_left (fun acc (_, _, t) -> Float.max acc t) 0.0 evaluated
+  in
+  let model_time = time_of chosen in
+  let rank =
+    List.length (List.filter (fun (_, _, t) -> t < model_time) evaluated)
+  in
+  row "best setting:  BS=%-4d C=%-5d  %.3f ms" best_bs best_c best;
+  row "worst setting: %.3f ms (%.0fx the best)" worst (worst /. best);
+  row "model choice:  BS=%-4d C=%-5d  %.3f ms" chosen.Fusion.Tuning.sp_bs
+    chosen.Fusion.Tuning.sp_coarsening model_time;
+  row "model vs best: +%.2f%% (paper: <2%%); rank %d/%d (top %.1f%%)"
+    (100.0 *. (model_time -. best) /. best)
+    rank (List.length evaluated)
+    (100.0 *. float_of_int rank /. float_of_int (List.length evaluated));
+  (* compact 1/time profile over block sizes at the model's coarsening *)
+  let at_c =
+    List.filter (fun (_, c, _) -> c = chosen.Fusion.Tuning.sp_coarsening) evaluated
+  in
+  if at_c <> [] then begin
+    let peak = List.fold_left (fun m (_, _, t) -> Float.max m (1.0 /. t)) 0.0 at_c in
+    note "1/time profile across BS (C=%d):" chosen.Fusion.Tuning.sp_coarsening;
+    List.iter
+      (fun (bs, _, t) ->
+        row "  BS=%-4d %s" bs (bar (1.0 /. t) ~max_value:peak ~width:40))
+      at_c
+  end

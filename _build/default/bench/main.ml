@@ -1,0 +1,69 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper's evaluation section.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, scaled defaults
+     dune exec bench/main.exe -- --only fig2  # one experiment
+     dune exec bench/main.exe -- --full       # the paper's exact sizes
+     dune exec bench/main.exe -- --list       # available experiment ids *)
+
+let experiments =
+  [
+    ("table1", ("Table 1: pattern instantiations per algorithm", Tables.table1));
+    ("table2", ("Table 2: CPU time breakdown of LR-CG", Tables.table2));
+    ("fig2", ("Figure 2: X^T y sparse speedups and load counts", Figures.fig2));
+    ("fig3", ("Figure 3: X^T(Xy) sparse speedups", Figures.fig3));
+    ("fig4", ("Figure 4: full pattern sparse speedups", Figures.fig4));
+    ("fig5", ("Figure 5: X^T(Xy) dense speedups", Figures.fig5));
+    ("fig6", ("Figure 6: launch-parameter search space", Figures.fig6));
+    ("table4", ("Table 4: KDD2010-like ultra-sparse times", Tables.table4));
+    ("table5", ("Table 5: end-to-end LR-CG speedups", Tables.table5));
+    ("table6", ("Table 6: SystemML integration speedups", Tables.table6));
+    ("ablations", ("Ablations of the design choices", Ablations.run));
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--only <id>]... [--full] [--no-bechamel] [--list]";
+  print_endline "experiments:";
+  List.iter
+    (fun (id, (desc, _)) -> Printf.printf "  %-10s %s\n" id desc)
+    experiments
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args || List.mem "--help" args then usage ()
+  else begin
+    let full = List.mem "--full" args in
+    let scale = if full then Util.full_scale else Util.default_scale in
+    let only =
+      let rec collect = function
+        | "--only" :: id :: rest -> id :: collect rest
+        | _ :: rest -> collect rest
+        | [] -> []
+      in
+      collect args
+    in
+    let selected =
+      if only = [] then experiments
+      else
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt id experiments with
+            | Some e -> Some (id, e)
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                exit 2)
+          only
+    in
+    Printf.printf
+      "Kernel-fusion reproduction harness — %s scale%s\n"
+      (if full then "paper" else "default (reduced)")
+      (if full then "" else "; pass --full for the paper's sizes");
+    Printf.printf "device model: %s\n%!" Util.device.Gpu_sim.Device.name;
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, (_, f)) -> f scale) selected;
+    if only = [] && not (List.mem "--no-bechamel" args) then
+      Bechamel_suite.run ();
+    Printf.printf "\ntotal harness wall time: %.1f s\n%!"
+      (Unix.gettimeofday () -. t0)
+  end

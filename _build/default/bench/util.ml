@@ -1,0 +1,68 @@
+(* Shared helpers for the reproduction harness: scale configuration,
+   table rendering, and common measurement plumbing. *)
+open Gpu_sim
+
+let device = Device.gtx_titan
+let cpu = Device.core_i7_host
+
+(* Default scales keep the full suite under a few minutes on one CPU
+   core; [--full] runs the paper's exact sizes. *)
+type scale = {
+  sparse_rows : int;  (** paper: 500,000 *)
+  dense_rows : int;
+  kdd_scale : float;  (** fraction of the 15M x 30M original *)
+  higgs_scale : float;  (** fraction of the 11M rows *)
+  fig6_rows : int;
+  fig6_stride : int;  (** subsampling of the block-size axis *)
+  e2e_measure_iters : int;
+}
+
+let default_scale =
+  {
+    sparse_rows = 100_000;
+    dense_rows = 20_000;
+    kdd_scale = 0.01;
+    higgs_scale = 0.02;
+    fig6_rows = 100_000;
+    fig6_stride = 2;
+    e2e_measure_iters = 5;
+  }
+
+let full_scale =
+  {
+    sparse_rows = 500_000;
+    dense_rows = 100_000;
+    kdd_scale = 0.01;
+    higgs_scale = 0.05;
+    fig6_rows = 500_000;
+    fig6_stride = 1;
+    e2e_measure_iters = 20;
+  }
+
+let total = Sim.total_ms
+
+let dram_transactions reports =
+  List.fold_left
+    (fun acc (r : Sim.report) -> acc + Stats.total_dram_transactions r.stats)
+    0 reports
+
+let header title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n%!" s) fmt
+
+let row fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* simple text bar for figure-style output *)
+let bar value ~max_value ~width =
+  let n =
+    int_of_float
+      (Float.round (float_of_int width *. value /. Float.max 1e-9 max_value))
+  in
+  String.make (Stdlib.max 0 (Stdlib.min width n)) '#'
+
+let columns_sweep = [ 200; 512; 1024; 2048; 4096 ]
+
+let dense_columns_sweep = [ 64; 128; 256; 512; 1024; 2048 ]

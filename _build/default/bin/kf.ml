@@ -1,0 +1,294 @@
+(* kf — command-line front end to the kernel-fusion library.
+
+   Subcommands:
+     kf run     run a pattern instantiation on synthetic data, both engines
+     kf tune    show the analytical launch plan for a matrix shape
+     kf codegen print the generated CUDA for a dense plan
+     kf train   fit an ML algorithm and report timings + pattern trace *)
+
+open Cmdliner
+open Matrix
+
+let device = Gpu_sim.Device.gtx_titan
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+(* ---- shared arguments ---- *)
+
+let rows_arg =
+  Arg.(value & opt int 100_000 & info [ "m"; "rows" ] ~doc:"Matrix rows.")
+
+let cols_arg =
+  Arg.(value & opt int 1024 & info [ "n"; "cols" ] ~doc:"Matrix columns.")
+
+let density_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "d"; "density" ] ~doc:"Sparse density (ignored for dense).")
+
+let dense_arg =
+  Arg.(value & flag & info [ "dense" ] ~doc:"Use a dense matrix.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
+
+let make_input ~dense ~rows ~cols ~density ~seed =
+  let rng = Rng.create seed in
+  if dense then Fusion.Executor.Dense (Gen.dense rng ~rows ~cols)
+  else Fusion.Executor.Sparse (Gen.sparse_uniform rng ~rows ~cols ~density)
+
+(* ---- kf run ---- *)
+
+let instantiation_arg =
+  let all = [ ("xty", `Xty); ("xtxy", `Xtxy); ("weighted", `W); ("full", `Full) ] in
+  Arg.(
+    value
+    & opt (enum all) `Xtxy
+    & info [ "p"; "pattern" ]
+        ~doc:"Pattern instantiation: $(b,xty), $(b,xtxy), $(b,weighted) \
+              (X^T(v.(Xy))), or $(b,full).")
+
+let run_cmd =
+  let run verbose dense rows cols density seed inst =
+    setup_logs verbose;
+    let input = make_input ~dense ~rows ~cols ~density ~seed in
+    let rng = Rng.create (seed + 1) in
+    let y = Gen.vector rng cols in
+    let v = Gen.vector rng rows in
+    let z = Gen.vector rng cols in
+    let exec engine =
+      match inst with
+      | `Xty -> Fusion.Executor.xt_y ~engine device input (Gen.vector (Rng.create seed) rows) ~alpha:1.0
+      | `Xtxy -> Fusion.Executor.pattern ~engine device input ~y ~alpha:1.0 ()
+      | `W -> Fusion.Executor.pattern ~engine device input ~y ~v ~alpha:1.0 ()
+      | `Full ->
+          Fusion.Executor.pattern ~engine device input ~y ~v
+            ~beta_z:(0.5, z) ~alpha:2.0 ()
+    in
+    let f = exec Fusion.Executor.Fused in
+    let l = exec Fusion.Executor.Library in
+    Printf.printf "input: %d x %d %s\n" rows cols
+      (if dense then "dense" else Printf.sprintf "sparse (density %g)" density);
+    Printf.printf "fused engine:   %8.3f ms  (%s)\n" f.Fusion.Executor.time_ms
+      f.Fusion.Executor.engine_used;
+    Printf.printf "library engine: %8.3f ms  (%s)\n" l.Fusion.Executor.time_ms
+      l.Fusion.Executor.engine_used;
+    Printf.printf "speedup: %.2fx\n"
+      (l.Fusion.Executor.time_ms /. f.Fusion.Executor.time_ms);
+    Printf.printf "results agree to %g\n"
+      (Vec.max_abs_diff f.Fusion.Executor.w l.Fusion.Executor.w);
+    List.iter
+      (fun r -> Format.printf "%a@." Gpu_sim.Sim.pp_report r)
+      f.Fusion.Executor.reports
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a pattern instantiation with both engines.")
+    Term.(
+      const run $ verbose_arg $ dense_arg $ rows_arg $ cols_arg $ density_arg
+      $ seed_arg $ instantiation_arg)
+
+(* ---- kf tune ---- *)
+
+let tune_cmd =
+  let tune dense rows cols density seed =
+    if dense then begin
+      let plan = Fusion.Tuning.dense_plan device ~rows ~cols in
+      Format.printf "%a@." Fusion.Tuning.pp_dense_plan plan
+    end
+    else begin
+      let input = make_input ~dense ~rows ~cols ~density ~seed in
+      match input with
+      | Fusion.Executor.Sparse x ->
+          let plan = Fusion.Tuning.sparse_plan device x in
+          Format.printf "mu = %.2f nnz/row@." (Csr.mean_row_nnz x);
+          Format.printf "%a@." Fusion.Tuning.pp_sparse_plan plan
+      | Fusion.Executor.Dense _ -> assert false
+    end
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Show the analytical launch plan (Section 3.3).")
+    Term.(const tune $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg)
+
+(* ---- kf codegen ---- *)
+
+let tl_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tl" ] ~doc:"Thread load override (1-40); default: tuned.")
+
+let codegen_cmd =
+  let codegen rows cols tl =
+    let plan =
+      match tl with
+      | None -> Fusion.Tuning.dense_plan device ~rows ~cols
+      | Some tl -> (
+          match Fusion.Tuning.dense_plan_with device ~rows ~cols ~tl with
+          | Some p -> p
+          | None -> failwith "that thread load cannot launch for this shape")
+    in
+    Format.printf "%a@.@." Fusion.Tuning.pp_dense_plan plan;
+    print_string (Fusion.Codegen.cuda_source (Fusion.Codegen.specialize plan))
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Print the CUDA the dense code generator emits (Listing 2).")
+    Term.(const codegen $ rows_arg $ cols_arg $ tl_arg)
+
+(* ---- kf train ---- *)
+
+let algo_arg =
+  let all =
+    [ ("lr", `Lr); ("glm", `Glm); ("logreg", `Logreg);
+      ("multinomial", `Multinomial); ("svm", `Svm); ("hits", `Hits) ]
+  in
+  Arg.(
+    value
+    & opt (enum all) `Lr
+    & info [ "a"; "algorithm" ]
+        ~doc:"One of $(b,lr), $(b,glm), $(b,logreg), $(b,multinomial),               $(b,svm), $(b,hits).")
+
+let train_cmd =
+  let train dense rows cols density seed algo =
+    let input = make_input ~dense ~rows ~cols ~density ~seed in
+    let rng = Rng.create (seed + 2) in
+    let truth = Gen.vector rng cols in
+    let raw =
+      match input with
+      | Fusion.Executor.Sparse x -> Blas.csrmv x truth
+      | Fusion.Executor.Dense x -> Blas.gemv x truth
+    in
+    let report name gpu_ms trace extras =
+      Printf.printf "%s: %s\n" name extras;
+      Printf.printf "simulated device time: %.2f ms\n" gpu_ms;
+      print_endline "pattern instantiations:";
+      List.iter
+        (fun inst ->
+          Printf.printf "  %-28s x%d\n"
+            (Fusion.Pattern.name inst)
+            (Fusion.Pattern.Trace.count trace inst))
+        (Fusion.Pattern.Trace.instantiations trace)
+    in
+    match algo with
+    | `Lr ->
+        let r = Ml_algos.Linreg_cg.fit device input ~targets:raw in
+        report "linear regression CG" r.gpu_ms r.trace
+          (Printf.sprintf "%d iterations, residual %g" r.iterations
+             r.residual_norm)
+    | `Glm ->
+        let targets = Array.map (fun t -> Float.round (exp (0.02 *. t))) raw in
+        let r = Ml_algos.Glm.fit device input ~targets in
+        report "poisson GLM" r.gpu_ms r.trace
+          (Printf.sprintf "%d Newton / %d CG iterations, deviance %g"
+             r.newton_iterations r.cg_iterations r.deviance)
+    | `Logreg ->
+        let labels = Ml_algos.Dataset.classification_targets raw in
+        let r = Ml_algos.Logreg.fit device input ~labels in
+        report "logistic regression (trust region)" r.gpu_ms r.trace
+          (Printf.sprintf "accuracy %.1f%%" (100.0 *. r.accuracy))
+    | `Multinomial ->
+        let labels =
+          Array.map
+            (fun t -> if t < -0.5 then 0 else if t < 0.5 then 1 else 2)
+            raw
+        in
+        let r = Ml_algos.Multinomial.fit device input ~labels ~classes:3 in
+        report "multinomial logistic regression (one-vs-rest)" r.gpu_ms
+          r.trace
+          (Printf.sprintf "3 classes, accuracy %.1f%%" (100.0 *. r.accuracy))
+    | `Svm ->
+        let labels = Ml_algos.Dataset.classification_targets raw in
+        let r = Ml_algos.Svm.fit device input ~labels in
+        report "primal SVM" r.gpu_ms r.trace
+          (Printf.sprintf "accuracy %.1f%%, %d support rows"
+             (100.0 *. r.accuracy) r.support_vectors)
+    | `Hits ->
+        let a =
+          Ml_algos.Dataset.adjacency (Rng.create seed) ~nodes:rows
+            ~out_degree:8
+        in
+        let r = Ml_algos.Hits.run device a in
+        report "HITS" r.gpu_ms r.trace
+          (Printf.sprintf "%d iterations, delta %g" r.iterations r.delta)
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Fit an ML algorithm on synthetic data.")
+    Term.(
+      const train $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg
+      $ algo_arg)
+
+(* ---- kf script ---- *)
+
+let script_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "f"; "file" ]
+          ~doc:"DML script; omit to run the paper's Listing 1.")
+  in
+  let script verbose dense rows cols density seed file =
+    setup_logs verbose;
+    let program =
+      match file with
+      | Some path -> Sysml.Dml.parse_file path
+      | None -> Sysml.Dml.parse Sysml.Dml.listing1
+    in
+    let input = make_input ~dense ~rows ~cols ~density ~seed in
+    let rng = Rng.create (seed + 2) in
+    let truth = Gen.vector rng cols in
+    let targets =
+      match input with
+      | Fusion.Executor.Sparse x -> Blas.csrmv x truth
+      | Fusion.Executor.Dense x -> Blas.gemv x truth
+    in
+    let r =
+      Sysml.Script.eval device ~inputs:[]
+        ~positional:[ Sysml.Script.Matrix input; Sysml.Script.Vector targets ]
+        program
+    in
+    Printf.printf "script finished: %.2f ms simulated device time, %d fused launches
+"
+      r.Sysml.Script.gpu_ms r.Sysml.Script.fused_launches;
+    print_endline "pattern instantiations:";
+    List.iter
+      (fun inst ->
+        Printf.printf "  %-28s x%d
+"
+          (Fusion.Pattern.name inst)
+          (Fusion.Pattern.Trace.count r.Sysml.Script.trace inst))
+      (Fusion.Pattern.Trace.instantiations r.Sysml.Script.trace);
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Sysml.Script.Num f -> Printf.printf "output %s = %g
+" name f
+        | Sysml.Script.Vector v ->
+            Printf.printf "output %s = vector of %d elements (norm %g)
+" name
+              (Array.length v) (Vec.nrm2 v)
+        | Sysml.Script.Matrix _ -> Printf.printf "output %s = matrix
+" name)
+      r.Sysml.Script.outputs
+  in
+  Cmd.v
+    (Cmd.info "script"
+       ~doc:"Run a DML script (default: the paper's Listing 1) on synthetic              inputs bound to $1 (matrix) and $2 (targets).")
+    Term.(
+      const script $ verbose_arg $ dense_arg $ rows_arg $ cols_arg
+      $ density_arg $ seed_arg $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "kf" ~version:"1.0.0"
+      ~doc:"Fused GPU kernels for ML patterns (PPoPP'15 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; tune_cmd; codegen_cmd; train_cmd; script_cmd ]))

@@ -1,0 +1,1 @@
+examples/autotune_explorer.ml: Csr Format Fusion Gen Gpu_sim List Matrix Rng

@@ -1,0 +1,1 @@
+examples/insurance_claims.ml: Array Blas Float Format Fusion Gen Gpu_sim List Matrix Ml_algos Rng

@@ -1,0 +1,1 @@
+examples/linear_regression.ml: Blas Format Fusion Gpu_sim List Matrix Ml_algos Rng Sysml Vec

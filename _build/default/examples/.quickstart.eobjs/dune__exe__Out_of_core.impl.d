@@ -1,0 +1,1 @@
+examples/out_of_core.ml: Blas Csr Format Fusion Gen Gpu_sim Matrix Rng Vec

@@ -1,0 +1,1 @@
+examples/out_of_core.mli:

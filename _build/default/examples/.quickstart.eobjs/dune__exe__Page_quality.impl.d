@@ -1,0 +1,1 @@
+examples/page_quality.ml: Array Coo Csr Format Gpu_sim List Matrix Ml_algos Rng

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Blas Csr Format Fusion Gen Gpu_sim Matrix Rng Vec

@@ -1,0 +1,1 @@
+examples/spam_filter.ml: Array Blas Csr Format Fusion Gen Gpu_sim Matrix Ml_algos Rng

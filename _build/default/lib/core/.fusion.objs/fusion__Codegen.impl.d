@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Buffer List Printf Stdlib String Tuning

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Codegen Fused_dense Fused_sparse Gpu_sim Gpulibs List Logs Matrix Pattern Sim

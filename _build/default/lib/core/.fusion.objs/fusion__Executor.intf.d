@@ -1,0 +1,1 @@
+lib/core/executor.mli: Device Gpu_sim Matrix Pattern Sim

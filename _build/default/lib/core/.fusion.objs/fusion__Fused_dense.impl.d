@@ -1,0 +1,1 @@
+lib/core/fused_dense.ml: Array Cache Codegen Float Gpu_sim Gpulibs Launch Matrix Sim Stdlib Tuning

@@ -1,0 +1,1 @@
+lib/core/fused_dense.mli: Codegen Device Gpu_sim Matrix Sim Tuning

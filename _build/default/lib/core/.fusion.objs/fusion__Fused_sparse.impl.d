@@ -1,0 +1,1 @@
+lib/core/fused_sparse.ml: Array Cache Device Float Gpu_sim Gpulibs Launch Matrix Option Sim Stdlib Tuning Warp

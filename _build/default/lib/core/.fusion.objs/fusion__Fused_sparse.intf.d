@@ -1,0 +1,1 @@
+lib/core/fused_sparse.mli: Device Gpu_sim Matrix Sim Tuning

@@ -1,0 +1,1 @@
+lib/core/streaming.ml: Array Device Float Fused_sparse Gpu_sim List Logs Matrix Option Printf Sim Xfer

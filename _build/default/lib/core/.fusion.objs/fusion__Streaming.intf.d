@@ -1,0 +1,1 @@
+lib/core/streaming.mli: Device Gpu_sim Matrix Sim

@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Device Format Gpu_sim Launch List Matrix Occupancy Stdlib

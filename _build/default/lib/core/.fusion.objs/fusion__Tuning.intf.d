@@ -1,0 +1,1 @@
+lib/core/tuning.mli: Device Format Gpu_sim Matrix Occupancy

@@ -1,0 +1,89 @@
+type specialized = {
+  cols : int;
+  vs : int;
+  tl : int;
+  regs : int;
+  unrolled : bool;
+}
+
+let specialize (p : Tuning.dense_plan) =
+  {
+    cols = p.dp_padded_cols;
+    vs = p.dp_vs;
+    tl = p.dp_tl;
+    regs = p.dp_regs;
+    unrolled = true;
+  }
+
+let generic (p : Tuning.dense_plan) =
+  { (specialize p) with unrolled = false; regs = 32 }
+
+let kernel_name s = Printf.sprintf "mtmvm_%d_%d_%d" s.cols s.vs s.tl
+
+let cuda_source s =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let regs suffix =
+    String.concat ", "
+      (List.init s.tl (fun i -> Printf.sprintf "l_%s%d" suffix (i + 1)))
+  in
+  line "__global__ void %s(const double *X, const double *y," (kernel_name s);
+  line "    const double *v, const double a, double *w) {";
+  line "  __shared__ volatile double sdata[%d];" (Stdlib.max 1 (128 / s.vs));
+  line "  unsigned int tid = threadIdx.x;";
+  line "  unsigned int lid = tid & %d;" (s.vs - 1);
+  line "  unsigned int vid = tid / %d;" s.vs;
+  line "  unsigned int rowStart = blockIdx.x * NV + vid;";
+  line "  unsigned int rowEnd = rowStart + (gridDim.x * NV) * rowPerVector;";
+  if s.unrolled then
+    line "  double sum, %s, %s, %s;" (regs "y") (regs "X") (regs "w")
+  else begin
+    line "  /* WARNING: indexed arrays below live in local memory. */";
+    line "  double sum, l_y[%d], l_X[%d], l_w[%d];" s.tl s.tl s.tl
+  end;
+  line "  if (tid < %d) sdata[tid] = 0;" (Stdlib.max 1 (128 / s.vs));
+  line "  if (rowStart < rowDim) {";
+  line "    if (rowEnd > rowDim) rowEnd = rowDim;";
+  line "    rowStart = rowStart * colDim + lid;";
+  line "    rowEnd = rowEnd * colDim + lid;";
+  if s.unrolled then begin
+    line "    %s = 0.0;"
+      (String.concat " = " (List.init s.tl (fun i -> Printf.sprintf "l_w%d" (i + 1))));
+    List.iteri
+      (fun i () -> line "    l_y%d = y[lid + %d];" (i + 1) (i * s.vs))
+      (List.init s.tl (fun _ -> ()))
+  end
+  else begin
+    line "    for (int i = 0; i < %d; ++i) { l_w[i] = 0.0; l_y[i] = y[lid + i * %d]; }"
+      s.tl s.vs
+  end;
+  line "    for (unsigned int r = rowStart; r < rowEnd; r += colDim) {";
+  if s.unrolled then begin
+    line "      l_X1 = X[r]; sum = l_X1 * l_y1;";
+    for i = 2 to s.tl do
+      line "      l_X%d = X[r + %d]; sum += l_X%d * l_y%d;" i ((i - 1) * s.vs) i i
+    done
+  end
+  else
+    line "      sum = 0.0; for (int i = 0; i < %d; ++i) { l_X[i] = X[r + i * %d]; sum += l_X[i] * l_y[i]; }"
+      s.tl s.vs;
+  line "      sum = interVectorReduce(sum);";
+  line "      if (lid == 0) sdata[vid] = sum * v[r / colDim];";
+  line "      sum = sdata[vid];";
+  if s.unrolled then
+    for i = 1 to s.tl do
+      line "      l_w%d += l_X%d * sum;" i i
+    done
+  else line "      for (int i = 0; i < %d; ++i) l_w[i] += l_X[i] * sum;" s.tl;
+  line "    }";
+  line "    double *r = w + lid;";
+  if s.unrolled then
+    for i = 1 to s.tl do
+      line "    atomicAdd(r + %d, a * l_w%d);" ((i - 1) * s.vs) i
+    done
+  else
+    line "    for (int i = 0; i < %d; ++i) atomicAdd(r + i * %d, a * l_w[i]);"
+      s.tl s.vs;
+  line "  }";
+  line "}";
+  Buffer.contents b

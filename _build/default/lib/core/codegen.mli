@@ -1,0 +1,39 @@
+(** Code generation for the dense fused kernel (Section 3.2, Listing 2).
+
+    CUDA only keeps array-like thread-private data in registers when every
+    index is a compile-time constant; otherwise the data silently spills
+    to local (off-chip) memory.  The paper therefore *generates* a kernel
+    per (columns, VS, TL) triple, with the loads of [y], the multiply
+    loop, the scale loop, and the final stores unrolled [TL] times over
+    explicitly named registers.
+
+    Here the "generated kernel" has two faces: a {!specialized} descriptor
+    that the simulator executes (unrolled = registers; generic = local
+    memory spills, the ablation case), and {!cuda_source}, which renders
+    the CUDA C the generator would emit — the analogue of Listing 2 —
+    used for inspection, documentation and tests. *)
+
+type specialized = {
+  cols : int;  (** padded column count baked into the kernel *)
+  vs : int;
+  tl : int;
+  regs : int;
+  unrolled : bool;
+      (** true: register-resident (generated); false: indexed access that
+          CUDA would demote to local memory *)
+}
+
+val specialize : Tuning.dense_plan -> specialized
+(** The generated kernel for a tuned plan. *)
+
+val generic : Tuning.dense_plan -> specialized
+(** The non-generated fallback (ablation): same plan, indexed register
+    access, hence local-memory traffic for [l_X], [l_y], [l_w]. *)
+
+val kernel_name : specialized -> string
+(** e.g. [mtmvm_32_16_2] for cols=32, VS=16, TL=2, matching the paper's
+    naming. *)
+
+val cuda_source : specialized -> string
+(** Render the CUDA C source of the specialised kernel (Listing 2
+    shape). *)

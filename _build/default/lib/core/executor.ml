@@ -1,0 +1,147 @@
+open Gpu_sim
+
+let log_src = Logs.Src.create "fusion.executor" ~doc:"pattern dispatch"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type engine = Fused | Library
+
+type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
+
+type result = {
+  w : Matrix.Vec.t;
+  reports : Sim.report list;
+  time_ms : float;
+  instantiation : Pattern.instantiation option;
+  engine_used : string;
+}
+
+let rows = function
+  | Sparse x -> x.Matrix.Csr.rows
+  | Dense x -> x.Matrix.Dense.rows
+
+let cols = function
+  | Sparse x -> x.Matrix.Csr.cols
+  | Dense x -> x.Matrix.Dense.cols
+
+let bytes = function
+  | Sparse x -> Matrix.Csr.bytes x
+  | Dense x -> Matrix.Dense.bytes x
+
+let finish ~instantiation ~engine_used w reports =
+  let time_ms = Sim.total_ms reports in
+  Log.debug (fun m ->
+      m "%s: %d kernel(s), %.3f ms" engine_used (List.length reports) time_ms);
+  { w; reports; time_ms; instantiation; engine_used }
+
+(* Library composition for the trailing BLAS-1 work: w <- alpha*w, then
+   optionally w <- w + beta*z (two more kernel launches). *)
+let library_epilogue device ~alpha ~beta_z w reports =
+  let w, r1 =
+    if alpha = 1.0 then (w, []) else Gpulibs.Cublas.scal device alpha w
+  in
+  match beta_z with
+  | None -> (w, reports @ r1)
+  | Some (beta, z) ->
+      let bz, r2 = Gpulibs.Cublas.scal device beta z in
+      let w, r3 = Gpulibs.Cublas.axpy device 1.0 bz w in
+      (w, reports @ r1 @ r2 @ r3)
+
+let xt_y ?(engine = Fused) device input y ~alpha =
+  let instantiation =
+    Some
+      (Pattern.classify ~with_first_multiply:false ~with_v:false
+         ~with_z:false)
+  in
+  match (engine, input) with
+  | Fused, Sparse x ->
+      let w, reports, plan = Fused_sparse.xt_p device x y ~alpha in
+      finish ~instantiation
+        ~engine_used:
+          (if plan.sp_large_n then "fused sparse X^T*p (large-n)"
+           else "fused sparse X^T*p")
+        w reports
+  | Library, Sparse x ->
+      let w, reports = Gpulibs.Cusparse.csrmv_t device x y in
+      let w, reports = library_epilogue device ~alpha ~beta_z:None w reports in
+      finish ~instantiation ~engine_used:"cusparse csrmv (transpose mode)" w
+        reports
+  | (Fused | Library), Dense x ->
+      (* The paper does not fuse X^T*y for dense data: cuBLAS's gemv is
+         already a single pass. *)
+      let w, reports = Gpulibs.Cublas.gemv_t device x y in
+      let w, reports = library_epilogue device ~alpha ~beta_z:None w reports in
+      finish ~instantiation ~engine_used:"cublas gemv (transpose)" w reports
+
+let library_pattern device input ~y ?v ?beta_z ~alpha () =
+  let p, reports =
+    match input with
+    | Sparse x -> Gpulibs.Cusparse.csrmv device x y
+    | Dense x -> Gpulibs.Cublas.gemv device x y
+  in
+  let p, reports =
+    match v with
+    | None -> (p, reports)
+    | Some v ->
+        let p, r = Gpulibs.Cublas.mul_elementwise device v p in
+        (p, reports @ r)
+  in
+  let w, reports =
+    match input with
+    | Sparse x ->
+        let w, r = Gpulibs.Cusparse.csrmv_t device x p in
+        (w, reports @ r)
+    | Dense x ->
+        let w, r = Gpulibs.Cublas.gemv_t device x p in
+        (w, reports @ r)
+  in
+  library_epilogue device ~alpha ~beta_z w reports
+
+let pattern ?(engine = Fused) device input ~y ?v ?beta_z ~alpha () =
+  let instantiation =
+    Some
+      (Pattern.classify ~with_first_multiply:true ~with_v:(v <> None)
+         ~with_z:(beta_z <> None))
+  in
+  match (engine, input) with
+  | Fused, Sparse x ->
+      let w, reports, plan =
+        Fused_sparse.pattern device x ~y ?v ?beta_z ~alpha ()
+      in
+      finish ~instantiation
+        ~engine_used:
+          (if plan.sp_large_n then "fused sparse (large-n)" else "fused sparse")
+        w reports
+  | Fused, Dense x -> begin
+      match Fused_dense.pattern device x ~y ?v ?beta_z ~alpha () with
+      | w, reports, _plan, spec ->
+          finish ~instantiation
+            ~engine_used:("fused dense " ^ Codegen.kernel_name spec)
+            w reports
+      | exception Invalid_argument _ ->
+          (* Columns beyond the register budget: the paper prescribes
+             falling back to two cuBLAS launches (Section 3.2). *)
+          let w, reports = library_pattern device input ~y ?v ?beta_z ~alpha () in
+          finish ~instantiation
+            ~engine_used:"cublas fallback (columns exceed register budget)" w
+            reports
+    end
+  | Library, (Sparse _ | Dense _) ->
+      let w, reports = library_pattern device input ~y ?v ?beta_z ~alpha () in
+      let engine_used =
+        match input with
+        | Sparse _ -> "cusparse csrmv + csrmv_t (+ cublas level-1)"
+        | Dense _ -> "cublas gemv + gemv_t (+ level-1)"
+      in
+      finish ~instantiation ~engine_used w reports
+
+let x_y ?(engine = Fused) device input y =
+  ignore engine;
+  let instantiation = None in
+  match input with
+  | Sparse x ->
+      let w, reports = Gpulibs.Cusparse.csrmv device x y in
+      finish ~instantiation ~engine_used:"cusparse csrmv" w reports
+  | Dense x ->
+      let w, reports = Gpulibs.Cublas.gemv device x y in
+      finish ~instantiation ~engine_used:"cublas gemv" w reports

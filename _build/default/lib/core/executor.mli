@@ -1,0 +1,60 @@
+open Gpu_sim
+
+(** Public entry point: evaluate any instantiation of the paper's pattern
+    with either the fused kernels or the library-composed baseline, on
+    sparse or dense data.
+
+    This is the layer an ML algorithm programs against (the paper's
+    SystemML integration calls it "backend GPU kernels and APIs"): the
+    caller states *what* to compute; dispatch picks *how* following the
+    paper's rules — fused kernels whenever applicable, with the sparse
+    large-column variant beyond the shared-memory limit, and a fallback to
+    two cuBLAS launches for dense matrices too wide for the register
+    file. *)
+
+type engine =
+  | Fused  (** the paper's kernels (with documented fallbacks) *)
+  | Library  (** cuSPARSE/cuBLAS composition *)
+
+type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
+
+type result = {
+  w : Matrix.Vec.t;
+  reports : Sim.report list;
+  time_ms : float;  (** sum over all launched kernels *)
+  instantiation : Pattern.instantiation option;
+      (** [None] for plain [X x y], which is outside the pattern *)
+  engine_used : string;
+      (** human-readable description of the dispatch decision, e.g.
+          ["fused sparse (large-n)"] or ["cublas gemv + gemv_t"] *)
+}
+
+val rows : input -> int
+
+val cols : input -> int
+
+val bytes : input -> int
+(** Device footprint, for the transfer ledger. *)
+
+val xt_y :
+  ?engine:engine -> Device.t -> input -> Matrix.Vec.t -> alpha:float -> result
+(** [alpha * X^T x y] — the first row of Table 1 ([y] has [rows]
+    elements). *)
+
+val pattern :
+  ?engine:engine ->
+  Device.t ->
+  input ->
+  y:Matrix.Vec.t ->
+  ?v:Matrix.Vec.t ->
+  ?beta_z:float * Matrix.Vec.t ->
+  alpha:float ->
+  unit ->
+  result
+(** Every other row of Table 1, selected by which optional arguments are
+    present. *)
+
+val x_y : ?engine:engine -> Device.t -> input -> Matrix.Vec.t -> result
+(** Plain [X x y] — not part of the fused pattern (the paper leaves it to
+    the libraries, which are already optimal for it), provided so that ML
+    algorithms can run entirely through this interface. *)

@@ -1,0 +1,106 @@
+open Gpu_sim
+
+let lines_of ~bytes = (bytes + 127) / 128
+
+let pattern ?plan ?(codegen = true) device (x : Matrix.Dense.t) ~y ?v ?beta_z
+    ~alpha () =
+  if Array.length y <> x.cols then
+    invalid_arg "Fused_dense.pattern: y must have one element per column";
+  (match v with
+  | Some v when Array.length v <> x.rows ->
+      invalid_arg "Fused_dense.pattern: v must have one element per row"
+  | _ -> ());
+  (match beta_z with
+  | Some (_, z) when Array.length z <> x.cols ->
+      invalid_arg "Fused_dense.pattern: z must have one element per column"
+  | _ -> ());
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Tuning.dense_plan device ~rows:x.rows ~cols:x.cols
+  in
+  let spec = if codegen then Codegen.specialize plan else Codegen.generic plan in
+  let launch =
+    Launch.v ~tl:plan.dp_tl ~grid_blocks:plan.dp_grid ~block_size:plan.dp_bs
+      ~vs:plan.dp_vs ~coarsening:plan.dp_coarsening
+      ~regs_per_thread:spec.regs ~shared_per_block:plan.dp_shared_bytes ()
+  in
+  let m = x.rows and n = x.cols in
+  let np = plan.dp_padded_cols in
+  let nv = Launch.nv launch in
+  let total_vectors = Launch.total_vectors launch in
+  let executing_vectors =
+    Stdlib.min total_vectors
+      ((m + plan.dp_coarsening - 1) / plan.dp_coarsening)
+  in
+  let result, report =
+    Sim.run device launch ~name:(Codegen.kernel_name spec) (fun ctx ->
+        (* y loaded to registers once per vector (Algorithm 3 lines 4-5);
+           later vectors hit L2. *)
+        let y_lines = lines_of ~bytes:(8 * np) in
+        let y_miss =
+          Cache.miss_fraction ~working_set_bytes:(8 * np)
+            ~capacity_bytes:device.l2_bytes
+        in
+        ctx.stats.gld_transactions <-
+          ctx.stats.gld_transactions + y_lines
+          + int_of_float
+              (Float.round
+                 (float_of_int ((executing_vectors - 1) * y_lines) *. y_miss));
+        (* beta * z initialisation (lines 6-7). *)
+        (match beta_z with
+        | None -> ()
+        | Some (_, _) ->
+            Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:n;
+            Sim.global_atomic_add ctx ~ops:n
+              ~conflict_degree:
+                (Gpulibs.Contention.block_sweep_degree device
+                   ~occupancy:ctx.occupancy ~grid_blocks:launch.grid_blocks);
+            Sim.flops ctx n);
+        (* one coalesced sweep over X — the only DRAM pass. *)
+        Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:(m * np);
+        (* per-row work: multiply (lines 11-13), reduce (14-22), scale and
+           accumulate in registers (23-24). *)
+        Sim.flops ctx (4 * m * np);
+        if plan.dp_vs <= 32 then
+          for _ = 1 to m do
+            Sim.shuffle_reduce ctx ~width:plan.dp_vs
+          done
+        else begin
+          let warps_per_vector = plan.dp_vs / 32 in
+          for _ = 1 to m do
+            Sim.shuffle_reduce ctx ~width:32;
+            (* inter-warp reduction through shared memory, guarded by two
+               barriers (lines 19 and 22). *)
+            Sim.shared_access ctx ~warp_requests:(2 * warps_per_vector)
+              ~conflict_ways:1;
+            Sim.barrier ctx;
+            Sim.barrier ctx
+          done
+        end;
+        (match v with
+        | None -> ()
+        | Some _ ->
+            Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:m;
+            Sim.flops ctx m);
+        (* Without code generation the per-thread arrays live in local
+           memory: every element of X is written and re-read there, and
+           l_y / l_w traffic comes on top — about five spilled accesses
+           per element-pass. *)
+        if not spec.unrolled then
+          Sim.local_spill ctx ~transactions:(lines_of ~bytes:(5 * 8 * m * np));
+        (* final flush: each vector commits its n-wide partial (lines
+           26-27). *)
+        let flush_ops = executing_vectors * np in
+        Sim.global_atomic_add ctx ~ops:flush_ops
+          ~conflict_degree:
+            (Gpulibs.Contention.vector_flush_degree device
+               ~occupancy:ctx.occupancy ~grid_blocks:launch.grid_blocks ~nv);
+        let beta, z =
+          match beta_z with
+          | None -> (None, None)
+          | Some (b, z) -> (Some b, Some z)
+        in
+        Matrix.Blas.pattern_dense ~alpha x ?v y ?beta ?z ())
+  in
+  (result, [ report ], plan, spec)

@@ -1,0 +1,35 @@
+open Gpu_sim
+
+(** The fused dense kernel of Section 3.2 (Algorithm 3).
+
+    Each vector of [VS] threads processes [C] rows; each thread keeps [TL]
+    elements of the current row ([l_X]), of [y] ([l_y], loaded once per
+    vector) and of its partial result ([l_w]) in registers — so the matrix
+    is read from DRAM exactly once and the second "pass" costs no memory
+    traffic at all.  Reductions use shuffles within a warp and a small
+    shared buffer across warps when [VS > 32].  Partial results are
+    flushed to [w] with global atomics only once per vector, after all [C]
+    rows.
+
+    Register residency requires the code generator ({!Codegen}): with
+    dynamic indexing CUDA demotes [l_X]/[l_y]/[l_w] to local (off-chip)
+    memory, the ablation measured by [~codegen:false]. *)
+
+val pattern :
+  ?plan:Tuning.dense_plan ->
+  ?codegen:bool ->
+  Device.t ->
+  Matrix.Dense.t ->
+  y:Matrix.Vec.t ->
+  ?v:Matrix.Vec.t ->
+  ?beta_z:float * Matrix.Vec.t ->
+  alpha:float ->
+  unit ->
+  Matrix.Vec.t * Sim.report list * Tuning.dense_plan * Codegen.specialized
+(** [pattern device x ~y ~alpha ()] computes
+    [alpha * X^T x (v .* (X x y)) + beta * z].  Padding to a multiple of
+    [VS] (Section 3.2) is handled internally and affects only the
+    simulated traffic, not the result.  Raises [Invalid_argument] when no
+    thread load can cover the columns ([cols > 128 * 40]); the executor
+    falls back to two cuBLAS kernels in that regime, as the paper
+    prescribes. *)

@@ -1,0 +1,222 @@
+open Gpu_sim
+
+type options = { use_texture : bool; hierarchical : bool }
+
+let default_options = { use_texture = true; hierarchical = true }
+
+let plan_launch (p : Tuning.sparse_plan) =
+  Launch.v ~grid_blocks:p.sp_grid ~block_size:p.sp_bs ~vs:p.sp_vs
+    ~coarsening:p.sp_coarsening ~regs_per_thread:p.sp_regs
+    ~shared_per_block:p.sp_shared_bytes ()
+
+
+(* The common skeleton of Algorithms 1 and 2.  [first_pass] distinguishes
+   them: Algorithm 1 receives the final p.(r) directly (p loads are
+   coalesced reads of the input vector), Algorithm 2 computes p.(r) as a
+   dot product against y (texture gathers + shuffle reduction) and then
+   re-walks the row exploiting temporal locality. *)
+let run_fused ?(options = default_options) ?plan device (x : Matrix.Csr.t)
+    ~name ~single_walk ~(row_scale : Sim.ctx -> int -> int -> int -> float)
+    ~beta_z ~alpha =
+  let plan =
+    match plan with Some p -> p | None -> Tuning.sparse_plan device x
+  in
+  let hierarchical = options.hierarchical && not plan.sp_large_n in
+  let launch = plan_launch plan in
+  let nv = Launch.nv launch in
+  let total_vectors = Launch.total_vectors launch in
+  let m = x.rows and n = x.cols in
+  let second_moment =
+    if hierarchical then 0.0 else Gpulibs.Contention.column_second_moment x
+  in
+  let nnz_total = Matrix.Csr.nnz x in
+  let result, report =
+    Sim.run device launch ~name (fun ctx ->
+        let w = Array.make n 0.0 in
+        (* The walk over values + column indices covers the arrays exactly
+           once across all vectors; row-boundary lines shared by
+           consecutive rows are served by L2, so the traffic is the
+           contiguous span — charged once rather than per row. *)
+        Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:nnz_total;
+        Sim.load_segment ctx ~bytes_per_elt:4 ~start:0 ~count:nnz_total;
+        let reload_misses = ref 0.0 in
+        let w_l2_hit =
+          if hierarchical then
+            1.0
+            -. Cache.miss_fraction ~working_set_bytes:(8 * n)
+                 ~capacity_bytes:device.l2_bytes
+          else Gpulibs.Contention.popularity_l2_hit device x
+        in
+        (* beta * z initialisation (Algorithm 2 lines 3-4): one atomic per
+           element, grid-strided over all threads. *)
+        (match beta_z with
+        | None -> ()
+        | Some (beta, z) ->
+            Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:n;
+            (* each element is touched once by exactly one thread: the
+               atomics exist to order against the later aggregation, not
+               because writers collide. *)
+            Sim.global_atomic_add ctx ~ops:n ~l2_hit:w_l2_hit
+              ~conflict_degree:1.0;
+            Sim.flops ctx n;
+            for i = 0 to n - 1 do
+              w.(i) <- w.(i) +. (beta *. z.(i))
+            done);
+        let scatter_degree =
+          if hierarchical then 1.0
+          else
+            Gpulibs.Contention.scatter_degree
+              ~duty:Gpulibs.Contention.interleaved_duty device
+              ~occupancy:ctx.occupancy ~grid_blocks:launch.grid_blocks
+              ~second_moment
+        in
+        let sd = if hierarchical then Array.make n 0.0 else [||] in
+        for block = 0 to launch.grid_blocks - 1 do
+          if hierarchical then begin
+            Array.fill sd 0 n 0.0;
+            (* shared-memory zero-initialisation by the whole block *)
+            Sim.shared_access ctx ~warp_requests:((n + 31) / 32)
+              ~conflict_ways:1
+          end;
+          for vid = 0 to nv - 1 do
+            let first_row = (block * nv) + vid in
+            for c = 0 to plan.sp_coarsening - 1 do
+              let row = first_row + (c * total_vectors) in
+              if row < m then begin
+                let s = x.row_off.(row) and e = x.row_off.(row + 1) in
+                let scale = row_scale ctx row s e in
+                if e > s then begin
+                  (* Algorithm 1 walks the row once at full cost; the
+                     second walk of Algorithm 2 exploits temporal
+                     locality. *)
+                  let hit =
+                    if single_walk then 0.0
+                    else
+                      Cache.row_reuse_hit_fraction device
+                        ~occupancy:ctx.occupancy
+                        ~grid_blocks:launch.grid_blocks ~nv
+                        ~row_bytes:((e - s) * 12)
+                  in
+                  (* second walk: the row's bytes again, minus cache hits,
+                     accumulated fractionally (rows are far smaller than a
+                     transaction) *)
+                  if not single_walk then
+                    reload_misses :=
+                      !reload_misses
+                      +. (float_of_int (12 * (e - s)) /. 128.0 *. (1.0 -. hit));
+                  if hierarchical then begin
+                    Sim.shared_atomic_add ctx ~ops:(e - s);
+                    for i = s to e - 1 do
+                      let col = x.col_idx.(i) in
+                      sd.(col) <- sd.(col) +. (x.values.(i) *. scale)
+                    done
+                  end
+                  else begin
+                    Sim.global_atomic_add ctx ~ops:(e - s)
+                      ~conflict_degree:scatter_degree ~l2_hit:w_l2_hit;
+                    for i = s to e - 1 do
+                      let col = x.col_idx.(i) in
+                      w.(col) <- w.(col) +. (alpha *. x.values.(i) *. scale)
+                    done
+                  end;
+                  Sim.flops ctx (2 * (e - s))
+                end
+              end
+            done
+          done;
+          (* Algorithm 2 line 16: wait for all vectors of the block. *)
+          Sim.barrier ctx;
+          if hierarchical then begin
+            (* inter-block aggregation (lines 17-18) *)
+            Sim.global_atomic_add ctx ~ops:n ~l2_hit:w_l2_hit
+              ~conflict_degree:
+                (Gpulibs.Contention.block_sweep_degree device ~occupancy:ctx.occupancy
+                   ~grid_blocks:launch.grid_blocks);
+            Sim.flops ctx n;
+            for i = 0 to n - 1 do
+              w.(i) <- w.(i) +. (alpha *. sd.(i))
+            done
+          end
+        done;
+        ctx.stats.gld_transactions <-
+          ctx.stats.gld_transactions
+          + int_of_float (Float.round !reload_misses);
+        (* row offsets: two per row, coalesced. *)
+        Sim.load_segment ctx ~bytes_per_elt:4 ~start:0 ~count:(m + 1);
+        w)
+  in
+  (result, [ report ], plan)
+
+let xt_p ?options ?plan device (x : Matrix.Csr.t) p ~alpha =
+  if Array.length p <> x.rows then
+    invalid_arg "Fused_sparse.xt_p: p must have one element per row";
+  let row_scale (ctx : Sim.ctx) row s e =
+    (* Algorithm 1: p.(row) arrives final; charge its coalesced load. *)
+    ignore s;
+    ignore e;
+    if row land 31 = 0 then
+      Sim.load_segment ctx ~bytes_per_elt:8 ~start:row
+        ~count:(Stdlib.min 32 (x.rows - row));
+    p.(row)
+  in
+  run_fused ?options ?plan device x ~name:"fused_xt_p" ~single_walk:true
+    ~row_scale ~beta_z:None ~alpha
+
+let pattern ?options ?plan device (x : Matrix.Csr.t) ~y ?v ?beta_z ~alpha () =
+  if Array.length y <> x.cols then
+    invalid_arg "Fused_sparse.pattern: y must have one element per column";
+  (match v with
+  | Some v when Array.length v <> x.rows ->
+      invalid_arg "Fused_sparse.pattern: v must have one element per row"
+  | _ -> ());
+  (match beta_z with
+  | Some (_, z) when Array.length z <> x.cols ->
+      invalid_arg "Fused_sparse.pattern: z must have one element per column"
+  | _ -> ());
+  let options = Option.value ~default:default_options options in
+  let y_bytes = 8 * x.cols in
+  (* y is indexed by column, so the popularity-weighted residency of the
+     columns applies to its gathers as well. *)
+  let y_l2_hit =
+    if 8 * x.cols <= device.Device.l2_bytes then 1.0
+    else Gpulibs.Contention.popularity_l2_hit device x
+  in
+  (* per-lane partial sums, reduced in the exact __shfl_down tree order
+     the hardware would use *)
+  let lanes = Array.make 32 0.0 in
+  let row_scale (ctx : Sim.ctx) row s e =
+    (* first walk (already charged at kernel level): y gathers + shuffle
+       reduction remain per-row *)
+    if options.use_texture then
+      Sim.tex_gather ctx ~l2_hit:y_l2_hit ~vector_bytes:y_bytes
+        ~indices:x.col_idx ~lo:s ~hi:e
+    else begin
+      (* without the dedicated read-only path, y's gathers share L2 with
+         the streaming X walk: popularity-weighted residency, degraded by
+         contention *)
+      Sim.gathered_lines_cached ctx ~bytes_per_elt:8 ~indices:x.col_idx ~lo:s
+        ~hi:e ~hit_fraction:(0.7 *. y_l2_hit)
+    end;
+    let vs = ctx.launch.vs in
+    Array.fill lanes 0 vs 0.0;
+    let lane = ref 0 in
+    for i = s to e - 1 do
+      lanes.(!lane) <- lanes.(!lane) +. (x.values.(i) *. y.(x.col_idx.(i)));
+      incr lane;
+      if !lane = vs then lane := 0
+    done;
+    let dot = ref (Warp.tree_reduce lanes ~width:vs) in
+    Sim.flops ctx (2 * (e - s));
+    Sim.shuffle_reduce ctx ~width:vs;
+    match v with
+    | None -> !dot
+    | Some v ->
+        (* one lane performs the Hadamard step (Algorithm 2 line 12) *)
+        Sim.flops ctx 1;
+        if row land 31 = 0 then
+          Sim.load_segment ctx ~bytes_per_elt:8 ~start:row
+            ~count:(Stdlib.min 32 (x.rows - row));
+        !dot *. v.(row)
+  in
+  run_fused ~options ?plan device x ~name:"fused_pattern_sparse"
+    ~single_walk:false ~row_scale ~beta_z ~alpha

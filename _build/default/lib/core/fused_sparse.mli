@@ -1,0 +1,51 @@
+open Gpu_sim
+
+(** The fused sparse kernels of Section 3.1 (Algorithms 1 and 2).
+
+    One launch evaluates the whole chain
+    [w = alpha * X^T x (v .* (X x y)) + beta * z]: every vector of [VS]
+    threads walks its rows once to form the dot product [p.(r)] (register
+    /shuffle reduction), immediately re-walks the row — a likely cache hit,
+    the temporal locality at the core of the paper — scattering
+    [alpha * v.(r) * p.(r) * X.(r,:)] into the partial result, which is
+    aggregated hierarchically: registers within a vector, shared memory
+    across the vectors of a block, global-memory atomics across blocks.
+
+    When the column count exceeds {!Tuning.max_shared_columns} the
+    inter-vector aggregation moves to global-memory atomics (the KDD2010
+    regime of Table 4); contention stays low precisely because such wide
+    data is ultra-sparse. *)
+
+type options = {
+  use_texture : bool;
+      (** bind [y] to the read-only/texture path (paper default) *)
+  hierarchical : bool;
+      (** shared-memory pre-aggregation; [false] sends every partial
+          straight to global atomics (ablation) *)
+}
+
+val default_options : options
+
+val xt_p :
+  ?options:options ->
+  ?plan:Tuning.sparse_plan ->
+  Device.t ->
+  Matrix.Csr.t ->
+  Matrix.Vec.t ->
+  alpha:float ->
+  Matrix.Vec.t * Sim.report list * Tuning.sparse_plan
+(** Algorithm 1: [alpha * X^T x p] where [p] has [rows] elements. *)
+
+val pattern :
+  ?options:options ->
+  ?plan:Tuning.sparse_plan ->
+  Device.t ->
+  Matrix.Csr.t ->
+  y:Matrix.Vec.t ->
+  ?v:Matrix.Vec.t ->
+  ?beta_z:float * Matrix.Vec.t ->
+  alpha:float ->
+  unit ->
+  Matrix.Vec.t * Sim.report list * Tuning.sparse_plan
+(** Algorithm 2: the full fused pattern.  [y] has [cols] elements; [v]
+    and [z] are optional exactly as in Table 1. *)

@@ -1,0 +1,48 @@
+type instantiation =
+  | Xt_y
+  | Xt_X_y
+  | Xt_v_X_y
+  | Xt_X_y_plus_z
+  | Full_pattern
+
+let all = [ Xt_y; Xt_X_y; Xt_v_X_y; Xt_X_y_plus_z; Full_pattern ]
+
+let name = function
+  | Xt_y -> "a*X^T*y"
+  | Xt_X_y -> "X^T*(X*y)"
+  | Xt_v_X_y -> "X^T*(v.(X*y))"
+  | Xt_X_y_plus_z -> "X^T*(X*y) + b*z"
+  | Full_pattern -> "a*X^T*(v.(X*y)) + b*z"
+
+let classify ~with_first_multiply ~with_v ~with_z =
+  match (with_first_multiply, with_v, with_z) with
+  | false, false, false -> Xt_y
+  | true, false, false -> Xt_X_y
+  | true, true, false -> Xt_v_X_y
+  | true, false, true -> Xt_X_y_plus_z
+  | true, true, true -> Full_pattern
+  | false, true, _ | false, _, true ->
+      invalid_arg "Pattern.classify: v or z without the first multiply"
+
+let paper_algorithms = function
+  | Xt_y -> [ "LR"; "GLM"; "LogReg"; "SVM"; "HITS" ]
+  | Xt_X_y -> [ "LR"; "GLM"; "SVM"; "HITS" ]
+  | Xt_v_X_y -> [ "GLM"; "LogReg" ]
+  | Xt_X_y_plus_z -> [ "LR"; "SVM" ]
+  | Full_pattern -> [ "LogReg" ]
+
+module Trace = struct
+  type t = { algorithm : string; counts : (instantiation, int) Hashtbl.t }
+
+  let create ~algorithm = { algorithm; counts = Hashtbl.create 8 }
+
+  let record t inst =
+    let current = Option.value ~default:0 (Hashtbl.find_opt t.counts inst) in
+    Hashtbl.replace t.counts inst (current + 1)
+
+  let algorithm t = t.algorithm
+
+  let instantiations t = List.filter (Hashtbl.mem t.counts) all
+
+  let count t inst = Option.value ~default:0 (Hashtbl.find_opt t.counts inst)
+end

@@ -1,0 +1,48 @@
+(** The paper's generic computation pattern and its instantiations.
+
+    Equation 1:  [w = alpha * X^T x (v .* (X x y)) + beta * z].
+
+    Table 1 lists the five instantiations found across the studied ML
+    algorithms; this module names them, classifies a concrete argument
+    combination into one, and records which algorithm uses which — both
+    the paper's claimed table and (via {!Trace}) the table regenerated
+    from what the algorithm implementations actually execute. *)
+
+type instantiation =
+  | Xt_y  (** [alpha * X^T x y] *)
+  | Xt_X_y  (** [X^T x (X x y)] *)
+  | Xt_v_X_y  (** [X^T x (v .* (X x y))] *)
+  | Xt_X_y_plus_z  (** [X^T x (X x y) + beta * z] *)
+  | Full_pattern  (** [alpha * X^T x (v .* (X x y)) + beta * z] *)
+
+val all : instantiation list
+
+val name : instantiation -> string
+(** Mathematical rendering, e.g. ["a*X^T(v.(Xy)) + b*z"]. *)
+
+val classify :
+  with_first_multiply:bool -> with_v:bool -> with_z:bool -> instantiation
+(** Classify from the shape of the arguments: [with_first_multiply] is
+    false for plain [X^T x y]. *)
+
+val paper_algorithms : instantiation -> string list
+(** The check marks of Table 1 (algorithms among
+    ["LR"; "GLM"; "LogReg"; "SVM"; "HITS"]). *)
+
+(** Execution traces: ML algorithms register each pattern instance they
+    run, so Table 1 can be regenerated from real executions rather than
+    transcribed. *)
+module Trace : sig
+  type t
+
+  val create : algorithm:string -> t
+
+  val record : t -> instantiation -> unit
+
+  val algorithm : t -> string
+
+  val instantiations : t -> instantiation list
+  (** Distinct instantiations observed, in {!all} order. *)
+
+  val count : t -> instantiation -> int
+end

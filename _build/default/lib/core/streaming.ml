@@ -1,0 +1,105 @@
+open Gpu_sim
+
+let log_src = Logs.Src.create "fusion.streaming" ~doc:"out-of-core execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  w : Matrix.Vec.t;
+  chunks : int;
+  chunk_rows : int;
+  kernel_ms : float;
+  transfer_ms : float;
+  pipelined_ms : float;
+  serial_ms : float;
+  reports : Sim.report list;
+}
+
+let pattern ?device_budget_bytes (device : Device.t) (x : Matrix.Csr.t) ~y ?v ?beta_z
+    ~alpha () =
+  let budget =
+    match device_budget_bytes with
+    | Some b -> b
+    | None -> device.global_mem_bytes / 2
+  in
+  if budget <= 0 then invalid_arg "Streaming.pattern: empty budget";
+  (* Greedy chunking by exact footprint: extend the row window while the
+     slice (values + column indices + offsets) still fits the budget. *)
+  let chunk_bytes ~row_start ~row_count =
+    let nnz = x.row_off.(row_start + row_count) - x.row_off.(row_start) in
+    (12 * nnz) + (4 * (row_count + 1))
+  in
+  let rows_fitting row_start =
+    let rec extend count =
+      if
+        row_start + count < x.rows
+        && chunk_bytes ~row_start ~row_count:(count + 1) <= budget
+      then extend (count + 1)
+      else count
+    in
+    let count = extend 0 in
+    if count = 0 then
+      invalid_arg "Streaming.pattern: a chunk exceeds the device budget";
+    count
+  in
+  let chunk_rows = rows_fitting 0 in
+  let ledger = Xfer.create device in
+  let w = Array.make x.cols 0.0 in
+  let reports = ref [] in
+  let kernel_times = ref [] in
+  let transfer_times = ref [] in
+  let chunks = ref 0 in
+  let row = ref 0 in
+  while !row < x.rows do
+    let count = rows_fitting !row in
+    let chunk = Matrix.Csr.slice_rows x ~row_start:!row ~row_count:count in
+    let t_xfer =
+      Xfer.transfer ledger Host_to_device ~bytes:(Matrix.Csr.bytes chunk)
+        ~label:(Printf.sprintf "chunk %d" !chunks)
+    in
+    let v_chunk = Option.map (fun v -> Array.sub v !row count) v in
+    (* beta*z initialises w exactly once, with the first chunk *)
+    let beta_z_chunk = if !chunks = 0 then beta_z else None in
+    let partial, chunk_reports, _ =
+      Fused_sparse.pattern device chunk ~y ?v:v_chunk ?beta_z:beta_z_chunk
+        ~alpha ()
+    in
+    for i = 0 to x.cols - 1 do
+      w.(i) <- w.(i) +. partial.(i)
+    done;
+    Log.debug (fun m ->
+        m "chunk %d: %d rows, %.3f ms kernel, %.3f ms transfer" !chunks count
+          (Sim.total_ms chunk_reports) t_xfer);
+    reports := !reports @ chunk_reports;
+    kernel_times := Sim.total_ms chunk_reports :: !kernel_times;
+    transfer_times := t_xfer :: !transfer_times;
+    incr chunks;
+    row := !row + count
+  done;
+  let kernels = List.rev !kernel_times in
+  let transfers = List.rev !transfer_times in
+  let kernel_ms = List.fold_left ( +. ) 0.0 kernels in
+  let transfer_ms = List.fold_left ( +. ) 0.0 transfers in
+  let serial_ms = kernel_ms +. transfer_ms in
+  (* double buffering: transfer i+1 hides behind kernel i *)
+  let pipelined_ms =
+    match (transfers, kernels) with
+    | [], _ | _, [] -> 0.0
+    | t0 :: rest_t, kernels ->
+        let rec overlap acc = function
+          | k :: ks, t :: ts -> overlap (acc +. Float.max k t) (ks, ts)
+          | k :: ks, [] -> overlap (acc +. k) (ks, [])
+          | [], _ -> acc
+        in
+        t0 +. overlap 0.0 (kernels, rest_t)
+  in
+  {
+    w;
+    chunks = !chunks;
+    chunk_rows;
+    kernel_ms;
+    transfer_ms;
+    pipelined_ms;
+    serial_ms;
+    reports = !reports;
+  }

@@ -1,0 +1,43 @@
+open Gpu_sim
+
+(** Out-of-core streaming execution — the adaptation Section 3 sketches
+    for matrices that do not fit device memory ("the developed methods
+    can easily be adapted to a streaming design").
+
+    The matrix is tiled into contiguous row chunks small enough for a
+    double-buffered residency budget; each chunk is shipped over PCIe and
+    processed by the fused kernel, scattering its partial contribution
+    into the same output vector [w] (chunks touch disjoint rows, and the
+    column-space aggregation is additive, so no cross-chunk
+    synchronisation is needed beyond kernel ordering).  With two buffers
+    the transfer of chunk [i+1] overlaps the kernel of chunk [i]; the
+    result reports both the pipelined and the serial wall estimate, so
+    benches can show what overlap buys. *)
+
+type result = {
+  w : Matrix.Vec.t;
+  chunks : int;
+  chunk_rows : int;
+  kernel_ms : float;  (** sum of per-chunk kernel times *)
+  transfer_ms : float;  (** sum of per-chunk PCIe times *)
+  pipelined_ms : float;
+      (** double-buffered wall estimate:
+          [t_0 + sum max(kernel_i, transfer_i+1) + kernel_last] *)
+  serial_ms : float;  (** no overlap: [sum (transfer_i + kernel_i)] *)
+  reports : Sim.report list;
+}
+
+val pattern :
+  ?device_budget_bytes:int ->
+  Device.t ->
+  Matrix.Csr.t ->
+  y:Matrix.Vec.t ->
+  ?v:Matrix.Vec.t ->
+  ?beta_z:float * Matrix.Vec.t ->
+  alpha:float ->
+  unit ->
+  result
+(** Like {!Fused_sparse.pattern} but for arbitrarily large matrices.
+    [device_budget_bytes] defaults to half the device memory (the other
+    half is the in-flight buffer).  Raises [Invalid_argument] if a single
+    row exceeds the budget. *)

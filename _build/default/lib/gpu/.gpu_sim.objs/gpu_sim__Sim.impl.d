@@ -1,0 +1,1 @@
+lib/gpu/sim.ml: Cache Coalesce Cost_model Device Float Format Launch List Occupancy Stats

@@ -1,0 +1,1 @@
+lib/gpu/sim.mli: Cost_model Device Format Launch Occupancy Stats

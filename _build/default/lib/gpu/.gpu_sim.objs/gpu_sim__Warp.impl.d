@@ -1,0 +1,1 @@
+lib/gpu/warp.ml: Array List

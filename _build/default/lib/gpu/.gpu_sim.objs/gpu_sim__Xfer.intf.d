@@ -1,0 +1,1 @@
+lib/gpu/xfer.mli: Device

@@ -1,0 +1,26 @@
+let miss_fraction ~working_set_bytes ~capacity_bytes =
+  if working_set_bytes <= 0 then 0.0
+  else if working_set_bytes <= capacity_bytes then 0.0
+  else 1.0 -. (float_of_int capacity_bytes /. float_of_int working_set_bytes)
+
+let row_reuse_hit_fraction (d : Device.t) ~occupancy ~grid_blocks ~nv
+    ~row_bytes =
+  if row_bytes <= 0 then 1.0
+  else begin
+    let resident_blocks =
+      Stdlib.min grid_blocks
+        (Occupancy.(occupancy.active_blocks_per_sm) * d.num_sms)
+    in
+    let resident_rows = Stdlib.max 1 (resident_blocks * Stdlib.max 1 nv) in
+    (* Every resident vector keeps its current row live in L2; the per-row
+       budget shrinks as residency grows. *)
+    let budget = float_of_int d.l2_bytes /. float_of_int resident_rows in
+    (* Streaming interference: concurrent first-pass loads evict part of a
+       row before its second pass even when capacity would suffice, so the
+       hit fraction saturates below 1. *)
+    Float.min 0.35 (budget /. float_of_int row_bytes)
+  end
+
+let tex_miss_fraction (d : Device.t) ~vector_bytes =
+  miss_fraction ~working_set_bytes:vector_bytes
+    ~capacity_bytes:d.tex_cache_per_sm

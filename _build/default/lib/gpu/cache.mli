@@ -1,0 +1,34 @@
+(** Cache-behaviour models.
+
+    Two reuse effects drive the paper's results and are modelled here:
+
+    - the input vector [y] is "bound to texture memory" (Section 4.1); its
+      gathers hit the 48 KB read-only cache as long as the working set
+      fits, degrading gracefully beyond that;
+    - the fused kernel's *temporal locality* (Section 3): the second pass
+      over row [X[r,:]] hits cache when the row footprint fits in the
+      cache capacity available to the vector processing it. *)
+
+val miss_fraction : working_set_bytes:int -> capacity_bytes:int -> float
+(** Fraction of accesses that miss a cache of the given capacity under a
+    uniform reuse model: 0 when the working set fits, approaching 1 as the
+    working set grows ([1 - capacity/ws]). *)
+
+val row_reuse_hit_fraction :
+  Device.t ->
+  occupancy:Occupancy.result ->
+  grid_blocks:int ->
+  nv:int ->
+  row_bytes:int ->
+  float
+(** Probability that the second pass over a row (the [w] update of the
+    fused kernel) finds the row still cached: the L2 capacity is divided
+    among all concurrently resident vectors' in-flight rows ([nv] vectors
+    per resident block).  Saturates at 0.35: Kepler does not cache global
+    loads in L1, and the concurrent first-pass streams of thousands of
+    resident vectors evict most of a row between its two passes even when
+    raw capacity would suffice.  Returns a value in [\[0, 0.35\]]. *)
+
+val tex_miss_fraction : Device.t -> vector_bytes:int -> float
+(** Miss fraction for gathers into a vector bound to the read-only/texture
+    path (one 48 KB cache per SM). *)

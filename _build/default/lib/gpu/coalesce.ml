@@ -1,0 +1,66 @@
+let segment ~transaction_bytes ~bytes_per_elt ~start ~count =
+  if count <= 0 then 0
+  else begin
+    let first = start * bytes_per_elt / transaction_bytes in
+    let last = (((start + count) * bytes_per_elt) - 1) / transaction_bytes in
+    last - first + 1
+  end
+
+(* Distinct lines among up to 64 lanes: insertion into a small scratch
+   array beats hashing at warp scale and allocates nothing on the fast
+   path. *)
+let scratch = Array.make 64 (-1)
+
+let gather ~transaction_bytes ~bytes_per_elt ~indices ~lo ~hi =
+  let n = hi - lo in
+  if n <= 0 then 0
+  else if n <= 64 then begin
+    let distinct = ref 0 in
+    for k = lo to hi - 1 do
+      let line = indices.(k) * bytes_per_elt / transaction_bytes in
+      let seen = ref false in
+      for j = 0 to !distinct - 1 do
+        if scratch.(j) = line then seen := true
+      done;
+      if not !seen then begin
+        scratch.(!distinct) <- line;
+        incr distinct
+      end
+    done;
+    !distinct
+  end
+  else begin
+    let tbl = Hashtbl.create (2 * n) in
+    for k = lo to hi - 1 do
+      Hashtbl.replace tbl (indices.(k) * bytes_per_elt / transaction_bytes) ()
+    done;
+    Hashtbl.length tbl
+  end
+
+let gather_sorted ~transaction_bytes ~bytes_per_elt ~indices ~lo ~hi =
+  if hi - lo <= 0 then 0
+  else begin
+    let count = ref 1 in
+    let prev = ref (indices.(lo) * bytes_per_elt / transaction_bytes) in
+    for k = lo + 1 to hi - 1 do
+      let line = indices.(k) * bytes_per_elt / transaction_bytes in
+      if line <> !prev then begin
+        incr count;
+        prev := line
+      end
+    done;
+    !count
+  end
+
+let strided ~transaction_bytes ~bytes_per_elt ~start ~stride ~count =
+  if count <= 0 then 0
+  else begin
+    let lines_per_elt = Stdlib.max 1 (bytes_per_elt / transaction_bytes) in
+    if stride * bytes_per_elt >= transaction_bytes then count * lines_per_elt
+    else begin
+      let first = start * bytes_per_elt / transaction_bytes in
+      let last_elt = start + ((count - 1) * stride) in
+      let last = (((last_elt + 1) * bytes_per_elt) - 1) / transaction_bytes in
+      last - first + 1
+    end
+  end

@@ -1,0 +1,126 @@
+type breakdown = {
+  launch_ms : float;
+  mem_ms : float;
+  atomic_ms : float;
+  shmem_ms : float;
+  compute_ms : float;
+  sync_ms : float;
+  total_ms : float;
+}
+
+(* Titan has a 384-bit bus = 6 64-bit memory partitions; atomics to
+   different addresses are serviced by partitions in parallel. *)
+let memory_partitions = 6
+
+let time (d : Device.t) ~occupancy ~grid_blocks (s : Stats.t) =
+  let occ = Occupancy.(occupancy.occupancy) in
+  let utilisation =
+    Float.min 1.0 (float_of_int grid_blocks /. float_of_int d.num_sms)
+  in
+  let bw_fraction =
+    Float.min 1.0 (occ /. d.bw_saturation_occupancy) *. utilisation
+  in
+  let eff_bw_bytes_per_ms =
+    Float.max 1.0 (d.mem_bandwidth_gbs *. bw_fraction *. 1e6)
+  in
+  (* An atomic that misses L2 is a 64-byte read-modify-write in DRAM;
+     L2-resident targets are absorbed on chip. *)
+  let atomic_traffic_bytes = s.dram_atomics * 64 in
+  let dram_bytes =
+    (Stats.total_dram_transactions s * d.transaction_bytes)
+    + atomic_traffic_bytes
+  in
+  let mem_ms = float_of_int dram_bytes /. eff_bw_bytes_per_ms in
+  (* Same-address serialisation: the accumulated conflict degrees pay the
+     full round-trip each, spread over the memory partitions. *)
+  let atomic_ms =
+    s.atomic_conflicts *. d.atomic_conflict_ns
+    /. float_of_int memory_partitions /. 1e6
+  in
+  let shared_atomic_ms =
+    float_of_int s.shared_atomics *. d.shared_atomic_ns
+    /. (float_of_int d.num_sms *. Float.max 0.05 utilisation)
+    /. 1e6
+  in
+  (* Shared memory: 32 banks x 8 B per clock per SM; conflicts replay. *)
+  let shared_bw_bytes_per_ms =
+    float_of_int d.num_sms *. 32.0 *. 8.0 *. d.clock_ghz *. 1e6 *. utilisation
+  in
+  let shared_bytes =
+    (s.shared_accesses + s.bank_conflicts) * d.warp_size * 8
+  in
+  let shmem_ms =
+    (float_of_int shared_bytes /. shared_bw_bytes_per_ms) +. shared_atomic_ms
+  in
+  let compute_fraction =
+    Float.min 1.0 (occ /. 0.25) *. utilisation
+  in
+  let flop_ms =
+    float_of_int s.flops
+    /. Float.max 1.0 (d.peak_dp_gflops *. compute_fraction *. 1e6)
+  in
+  (* Shuffles execute at one instruction per warp per clock. *)
+  let shuffle_ms =
+    float_of_int s.shuffles
+    /. (float_of_int d.num_sms *. 4.0 *. d.clock_ghz *. 1e6
+        *. Float.max 0.05 compute_fraction)
+  in
+  let compute_ms = flop_ms +. shuffle_ms in
+  let concurrent_blocks =
+    Stdlib.max 1
+      (Stdlib.min grid_blocks
+         (Occupancy.(occupancy.active_blocks_per_sm) * d.num_sms))
+  in
+  (* ~100 clocks per barrier, amortised over concurrently resident blocks. *)
+  let sync_ms =
+    float_of_int s.barriers *. 100.0
+    /. (d.clock_ghz *. 1e6)
+    /. float_of_int concurrent_blocks
+  in
+  let launch_ms = d.kernel_launch_us /. 1000.0 in
+  let total_ms =
+    launch_ms
+    +. Float.max mem_ms (Float.max compute_ms shmem_ms)
+    +. atomic_ms +. sync_ms
+  in
+  { launch_ms; mem_ms; atomic_ms; shmem_ms; compute_ms; sync_ms; total_ms }
+
+let zero =
+  {
+    launch_ms = 0.0;
+    mem_ms = 0.0;
+    atomic_ms = 0.0;
+    shmem_ms = 0.0;
+    compute_ms = 0.0;
+    sync_ms = 0.0;
+    total_ms = 0.0;
+  }
+
+let add a b =
+  {
+    launch_ms = a.launch_ms +. b.launch_ms;
+    mem_ms = a.mem_ms +. b.mem_ms;
+    atomic_ms = a.atomic_ms +. b.atomic_ms;
+    shmem_ms = a.shmem_ms +. b.shmem_ms;
+    compute_ms = a.compute_ms +. b.compute_ms;
+    sync_ms = a.sync_ms +. b.sync_ms;
+    total_ms = a.total_ms +. b.total_ms;
+  }
+
+let scale f a =
+  {
+    launch_ms = f *. a.launch_ms;
+    mem_ms = f *. a.mem_ms;
+    atomic_ms = f *. a.atomic_ms;
+    shmem_ms = f *. a.shmem_ms;
+    compute_ms = f *. a.compute_ms;
+    sync_ms = f *. a.sync_ms;
+    total_ms = f *. a.total_ms;
+  }
+
+let pp fmt b =
+  Format.fprintf fmt
+    "total %.3f ms (launch %.3f, mem %.3f, atomic %.3f, shared %.3f, compute \
+     %.3f, sync %.3f)"
+    b.total_ms b.launch_ms b.mem_ms b.atomic_ms b.shmem_ms b.compute_ms
+    b.sync_ms

@@ -1,0 +1,47 @@
+(** Converts counted hardware events into estimated kernel time.
+
+    The model is a bandwidth/compute roofline extended with the three
+    overheads the paper's optimisations target:
+
+    - global-memory time: DRAM transactions over the *effective* bandwidth,
+      which scales with achieved occupancy below the saturation point and
+      with device utilisation when the grid is smaller than the SM count —
+      this is why Section 3.3 maximises occupancy;
+    - atomic time: every global atomic is a read-modify-write consuming
+      memory-system service, and same-address conflicts serialise — this is
+      what the hierarchical aggregation strategy minimises;
+    - shared-memory time: bank conflicts serialise warp accesses — the
+      reason the dense kernel prefers registers over shared memory.
+
+    Absolute milliseconds are estimates for a 2015 device; the evaluation
+    compares methods under the *same* model, so ratios (speedups) are the
+    meaningful output. *)
+
+type breakdown = {
+  launch_ms : float;
+  mem_ms : float;
+  atomic_ms : float;
+  shmem_ms : float;
+  compute_ms : float;
+  sync_ms : float;
+  total_ms : float;
+}
+
+val time :
+  Device.t ->
+  occupancy:Occupancy.result ->
+  grid_blocks:int ->
+  Stats.t ->
+  breakdown
+(** Estimate the execution time of one kernel launch that produced the
+    given counters under the given occupancy. *)
+
+val zero : breakdown
+
+val add : breakdown -> breakdown -> breakdown
+(** Sequential composition (times add; used when an operation launches
+    several kernels). *)
+
+val scale : float -> breakdown -> breakdown
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,118 @@
+type t = {
+  name : string;
+  num_sms : int;
+  cores_per_sm : int;
+  clock_ghz : float;
+  mem_bandwidth_gbs : float;
+  global_mem_bytes : int;
+  shared_mem_per_sm : int;
+  registers_per_sm : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_registers_per_thread : int;
+  register_alloc_unit : int;
+  shared_alloc_unit : int;
+  warp_alloc_granularity : int;
+  warp_size : int;
+  transaction_bytes : int;
+  l2_bytes : int;
+  tex_cache_per_sm : int;
+  peak_dp_gflops : float;
+  kernel_launch_us : float;
+  atomic_ns : float;
+  atomic_conflict_ns : float;
+  shared_atomic_ns : float;
+  bw_saturation_occupancy : float;
+  pcie_gbs : float;
+  pcie_latency_us : float;
+}
+
+let gtx_titan =
+  {
+    name = "NVIDIA GeForce GTX Titan (simulated)";
+    num_sms = 14;
+    cores_per_sm = 192;
+    clock_ghz = 0.837;
+    mem_bandwidth_gbs = 288.0;
+    global_mem_bytes = 6 * 1024 * 1024 * 1024;
+    shared_mem_per_sm = 48 * 1024;
+    registers_per_sm = 65536;
+    max_threads_per_block = 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 8;
+    max_registers_per_thread = 255;
+    register_alloc_unit = 256;
+    shared_alloc_unit = 256;
+    warp_alloc_granularity = 4;
+    warp_size = 32;
+    transaction_bytes = 128;
+    l2_bytes = 1536 * 1024;
+    tex_cache_per_sm = 48 * 1024;
+    peak_dp_gflops = 1300.0;
+    kernel_launch_us = 5.0;
+    atomic_ns = 4.0;
+    atomic_conflict_ns = 30.0;
+    shared_atomic_ns = 4.0;
+    bw_saturation_occupancy = 0.5;
+    pcie_gbs = 12.0;
+    pcie_latency_us = 10.0;
+  }
+
+(* Tesla K20X: same Kepler GK110 generation, fewer SMs and less
+   bandwidth (the data-centre sibling of the Titan). *)
+let tesla_k20x =
+  {
+    gtx_titan with
+    name = "NVIDIA Tesla K20X (simulated)";
+    num_sms = 14;
+    clock_ghz = 0.732;
+    mem_bandwidth_gbs = 250.0;
+    peak_dp_gflops = 1310.0;
+  }
+
+(* GTX 680 (GK104): the previous consumer chip — fewer resident threads,
+   weak double precision, smaller caches; a stress case for the tuner. *)
+let gtx_680 =
+  {
+    gtx_titan with
+    name = "NVIDIA GTX 680 (simulated)";
+    num_sms = 8;
+    cores_per_sm = 192;
+    clock_ghz = 1.006;
+    mem_bandwidth_gbs = 192.0;
+    global_mem_bytes = 2 * 1024 * 1024 * 1024;
+    l2_bytes = 512 * 1024;
+    peak_dp_gflops = 128.0;
+  }
+
+let scale_bandwidth d f = { d with mem_bandwidth_gbs = d.mem_bandwidth_gbs *. f }
+
+type cpu = {
+  cpu_name : string;
+  threads : int;
+  cpu_bandwidth_gbs : float;
+  cpu_peak_gflops : float;
+  cpu_sparse_efficiency : float;
+  cpu_dense_efficiency : float;
+  cpu_llc_bytes : int;
+  per_call_overhead_us : float;
+}
+
+let core_i7_host =
+  {
+    cpu_name = "Intel core-i7 3.4GHz, 4 cores / 8 HT (modelled)";
+    threads = 8;
+    cpu_bandwidth_gbs = 25.6;
+    cpu_peak_gflops = 108.8;
+    cpu_sparse_efficiency = 0.38;
+    cpu_dense_efficiency = 0.95;
+    cpu_llc_bytes = 8 * 1024 * 1024;
+    per_call_overhead_us = 1.0;
+  }
+
+let pp fmt d =
+  Format.fprintf fmt
+    "%s: %d SMs x %d cores @ %.3f GHz, %.0f GB/s, %d KB shared/SM, %d regs/SM"
+    d.name d.num_sms d.cores_per_sm d.clock_ghz d.mem_bandwidth_gbs
+    (d.shared_mem_per_sm / 1024) d.registers_per_sm

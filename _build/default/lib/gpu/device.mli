@@ -1,0 +1,83 @@
+(** GPU device models.
+
+    The simulator is transaction-level: kernels run their real computation
+    on the host while recording memory transactions, atomics, FLOPs and
+    synchronisations; this module carries the hardware constants that turn
+    those counts into time.  The default device is the NVIDIA GeForce GTX
+    Titan exactly as characterised in the paper (Sections 2 and 3.3): 14
+    SMs x 192 cores, 288 GB/s, 6 GB global memory, 48 KB shared memory and
+    64 K registers per SM, compute capability 3.5 limits. *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  cores_per_sm : int;
+  clock_ghz : float;
+  mem_bandwidth_gbs : float;  (** peak global-memory bandwidth, ECC off *)
+  global_mem_bytes : int;
+  shared_mem_per_sm : int;
+  registers_per_sm : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;  (** the paper quotes 8 active blocks *)
+  max_registers_per_thread : int;
+  register_alloc_unit : int;  (** registers, allocated per warp *)
+  shared_alloc_unit : int;  (** bytes *)
+  warp_alloc_granularity : int;
+  warp_size : int;
+  transaction_bytes : int;  (** global-memory transaction size, 128 B *)
+  l2_bytes : int;
+  tex_cache_per_sm : int;  (** 48 KB read-only/texture path used for [y] *)
+  peak_dp_gflops : float;
+  kernel_launch_us : float;
+  (* Atomic model: a global atomic costs [atomic_ns] of memory-subsystem
+     service time; conflicting atomics to one address serialise, scaled by
+     [atomic_conflict_ns] per extra concurrent writer.  Double-precision
+     atomicAdd on Kepler is a compare-and-swap loop, hence the high
+     constants. *)
+  atomic_ns : float;
+  atomic_conflict_ns : float;
+  shared_atomic_ns : float;
+  (* Occupancy needed to reach peak bandwidth; below it, effective
+     bandwidth scales linearly (latency-bound regime). *)
+  bw_saturation_occupancy : float;
+  pcie_gbs : float;  (** host-device transfer bandwidth per direction *)
+  pcie_latency_us : float;
+}
+
+val gtx_titan : t
+(** The paper's device. *)
+
+val tesla_k20x : t
+(** Same Kepler generation, data-centre variant (less bandwidth). *)
+
+val gtx_680 : t
+(** The previous consumer chip (GK104): half the SMs, a third of the L2,
+    weak double precision — a stress case for the launch-parameter
+    model. *)
+
+val scale_bandwidth : t -> float -> t
+(** [scale_bandwidth d f] returns a device with bandwidth multiplied by
+    [f]; used by ablation benches exploring sensitivity to the memory
+    system. *)
+
+(** Host CPU model used for the BIDMat-CPU (MKL, 8 hyper-threads) baseline:
+    a simple roofline over stream bandwidth and peak FLOPs. *)
+type cpu = {
+  cpu_name : string;
+  threads : int;
+  cpu_bandwidth_gbs : float;
+  cpu_peak_gflops : float;
+  cpu_sparse_efficiency : float;
+      (** fraction of stream bandwidth a sparse kernel sustains (indexed
+          gathers defeat prefetching) *)
+  cpu_dense_efficiency : float;
+  cpu_llc_bytes : int;  (** last-level cache, decides whether the scatter
+                            target of a transposed multiply stays on chip *)
+  per_call_overhead_us : float;
+}
+
+val core_i7_host : cpu
+(** The paper's host: Intel core-i7 3.4 GHz, 4 cores / 8 hyper-threads. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = {
+  grid_blocks : int;
+  block_size : int;
+  vs : int;
+  coarsening : int;
+  tl : int;
+  regs_per_thread : int;
+  shared_per_block : int;
+}
+
+let v ?(tl = 0) ~grid_blocks ~block_size ~vs ~coarsening ~regs_per_thread
+    ~shared_per_block () =
+  if grid_blocks <= 0 then invalid_arg "Launch: grid_blocks must be positive";
+  if block_size <= 0 then invalid_arg "Launch: block_size must be positive";
+  if vs <= 0 || block_size mod vs <> 0 then
+    invalid_arg
+      (Printf.sprintf "Launch: vs=%d must divide block_size=%d" vs block_size);
+  if coarsening <= 0 then invalid_arg "Launch: coarsening must be positive";
+  if tl < 0 then invalid_arg "Launch: negative thread load";
+  if regs_per_thread <= 0 then invalid_arg "Launch: regs_per_thread";
+  if shared_per_block < 0 then invalid_arg "Launch: shared_per_block";
+  { grid_blocks; block_size; vs; coarsening; tl; regs_per_thread;
+    shared_per_block }
+
+let nv t = t.block_size / t.vs
+
+let total_threads t = t.grid_blocks * t.block_size
+
+let total_vectors t = t.grid_blocks * nv t
+
+let grid_for_rows ~rows ~block_size ~vs ~coarsening =
+  let nv = block_size / vs in
+  let rows_per_block = nv * coarsening in
+  Stdlib.max 1 ((rows + rows_per_block - 1) / rows_per_block)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "grid=%d block=%d vs=%d nv=%d C=%d tl=%d regs=%d shared=%dB" t.grid_blocks
+    t.block_size t.vs (nv t) t.coarsening t.tl t.regs_per_thread
+    t.shared_per_block

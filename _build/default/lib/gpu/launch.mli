@@ -1,0 +1,43 @@
+(** Kernel launch configurations.
+
+    Carries the parameters of Table 3: block size [bs], vector size [vs]
+    (threads cooperating on a row), number of vectors per block [nv],
+    coarsening degree [c] (rows per vector), thread load [tl] (row elements
+    per thread, dense kernel only), plus grid size and the per-thread
+    register / per-block shared-memory requirements the occupancy
+    calculator consumes. *)
+
+type t = {
+  grid_blocks : int;
+  block_size : int;
+  vs : int;  (** vector size; must divide [block_size] *)
+  coarsening : int;  (** C: rows processed per vector *)
+  tl : int;  (** thread load (dense); 0 when not applicable *)
+  regs_per_thread : int;
+  shared_per_block : int;  (** bytes *)
+}
+
+val v :
+  ?tl:int ->
+  grid_blocks:int ->
+  block_size:int ->
+  vs:int ->
+  coarsening:int ->
+  regs_per_thread:int ->
+  shared_per_block:int ->
+  unit ->
+  t
+(** Validates the invariants ([vs] divides [block_size], positive sizes)
+    and raises [Invalid_argument] otherwise. *)
+
+val nv : t -> int
+(** Vectors per block, [block_size / vs]. *)
+
+val total_threads : t -> int
+
+val total_vectors : t -> int
+
+val grid_for_rows : rows:int -> block_size:int -> vs:int -> coarsening:int -> int
+(** Smallest grid such that [grid * nv * coarsening >= rows]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+type limiter = Blocks | Warps | Registers | Shared_memory
+
+type result = {
+  active_blocks_per_sm : int;
+  active_warps_per_sm : int;
+  active_threads_per_sm : int;
+  occupancy : float;
+  limited_by : limiter;
+}
+
+let round_up v unit_size = (v + unit_size - 1) / unit_size * unit_size
+
+let calculate (d : Device.t) ~block_size ~regs_per_thread ~shared_per_block =
+  if block_size <= 0 || block_size > d.max_threads_per_block then
+    invalid_arg
+      (Printf.sprintf "Occupancy.calculate: block size %d out of range"
+         block_size);
+  if regs_per_thread <= 0 || regs_per_thread > d.max_registers_per_thread then
+    invalid_arg
+      (Printf.sprintf "Occupancy.calculate: %d registers per thread"
+         regs_per_thread);
+  if shared_per_block < 0 || shared_per_block > d.shared_mem_per_sm then
+    invalid_arg
+      (Printf.sprintf "Occupancy.calculate: %dB shared memory per block"
+         shared_per_block);
+  let warps_per_block = (block_size + d.warp_size - 1) / d.warp_size in
+  let alloc_warps = round_up warps_per_block d.warp_alloc_granularity in
+  let max_warps_per_sm = d.max_threads_per_sm / d.warp_size in
+  (* Limit 1: hardware block slots. *)
+  let by_blocks = d.max_blocks_per_sm in
+  (* Limit 2: warp budget. *)
+  let by_warps = max_warps_per_sm / warps_per_block in
+  (* Limit 3: registers, allocated per warp with granularity. *)
+  let regs_per_warp = round_up (regs_per_thread * d.warp_size) d.register_alloc_unit in
+  let warps_by_regs = d.registers_per_sm / regs_per_warp in
+  let by_regs = warps_by_regs / alloc_warps in
+  (* Limit 4: shared memory, allocated with granularity. *)
+  let smem_alloc = round_up (Stdlib.max 1 shared_per_block) d.shared_alloc_unit in
+  let by_smem = d.shared_mem_per_sm / smem_alloc in
+  let blocks, limited_by =
+    List.fold_left
+      (fun (b, l) (b', l') -> if b' < b then (b', l') else (b, l))
+      (by_blocks, Blocks)
+      [ (by_warps, Warps); (by_regs, Registers); (by_smem, Shared_memory) ]
+  in
+  if blocks <= 0 then
+    invalid_arg "Occupancy.calculate: configuration cannot launch";
+  let active_warps = blocks * warps_per_block in
+  {
+    active_blocks_per_sm = blocks;
+    active_warps_per_sm = active_warps;
+    active_threads_per_sm = active_warps * d.warp_size;
+    occupancy = float_of_int active_warps /. float_of_int max_warps_per_sm;
+    limited_by;
+  }
+
+let can_launch d ~block_size ~regs_per_thread ~shared_per_block =
+  match calculate d ~block_size ~regs_per_thread ~shared_per_block with
+  | (_ : result) -> true
+  | exception Invalid_argument _ -> false
+
+let best_block_size d ~regs_per_thread ~shared_per_block ~candidates =
+  let evaluate bs =
+    match
+      calculate d ~block_size:bs ~regs_per_thread
+        ~shared_per_block:(shared_per_block ~block_size:bs)
+    with
+    | r -> Some (bs, r)
+    | exception Invalid_argument _ -> None
+  in
+  let better (bs1, r1) (bs2, r2) =
+    if r2.occupancy > r1.occupancy then (bs2, r2)
+    else if r2.occupancy = r1.occupancy && bs2 > bs1 then (bs2, r2)
+    else (bs1, r1)
+  in
+  match List.filter_map evaluate candidates with
+  | [] -> invalid_arg "Occupancy.best_block_size: no launchable candidate"
+  | first :: rest -> List.fold_left better first rest
+
+let pp_limiter fmt = function
+  | Blocks -> Format.fprintf fmt "block slots"
+  | Warps -> Format.fprintf fmt "warp budget"
+  | Registers -> Format.fprintf fmt "registers"
+  | Shared_memory -> Format.fprintf fmt "shared memory"
+
+let pp fmt r =
+  Format.fprintf fmt "%d blocks/SM, %d warps/SM, occupancy %.2f (limited by %a)"
+    r.active_blocks_per_sm r.active_warps_per_sm r.occupancy pp_limiter
+    r.limited_by

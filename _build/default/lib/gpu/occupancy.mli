@@ -1,0 +1,49 @@
+(** Occupancy calculator.
+
+    Re-implements the CUDA Occupancy Calculator rules for compute
+    capability 3.5 that Section 3.3 uses to pick the block size: active
+    blocks per SM are bounded by the block limit, the warp budget, the
+    register file (allocated per warp with a 256-register granularity) and
+    shared memory (allocated with a 256-byte granularity). *)
+
+type limiter = Blocks | Warps | Registers | Shared_memory
+
+type result = {
+  active_blocks_per_sm : int;
+  active_warps_per_sm : int;
+  active_threads_per_sm : int;
+  occupancy : float;  (** active warps / maximum resident warps *)
+  limited_by : limiter;
+}
+
+val calculate :
+  Device.t ->
+  block_size:int ->
+  regs_per_thread:int ->
+  shared_per_block:int ->
+  result
+(** Raises [Invalid_argument] if the block cannot launch at all (block too
+    large, more registers per thread than the architecture allows, or more
+    shared memory than one SM owns). *)
+
+val can_launch :
+  Device.t -> block_size:int -> regs_per_thread:int -> shared_per_block:int ->
+  bool
+
+val best_block_size :
+  Device.t ->
+  regs_per_thread:int ->
+  shared_per_block:(block_size:int -> int) ->
+  candidates:int list ->
+  int * result
+(** [best_block_size d ~regs_per_thread ~shared_per_block ~candidates]
+    evaluates each candidate block size (shared usage may depend on it, as
+    in the sparse kernel where it is [(BS/VS + n) * 8]) and returns the
+    one maximising occupancy, breaking ties towards larger blocks — the
+    paper's strategy of maximising concurrent warps to hide latency.
+    Unlaunchable candidates are skipped; raises [Invalid_argument] if none
+    can launch. *)
+
+val pp_limiter : Format.formatter -> limiter -> unit
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,67 @@
+type t = {
+  mutable gld_transactions : int;
+  mutable gst_transactions : int;
+  mutable tex_requests : int;
+  mutable tex_misses : int;
+  mutable global_atomics : int;
+  mutable dram_atomics : int;
+  mutable atomic_conflicts : float;
+  mutable shared_atomics : int;
+  mutable shared_accesses : int;
+  mutable bank_conflicts : int;
+  mutable shuffles : int;
+  mutable flops : int;
+  mutable barriers : int;
+  mutable local_spill_transactions : int;
+}
+
+let create () =
+  {
+    gld_transactions = 0;
+    gst_transactions = 0;
+    tex_requests = 0;
+    tex_misses = 0;
+    global_atomics = 0;
+    dram_atomics = 0;
+    atomic_conflicts = 0.0;
+    shared_atomics = 0;
+    shared_accesses = 0;
+    bank_conflicts = 0;
+    shuffles = 0;
+    flops = 0;
+    barriers = 0;
+    local_spill_transactions = 0;
+  }
+
+let add acc s =
+  acc.gld_transactions <- acc.gld_transactions + s.gld_transactions;
+  acc.gst_transactions <- acc.gst_transactions + s.gst_transactions;
+  acc.tex_requests <- acc.tex_requests + s.tex_requests;
+  acc.tex_misses <- acc.tex_misses + s.tex_misses;
+  acc.global_atomics <- acc.global_atomics + s.global_atomics;
+  acc.dram_atomics <- acc.dram_atomics + s.dram_atomics;
+  acc.atomic_conflicts <- acc.atomic_conflicts +. s.atomic_conflicts;
+  acc.shared_atomics <- acc.shared_atomics + s.shared_atomics;
+  acc.shared_accesses <- acc.shared_accesses + s.shared_accesses;
+  acc.bank_conflicts <- acc.bank_conflicts + s.bank_conflicts;
+  acc.shuffles <- acc.shuffles + s.shuffles;
+  acc.flops <- acc.flops + s.flops;
+  acc.barriers <- acc.barriers + s.barriers;
+  acc.local_spill_transactions <-
+    acc.local_spill_transactions + s.local_spill_transactions
+
+let copy s = { s with gld_transactions = s.gld_transactions }
+
+let total_dram_transactions s =
+  s.gld_transactions + s.gst_transactions + s.tex_misses
+  + s.local_spill_transactions
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>gld=%d gst=%d tex=%d(miss %d)@,\
+     atomics: global=%d (conflicts %.0f) shared=%d@,\
+     shared mem: accesses=%d bank_conflicts=%d@,\
+     shuffles=%d flops=%d barriers=%d spills=%d@]"
+    s.gld_transactions s.gst_transactions s.tex_requests s.tex_misses
+    s.global_atomics s.atomic_conflicts s.shared_atomics s.shared_accesses
+    s.bank_conflicts s.shuffles s.flops s.barriers s.local_spill_transactions

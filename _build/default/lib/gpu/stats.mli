@@ -1,0 +1,45 @@
+(** Hardware event counters accumulated while a simulated kernel runs.
+
+    These are the quantities NVIDIA's Visual Profiler reports and the paper
+    reasons with: global load/store transactions (Figure 2 bottom plots
+    exactly [gld_transactions]), atomic operations and their serialisation,
+    shared-memory traffic and bank conflicts, shuffle-based register
+    reductions, FLOPs, and barrier synchronisations. *)
+
+type t = {
+  mutable gld_transactions : int;
+      (** 128-byte global load transactions *)
+  mutable gst_transactions : int;
+  mutable tex_requests : int;  (** read-only / texture path requests *)
+  mutable tex_misses : int;  (** misses that went to global memory *)
+  mutable global_atomics : int;  (** individual global atomic operations *)
+  mutable dram_atomics : int;
+      (** the subset whose read-modify-write reached DRAM (missed L2) *)
+  mutable atomic_conflicts : float;
+      (** accumulated extra concurrent writers: each atomic contributes
+          [degree - 1] where [degree] is the estimated number of threads
+          simultaneously updating the same address *)
+  mutable shared_atomics : int;
+  mutable shared_accesses : int;  (** per-warp shared load/store requests *)
+  mutable bank_conflicts : int;  (** extra serialised shared passes *)
+  mutable shuffles : int;  (** warp shuffle instructions *)
+  mutable flops : int;
+  mutable barriers : int;  (** __syncthreads executions (per block) *)
+  mutable local_spill_transactions : int;
+      (** local-memory traffic caused by register spilling / indexed
+          register access (the failure mode Section 3.2's code generator
+          avoids) *)
+}
+
+val create : unit -> t
+
+val add : t -> t -> unit
+(** [add acc s] accumulates [s] into [acc]. *)
+
+val copy : t -> t
+
+val total_dram_transactions : t -> int
+(** Loads + stores + texture misses + spills — everything that consumed
+    global-memory bandwidth. *)
+
+val pp : Format.formatter -> t -> unit

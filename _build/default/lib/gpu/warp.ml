@@ -1,0 +1,46 @@
+let is_power_of_two w = w > 0 && w land (w - 1) = 0
+
+let tree_reduce lanes ~width =
+  if not (is_power_of_two width) then
+    invalid_arg "Warp.tree_reduce: width must be a power of two";
+  if width > Array.length lanes then
+    invalid_arg "Warp.tree_reduce: width exceeds lane count";
+  if width = 1 then lanes.(0)
+  else begin
+    let scratch = Array.sub lanes 0 width in
+    let step = ref (width / 2) in
+    while !step >= 1 do
+      for i = 0 to !step - 1 do
+        scratch.(i) <- scratch.(i) +. scratch.(i + !step)
+      done;
+      step := !step / 2
+    done;
+    scratch.(0)
+  end
+
+let steps ~width =
+  if not (is_power_of_two width) then
+    invalid_arg "Warp.steps: width must be a power of two";
+  let rec count w acc = if w <= 1 then acc else count (w / 2) (acc + 1) in
+  count width 0
+
+let segmented_reduce values ~flags =
+  let n = Array.length values in
+  if Array.length flags <> n then
+    invalid_arg "Warp.segmented_reduce: flags length mismatch";
+  if n = 0 then [||]
+  else begin
+    if not flags.(0) then
+      invalid_arg "Warp.segmented_reduce: first flag must start a segment";
+    let sums = ref [] in
+    let acc = ref values.(0) in
+    for i = 1 to n - 1 do
+      if flags.(i) then begin
+        sums := !acc :: !sums;
+        acc := values.(i)
+      end
+      else acc := !acc +. values.(i)
+    done;
+    sums := !acc :: !sums;
+    Array.of_list (List.rev !sums)
+  end

@@ -1,0 +1,26 @@
+(** Lane-accurate warp-level reductions.
+
+    The fused kernels aggregate per-lane partial sums with the Kepler
+    [__shfl_down] butterfly (Section 3.1: "aggregated using the shuffle
+    instruction").  Floating-point addition is not associative, so the
+    simulator executes the *same tree order* the hardware would: results
+    match a real device bit-for-bit given the same schedule, and the test
+    suite checks they agree with sequential summation to tolerance.
+
+    Widths must be powers of two (lane counts are), up to 32 for a single
+    warp; the multi-warp case composes an intra-warp tree with an
+    inter-warp pass, as Algorithm 3 does. *)
+
+val tree_reduce : float array -> width:int -> float
+(** [tree_reduce lanes ~width] folds [lanes.(0 .. width-1)] with the
+    butterfly [lane.(i) <- lane.(i) + lane.(i + step)] for
+    [step = width/2, width/4, ..., 1]; the array is not modified.
+    [width] must be a power of two no larger than the array. *)
+
+val steps : width:int -> int
+(** Number of shuffle steps, [log2 width]. *)
+
+val segmented_reduce : float array -> flags:bool array -> float array
+(** Bell-Garland segmented reduction: sums each run of values delimited
+    by [flags] ([flags.(i) = true] starts a new segment at [i]).  Returns
+    one sum per segment, in order.  [flags.(0)] must be [true]. *)

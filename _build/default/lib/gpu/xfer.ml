@@ -1,0 +1,24 @@
+type direction = Host_to_device | Device_to_host
+
+type record = { direction : direction; bytes : int; ms : float; label : string }
+
+type t = { device : Device.t; mutable log : record list }
+
+let create device = { device; log = [] }
+
+let transfer t direction ~bytes ~label =
+  if bytes < 0 then invalid_arg "Xfer.transfer: negative byte count";
+  let ms =
+    (t.device.pcie_latency_us /. 1000.0)
+    +. (float_of_int bytes /. (t.device.pcie_gbs *. 1e6))
+  in
+  t.log <- { direction; bytes; ms; label } :: t.log;
+  ms
+
+let total_ms t = List.fold_left (fun acc r -> acc +. r.ms) 0.0 t.log
+
+let total_bytes t = List.fold_left (fun acc r -> acc + r.bytes) 0 t.log
+
+let records t = t.log
+
+let reset t = t.log <- []

@@ -1,0 +1,27 @@
+(** Host-device transfer ledger.
+
+    End-to-end evaluation (Section 4.4) must charge PCIe transfer time and
+    amortise it over ML iterations; Table 5 quotes 939 ms for shipping
+    KDD2010 to the device.  The ledger records every transfer so the
+    end-to-end harness can report totals and amortisation. *)
+
+type direction = Host_to_device | Device_to_host
+
+type record = { direction : direction; bytes : int; ms : float; label : string }
+
+type t
+
+val create : Device.t -> t
+
+val transfer : t -> direction -> bytes:int -> label:string -> float
+(** Record a transfer, returning its cost in milliseconds:
+    latency + bytes / PCIe bandwidth. *)
+
+val total_ms : t -> float
+
+val total_bytes : t -> int
+
+val records : t -> record list
+(** Most recent first. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/gpulibs/bidmat.ml: Array Contention Cublas Cusparse Gpu_sim Launch List Matrix Sim Stdlib

@@ -1,0 +1,1 @@
+lib/gpulibs/bidmat.mli: Device Gpu_sim Matrix Sim

@@ -1,0 +1,1 @@
+lib/gpulibs/contention.ml: Array Device Gpu_sim Matrix Occupancy Stdlib

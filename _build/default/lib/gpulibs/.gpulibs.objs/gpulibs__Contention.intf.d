@@ -1,0 +1,1 @@
+lib/gpulibs/contention.mli: Device Gpu_sim Matrix Occupancy

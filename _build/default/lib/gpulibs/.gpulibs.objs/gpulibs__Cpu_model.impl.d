@@ -1,0 +1,1 @@
+lib/gpulibs/cpu_model.ml: Cache Device Float Gpu_sim Matrix

@@ -1,0 +1,1 @@
+lib/gpulibs/cpu_model.mli: Device Gpu_sim Matrix

@@ -1,0 +1,1 @@
+lib/gpulibs/cublas.ml: Array Cache Contention Device Float Gpu_sim Launch Matrix Sim Stats Stdlib

@@ -1,0 +1,1 @@
+lib/gpulibs/cublas.mli: Device Gpu_sim Matrix Sim

@@ -1,0 +1,1 @@
+lib/gpulibs/cusparse.ml: Array Cache Contention Device Gpu_sim Launch Matrix Sim Stdlib Warp

@@ -1,0 +1,1 @@
+lib/gpulibs/cusparse.mli: Device Gpu_sim Matrix Sim

@@ -1,0 +1,83 @@
+open Gpu_sim
+
+let relabel reports =
+  List.map (fun (r : Sim.report) -> { r with kernel = "bidmat_" ^ r.kernel }) reports
+
+let csrmv device x y =
+  let result, reports = Cusparse.csrmv device x y in
+  (result, relabel reports)
+
+let csrmv_t device (x : Matrix.Csr.t) p =
+  if Array.length p <> x.rows then
+    invalid_arg "Bidmat.csrmv_t: dimension mismatch";
+  let nnz = Matrix.Csr.nnz x in
+  let block_size = 256 in
+  let vs = Cusparse.csr_vector_size (Matrix.Csr.mean_row_nnz x) in
+  let grid_blocks =
+    Launch.grid_for_rows ~rows:x.rows ~block_size ~vs ~coarsening:1
+  in
+  let launch =
+    Launch.v ~grid_blocks ~block_size ~vs ~coarsening:1 ~regs_per_thread:30
+      ~shared_per_block:0 ()
+  in
+  let second_moment = Contention.column_second_moment x in
+  let result, report =
+    Sim.run device launch ~name:"bidmat_csrmvt_scatter" (fun ctx ->
+        let out = Array.make x.cols 0.0 in
+        Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:nnz;
+        Sim.load_segment ctx ~bytes_per_elt:4 ~start:0 ~count:nnz;
+        for r = 0 to x.rows - 1 do
+          let s = x.row_off.(r) and e = x.row_off.(r + 1) in
+          let pr = p.(r) in
+          for i = s to e - 1 do
+            let c = x.col_idx.(i) in
+            out.(c) <- out.(c) +. (x.values.(i) *. pr)
+          done
+        done;
+        Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:x.rows;
+        Sim.load_segment ctx ~bytes_per_elt:4 ~start:0 ~count:(x.rows + 1);
+        Sim.flops ctx (2 * nnz);
+        let degree =
+          Contention.scatter_degree ~duty:Contention.interleaved_duty device
+            ~occupancy:ctx.occupancy ~grid_blocks ~second_moment
+        in
+        Sim.global_atomic_add ctx ~ops:nnz ~conflict_degree:degree
+          ~l2_hit:(Contention.popularity_l2_hit device x);
+        out)
+  in
+  (result, [ report ])
+
+let gemv device x y =
+  let result, reports = Cublas.gemv device x y in
+  (result, relabel reports)
+
+let gemv_t device (x : Matrix.Dense.t) p =
+  if Array.length p <> x.rows then
+    invalid_arg "Bidmat.gemv_t: dimension mismatch";
+  let block_size = 256 in
+  let rows_per_block = 1024 in
+  let grid_blocks =
+    Stdlib.max 1 ((x.rows + rows_per_block - 1) / rows_per_block)
+  in
+  let launch =
+    Launch.v ~grid_blocks ~block_size ~vs:32 ~coarsening:4 ~regs_per_thread:48
+      ~shared_per_block:0 ()
+  in
+  let result, report =
+    Sim.run device launch ~name:"bidmat_dgemv_t" (fun ctx ->
+        (* column-panel sweep, partials in registers (no shared staging);
+           panel boundaries overlap reads by ~25%. *)
+        Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:(x.rows * x.cols);
+        Sim.load_segment ctx ~bytes_per_elt:8 ~start:0
+          ~count:(x.rows * x.cols / 4);
+        Sim.load_segment ctx ~bytes_per_elt:8 ~start:0 ~count:x.rows;
+        Sim.flops ctx (2 * x.rows * x.cols);
+        let degree =
+          Contention.panel_commit_degree device ~occupancy:ctx.occupancy
+            ~grid_blocks
+        in
+        Sim.global_atomic_add ctx ~ops:(x.cols * grid_blocks)
+          ~conflict_degree:degree;
+        Matrix.Blas.gemv_t x p)
+  in
+  (result, [ report ])

@@ -1,0 +1,25 @@
+open Gpu_sim
+
+(** Simulated BIDMat baselines (Canny & Zhao).
+
+    BIDMat provides both GPU kernels and an MKL-backed CPU path; the paper
+    uses it as the strongest available library competitor.  The GPU side
+    differs from cuSPARSE in one structural way that matches the paper's
+    measurements: its transposed sparse multiply scatters directly with
+    atomics (no workspace spill), so it loads less than cuSPARSE but still
+    pays the same-address serialisation — landing between the fused kernel
+    and cuSPARSE on [X^T x (X x y)].  Its dense transposed multiply uses
+    register tiling (no shared-memory bank conflicts), making it the
+    closest dense competitor (the paper's 2.18x vs 4.27x for cuBLAS). *)
+
+val csrmv : Device.t -> Matrix.Csr.t -> Matrix.Vec.t -> Matrix.Vec.t * Sim.report list
+(** Same structure as cuSPARSE's csrmv (both are CSR-vector kernels). *)
+
+val csrmv_t :
+  Device.t -> Matrix.Csr.t -> Matrix.Vec.t -> Matrix.Vec.t * Sim.report list
+(** Direct atomic scatter (single kernel). *)
+
+val gemv : Device.t -> Matrix.Dense.t -> Matrix.Vec.t -> Matrix.Vec.t * Sim.report list
+
+val gemv_t : Device.t -> Matrix.Dense.t -> Matrix.Vec.t -> Matrix.Vec.t * Sim.report list
+(** Register-tiled transpose multiply. *)

@@ -1,0 +1,91 @@
+open Gpu_sim
+
+let column_second_moment (x : Matrix.Csr.t) =
+  let nnz = Matrix.Csr.nnz x in
+  if nnz = 0 then 0.0
+  else begin
+    let counts = Array.make x.cols 0 in
+    Array.iter (fun c -> counts.(c) <- counts.(c) + 1) x.col_idx;
+    let total = float_of_int nnz in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun k ->
+        if k > 0 then begin
+          let f = float_of_int k /. total in
+          acc := !acc +. (f *. f)
+        end)
+      counts;
+    !acc
+  end
+
+(* Duty factors: the fraction of a kernel's lifetime during which a thread
+   is actually issuing atomics.  They differ by an order of magnitude
+   between access styles, which is exactly the effect the hierarchical
+   aggregation exploits:
+
+   - a dedicated gather/scatter phase issues atomics back to back;
+   - a scatter interleaved with row loads (BIDMat style) issues them at
+     roughly half that rate;
+   - per-panel commits (library gemv_t) happen every few hundred cycles;
+   - a once-per-lifetime register flush (the fused kernels' final
+     aggregation after C coarsened rows) almost never overlaps another
+     vector's flush. *)
+let atomic_duty = 0.042
+let interleaved_duty = 0.021
+let panel_duty = 0.015
+let sweep_duty = 0.002
+let flush_duty = 0.0005
+
+let resident_threads (d : Device.t) ~(occupancy : Occupancy.result)
+    ~grid_blocks =
+  let resident_blocks =
+    Stdlib.min grid_blocks (occupancy.active_blocks_per_sm * d.num_sms)
+  in
+  resident_blocks * occupancy.active_threads_per_sm
+  / Stdlib.max 1 occupancy.active_blocks_per_sm
+
+let scatter_degree ?(duty = atomic_duty) d ~occupancy ~grid_blocks
+    ~second_moment =
+  let threads = resident_threads d ~occupancy ~grid_blocks in
+  1.0 +. (duty *. float_of_int threads *. second_moment)
+
+let resident_blocks (d : Device.t) ~(occupancy : Occupancy.result)
+    ~grid_blocks =
+  Stdlib.min grid_blocks (occupancy.active_blocks_per_sm * d.num_sms)
+
+(* Blocks reach their final sweep at staggered times (their rows carry
+   different non-zero counts), so concurrency across sweeping blocks is an
+   order of magnitude below a dedicated scatter phase. *)
+let block_sweep_degree d ~occupancy ~grid_blocks =
+  let blocks = resident_blocks d ~occupancy ~grid_blocks in
+  1.0 +. (sweep_duty *. float_of_int (Stdlib.max 0 (blocks - 1)))
+
+let panel_commit_degree d ~occupancy ~grid_blocks =
+  let blocks = resident_blocks d ~occupancy ~grid_blocks in
+  1.0 +. (panel_duty *. float_of_int (Stdlib.max 0 (blocks - 1)))
+
+let vector_flush_degree d ~occupancy ~grid_blocks ~nv =
+  let blocks = resident_blocks d ~occupancy ~grid_blocks in
+  let resident_vectors = Stdlib.max 1 (blocks * Stdlib.max 1 nv) in
+  1.0 +. (flush_duty *. float_of_int (resident_vectors - 1))
+
+let semaphore_slots = 1024
+
+(* Popularity-weighted probability that an atomic update of w.(col) finds
+   the column's cache line resident in (half of) L2: the hottest columns
+   stay on chip, which is why the large-column kernels survive having no
+   shared-memory pre-aggregation on power-law data. *)
+let popularity_l2_hit (d : Device.t) (x : Matrix.Csr.t) =
+  let nnz = Matrix.Csr.nnz x in
+  if nnz = 0 then 1.0
+  else begin
+    let counts = Array.make x.cols 0 in
+    Array.iter (fun c -> counts.(c) <- counts.(c) + 1) x.col_idx;
+    Array.sort (fun a b -> compare b a) counts;
+    let capacity_entries = d.l2_bytes / 2 / 8 in
+    let hot = ref 0 in
+    for i = 0 to Stdlib.min capacity_entries x.cols - 1 do
+      hot := !hot + counts.(i)
+    done;
+    float_of_int !hot /. float_of_int nnz
+  end

@@ -1,0 +1,61 @@
+open Gpu_sim
+
+(** Atomic-contention estimation.
+
+    Scatter-style kernels (transposed sparse multiplies, the large-column
+    fused variant) issue one atomic add per non-zero into [w.(col)].  The
+    expected number of *concurrent* writers to one address governs how
+    badly those atomics serialise; it depends on how many threads are
+    in flight and on how skewed the column distribution is.  The paper
+    leans on exactly this effect: "when n is very large, the data is
+    likely to be sparse ... and the likelihood of concurrent accesses to a
+    single element of w is very small" (Section 3.1). *)
+
+val column_second_moment : Matrix.Csr.t -> float
+(** [sum_c (nnz_c / nnz)^2] — the collision probability of two uniformly
+    chosen non-zeros sharing a column.  1/cols for a perfectly uniform
+    matrix; larger for skewed (power-law) data. *)
+
+val atomic_duty : float
+(** Duty factor of a dedicated gather/scatter phase issuing atomics back
+    to back. *)
+
+val interleaved_duty : float
+(** Duty factor when atomics interleave with row loads (BIDMat-style
+    direct scatter). *)
+
+val scatter_degree :
+  ?duty:float ->
+  Device.t ->
+  occupancy:Occupancy.result ->
+  grid_blocks:int ->
+  second_moment:float ->
+  float
+(** Expected concurrent writers per address (>= 1) for per-non-zero
+    scatters: [1 + duty * resident_threads * second_moment].  [duty]
+    defaults to {!atomic_duty}. *)
+
+val panel_commit_degree :
+  Device.t -> occupancy:Occupancy.result -> grid_blocks:int -> float
+(** Conflict degree for per-panel partial-sum commits (library [gemv_t]):
+    commits recur every panel but are far sparser than a scatter
+    stream. *)
+
+val block_sweep_degree :
+  Device.t -> occupancy:Occupancy.result -> grid_blocks:int -> float
+(** Conflict degree when every resident block sweeps the same output
+    vector once (the inter-block aggregation of Algorithm 1/2): collisions
+    happen between blocks in the same phase of the sweep. *)
+
+val vector_flush_degree :
+  Device.t -> occupancy:Occupancy.result -> grid_blocks:int -> nv:int -> float
+(** Conflict degree when every resident vector flushes a full-width
+    partial result (the register spill-out of the dense fused kernel). *)
+
+val semaphore_slots : int
+(** Number of lock slots the cuSPARSE transpose path hashes columns into;
+    their contention is what serialises it on ultra-sparse data. *)
+
+val popularity_l2_hit : Device.t -> Matrix.Csr.t -> float
+(** Popularity-weighted fraction of per-column atomic updates absorbed by
+    L2 (the hottest columns stay resident). *)

@@ -1,0 +1,79 @@
+open Gpu_sim
+
+let roofline (cpu : Device.cpu) ~bytes ~flops ~efficiency =
+  let bw = cpu.cpu_bandwidth_gbs *. efficiency *. 1e6 (* bytes/ms *) in
+  let fl = cpu.cpu_peak_gflops *. 1e6 (* flops/ms *) in
+  Float.max (float_of_int bytes /. bw) (float_of_int flops /. fl)
+  +. (cpu.per_call_overhead_us /. 1000.0)
+
+let gather_bytes (cpu : Device.cpu) ~vector_elts ~accesses =
+  (* A vector that fits the LLC is read once; otherwise every access
+     misses with probability [1 - llc/ws] and drags in a 64-byte line. *)
+  let ws = 8 * vector_elts in
+  if ws <= cpu.cpu_llc_bytes then ws
+  else begin
+    let miss =
+      Cache.miss_fraction ~working_set_bytes:ws
+        ~capacity_bytes:cpu.cpu_llc_bytes
+    in
+    int_of_float (Float.round (float_of_int accesses *. miss *. 64.0))
+  end
+
+let csrmv_ms cpu (x : Matrix.Csr.t) =
+  let nnz = Matrix.Csr.nnz x in
+  let bytes =
+    (12 * nnz) + (8 * x.rows) + (4 * (x.rows + 1))
+    + gather_bytes cpu ~vector_elts:x.cols ~accesses:nnz
+  in
+  roofline cpu ~bytes ~flops:(2 * nnz) ~efficiency:cpu.cpu_sparse_efficiency
+
+let csrmv_t_ms cpu (x : Matrix.Csr.t) =
+  let nnz = Matrix.Csr.nnz x in
+  let bytes =
+    (12 * nnz) + (8 * x.rows) + (4 * (x.rows + 1))
+    (* scattered read-modify-write of w: twice the gather traffic *)
+    + (2 * gather_bytes cpu ~vector_elts:x.cols ~accesses:nnz)
+    + (8 * x.cols)
+  in
+  roofline cpu ~bytes ~flops:(2 * nnz) ~efficiency:cpu.cpu_sparse_efficiency
+
+let gemv_ms cpu ~rows ~cols =
+  let bytes = (8 * rows * cols) + (8 * rows) + (8 * cols) in
+  roofline cpu ~bytes ~flops:(2 * rows * cols)
+    ~efficiency:cpu.cpu_dense_efficiency
+
+let gemv_t_ms cpu ~rows ~cols =
+  (* Row-major CPU gemv_t streams X once and accumulates into w, which is
+     LLC-resident for the column counts of interest. *)
+  let bytes = (8 * rows * cols) + (8 * rows) + (16 * cols) in
+  roofline cpu ~bytes ~flops:(2 * rows * cols)
+    ~efficiency:cpu.cpu_dense_efficiency
+
+let vec_op_ms cpu ~loads ~stores ~flops =
+  roofline cpu ~bytes:(8 * (loads + stores)) ~flops
+    ~efficiency:cpu.cpu_dense_efficiency
+
+let pattern_sparse_ms cpu (x : Matrix.Csr.t) ~with_v ~with_z =
+  let t = csrmv_ms cpu x +. csrmv_t_ms cpu x in
+  let t =
+    if with_v then t +. vec_op_ms cpu ~loads:(2 * x.rows) ~stores:x.rows ~flops:x.rows
+    else t
+  in
+  let t =
+    (* alpha scaling always happens when beta*z is present. *)
+    if with_z then
+      t
+      +. vec_op_ms cpu ~loads:(2 * x.cols) ~stores:x.cols ~flops:(3 * x.cols)
+    else t
+  in
+  t
+
+let pattern_dense_ms cpu ~rows ~cols ~with_v ~with_z =
+  let t = gemv_ms cpu ~rows ~cols +. gemv_t_ms cpu ~rows ~cols in
+  let t =
+    if with_v then t +. vec_op_ms cpu ~loads:(2 * rows) ~stores:rows ~flops:rows
+    else t
+  in
+  if with_z then
+    t +. vec_op_ms cpu ~loads:(2 * cols) ~stores:cols ~flops:(3 * cols)
+  else t

@@ -1,0 +1,32 @@
+open Gpu_sim
+
+(** BIDMat-CPU / MKL performance model.
+
+    A multi-threaded roofline: an operation takes
+    [max(bytes / effective_bandwidth, flops / peak_flops)] plus a small
+    per-call overhead.  Sparse kernels sustain a lower fraction of stream
+    bandwidth than dense ones (indexed gathers), and a transposed multiply
+    whose output vector spills the last-level cache pays one cache line
+    per scattered update — the CPU analogue of the GPU's uncoalesced
+    writes.  Times are returned in milliseconds; all numeric results come
+    from [Matrix.Blas] (the CPU baseline is the reference). *)
+
+val csrmv_ms : Device.cpu -> Matrix.Csr.t -> float
+
+val csrmv_t_ms : Device.cpu -> Matrix.Csr.t -> float
+
+val gemv_ms : Device.cpu -> rows:int -> cols:int -> float
+
+val gemv_t_ms : Device.cpu -> rows:int -> cols:int -> float
+
+val vec_op_ms : Device.cpu -> loads:int -> stores:int -> flops:int -> float
+(** Streaming vector operation over element counts. *)
+
+val pattern_sparse_ms :
+  Device.cpu -> Matrix.Csr.t -> with_v:bool -> with_z:bool -> float
+(** Full Equation 1 pipeline: [X x y], optional Hadamard, [X^T x p],
+    optional [alpha]/[beta*z] scaling — each leg priced separately, as MKL
+    executes them. *)
+
+val pattern_dense_ms :
+  Device.cpu -> rows:int -> cols:int -> with_v:bool -> with_z:bool -> float

@@ -1,0 +1,41 @@
+open Gpu_sim
+
+(** Simulated cuSPARSE.
+
+    Reproduces the *behaviour* the paper attributes to cuSPARSE's CSR
+    routines on a CC 3.5 device:
+
+    - [csrmv] ([X x y]) is a well-optimised CSR-vector kernel and serves
+      as the fast leg of every baseline — the paper explicitly declines to
+      compete with it;
+    - [csrmv_t] ([X^T x p], the [CUSPARSE_OPERATION_TRANSPOSE] mode) is
+      "very slow when compared to [X x p]": it runs as a two-phase
+      scatter — products are spilled to a global workspace, then gathered
+      into [w] with per-non-zero global atomics.  This yields the ~3.5x
+      extra load transactions and the serialisation the paper measured
+      (Figure 2);
+    - [csr2csc] is the explicit transposition NVIDIA recommends instead,
+      whose cost Figure 2's second axis amortises over ML iterations.
+
+    All routines compute real results (tested against [Matrix.Blas]) and
+    return per-kernel simulation reports. *)
+
+val csrmv : Device.t -> Matrix.Csr.t -> Matrix.Vec.t -> Matrix.Vec.t * Sim.report list
+(** [csrmv d x y = X x y]. *)
+
+val csrmv_t :
+  Device.t -> Matrix.Csr.t -> Matrix.Vec.t -> Matrix.Vec.t * Sim.report list
+(** [csrmv_t d x p = X^T x p] in transpose-operation mode (two kernels). *)
+
+val csr2csc : Device.t -> Matrix.Csr.t -> Matrix.Csr.t * Sim.report list
+(** Explicit transposition; the result is [X^T] in CSR form (that is, [X]
+    in CSC form). *)
+
+(** {1 Internals shared with the BIDMat model} *)
+
+val csr_vector_size : float -> int
+(** Bell-Garland vector-size heuristic from mean non-zeros per row. *)
+
+val l2_hit_fraction : Device.t -> vector_bytes:int -> float
+(** Hit fraction for gathers into a vector cached by L2 (library kernels
+    do not bind the vector to the texture path — the fused kernel does). *)

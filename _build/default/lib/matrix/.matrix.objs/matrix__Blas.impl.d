@@ -1,0 +1,1 @@
+lib/matrix/blas.ml: Array Csc Csr Dense Unix Vec

@@ -1,0 +1,1 @@
+lib/matrix/blas.mli: Csc Csr Dense Vec

@@ -1,0 +1,1 @@
+lib/matrix/coo.ml: Array Dense List Printf

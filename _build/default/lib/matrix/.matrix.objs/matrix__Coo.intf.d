@@ -1,0 +1,1 @@
+lib/matrix/coo.mli: Dense

@@ -1,0 +1,1 @@
+lib/matrix/csc.mli: Csr

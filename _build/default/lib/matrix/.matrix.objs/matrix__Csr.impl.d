@@ -1,0 +1,1 @@
+lib/matrix/csr.ml: Array Coo Dense Format Vec

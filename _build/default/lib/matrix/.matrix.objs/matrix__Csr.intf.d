@@ -1,0 +1,1 @@
+lib/matrix/csr.mli: Coo Dense Format

@@ -1,0 +1,1 @@
+lib/matrix/gen.ml: Array Csr Dense Float Hashtbl List Rng Stdlib

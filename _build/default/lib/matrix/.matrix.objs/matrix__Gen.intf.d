@@ -1,0 +1,1 @@
+lib/matrix/gen.mli: Csr Dense Rng Vec

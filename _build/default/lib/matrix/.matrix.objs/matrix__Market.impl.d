@@ -1,0 +1,1 @@
+lib/matrix/market.ml: Array Coo Csr Dense Fun List Printf String Vec

@@ -1,0 +1,1 @@
+lib/matrix/market.mli: Csr Dense Vec

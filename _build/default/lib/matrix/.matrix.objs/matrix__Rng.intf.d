@@ -1,0 +1,1 @@
+lib/matrix/rng.mli:

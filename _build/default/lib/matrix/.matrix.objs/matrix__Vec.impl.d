@@ -1,0 +1,1 @@
+lib/matrix/vec.ml: Array Float Format Printf

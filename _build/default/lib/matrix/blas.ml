@@ -1,0 +1,108 @@
+let gemv (x : Dense.t) y =
+  if Array.length y <> x.cols then invalid_arg "Blas.gemv: dimension mismatch";
+  let out = Array.make x.rows 0.0 in
+  for r = 0 to x.rows - 1 do
+    let base = r * x.cols in
+    let acc = ref 0.0 in
+    for c = 0 to x.cols - 1 do
+      acc := !acc +. (x.data.(base + c) *. y.(c))
+    done;
+    out.(r) <- !acc
+  done;
+  out
+
+let gemv_t (x : Dense.t) p =
+  if Array.length p <> x.rows then
+    invalid_arg "Blas.gemv_t: dimension mismatch";
+  let out = Array.make x.cols 0.0 in
+  for r = 0 to x.rows - 1 do
+    let base = r * x.cols in
+    let pr = p.(r) in
+    if pr <> 0.0 then
+      for c = 0 to x.cols - 1 do
+        out.(c) <- out.(c) +. (x.data.(base + c) *. pr)
+      done
+  done;
+  out
+
+let csrmv (x : Csr.t) y =
+  if Array.length y <> x.cols then
+    invalid_arg "Blas.csrmv: dimension mismatch";
+  let out = Array.make x.rows 0.0 in
+  for r = 0 to x.rows - 1 do
+    let acc = ref 0.0 in
+    for i = x.row_off.(r) to x.row_off.(r + 1) - 1 do
+      acc := !acc +. (x.values.(i) *. y.(x.col_idx.(i)))
+    done;
+    out.(r) <- !acc
+  done;
+  out
+
+let csrmv_t (x : Csr.t) p =
+  if Array.length p <> x.rows then
+    invalid_arg "Blas.csrmv_t: dimension mismatch";
+  let out = Array.make x.cols 0.0 in
+  for r = 0 to x.rows - 1 do
+    let pr = p.(r) in
+    if pr <> 0.0 then
+      for i = x.row_off.(r) to x.row_off.(r + 1) - 1 do
+        let c = x.col_idx.(i) in
+        out.(c) <- out.(c) +. (x.values.(i) *. pr)
+      done
+  done;
+  out
+
+let cscmv (x : Csc.t) y =
+  if Array.length y <> x.cols then
+    invalid_arg "Blas.cscmv: dimension mismatch";
+  let out = Array.make x.rows 0.0 in
+  for c = 0 to x.cols - 1 do
+    let yc = y.(c) in
+    if yc <> 0.0 then
+      Csc.iter_col x c (fun r v -> out.(r) <- out.(r) +. (v *. yc))
+  done;
+  out
+
+let finish_pattern ~alpha ~beta ~z w =
+  Vec.scal alpha w;
+  (match (beta, z) with
+  | Some b, Some z -> Vec.axpy b z w
+  | None, None -> ()
+  | Some b, None ->
+      if b <> 0.0 then invalid_arg "Blas.pattern: beta given without z"
+  | None, Some _ -> invalid_arg "Blas.pattern: z given without beta");
+  w
+
+let pattern_sparse ~alpha x ?v y ?beta ?z () =
+  let p = csrmv x y in
+  let p = match v with None -> p | Some v -> Vec.mul_elementwise v p in
+  let w = csrmv_t x p in
+  finish_pattern ~alpha ~beta ~z w
+
+let pattern_dense ~alpha x ?v y ?beta ?z () =
+  let p = gemv x y in
+  let p = match v with None -> p | Some v -> Vec.mul_elementwise v p in
+  let w = gemv_t x p in
+  finish_pattern ~alpha ~beta ~z w
+
+type op_class = Pattern_op | Blas1_op | Other_op
+
+type time_buckets = {
+  mutable pattern_s : float;
+  mutable blas1_s : float;
+  mutable other_s : float;
+}
+
+let fresh_buckets () = { pattern_s = 0.0; blas1_s = 0.0; other_s = 0.0 }
+
+let timed buckets cls f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match cls with
+  | Pattern_op -> buckets.pattern_s <- buckets.pattern_s +. dt
+  | Blas1_op -> buckets.blas1_s <- buckets.blas1_s +. dt
+  | Other_op -> buckets.other_s <- buckets.other_s +. dt);
+  result
+
+let total_seconds b = b.pattern_s +. b.blas1_s +. b.other_s

@@ -1,0 +1,61 @@
+(** Reference CPU implementations of every operation the paper composes.
+
+    These are the *ground truth*: each simulated GPU kernel (fused or
+    library baseline) is tested against this module.  They are also the
+    "single-threaded CPU" measurements behind Table 2, so they are written
+    as straightforward cache-friendly loops, not cleverness. *)
+
+(** {1 Dense BLAS Level 2} *)
+
+val gemv : Dense.t -> Vec.t -> Vec.t
+(** [gemv x y = X x y]; requires [length y = cols]. *)
+
+val gemv_t : Dense.t -> Vec.t -> Vec.t
+(** [gemv_t x p = X^T x p]; requires [length p = rows]. *)
+
+(** {1 Sparse (CSR) Level 2} *)
+
+val csrmv : Csr.t -> Vec.t -> Vec.t
+(** [csrmv x y = X x y]. *)
+
+val csrmv_t : Csr.t -> Vec.t -> Vec.t
+(** [csrmv_t x p = X^T x p] computed by scattering rows — the access
+    pattern that is cheap on a CPU but uncoalesced on a GPU. *)
+
+val cscmv : Csc.t -> Vec.t -> Vec.t
+(** Multiply using a CSC matrix: [X x y] via column gathers. *)
+
+(** {1 The paper's generic pattern (Equation 1)} *)
+
+val pattern_sparse :
+  alpha:float -> Csr.t -> ?v:Vec.t -> Vec.t -> ?beta:float -> ?z:Vec.t ->
+  unit -> Vec.t
+(** [pattern_sparse ~alpha x ?v y ?beta ?z ()] computes
+    [alpha * X^T x (v .* (X x y)) + beta * z].  Omitting [v] means the
+    all-ones vector (no element-wise scaling); omitting [beta]/[z] drops
+    the additive term.  This single entry point covers every row of
+    Table 1. *)
+
+val pattern_dense :
+  alpha:float -> Dense.t -> ?v:Vec.t -> Vec.t -> ?beta:float -> ?z:Vec.t ->
+  unit -> Vec.t
+
+(** {1 Instrumented timing for Table 2}
+
+    [timed_section] buckets wall-clock time by operation class so the
+    LR-CG breakdown (pattern ops vs BLAS-1) can be measured on the real
+    reference implementation. *)
+
+type op_class = Pattern_op | Blas1_op | Other_op
+
+type time_buckets = {
+  mutable pattern_s : float;
+  mutable blas1_s : float;
+  mutable other_s : float;
+}
+
+val fresh_buckets : unit -> time_buckets
+
+val timed : time_buckets -> op_class -> (unit -> 'a) -> 'a
+
+val total_seconds : time_buckets -> float

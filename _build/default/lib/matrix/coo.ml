@@ -1,0 +1,69 @@
+type t = { rows : int; cols : int; entries : (int * int * float) list }
+
+let create ~rows ~cols entries =
+  if rows < 0 || cols < 0 then invalid_arg "Coo.create: negative dimension";
+  List.iter
+    (fun (r, c, _) ->
+      if r < 0 || r >= rows || c < 0 || c >= cols then
+        invalid_arg
+          (Printf.sprintf "Coo.create: entry (%d,%d) out of range %dx%d" r c
+             rows cols))
+    entries;
+  let entries = List.filter (fun (_, _, v) -> v <> 0.0) entries in
+  { rows; cols; entries }
+
+let of_dense x =
+  let entries = ref [] in
+  for r = Dense.(x.rows) - 1 downto 0 do
+    for c = Dense.(x.cols) - 1 downto 0 do
+      let v = Dense.get x r c in
+      if v <> 0.0 then entries := (r, c, v) :: !entries
+    done
+  done;
+  { rows = Dense.(x.rows); cols = Dense.(x.cols); entries = !entries }
+
+let to_dense t =
+  let d = Dense.create t.rows t.cols in
+  List.iter
+    (fun (r, c, v) -> Dense.set d r c (Dense.get d r c +. v))
+    t.entries;
+  d
+
+let nnz t = List.length t.entries
+
+(* Sort by the given key and sum duplicates, preserving a single entry per
+   coordinate. *)
+let sorted_dedup compare_key t =
+  let arr = Array.of_list t.entries in
+  Array.sort compare_key arr;
+  let out = ref [] and count = ref 0 in
+  let n = Array.length arr in
+  let i = ref 0 in
+  while !i < n do
+    let r, c, v = arr.(!i) in
+    let acc = ref v in
+    incr i;
+    while
+      !i < n
+      && (let r', c', _ = arr.(!i) in
+          r' = r && c' = c)
+    do
+      let _, _, v' = arr.(!i) in
+      acc := !acc +. v';
+      incr i
+    done;
+    out := (r, c, !acc) :: !out;
+    incr count
+  done;
+  let result = Array.of_list (List.rev !out) in
+  result
+
+let sorted_row_major t =
+  sorted_dedup
+    (fun (r1, c1, _) (r2, c2, _) -> compare (r1, c1) (r2, c2))
+    t
+
+let sorted_col_major t =
+  sorted_dedup
+    (fun (r1, c1, _) (r2, c2, _) -> compare (c1, r1) (c2, r2))
+    t

@@ -1,0 +1,29 @@
+(** Coordinate-format sparse matrices.
+
+    COO is the construction format: generators and converters build COO
+    triples, which are then compressed into CSR/CSC.  Duplicate coordinates
+    are summed during compression, matching the usual sparse-library
+    convention. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  entries : (int * int * float) list;  (** (row, col, value) *)
+}
+
+val create : rows:int -> cols:int -> (int * int * float) list -> t
+(** Validates that all coordinates are in range and raises
+    [Invalid_argument] otherwise.  Zero-valued entries are dropped. *)
+
+val of_dense : Dense.t -> t
+
+val to_dense : t -> Dense.t
+(** Duplicates are summed. *)
+
+val nnz : t -> int
+
+val sorted_row_major : t -> (int * int * float) array
+(** Entries sorted by (row, col) with duplicates summed — the canonical
+    order CSR compression consumes. *)
+
+val sorted_col_major : t -> (int * int * float) array

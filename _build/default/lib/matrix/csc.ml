@@ -1,0 +1,34 @@
+type t = {
+  rows : int;
+  cols : int;
+  values : float array;
+  row_idx : int array;
+  col_off : int array;
+}
+
+let of_csr (x : Csr.t) =
+  (* X in CSC has exactly the arrays of X^T in CSR. *)
+  let xt = Csr.transpose x in
+  {
+    rows = x.rows;
+    cols = x.cols;
+    values = Csr.(xt.values);
+    row_idx = Csr.(xt.col_idx);
+    col_off = Csr.(xt.row_off);
+  }
+
+let to_csr t =
+  let as_csr_of_transpose =
+    Csr.create ~rows:t.cols ~cols:t.rows ~values:t.values ~col_idx:t.row_idx
+      ~row_off:t.col_off
+  in
+  Csr.transpose as_csr_of_transpose
+
+let nnz t = Array.length t.values
+
+let iter_col t c f =
+  for i = t.col_off.(c) to t.col_off.(c + 1) - 1 do
+    f t.row_idx.(i) t.values.(i)
+  done
+
+let bytes t = (8 * nnz t) + (4 * nnz t) + (4 * (t.cols + 1))

@@ -1,0 +1,27 @@
+(** Compressed Sparse Column matrices.
+
+    Only used by baselines: cuSPARSE's recommended path for [X^T x y]
+    is [csr2csc] followed by a normal row-major multiply on the result,
+    which is exactly a CSC representation of [X].  The fused kernels never
+    materialise this format — that is the point of the paper. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  values : float array;
+  row_idx : int array;
+  col_off : int array;  (** length [cols + 1] *)
+}
+
+val of_csr : Csr.t -> t
+(** The [csr2csc] conversion. *)
+
+val to_csr : t -> Csr.t
+
+val nnz : t -> int
+
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+(** [iter_col x c f] calls [f row value] for every stored entry of
+    column [c]. *)
+
+val bytes : t -> int

@@ -1,0 +1,142 @@
+type t = {
+  rows : int;
+  cols : int;
+  values : float array;
+  col_idx : int array;
+  row_off : int array;
+}
+
+let validate t =
+  let nnz = Array.length t.values in
+  if Array.length t.col_idx <> nnz then
+    invalid_arg "Csr: values/col_idx length mismatch";
+  if Array.length t.row_off <> t.rows + 1 then
+    invalid_arg "Csr: row_off must have length rows + 1";
+  if t.rows < 0 || t.cols < 0 then invalid_arg "Csr: negative dimension";
+  if t.row_off.(0) <> 0 then invalid_arg "Csr: row_off.(0) must be 0";
+  if t.row_off.(t.rows) <> nnz then
+    invalid_arg "Csr: row_off.(rows) must equal nnz";
+  for r = 0 to t.rows - 1 do
+    if t.row_off.(r) > t.row_off.(r + 1) then
+      invalid_arg "Csr: row_off must be monotone"
+  done;
+  for r = 0 to t.rows - 1 do
+    for i = t.row_off.(r) to t.row_off.(r + 1) - 1 do
+      let c = t.col_idx.(i) in
+      if c < 0 || c >= t.cols then invalid_arg "Csr: column index out of range";
+      if i > t.row_off.(r) && t.col_idx.(i - 1) >= c then
+        invalid_arg "Csr: column indices must be strictly increasing per row"
+    done
+  done;
+  t
+
+let create ~rows ~cols ~values ~col_idx ~row_off =
+  validate { rows; cols; values; col_idx; row_off }
+
+let of_coo coo =
+  let sorted = Coo.sorted_row_major coo in
+  let nnz = Array.length sorted in
+  let values = Array.make nnz 0.0 in
+  let col_idx = Array.make nnz 0 in
+  let row_off = Array.make (Coo.(coo.rows) + 1) 0 in
+  Array.iteri
+    (fun i (r, c, v) ->
+      values.(i) <- v;
+      col_idx.(i) <- c;
+      row_off.(r + 1) <- row_off.(r + 1) + 1)
+    sorted;
+  for r = 0 to Coo.(coo.rows) - 1 do
+    row_off.(r + 1) <- row_off.(r + 1) + row_off.(r)
+  done;
+  validate
+    { rows = Coo.(coo.rows); cols = Coo.(coo.cols); values; col_idx; row_off }
+
+let of_dense d = of_coo (Coo.of_dense d)
+
+let to_dense t =
+  let d = Dense.create t.rows t.cols in
+  for r = 0 to t.rows - 1 do
+    for i = t.row_off.(r) to t.row_off.(r + 1) - 1 do
+      Dense.set d r t.col_idx.(i) t.values.(i)
+    done
+  done;
+  d
+
+let nnz t = Array.length t.values
+
+let row_nnz t r = t.row_off.(r + 1) - t.row_off.(r)
+
+let mean_row_nnz t =
+  if t.rows = 0 then 0.0 else float_of_int (nnz t) /. float_of_int t.rows
+
+let max_row_nnz t =
+  let m = ref 0 in
+  for r = 0 to t.rows - 1 do
+    if row_nnz t r > !m then m := row_nnz t r
+  done;
+  !m
+
+let density t =
+  if t.rows = 0 || t.cols = 0 then 0.0
+  else float_of_int (nnz t) /. (float_of_int t.rows *. float_of_int t.cols)
+
+let iter_row t r f =
+  for i = t.row_off.(r) to t.row_off.(r + 1) - 1 do
+    f t.col_idx.(i) t.values.(i)
+  done
+
+let transpose t =
+  (* Counting-sort style csr2csc: O(nnz + cols), the same algorithm the
+     cuSPARSE csr2csc routine performs (minus the device parallelism). *)
+  let n = nnz t in
+  let row_off' = Array.make (t.cols + 1) 0 in
+  Array.iter (fun c -> row_off'.(c + 1) <- row_off'.(c + 1) + 1) t.col_idx;
+  for c = 0 to t.cols - 1 do
+    row_off'.(c + 1) <- row_off'.(c + 1) + row_off'.(c)
+  done;
+  let cursor = Array.sub row_off' 0 t.cols in
+  let values' = Array.make n 0.0 in
+  let col_idx' = Array.make n 0 in
+  for r = 0 to t.rows - 1 do
+    for i = t.row_off.(r) to t.row_off.(r + 1) - 1 do
+      let c = t.col_idx.(i) in
+      let dst = cursor.(c) in
+      values'.(dst) <- t.values.(i);
+      col_idx'.(dst) <- r;
+      cursor.(c) <- dst + 1
+    done
+  done;
+  validate
+    {
+      rows = t.cols;
+      cols = t.rows;
+      values = values';
+      col_idx = col_idx';
+      row_off = row_off';
+    }
+
+let slice_rows t ~row_start ~row_count =
+  if row_start < 0 || row_count < 0 || row_start + row_count > t.rows then
+    invalid_arg "Csr.slice_rows: window out of range";
+  let lo = t.row_off.(row_start) in
+  let hi = t.row_off.(row_start + row_count) in
+  validate
+    {
+      rows = row_count;
+      cols = t.cols;
+      values = Array.sub t.values lo (hi - lo);
+      col_idx = Array.sub t.col_idx lo (hi - lo);
+      row_off =
+        Array.init (row_count + 1) (fun r -> t.row_off.(row_start + r) - lo);
+    }
+
+let bytes t = (8 * nnz t) + (4 * nnz t) + (4 * (t.rows + 1))
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && a.row_off = b.row_off && a.col_idx = b.col_idx
+  && Vec.approx_equal ~tol a.values b.values
+
+let pp fmt t =
+  Format.fprintf fmt "csr %dx%d nnz=%d (density %.4f)" t.rows t.cols (nnz t)
+    (density t)

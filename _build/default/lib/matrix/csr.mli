@@ -1,0 +1,64 @@
+(** Compressed Sparse Row matrices — the storage format of the paper.
+
+    The three arrays are exactly the CUDA kernel inputs of Algorithms 1
+    and 2: [values], [col_idx], and [row_off] (length [rows + 1]).
+    Statistics such as mean non-zeros per row ([mu = NNZ / m]) feed the
+    launch-parameter model (Section 3.3, Equation 4). *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  values : float array;
+  col_idx : int array;
+  row_off : int array;  (** length [rows + 1], [row_off.(rows) = nnz] *)
+}
+
+val create :
+  rows:int ->
+  cols:int ->
+  values:float array ->
+  col_idx:int array ->
+  row_off:int array ->
+  t
+(** Validates the CSR invariants: monotone offsets, bounds, matching
+    lengths, and column indices sorted within each row.  Raises
+    [Invalid_argument] when violated. *)
+
+val of_coo : Coo.t -> t
+
+val of_dense : Dense.t -> t
+
+val to_dense : t -> Dense.t
+
+val nnz : t -> int
+
+val row_nnz : t -> int -> int
+
+val mean_row_nnz : t -> float
+(** [mu = NNZ / m], the quantity Equation 4 selects the vector size from. *)
+
+val max_row_nnz : t -> int
+
+val density : t -> float
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row x r f] calls [f col value] for every stored entry of row
+    [r]. *)
+
+val transpose : t -> t
+(** Explicit transposition (the [csr2csc] of cuSPARSE followed by a
+    reinterpretation): returns [X^T] in CSR form.  Used by the
+    "explicit transpose" baseline of Figure 2. *)
+
+val slice_rows : t -> row_start:int -> row_count:int -> t
+(** Contiguous row window as an independent CSR matrix (used by the
+    out-of-core streaming executor to tile a matrix that does not fit
+    device memory). *)
+
+val bytes : t -> int
+(** Device footprint: 8B values + 4B column indices + 4B offsets, the
+    layout the paper assumes when computing transfer times. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.init: negative dimension";
+  let data = Array.make (rows * cols) 0.0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      data.((r * cols) + c) <- f r c
+    done
+  done;
+  { rows; cols; data }
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then { rows = 0; cols = 0; data = [||] }
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then
+          invalid_arg "Dense.of_arrays: ragged rows")
+      rows_arr;
+    init rows cols (fun r c -> rows_arr.(r).(c))
+  end
+
+let get x r c = x.data.((r * x.cols) + c)
+
+let set x r c v = x.data.((r * x.cols) + c) <- v
+
+let copy x = { x with data = Array.copy x.data }
+
+let row x r = Array.sub x.data (r * x.cols) x.cols
+
+let col x c = Array.init x.rows (fun r -> get x r c)
+
+let transpose x = init x.cols x.rows (fun r c -> get x c r)
+
+let pad_cols x ~multiple_of =
+  if multiple_of <= 0 then invalid_arg "Dense.pad_cols";
+  if x.cols mod multiple_of = 0 && x.cols > 0 then x
+  else begin
+    let cols = ((x.cols + multiple_of - 1) / multiple_of) * multiple_of in
+    let cols = if cols = 0 then multiple_of else cols in
+    init x.rows cols (fun r c -> if c < x.cols then get x r c else 0.0)
+  end
+
+let pad_vector y ~multiple_of =
+  if multiple_of <= 0 then invalid_arg "Dense.pad_vector";
+  let n = Array.length y in
+  if n mod multiple_of = 0 && n > 0 then y
+  else begin
+    let n' = Stdlib.max multiple_of (((n + multiple_of - 1) / multiple_of) * multiple_of) in
+    Array.init n' (fun i -> if i < n then y.(i) else 0.0)
+  end
+
+let nnz x =
+  let count = ref 0 in
+  Array.iter (fun v -> if v <> 0.0 then incr count) x.data;
+  !count
+
+let frobenius x =
+  let acc = ref 0.0 in
+  Array.iter (fun v -> acc := !acc +. (v *. v)) x.data;
+  sqrt !acc
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && Vec.approx_equal ~tol a.data b.data
+
+let bytes x = 8 * x.rows * x.cols
+
+let pp fmt x =
+  Format.fprintf fmt "@[<v>dense %dx%d" x.rows x.cols;
+  let max_show = 8 in
+  for r = 0 to Stdlib.min x.rows max_show - 1 do
+    Format.fprintf fmt "@,[";
+    for c = 0 to Stdlib.min x.cols max_show - 1 do
+      if c > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%8.4g" (get x r c)
+    done;
+    if x.cols > max_show then Format.fprintf fmt " ...";
+    Format.fprintf fmt "]"
+  done;
+  if x.rows > max_show then Format.fprintf fmt "@,...";
+  Format.fprintf fmt "@]"

@@ -1,0 +1,56 @@
+(** Row-major dense matrices.
+
+    The storage layout matters to this reproduction: the paper's dense fused
+    kernel (Algorithm 3) depends on row-major storage for coalesced access
+    when [VS] consecutive threads read consecutive elements of a row, and
+    the padding rule ([n mod VS <> 0] pads with zero columns) is implemented
+    here as in Section 3.2. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major, length [rows * cols] *)
+}
+
+val create : int -> int -> t
+(** [create m n] is an [m x n] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val of_arrays : float array array -> t
+(** Rows must all have the same length. *)
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val row : t -> int -> float array
+(** Fresh copy of row [r]. *)
+
+val col : t -> int -> float array
+
+val transpose : t -> t
+
+val pad_cols : t -> multiple_of:int -> t
+(** [pad_cols x ~multiple_of:vs] appends zero columns until [cols mod vs = 0]
+    — the padding the paper performs before launching the dense kernel so no
+    thread in a vector diverges.  Returns [x] unchanged when already
+    aligned. *)
+
+val pad_vector : float array -> multiple_of:int -> float array
+(** Same padding for the input vector [y]. *)
+
+val nnz : t -> int
+(** Number of non-zero entries (used when converting to sparse formats). *)
+
+val frobenius : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val bytes : t -> int
+(** Device-memory footprint in bytes (double precision), used by the memory
+    manager and transfer ledger. *)
+
+val pp : Format.formatter -> t -> unit

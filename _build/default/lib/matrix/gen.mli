@@ -1,0 +1,55 @@
+(** Seeded random matrix and vector generators for the experiments.
+
+    The paper's synthetic sweeps use uniformly sparse matrices
+    ("randomly generated ... sparsity 0.01"); the KDD2010 surrogate needs an
+    ultra-sparse matrix with a heavy-tailed column distribution so that
+    atomic-contention behaviour matches a real bag-of-features data set. *)
+
+val dense : Rng.t -> rows:int -> cols:int -> Dense.t
+(** Standard normal entries. *)
+
+val vector : Rng.t -> int -> Vec.t
+(** Standard normal entries. *)
+
+val sparse_uniform : Rng.t -> rows:int -> cols:int -> density:float -> Csr.t
+(** Each row receives [round (density * cols)] distinct uniformly chosen
+    columns (at least 1), with standard normal values.  This matches the
+    paper's fixed-sparsity synthetic generator and keeps rows balanced. *)
+
+val sparse_bernoulli : Rng.t -> rows:int -> cols:int -> density:float -> Csr.t
+(** Each cell is non-zero independently with probability [density]; rows
+    therefore have binomially distributed lengths (used by property tests
+    to exercise irregular rows). *)
+
+val sparse_powerlaw :
+  Rng.t ->
+  rows:int ->
+  cols:int ->
+  nnz_per_row:int ->
+  ?exponent:float ->
+  unit ->
+  Csr.t
+(** Ultra-sparse generator: column of each entry drawn from a Zipf-like
+    distribution with the given [exponent] (default 1.1), mimicking
+    bag-of-features data such as KDD2010 where a few columns are very hot.
+    Duplicate columns within a row are collapsed, so rows may end up with
+    slightly fewer than [nnz_per_row] entries. *)
+
+val sparse_mixture :
+  Rng.t ->
+  rows:int ->
+  cols:int ->
+  nnz_per_row:int ->
+  hot_fraction:float ->
+  hot_cols:int ->
+  unit ->
+  Csr.t
+(** Bag-of-features profile: each entry falls into a small hot column set
+    with probability [hot_fraction] and is uniform over all columns
+    otherwise.  This matches ultra-sparse data sets like KDD2010, where a
+    frequent-feature head coexists with a vast uniform tail, without the
+    extreme concentration of a pure power law. *)
+
+val sparse_banded : Rng.t -> rows:int -> cols:int -> bandwidth:int -> Csr.t
+(** Banded matrix (each row has up to [2*bandwidth+1] entries around the
+    diagonal position scaled to [cols]) — a structured workload for tests. *)

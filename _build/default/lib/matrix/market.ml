@@ -1,0 +1,160 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type header = {
+  format : [ `Coordinate | `Array ];
+  field : [ `Real | `Integer | `Pattern ];
+  symmetry : [ `General | `Symmetric ];
+}
+
+let parse_header line =
+  match
+    String.split_on_char ' '
+      (String.lowercase_ascii (String.trim line))
+    |> List.filter (fun s -> s <> "")
+  with
+  | [ "%%matrixmarket"; "matrix"; format; field; symmetry ] ->
+      let format =
+        match format with
+        | "coordinate" -> `Coordinate
+        | "array" -> `Array
+        | f -> fail "unsupported format %S" f
+      in
+      let field =
+        match field with
+        | "real" -> `Real
+        | "integer" -> `Integer
+        | "pattern" -> `Pattern
+        | f -> fail "unsupported field %S" f
+      in
+      let symmetry =
+        match symmetry with
+        | "general" -> `General
+        | "symmetric" -> `Symmetric
+        | s -> fail "unsupported symmetry %S" s
+      in
+      { format; field; symmetry }
+  | _ -> fail "malformed MatrixMarket header: %s" line
+
+let with_lines path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let input_data_line ic =
+  (* next non-comment, non-blank line; None at EOF *)
+  let rec next () =
+    match input_line ic with
+    | exception End_of_file -> None
+    | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '%' then next () else Some line
+  in
+  next ()
+
+let split_fields line =
+  String.split_on_char ' '
+    (String.map (function '\t' -> ' ' | c -> c) line)
+  |> List.filter (fun s -> s <> "")
+
+let read_header ic =
+  match input_line ic with
+  | exception End_of_file -> fail "empty file"
+  | line -> parse_header line
+
+let read_sparse path =
+  with_lines path (fun ic ->
+      let header = read_header ic in
+      if header.format <> `Coordinate then
+        fail "expected a coordinate-format file";
+      let rows, cols, nnz =
+        match input_data_line ic with
+        | Some line -> (
+            match split_fields line with
+            | [ r; c; n ] -> (
+                try (int_of_string r, int_of_string c, int_of_string n)
+                with Failure _ -> fail "bad size line: %s" line)
+            | _ -> fail "bad size line: %s" line)
+        | None -> fail "missing size line"
+      in
+      let entries = ref [] in
+      for k = 1 to nnz do
+        match input_data_line ic with
+        | None -> fail "expected %d entries, file ended at %d" nnz (k - 1)
+        | Some line -> (
+            let add r c v =
+              if r < 1 || r > rows || c < 1 || c > cols then
+                fail "entry out of range: %s" line;
+              entries := (r - 1, c - 1, v) :: !entries;
+              if header.symmetry = `Symmetric && r <> c then
+                entries := (c - 1, r - 1, v) :: !entries
+            in
+            match (header.field, split_fields line) with
+            | `Pattern, [ r; c ] -> (
+                try add (int_of_string r) (int_of_string c) 1.0
+                with Failure _ -> fail "bad entry: %s" line)
+            | (`Real | `Integer), [ r; c; v ] -> (
+                try add (int_of_string r) (int_of_string c) (float_of_string v)
+                with Failure _ -> fail "bad entry: %s" line)
+            | _ -> fail "bad entry: %s" line)
+      done;
+      Csr.of_coo (Coo.create ~rows ~cols !entries))
+
+let read_dense_general path =
+  with_lines path (fun ic ->
+      let header = read_header ic in
+      if header.format <> `Array then fail "expected an array-format file";
+      if header.field = `Pattern then fail "pattern arrays are not dense";
+      let rows, cols =
+        match input_data_line ic with
+        | Some line -> (
+            match split_fields line with
+            | [ r; c ] -> (
+                try (int_of_string r, int_of_string c)
+                with Failure _ -> fail "bad size line: %s" line)
+            | _ -> fail "bad size line: %s" line)
+        | None -> fail "missing size line"
+      in
+      let d = Dense.create rows cols in
+      (* array format is column-major *)
+      for c = 0 to cols - 1 do
+        for r = 0 to rows - 1 do
+          match input_data_line ic with
+          | None -> fail "file ended before %dx%d values" rows cols
+          | Some line -> (
+              try Dense.set d r c (float_of_string (String.trim line))
+              with Failure _ -> fail "bad value: %s" line)
+        done
+      done;
+      d)
+
+let read_dense = read_dense_general
+
+let read_vector path =
+  let d = read_dense_general path in
+  if Dense.(d.cols) <> 1 then fail "expected a single-column array";
+  Dense.col d 0
+
+let write_sparse path (x : Csr.t) =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc "%%MatrixMarket matrix coordinate real general\n";
+      Printf.fprintf oc "%d %d %d\n" x.rows x.cols (Csr.nnz x);
+      for r = 0 to x.rows - 1 do
+        Csr.iter_row x r (fun c v ->
+            Printf.fprintf oc "%d %d %.17g\n" (r + 1) (c + 1) v)
+      done)
+
+let write_dense path (d : Dense.t) =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc "%%MatrixMarket matrix array real general\n";
+      Printf.fprintf oc "%d %d\n" d.rows d.cols;
+      for c = 0 to d.cols - 1 do
+        for r = 0 to d.rows - 1 do
+          Printf.fprintf oc "%.17g\n" (Dense.get d r c)
+        done
+      done)
+
+let write_vector path (v : Vec.t) =
+  write_dense path (Dense.init (Array.length v) 1 (fun r _ -> v.(r)))

@@ -1,0 +1,32 @@
+(** Matrix Market I/O.
+
+    The paper's real data sets (KDD2010, HIGGS) are distributed in
+    exchange formats; this module reads and writes the MatrixMarket
+    coordinate and array formats so users can run the kernels and benches
+    on their own data instead of the bundled synthetic surrogates.
+
+    Supported headers:
+    - [%%MatrixMarket matrix coordinate real general] -> {!Csr.t}
+    - [%%MatrixMarket matrix coordinate pattern general] (values = 1.0)
+    - [%%MatrixMarket matrix array real general] -> {!Dense.t}
+
+    Symmetric matrices are expanded on read.  Indices are 1-based in the
+    format and converted to 0-based. *)
+
+exception Parse_error of string
+(** Raised with a message naming the offending line. *)
+
+val read_sparse : string -> Csr.t
+(** [read_sparse path] parses a coordinate-format file. *)
+
+val read_dense : string -> Dense.t
+(** [read_dense path] parses an array-format (column-major) file. *)
+
+val read_vector : string -> Vec.t
+(** An array-format file with one column. *)
+
+val write_sparse : string -> Csr.t -> unit
+
+val write_dense : string -> Dense.t -> unit
+
+val write_vector : string -> Vec.t -> unit

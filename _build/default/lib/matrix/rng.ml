@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  assert (bound > 0);
+  bits t mod bound
+
+let uniform t =
+  (* 53 random bits scaled to [0,1). *)
+  let b = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int b *. (1.0 /. 9007199254740992.0)
+
+let float t bound = uniform t *. bound
+
+let gaussian t =
+  (* Box-Muller; discards the second variate for simplicity. *)
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)

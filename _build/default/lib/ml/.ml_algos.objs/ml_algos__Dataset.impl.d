@@ -1,0 +1,1 @@
+lib/ml/dataset.ml: Array Blas Csr Fusion Gen Matrix Printf Rng Stdlib Vec

@@ -1,0 +1,1 @@
+lib/ml/glm.ml: Array Float Fusion Matrix Printf Session Vec

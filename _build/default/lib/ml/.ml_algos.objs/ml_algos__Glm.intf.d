@@ -1,0 +1,1 @@
+lib/ml/glm.mli: Fusion Gpu_sim Matrix

@@ -1,0 +1,1 @@
+lib/ml/hits.ml: Array Csr Fusion Matrix Session Vec

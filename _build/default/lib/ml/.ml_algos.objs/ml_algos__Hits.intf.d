@@ -1,0 +1,1 @@
+lib/ml/hits.mli: Fusion Gpu_sim Matrix

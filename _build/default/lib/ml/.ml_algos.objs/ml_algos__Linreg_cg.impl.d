@@ -1,0 +1,1 @@
+lib/ml/linreg_cg.ml: Array Blas Fusion Matrix Session Vec

@@ -1,0 +1,1 @@
+lib/ml/linreg_cg.mli: Fusion Gpu_sim Matrix

@@ -1,0 +1,1 @@
+lib/ml/logreg.mli: Fusion Gpu_sim Matrix

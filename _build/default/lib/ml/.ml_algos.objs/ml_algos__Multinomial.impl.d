@@ -1,0 +1,1 @@
+lib/ml/multinomial.ml: Array Blas Fusion List Logreg Matrix Stdlib Vec

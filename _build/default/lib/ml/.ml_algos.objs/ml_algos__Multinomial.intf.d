@@ -1,0 +1,1 @@
+lib/ml/multinomial.mli: Fusion Gpu_sim Matrix

@@ -1,0 +1,1 @@
+lib/ml/session.ml: Device Fusion Gpu_sim Gpulibs List Sim

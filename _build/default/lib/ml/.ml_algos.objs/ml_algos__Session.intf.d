@@ -1,0 +1,1 @@
+lib/ml/session.mli: Device Fusion Gpu_sim Matrix

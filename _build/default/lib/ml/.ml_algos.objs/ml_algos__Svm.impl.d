@@ -1,0 +1,1 @@
+lib/ml/svm.ml: Array Csr Dense Float Fusion List Matrix Session Stdlib Vec

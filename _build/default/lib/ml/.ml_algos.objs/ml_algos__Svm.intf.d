@@ -1,0 +1,1 @@
+lib/ml/svm.mli: Fusion Gpu_sim Matrix

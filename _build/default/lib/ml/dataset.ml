@@ -1,0 +1,75 @@
+open Matrix
+
+type regression = {
+  features : Fusion.Executor.input;
+  targets : Vec.t;
+  name : string;
+  scale : float;
+}
+
+(* Targets follow a planted linear model with noise so the solvers have
+   something meaningful to recover. *)
+let planted_targets rng features =
+  let truth = Gen.vector rng (Fusion.Executor.cols features) in
+  let clean =
+    match features with
+    | Fusion.Executor.Sparse x -> Blas.csrmv x truth
+    | Fusion.Executor.Dense x -> Blas.gemv x truth
+  in
+  Array.map (fun v -> v +. (0.1 *. Rng.gaussian rng)) clean
+
+let kdd_like ?(scale = 0.01) rng =
+  if scale <= 0.0 || scale > 1.0 then invalid_arg "Dataset.kdd_like: scale";
+  let rows = Stdlib.max 1000 (int_of_float (15_009_374.0 *. scale)) in
+  let cols = Stdlib.max 2000 (int_of_float (29_890_095.0 *. scale)) in
+  let x =
+    Gen.sparse_mixture rng ~rows ~cols ~nnz_per_row:28 ~hot_fraction:0.3
+      ~hot_cols:(Stdlib.max 100 (cols / 15))
+      ()
+  in
+  let features = Fusion.Executor.Sparse x in
+  {
+    features;
+    targets = planted_targets rng features;
+    name = Printf.sprintf "kdd2010-like (%dx%d, %d nnz)" rows cols (Csr.nnz x);
+    scale;
+  }
+
+let higgs_like ?(scale = 0.05) rng =
+  if scale <= 0.0 || scale > 1.0 then invalid_arg "Dataset.higgs_like: scale";
+  let rows = Stdlib.max 1000 (int_of_float (11_000_000.0 *. scale)) in
+  let x = Gen.dense rng ~rows ~cols:28 in
+  let features = Fusion.Executor.Dense x in
+  {
+    features;
+    targets = planted_targets rng features;
+    name = Printf.sprintf "higgs-like (%dx28 dense)" rows;
+    scale;
+  }
+
+let synthetic_sparse ?(density = 0.01) rng ~rows ~cols =
+  let x = Gen.sparse_uniform rng ~rows ~cols ~density in
+  let features = Fusion.Executor.Sparse x in
+  {
+    features;
+    targets = planted_targets rng features;
+    name = Printf.sprintf "synthetic sparse %dx%d d=%.3f" rows cols density;
+    scale = 1.0;
+  }
+
+let synthetic_dense rng ~rows ~cols =
+  let x = Gen.dense rng ~rows ~cols in
+  let features = Fusion.Executor.Dense x in
+  {
+    features;
+    targets = planted_targets rng features;
+    name = Printf.sprintf "synthetic dense %dx%d" rows cols;
+    scale = 1.0;
+  }
+
+let adjacency rng ~nodes ~out_degree =
+  let density = float_of_int out_degree /. float_of_int nodes in
+  Gen.sparse_uniform rng ~rows:nodes ~cols:nodes ~density
+
+let classification_targets targets =
+  Array.map (fun v -> if v >= 0.0 then 1.0 else -1.0) targets

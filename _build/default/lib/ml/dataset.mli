@@ -1,0 +1,37 @@
+(** Synthetic stand-ins for the paper's data sets.
+
+    The real sets do not ship with this repository (KDD2010 is 424M
+    non-zeros; HIGGS is 11M rows), so generators reproduce their *shape
+    characteristics* at a configurable scale — nnz/row, column count,
+    density, column-popularity skew — which are the properties the
+    kernels' performance depends on.  Every bench prints the scale factor
+    it ran at. *)
+
+type regression = {
+  features : Fusion.Executor.input;
+  targets : Matrix.Vec.t;  (** one per row *)
+  name : string;
+  scale : float;  (** fraction of the original data set's rows *)
+}
+
+val kdd_like : ?scale:float -> Matrix.Rng.t -> regression
+(** KDD2010 surrogate (paper: 15,009,374 x 29,890,095, 423,865,484
+    non-zeros — ultra-sparse, ~28 nnz/row, heavy-tailed columns).
+    [scale] (default [0.01]) multiplies rows and columns. *)
+
+val higgs_like : ?scale:float -> Matrix.Rng.t -> regression
+(** HIGGS surrogate (paper: 11,000,000 x 28 dense).  [scale] (default
+    [0.05]) multiplies rows; the 28 columns are fixed. *)
+
+val synthetic_sparse :
+  ?density:float -> Matrix.Rng.t -> rows:int -> cols:int -> regression
+(** The paper's synthetic sweep generator: uniformly sparse, default
+    density 0.01. *)
+
+val synthetic_dense : Matrix.Rng.t -> rows:int -> cols:int -> regression
+
+val adjacency : Matrix.Rng.t -> nodes:int -> out_degree:int -> Matrix.Csr.t
+(** Random directed graph in CSR form for the HITS example. *)
+
+val classification_targets : Matrix.Vec.t -> Matrix.Vec.t
+(** Map regression targets to [{-1, +1}] labels by sign (SVM / LogReg). *)

@@ -1,0 +1,49 @@
+open Matrix
+
+type result = {
+  authorities : Vec.t;
+  hubs : Vec.t;
+  iterations : int;
+  delta : float;
+  gpu_ms : float;
+  trace : Fusion.Pattern.Trace.t;
+}
+
+let run ?engine ?(iterations = 50) ?(tolerance = 1e-9) device
+    (adjacency : Csr.t) =
+  if adjacency.rows <> adjacency.cols then
+    invalid_arg "Hits.run: adjacency matrix must be square";
+  let session = Session.create ?engine device ~algorithm:"HITS" in
+  let input = Fusion.Executor.Sparse adjacency in
+  let nodes = adjacency.rows in
+  let h0 = Array.make nodes (1.0 /. sqrt (float_of_int nodes)) in
+  (* first authority scores from the initial hubs: a = A^T h *)
+  let a = ref (Session.xt_y session input h0 ~alpha:1.0) in
+  let norm = Session.nrm2 session !a in
+  if norm > 0.0 then a := Session.scal session (1.0 /. norm) !a;
+  let delta = ref infinity in
+  let i = ref 0 in
+  while !i < iterations && !delta > tolerance do
+    (* fused double step: a' = A^T (A a) *)
+    let a' = Session.pattern session input ~y:!a ~alpha:1.0 () in
+    let norm = Session.nrm2 session a' in
+    let a' =
+      if norm > 0.0 then Session.scal session (1.0 /. norm) a' else a'
+    in
+    delta := Vec.max_abs_diff a' !a;
+    a := a';
+    incr i
+  done;
+  let hubs = Session.x_y session input !a in
+  let hnorm = Session.nrm2 session hubs in
+  let hubs =
+    if hnorm > 0.0 then Session.scal session (1.0 /. hnorm) hubs else hubs
+  in
+  {
+    authorities = !a;
+    hubs;
+    iterations = !i;
+    delta = !delta;
+    gpu_ms = Session.gpu_ms session;
+    trace = Session.trace session;
+  }

@@ -1,0 +1,26 @@
+(** Hubs and Authorities (Kleinberg's HITS) on a directed graph.
+
+    With adjacency matrix [A], the authority update is
+    [a <- A^T (A a)] — the [X^T(Xy)] instantiation fused into a single
+    launch — followed by normalisation; hub scores are recovered as
+    [h = A a].  The initial iteration's [A^T h] is an [X^T y] product,
+    matching HITS's two check marks in Table 1. *)
+
+type result = {
+  authorities : Matrix.Vec.t;
+  hubs : Matrix.Vec.t;
+  iterations : int;
+  delta : float;  (** final change in the authority vector *)
+  gpu_ms : float;
+  trace : Fusion.Pattern.Trace.t;
+}
+
+val run :
+  ?engine:Fusion.Executor.engine ->
+  ?iterations:int ->
+  ?tolerance:float ->
+  Gpu_sim.Device.t ->
+  Matrix.Csr.t ->
+  result
+(** [run device adjacency] — defaults: [iterations = 50],
+    [tolerance = 1e-9]. *)

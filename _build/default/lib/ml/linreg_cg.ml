@@ -1,0 +1,100 @@
+open Matrix
+
+type result = {
+  weights : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  gpu_ms : float;
+  pattern_ms : float;
+  launches : int;
+  trace : Fusion.Pattern.Trace.t;
+}
+
+let fit ?engine ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001)
+    device input ~targets =
+  if Array.length targets <> Fusion.Executor.rows input then
+    invalid_arg "Linreg_cg.fit: one target per row required";
+  let session = Session.create ?engine device ~algorithm:"LR" in
+  let n = Fusion.Executor.cols input in
+  (* r = -(X^T t);  p = -r *)
+  let r = Session.xt_y session input targets ~alpha:(-1.0) in
+  let p = Session.scal session (-1.0) r in
+  let nr2 = ref (Session.dot session r r) in
+  let nr2_target = !nr2 *. tolerance *. tolerance in
+  let w = ref (Vec.create n) in
+  let r = ref r and p = ref p in
+  let i = ref 0 in
+  while !i < max_iterations && !nr2 > nr2_target do
+    (* q = X^T (X p) + eps * p — the pattern of Table 1 row 4; an
+       unregularised solve (eps = 0) degrades to plain X^T(Xy). *)
+    let beta_z = if eps = 0.0 then None else Some (eps, !p) in
+    let q = Session.pattern session input ~y:!p ?beta_z ~alpha:1.0 () in
+    let alpha = !nr2 /. Session.dot session !p q in
+    w := Session.axpy session alpha !p !w;
+    let old_nr2 = !nr2 in
+    r := Session.axpy session alpha q !r;
+    nr2 := Session.dot session !r !r;
+    let beta = !nr2 /. old_nr2 in
+    (* p = -r + beta * p *)
+    p := Session.axpy session (-1.0) !r (Session.scal session beta !p);
+    incr i
+  done;
+  {
+    weights = !w;
+    iterations = !i;
+    residual_norm = !nr2;
+    gpu_ms = Session.gpu_ms session;
+    pattern_ms = Session.pattern_ms session;
+    launches = Session.launches session;
+    trace = Session.trace session;
+  }
+
+type cpu_result = {
+  cpu_weights : Vec.t;
+  cpu_iterations : int;
+  buckets : Blas.time_buckets;
+}
+
+let fit_cpu ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001) input
+    ~targets =
+  if Array.length targets <> Fusion.Executor.rows input then
+    invalid_arg "Linreg_cg.fit_cpu: one target per row required";
+  let buckets = Blas.fresh_buckets () in
+  let xt_t () =
+    match input with
+    | Fusion.Executor.Sparse x -> Blas.csrmv_t x targets
+    | Fusion.Executor.Dense x -> Blas.gemv_t x targets
+  in
+  let pattern_q p =
+    let beta = if eps = 0.0 then None else Some eps in
+    let z = if eps = 0.0 then None else Some p in
+    match input with
+    | Fusion.Executor.Sparse x -> Blas.pattern_sparse ~alpha:1.0 x p ?beta ?z ()
+    | Fusion.Executor.Dense x -> Blas.pattern_dense ~alpha:1.0 x p ?beta ?z ()
+  in
+  let n = Fusion.Executor.cols input in
+  let r = Blas.timed buckets Blas.Pattern_op xt_t in
+  Vec.scal (-1.0) r;
+  let p = Blas.timed buckets Blas.Blas1_op (fun () -> Vec.scale (-1.0) r) in
+  let nr2 = ref (Blas.timed buckets Blas.Blas1_op (fun () -> Vec.dot r r)) in
+  let nr2_target = !nr2 *. tolerance *. tolerance in
+  let w = Vec.create n in
+  let p = ref p in
+  let i = ref 0 in
+  while !i < max_iterations && !nr2 > nr2_target do
+    let q = Blas.timed buckets Blas.Pattern_op (fun () -> pattern_q !p) in
+    let pq = Blas.timed buckets Blas.Blas1_op (fun () -> Vec.dot !p q) in
+    let alpha = !nr2 /. pq in
+    Blas.timed buckets Blas.Blas1_op (fun () ->
+        Vec.axpy alpha !p w;
+        Vec.axpy alpha q r);
+    let old_nr2 = !nr2 in
+    nr2 := Blas.timed buckets Blas.Blas1_op (fun () -> Vec.dot r r);
+    let beta = !nr2 /. old_nr2 in
+    Blas.timed buckets Blas.Blas1_op (fun () ->
+        let next = Vec.scale beta !p in
+        Vec.axpy (-1.0) r next;
+        p := next);
+    incr i
+  done;
+  { cpu_weights = w; cpu_iterations = !i; buckets }

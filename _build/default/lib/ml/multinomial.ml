@@ -1,0 +1,72 @@
+open Matrix
+
+type result = {
+  class_weights : Vec.t array;
+  classes : int;
+  accuracy : float;
+  gpu_ms : float;
+  trace : Fusion.Pattern.Trace.t;
+}
+
+let margins input weights =
+  match input with
+  | Fusion.Executor.Sparse x -> Blas.csrmv x weights
+  | Fusion.Executor.Dense x -> Blas.gemv x weights
+
+let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
+    ?(cg_iterations = 20) device input ~labels ~classes =
+  if classes < 2 then invalid_arg "Multinomial.fit: need at least 2 classes";
+  let m = Fusion.Executor.rows input in
+  if Array.length labels <> m then
+    invalid_arg "Multinomial.fit: one label per row required";
+  Array.iter
+    (fun l ->
+      if l < 0 || l >= classes then
+        invalid_arg "Multinomial.fit: label out of range")
+    labels;
+  let trace = Fusion.Pattern.Trace.create ~algorithm:"LogReg-multinomial" in
+  let gpu_ms = ref 0.0 in
+  let class_weights =
+    Array.init classes (fun k ->
+        (* one-vs-rest: class k against everything else *)
+        let binary =
+          Array.map (fun l -> if l = k then 1.0 else -1.0) labels
+        in
+        let r =
+          Logreg.fit ?engine ~lambda ~newton_iterations ~cg_iterations device
+            input ~labels:binary
+        in
+        gpu_ms := !gpu_ms +. r.Logreg.gpu_ms;
+        List.iter
+          (fun inst ->
+            for _ = 1 to Fusion.Pattern.Trace.count r.Logreg.trace inst do
+              Fusion.Pattern.Trace.record trace inst
+            done)
+          (Fusion.Pattern.Trace.instantiations r.Logreg.trace);
+        r.Logreg.weights)
+  in
+  let result =
+    { class_weights; classes; accuracy = 0.0; gpu_ms = !gpu_ms; trace }
+  in
+  let predicted =
+    let scores = Array.map (margins input) class_weights in
+    Array.init m (fun i ->
+        let best = ref 0 in
+        for k = 1 to classes - 1 do
+          if scores.(k).(i) > scores.(!best).(i) then best := k
+        done;
+        !best)
+  in
+  let correct = ref 0 in
+  Array.iteri (fun i p -> if p = labels.(i) then incr correct) predicted;
+  { result with accuracy = float_of_int !correct /. float_of_int (Stdlib.max 1 m) }
+
+let predict r input =
+  let m = Fusion.Executor.rows input in
+  let scores = Array.map (margins input) r.class_weights in
+  Array.init m (fun i ->
+      let best = ref 0 in
+      for k = 1 to r.classes - 1 do
+        if scores.(k).(i) > scores.(!best).(i) then best := k
+      done;
+      !best)

@@ -1,0 +1,82 @@
+open Gpu_sim
+
+type t = {
+  device : Device.t;
+  engine : Fusion.Executor.engine;
+  trace : Fusion.Pattern.Trace.t;
+  mutable gpu_ms : float;
+  mutable pattern_ms : float;
+  mutable launches : int;
+}
+
+let create ?(engine = Fusion.Executor.Fused) device ~algorithm =
+  {
+    device;
+    engine;
+    trace = Fusion.Pattern.Trace.create ~algorithm;
+    gpu_ms = 0.0;
+    pattern_ms = 0.0;
+    launches = 0;
+  }
+
+let device t = t.device
+
+let engine t = t.engine
+
+let absorb_result t (r : Fusion.Executor.result) =
+  t.gpu_ms <- t.gpu_ms +. r.time_ms;
+  t.launches <- t.launches + List.length r.reports;
+  (match r.instantiation with
+  | Some inst ->
+      t.pattern_ms <- t.pattern_ms +. r.time_ms;
+      Fusion.Pattern.Trace.record t.trace inst
+  | None -> ());
+  r.w
+
+let xt_y t input y ~alpha =
+  absorb_result t (Fusion.Executor.xt_y ~engine:t.engine t.device input y ~alpha)
+
+let pattern t input ~y ?v ?beta_z ~alpha () =
+  absorb_result t
+    (Fusion.Executor.pattern ~engine:t.engine t.device input ~y ?v ?beta_z
+       ~alpha ())
+
+let x_y t input y =
+  absorb_result t (Fusion.Executor.x_y ~engine:t.engine t.device input y)
+
+let absorb_level1 t reports =
+  t.gpu_ms <- t.gpu_ms +. Sim.total_ms reports;
+  t.launches <- t.launches + List.length reports
+
+let dot t x y =
+  let r, reports = Gpulibs.Cublas.dot t.device x y in
+  absorb_level1 t reports;
+  r
+
+let nrm2 t x =
+  let r, reports = Gpulibs.Cublas.nrm2 t.device x in
+  absorb_level1 t reports;
+  r
+
+let axpy t a x y =
+  let r, reports = Gpulibs.Cublas.axpy t.device a x y in
+  absorb_level1 t reports;
+  r
+
+let scal t a x =
+  let r, reports = Gpulibs.Cublas.scal t.device a x in
+  absorb_level1 t reports;
+  r
+
+let mul_elementwise t v p =
+  let r, reports = Gpulibs.Cublas.mul_elementwise t.device v p in
+  absorb_level1 t reports;
+  r
+
+let gpu_ms t = t.gpu_ms
+
+let pattern_ms t = t.pattern_ms
+
+let launches t = t.launches
+
+let trace t = t.trace

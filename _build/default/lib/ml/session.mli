@@ -1,0 +1,62 @@
+open Gpu_sim
+
+(** Execution context for ML algorithms.
+
+    An algorithm issues pattern instantiations and BLAS Level-1 work
+    through a session; the session dispatches to {!Fusion.Executor} (fused
+    or library engine), accumulates simulated GPU time and kernel-launch
+    counts, and records every pattern instantiation in a
+    {!Fusion.Pattern.Trace} — the raw material from which Table 1 is
+    regenerated and Tables 5/6 are timed. *)
+
+type t
+
+val create :
+  ?engine:Fusion.Executor.engine -> Device.t -> algorithm:string -> t
+
+val device : t -> Device.t
+
+val engine : t -> Fusion.Executor.engine
+
+(** {1 Pattern operations} (traced) *)
+
+val xt_y :
+  t -> Fusion.Executor.input -> Matrix.Vec.t -> alpha:float -> Matrix.Vec.t
+
+val pattern :
+  t ->
+  Fusion.Executor.input ->
+  y:Matrix.Vec.t ->
+  ?v:Matrix.Vec.t ->
+  ?beta_z:float * Matrix.Vec.t ->
+  alpha:float ->
+  unit ->
+  Matrix.Vec.t
+
+val x_y : t -> Fusion.Executor.input -> Matrix.Vec.t -> Matrix.Vec.t
+
+(** {1 Level-1 operations} (timed, not traced — they are outside the
+    pattern, the "BLAS-Level 1" column of Table 2) *)
+
+val dot : t -> Matrix.Vec.t -> Matrix.Vec.t -> float
+
+val nrm2 : t -> Matrix.Vec.t -> float
+
+val axpy : t -> float -> Matrix.Vec.t -> Matrix.Vec.t -> Matrix.Vec.t
+(** Non-destructive [a*x + y]. *)
+
+val scal : t -> float -> Matrix.Vec.t -> Matrix.Vec.t
+
+val mul_elementwise : t -> Matrix.Vec.t -> Matrix.Vec.t -> Matrix.Vec.t
+
+(** {1 Accounting} *)
+
+val gpu_ms : t -> float
+(** Total simulated device time issued through this session. *)
+
+val pattern_ms : t -> float
+(** The share spent in pattern operations (vs Level-1). *)
+
+val launches : t -> int
+
+val trace : t -> Fusion.Pattern.Trace.t

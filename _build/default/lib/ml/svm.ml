@@ -1,0 +1,144 @@
+open Matrix
+
+type result = {
+  weights : Vec.t;
+  newton_iterations : int;
+  cg_iterations : int;
+  objective : float;
+  support_vectors : int;
+  accuracy : float;
+  gpu_ms : float;
+  trace : Fusion.Pattern.Trace.t;
+}
+
+(* Restrict the data to the active (margin-violating) rows — Chapelle's
+   support-set Hessian.  Rebuilding a compact matrix preserves Table 1:
+   the Hessian products stay plain X^T(Xy) + beta*z, no Hadamard stage. *)
+let restrict_rows input active =
+  match input with
+  | Fusion.Executor.Sparse (x : Csr.t) ->
+      let rows = List.length active in
+      let nnz =
+        List.fold_left (fun acc r -> acc + Csr.row_nnz x r) 0 active
+      in
+      let values = Array.make nnz 0.0 in
+      let col_idx = Array.make nnz 0 in
+      let row_off = Array.make (rows + 1) 0 in
+      let pos = ref 0 and ri = ref 0 in
+      List.iter
+        (fun r ->
+          row_off.(!ri) <- !pos;
+          for i = x.row_off.(r) to x.row_off.(r + 1) - 1 do
+            values.(!pos) <- x.values.(i);
+            col_idx.(!pos) <- x.col_idx.(i);
+            incr pos
+          done;
+          incr ri)
+        active;
+      row_off.(rows) <- !pos;
+      Fusion.Executor.Sparse
+        (Csr.create ~rows ~cols:x.cols ~values ~col_idx ~row_off)
+  | Fusion.Executor.Dense (x : Dense.t) ->
+      let rows = Array.of_list active in
+      Fusion.Executor.Dense
+        (Dense.init (Array.length rows) x.cols (fun r c ->
+             Dense.get x rows.(r) c))
+
+let cg_solve session sub ~g ~lambda ~iterations ~tolerance =
+  let n = Fusion.Executor.cols sub in
+  let s = ref (Vec.create n) in
+  let r = ref (Vec.scale (-1.0) g) in
+  let p = ref (Vec.copy !r) in
+  let rr = ref (Session.dot session !r !r) in
+  let target = !rr *. tolerance *. tolerance in
+  let count = ref 0 in
+  while !count < iterations && !rr > target do
+    (* H p = 2 * Xsv^T (Xsv p) + lambda p — one fused launch; with no
+       regulariser it is a plain X^T(Xy). *)
+    let beta_z = if lambda = 0.0 then None else Some (lambda, !p) in
+    let hp = Session.pattern session sub ~y:!p ?beta_z ~alpha:2.0 () in
+    let php = Session.dot session !p hp in
+    if php <= 0.0 then count := iterations
+    else begin
+      let alpha = !rr /. php in
+      s := Session.axpy session alpha !p !s;
+      r := Session.axpy session (-.alpha) hp !r;
+      let rr' = Session.dot session !r !r in
+      p := Session.axpy session 1.0 !r (Session.scal session (rr' /. !rr) !p);
+      rr := rr';
+      incr count
+    end
+  done;
+  (!s, !count)
+
+let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
+    ?(cg_iterations = 20) ?(tolerance = 1e-6) device input ~labels =
+  let m = Fusion.Executor.rows input in
+  if Array.length labels <> m then
+    invalid_arg "Svm.fit: one label per row required";
+  Array.iter
+    (fun l ->
+      if l <> 1.0 && l <> -1.0 then invalid_arg "Svm.fit: labels must be +1/-1")
+    labels;
+  let session = Session.create ?engine device ~algorithm:"SVM" in
+  let n = Fusion.Executor.cols input in
+  let w = ref (Vec.create n) in
+  let newton = ref 0 and cg_total = ref 0 in
+  let support = ref m in
+  let objective = ref infinity in
+  let margins = ref (Session.x_y session input !w) in
+  let converged = ref false in
+  while !newton < newton_iterations && not !converged do
+    let active = ref [] in
+    for i = m - 1 downto 0 do
+      if labels.(i) *. !margins.(i) < 1.0 then active := i :: !active
+    done;
+    (match !active with
+    | [] -> converged := true
+    | active_rows ->
+        support := List.length active_rows;
+        let sub = restrict_rows input active_rows in
+        (* gradient = lambda w - 2 Xsv^T u, u_i = y_i (1 - y_i margin_i) *)
+        let u =
+          Array.of_list
+            (List.map
+               (fun i -> labels.(i) *. (1.0 -. (labels.(i) *. !margins.(i))))
+               active_rows)
+        in
+        let g = Session.xt_y session sub u ~alpha:(-2.0) in
+        let g = Session.axpy session lambda !w g in
+        if Session.nrm2 session g < tolerance then converged := true
+        else begin
+          let s, used =
+            cg_solve session sub ~g ~lambda ~iterations:cg_iterations
+              ~tolerance
+          in
+          cg_total := !cg_total + used;
+          w := Session.axpy session 1.0 s !w;
+          margins := Session.x_y session input !w;
+          let obj =
+            let acc = ref (0.5 *. lambda *. Vec.dot !w !w) in
+            for i = 0 to m - 1 do
+              let r = 1.0 -. (labels.(i) *. !margins.(i)) in
+              if r > 0.0 then acc := !acc +. (r *. r)
+            done;
+            !acc
+          in
+          if Float.abs (!objective -. obj) < tolerance *. Float.max 1.0 obj
+          then converged := true;
+          objective := obj
+        end);
+    incr newton
+  done;
+  let correct = ref 0 in
+  Array.iteri (fun i z -> if labels.(i) *. z > 0.0 then incr correct) !margins;
+  {
+    weights = !w;
+    newton_iterations = !newton;
+    cg_iterations = !cg_total;
+    objective = !objective;
+    support_vectors = !support;
+    accuracy = float_of_int !correct /. float_of_int (Stdlib.max 1 m);
+    gpu_ms = Session.gpu_ms session;
+    trace = Session.trace session;
+  }

@@ -1,0 +1,1 @@
+lib/system/dml.ml: Buffer Float Fun List Printf Script String

@@ -1,0 +1,1 @@
+lib/system/dml.mli: Script

@@ -1,0 +1,1 @@
+lib/system/memmgr.ml: Device Gpu_sim Hashtbl Logs Xfer

@@ -1,0 +1,1 @@
+lib/system/memmgr.mli: Device Gpu_sim Xfer

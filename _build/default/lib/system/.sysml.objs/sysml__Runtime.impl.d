@@ -1,0 +1,1 @@
+lib/system/runtime.ml: Array Float Fusion Gpu_sim Gpulibs Matrix Memmgr Ml_algos Option Sim Stdlib Xfer

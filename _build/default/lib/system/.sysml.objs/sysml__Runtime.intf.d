@@ -1,0 +1,1 @@
+lib/system/runtime.mli: Device Gpu_sim Memmgr Ml_algos

@@ -1,0 +1,1 @@
+lib/system/sched.ml: Device Gpu_sim

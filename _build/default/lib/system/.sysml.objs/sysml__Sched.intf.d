@@ -1,0 +1,1 @@
+lib/system/sched.mli: Device Gpu_sim

@@ -1,0 +1,1 @@
+lib/system/script.ml: Array Fusion Gpu_sim Hashtbl List Matrix Ml_algos Printf

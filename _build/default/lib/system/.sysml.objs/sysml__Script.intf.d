@@ -1,0 +1,1 @@
+lib/system/script.mli: Fusion Gpu_sim Matrix

@@ -1,0 +1,443 @@
+exception Syntax_error of string
+
+type token =
+  | NUMBER of float
+  | IDENT of string
+  | STRING of string
+  | DOLLAR of int
+  | LPAREN | RPAREN | LBRACE | RBRACE
+  | SEMI | COMMA | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | CARET | MATMUL
+  | LT | GT | AMP
+  | WHILE | IF | ELSE | WRITE
+  | EOF
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Syntax_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* --- lexer --- *)
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some source.[!pos + k] else None in
+  let push t = tokens := (t, !line) :: !tokens in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_ident c = is_ident_start c || is_digit c in
+  while !pos < n do
+    let c = source.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '#' then begin
+      while !pos < n && source.[!pos] <> '\n' do incr pos done
+    end
+    else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false)) then begin
+      let start = !pos in
+      while
+        !pos < n
+        && (is_digit source.[!pos] || source.[!pos] = '.'
+           || source.[!pos] = 'e' || source.[!pos] = 'E'
+           || ((source.[!pos] = '+' || source.[!pos] = '-')
+              && !pos > start
+              && (source.[!pos - 1] = 'e' || source.[!pos - 1] = 'E')))
+      do
+        incr pos
+      done;
+      let text = String.sub source start (!pos - start) in
+      match float_of_string_opt text with
+      | Some f -> push (NUMBER f)
+      | None -> fail !line "bad number literal %S" text
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident source.[!pos] do incr pos done;
+      let word = String.sub source start (!pos - start) in
+      push
+        (match word with
+        | "while" -> WHILE
+        | "if" -> IF
+        | "else" -> ELSE
+        | "write" -> WRITE
+        | _ -> IDENT word)
+    end
+    else if c = '"' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && source.[!pos] <> '"' do incr pos done;
+      if !pos >= n then fail !line "unterminated string";
+      push (STRING (String.sub source start (!pos - start)));
+      incr pos
+    end
+    else if c = '$' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && is_digit source.[!pos] do incr pos done;
+      if !pos = start then fail !line "expected a digit after $";
+      push (DOLLAR (int_of_string (String.sub source start (!pos - start))))
+    end
+    else if c = '%' then begin
+      (* only %*% exists in the subset *)
+      if peek 1 = Some '*' && peek 2 = Some '%' then begin
+        push MATMUL;
+        pos := !pos + 3
+      end
+      else fail !line "stray %%"
+    end
+    else begin
+      (match c with
+      | '(' -> push LPAREN
+      | ')' -> push RPAREN
+      | '{' -> push LBRACE
+      | '}' -> push RBRACE
+      | ';' -> push SEMI
+      | ',' -> push COMMA
+      | '=' -> push ASSIGN
+      | '+' -> push PLUS
+      | '-' -> push MINUS
+      | '*' -> push STAR
+      | '/' -> push SLASH
+      | '^' -> push CARET
+      | '<' -> push LT
+      | '>' -> push GT
+      | '&' -> push AMP
+      | c -> fail !line "unexpected character %C" c);
+      incr pos
+    end
+  done;
+  push EOF;
+  List.rev !tokens
+
+(* --- parser --- *)
+
+type parser_state = { mutable tokens : (token * int) list }
+
+let current p =
+  match p.tokens with (t, l) :: _ -> (t, l) | [] -> (EOF, 0)
+
+let advance p =
+  match p.tokens with _ :: rest -> p.tokens <- rest | [] -> ()
+
+let expect p t what =
+  let got, line = current p in
+  if got = t then advance p else fail line "expected %s" what
+
+let rec parse_expr p = parse_and p
+
+and parse_and p =
+  let lhs = ref (parse_cmp p) in
+  let continue_ = ref true in
+  while !continue_ do
+    match current p with
+    | AMP, _ ->
+        advance p;
+        lhs := Script.And (!lhs, parse_cmp p)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_cmp p =
+  let lhs = parse_add p in
+  match current p with
+  | LT, _ ->
+      advance p;
+      Script.Lt (lhs, parse_add p)
+  | GT, _ ->
+      advance p;
+      Script.Gt (lhs, parse_add p)
+  | _ -> lhs
+
+and parse_add p =
+  let lhs = ref (parse_mul p) in
+  let continue_ = ref true in
+  while !continue_ do
+    match current p with
+    | PLUS, _ ->
+        advance p;
+        lhs := Script.Add (!lhs, parse_mul p)
+    | MINUS, _ ->
+        advance p;
+        lhs := Script.Sub (!lhs, parse_mul p)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_mul p =
+  let lhs = ref (parse_unary p) in
+  let continue_ = ref true in
+  while !continue_ do
+    match current p with
+    | STAR, _ ->
+        advance p;
+        lhs := Script.Mul (!lhs, parse_unary p)
+    | SLASH, _ ->
+        advance p;
+        lhs := Script.Div (!lhs, parse_unary p)
+    | MATMUL, _ ->
+        advance p;
+        lhs := Script.Matmul (!lhs, parse_unary p)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary p =
+  match current p with
+  | MINUS, _ ->
+      advance p;
+      Script.Neg (parse_unary p)
+  | _ -> parse_pow p
+
+and parse_pow p =
+  let base = parse_atom p in
+  match current p with
+  | CARET, _ ->
+      advance p;
+      Script.Pow (base, parse_unary p)
+  | _ -> base
+
+and parse_atom p =
+  match current p with
+  | NUMBER f, _ ->
+      advance p;
+      Script.Const f
+  | DOLLAR k, _ ->
+      advance p;
+      Script.Read k
+  | LPAREN, _ ->
+      advance p;
+      let e = parse_expr p in
+      expect p RPAREN ")";
+      e
+  | IDENT "t", _ ->
+      advance p;
+      expect p LPAREN "( after t";
+      let e = parse_expr p in
+      expect p RPAREN ")";
+      Script.T e
+  | IDENT "sum", _ ->
+      advance p;
+      expect p LPAREN "( after sum";
+      let e = parse_expr p in
+      expect p RPAREN ")";
+      Script.Sum e
+  | IDENT "ncol", _ ->
+      advance p;
+      expect p LPAREN "( after ncol";
+      let e = parse_expr p in
+      expect p RPAREN ")";
+      Script.Ncol e
+  | IDENT "read", _ ->
+      advance p;
+      expect p LPAREN "( after read";
+      let e =
+        match current p with
+        | DOLLAR k, _ ->
+            advance p;
+            Script.Read k
+        | _, line -> fail line "read expects $k"
+      in
+      expect p RPAREN ")";
+      e
+  | IDENT "matrix", line ->
+      advance p;
+      expect p LPAREN "( after matrix";
+      (match current p with
+      | NUMBER 0.0, _ -> advance p
+      | _ -> fail line "only matrix(0, ...) is supported");
+      expect p COMMA ",";
+      (match current p with
+      | IDENT "rows", _ -> advance p
+      | _ -> fail line "expected rows=");
+      expect p ASSIGN "=";
+      let rows = parse_expr p in
+      expect p COMMA ",";
+      (match current p with
+      | IDENT "cols", _ -> advance p
+      | _ -> fail line "expected cols=");
+      expect p ASSIGN "=";
+      (match current p with
+      | NUMBER 1.0, _ -> advance p
+      | _ -> fail line "only cols=1 (vectors) is supported");
+      expect p RPAREN ")";
+      Script.Zero_vector rows
+  | IDENT name, _ ->
+      advance p;
+      Script.Var name
+  | _, line -> fail line "expected an expression"
+
+let rec parse_stmt p =
+  match current p with
+  | WHILE, _ ->
+      advance p;
+      expect p LPAREN "( after while";
+      let cond = parse_expr p in
+      expect p RPAREN ")";
+      Script.While (cond, parse_block p)
+  | IF, _ ->
+      advance p;
+      expect p LPAREN "( after if";
+      let cond = parse_expr p in
+      expect p RPAREN ")";
+      let then_ = parse_block p in
+      let else_ =
+        match current p with
+        | ELSE, _ ->
+            advance p;
+            parse_block p
+        | _ -> []
+      in
+      Script.If (cond, then_, else_)
+  | WRITE, _ ->
+      advance p;
+      expect p LPAREN "( after write";
+      let e = parse_expr p in
+      expect p COMMA ",";
+      let name =
+        match current p with
+        | STRING s, _ ->
+            advance p;
+            s
+        | _, line -> fail line "write expects a string name"
+      in
+      expect p RPAREN ")";
+      expect p SEMI ";";
+      Script.Write (e, name)
+  | IDENT name, _ ->
+      advance p;
+      expect p ASSIGN "=";
+      let e = parse_expr p in
+      expect p SEMI ";";
+      Script.Assign (name, e)
+  | _, line -> fail line "expected a statement"
+
+and parse_block p =
+  expect p LBRACE "{";
+  let stmts = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match current p with
+    | RBRACE, _ ->
+        advance p;
+        continue_ := false
+    | EOF, line -> fail line "unterminated block"
+    | _ -> stmts := parse_stmt p :: !stmts
+  done;
+  List.rev !stmts
+
+let parse source =
+  let p = { tokens = tokenize source } in
+  let stmts = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match current p with
+    | EOF, _ -> continue_ := false
+    | _ -> stmts := parse_stmt p :: !stmts
+  done;
+  List.rev !stmts
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      parse (really_input_string ic (in_channel_length ic)))
+
+(* --- pretty-printer --- *)
+
+let rec print_expr buf e =
+  let open Script in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let paren sub = Buffer.add_char buf '('; print_expr buf sub; Buffer.add_char buf ')' in
+  match e with
+  | Const f ->
+      if Float.is_integer f && Float.abs f < 1e15 then p "%.0f" f else p "%.17g" f
+  | Var name -> p "%s" name
+  | Read k -> p "read($%d)" k
+  | Neg e -> Buffer.add_char buf '-'; paren e
+  | Add (a, b) -> paren a; p " + "; paren b
+  | Sub (a, b) -> paren a; p " - "; paren b
+  | Mul (a, b) -> paren a; p " * "; paren b
+  | Div (a, b) -> paren a; p " / "; paren b
+  | Pow (a, b) -> paren a; p " ^ "; paren b
+  | Lt (a, b) -> paren a; p " < "; paren b
+  | Gt (a, b) -> paren a; p " > "; paren b
+  | And (a, b) -> paren a; p " & "; paren b
+  | Matmul (a, b) -> paren a; p " %%*%% "; paren b
+  | T e -> p "t"; paren e
+  | Sum e -> p "sum"; paren e
+  | Ncol e -> p "ncol"; paren e
+  | Zero_vector e ->
+      p "matrix(0, rows=";
+      print_expr buf e;
+      p ", cols=1)"
+
+let rec print_stmt buf indent stmt =
+  let open Script in
+  let pad () = Buffer.add_string buf (String.make indent ' ') in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match stmt with
+  | Assign (name, e) ->
+      pad ();
+      p "%s = " name;
+      print_expr buf e;
+      p ";\n"
+  | Write (e, name) ->
+      pad ();
+      p "write(";
+      print_expr buf e;
+      p ", \"%s\");\n" name
+  | While (cond, body) ->
+      pad ();
+      p "while (";
+      print_expr buf cond;
+      p ") {\n";
+      List.iter (print_stmt buf (indent + 2)) body;
+      pad ();
+      p "}\n"
+  | If (cond, then_, else_) ->
+      pad ();
+      p "if (";
+      print_expr buf cond;
+      p ") {\n";
+      List.iter (print_stmt buf (indent + 2)) then_;
+      pad ();
+      p "}";
+      (match else_ with
+      | [] -> p "\n"
+      | _ ->
+          p " else {\n";
+          List.iter (print_stmt buf (indent + 2)) else_;
+          pad ();
+          p "}\n")
+
+let print program =
+  let buf = Buffer.create 1024 in
+  List.iter (print_stmt buf 0) program;
+  Buffer.contents buf
+
+(* Listing 1, verbatim. *)
+let listing1 =
+  {|
+V = read($1); y = read($2);
+eps = 0.001; tolerance = 0.000001;
+r = -(t(V) %*% y);
+p = -r;
+nr2 = sum(r * r);
+nr2_init = nr2; nr2_target = nr2 * tolerance ^ 2;
+w = matrix(0, rows=ncol(V), cols=1);
+max_iteration = 100; i = 0;
+while(i < max_iteration & nr2 > nr2_target) {
+  q = ((t(V) %*% (V %*% p)) + eps * p);
+  alpha = nr2 / (t(p) %*% q);
+  w = w + alpha * p;
+  old_nr2 = nr2;
+  r = r + alpha * q;
+  nr2 = sum(r * r);
+  beta = nr2 / old_nr2;
+  p = -r + beta * p;
+  i = i + 1;
+}
+write(w, "w");
+|}

@@ -1,0 +1,40 @@
+(** Parser for the DML-like surface syntax of SystemML scripts — enough
+    to run the paper's Listing 1 verbatim.
+
+    Grammar (statements end with [;], blocks use [{ }]):
+
+    {v
+    stmt   ::= ident = expr ;
+             | while ( expr ) { stmt* }
+             | if ( expr ) { stmt* } [ else { stmt* } ]
+             | write ( expr , "name" ) ;
+    expr   ::= and
+    and    ::= cmp ( & cmp )*
+    cmp    ::= add ( (< | >) add )?
+    add    ::= mul ( (+ | -) mul )*
+    mul    ::= unary ( ( * | / | %*% ) unary )*
+    unary  ::= - unary | pow
+    pow    ::= atom ( ^ unary )?
+    atom   ::= number | ident | ( expr ) | $k
+             | t(expr) | sum(expr) | ncol(expr) | read($k)
+             | matrix(0, rows=expr, cols=1)
+    v}
+
+    Comments run from [#] to end of line.  [matrix(0, ...)] with [cols=1]
+    denotes a zero vector, as Listing 1 uses it. *)
+
+exception Syntax_error of string
+(** Raised with a message that includes the line number. *)
+
+val parse : string -> Script.stmt list
+(** Parse a program from a string. *)
+
+val parse_file : string -> Script.stmt list
+
+val print : Script.stmt list -> string
+(** Render a program back to parsable surface syntax (fully
+    parenthesised); [parse (print p) = p] for every printable program —
+    a property the test suite checks on random ASTs. *)
+
+val listing1 : string
+(** The paper's Listing 1, verbatim (modulo the `1` literal comments). *)

@@ -1,0 +1,39 @@
+open Gpu_sim
+
+type placement = Gpu | Cpu
+
+type decision = {
+  place : placement;
+  est_gpu_ms : float;
+  est_cpu_ms : float;
+  pending_transfer_ms : float;
+}
+
+let transfer_ms (d : Device.t) bytes =
+  if bytes <= 0 then 0.0
+  else (d.pcie_latency_us /. 1000.0) +. (float_of_int bytes /. (d.pcie_gbs *. 1e6))
+
+let decide ~cpu_ms ~gpu_kernel_ms ~pending_transfer_bytes device =
+  let pending = transfer_ms device pending_transfer_bytes in
+  let est_gpu_ms = gpu_kernel_ms +. pending in
+  {
+    place = (if est_gpu_ms <= cpu_ms then Gpu else Cpu);
+    est_gpu_ms;
+    est_cpu_ms = cpu_ms;
+    pending_transfer_ms = pending;
+  }
+
+let decide_iterative ~cpu_ms_per_iter ~gpu_kernel_ms_per_iter
+    ~one_time_transfer_bytes ~iterations device =
+  if iterations <= 0 then invalid_arg "Sched.decide_iterative: iterations";
+  let pending = transfer_ms device one_time_transfer_bytes in
+  let est_gpu_ms =
+    (gpu_kernel_ms_per_iter *. float_of_int iterations) +. pending
+  in
+  let est_cpu_ms = cpu_ms_per_iter *. float_of_int iterations in
+  {
+    place = (if est_gpu_ms <= est_cpu_ms then Gpu else Cpu);
+    est_gpu_ms;
+    est_cpu_ms;
+    pending_transfer_ms = pending;
+  }

@@ -1,0 +1,39 @@
+open Gpu_sim
+
+(** Cost-based CPU/GPU operator placement — the first component of the
+    paper's SystemML integration, and its stated future work ("a cost
+    model that ... decides on hybrid executions involving CPUs and
+    GPUs").
+
+    A placement decision compares the estimated device time — kernel plus
+    any transfers needed to make the operands resident — against the
+    estimated host time.  Transfers already paid (operands resident) are
+    not charged again, which is what makes iterative algorithms
+    profitable on the device even though a single operation is not. *)
+
+type placement = Gpu | Cpu
+
+type decision = {
+  place : placement;
+  est_gpu_ms : float;  (** kernel + pending transfers *)
+  est_cpu_ms : float;
+  pending_transfer_ms : float;
+}
+
+val decide :
+  cpu_ms:float ->
+  gpu_kernel_ms:float ->
+  pending_transfer_bytes:int ->
+  Device.t ->
+  decision
+
+val decide_iterative :
+  cpu_ms_per_iter:float ->
+  gpu_kernel_ms_per_iter:float ->
+  one_time_transfer_bytes:int ->
+  iterations:int ->
+  Device.t ->
+  decision
+(** Amortise the one-time data shipment over the expected iteration
+    count (the amortisation argument of Section 3 and Figure 2's second
+    axis). *)

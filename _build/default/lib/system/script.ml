@@ -1,0 +1,312 @@
+type expr =
+  | Const of float
+  | Var of string
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Lt of expr * expr
+  | Gt of expr * expr
+  | And of expr * expr
+  | Matmul of expr * expr
+  | T of expr
+  | Sum of expr
+  | Ncol of expr
+  | Zero_vector of expr
+  | Pow of expr * expr
+  | Read of int
+
+type stmt =
+  | Assign of string * expr
+  | While of expr * stmt list
+  | If of expr * stmt list * stmt list
+  | Write of expr * string
+
+type value =
+  | Num of float
+  | Vector of Matrix.Vec.t
+  | Matrix of Fusion.Executor.input
+
+type run = {
+  env : (string * value) list;
+  outputs : (string * value) list;
+  gpu_ms : float;
+  fused_launches : int;
+  trace : Fusion.Pattern.Trace.t;
+}
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+type state = {
+  device : Gpu_sim.Device.t;
+  session : Ml_algos.Session.t;
+  bindings : (string, value) Hashtbl.t;
+  positional : value array;
+  mutable outputs : (string * value) list;
+  mutable fused : int;
+}
+
+let scalar = function
+  | Num f -> f
+  | Vector _ -> type_error "expected a scalar, got a vector"
+  | Matrix _ -> type_error "expected a scalar, got a matrix"
+
+let vector = function
+  | Vector v -> v
+  | Num _ -> type_error "expected a vector, got a scalar"
+  | Matrix _ -> type_error "expected a vector, got a matrix"
+
+let matrix = function
+  | Matrix m -> m
+  | Num _ -> type_error "expected a matrix, got a scalar"
+  | Vector _ -> type_error "expected a matrix, got a vector"
+
+let same_matrix a b =
+  match (a, b) with
+  | Fusion.Executor.Sparse x, Fusion.Executor.Sparse y -> x == y
+  | Fusion.Executor.Dense x, Fusion.Executor.Dense y -> x == y
+  | _ -> false
+
+(* --- pattern recognition -------------------------------------------------
+
+   An assignment whose right-hand side matches
+
+     [alpha *] t(X) %*% ([v *] (X %*% y)) [+ beta * z]
+
+   is collapsed into one fused pattern call; a bare [t(X) %*% p] becomes
+   an [X^T y] call.  Anything else evaluates operator by operator. *)
+
+(* the inner chain: (X %*% y) or (v * (X %*% y)) for the given matrix *)
+let rec inner_chain st x = function
+  | Matmul (mx, y) -> (
+      match eval st mx with
+      | Matrix x' when same_matrix x x' -> Some (vector (eval st y), None)
+      | _ -> None
+      | exception Type_error _ -> None)
+  | Mul (v, rest) -> (
+      match inner_chain st x rest with
+      | Some (y, None) -> (
+          match eval st v with
+          | Vector v -> Some (y, Some v)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* t(X) %*% chain, possibly scaled by a scalar on the left *)
+and transpose_product st = function
+  | Matmul (T mx, rhs) -> (
+      match eval st mx with
+      | Matrix x -> (
+          match inner_chain st x rhs with
+          | Some (y, v) -> Some (1.0, x, `Chain (y, v))
+          | None -> (
+              (* plain t(X) %*% p *)
+              match eval st rhs with
+              | Vector p -> Some (1.0, x, `Direct p)
+              | _ -> None
+              | exception Type_error _ -> None))
+      | _ -> None
+      | exception Type_error _ -> None)
+  | Mul (a, rest) -> (
+      match eval st a with
+      | Num alpha -> (
+          match transpose_product st rest with
+          | Some (alpha', x, body) -> Some (alpha *. alpha', x, body)
+          | None -> None)
+      | _ -> None
+      | exception Type_error _ -> None)
+  | _ -> None
+
+(* beta * z (or z * beta) as the additive tail *)
+and scaled_vector st = function
+  | Mul (a, b) -> (
+      match (eval st a, eval st b) with
+      | Num beta, Vector z | Vector z, Num beta -> Some (beta, z)
+      | _ -> None
+      | exception Type_error _ -> None)
+  | _ -> None
+
+and recognize st expr =
+  let fuse ?beta_z (alpha, x, body) =
+    st.fused <- st.fused + 1;
+    let input = x in
+    match body with
+    | `Direct p ->
+        (* alpha * X^T p; the additive tail, if any, is applied after *)
+        let w = Ml_algos.Session.xt_y st.session input p ~alpha in
+        Some
+          (match beta_z with
+          | None -> Vector w
+          | Some (beta, z) ->
+              Vector (Ml_algos.Session.axpy st.session beta z w))
+    | `Chain (y, v) ->
+        Some
+          (Vector
+             (Ml_algos.Session.pattern st.session input ~y ?v ?beta_z ~alpha
+                ()))
+  in
+  match expr with
+  | Add (a, b) -> (
+      match (transpose_product st a, scaled_vector st b) with
+      | Some t, Some bz -> fuse ~beta_z:bz t
+      | _ -> (
+          match (scaled_vector st a, transpose_product st b) with
+          | Some bz, Some t -> fuse ~beta_z:bz t
+          | _ -> None))
+  | _ -> (
+      match transpose_product st expr with
+      | Some t -> fuse t
+      | None -> None)
+
+(* --- plain evaluation ---------------------------------------------------- *)
+
+and eval st = function
+  | Const f -> Num f
+  | Var name -> (
+      match Hashtbl.find_opt st.bindings name with
+      | Some v -> v
+      | None -> type_error "unbound variable %s" name)
+  | Neg e -> (
+      match eval st e with
+      | Num f -> Num (-.f)
+      | Vector v -> Vector (Ml_algos.Session.scal st.session (-1.0) v)
+      | Matrix _ -> type_error "cannot negate a matrix")
+  | Add (a, b) -> arith st ( +. ) `Add a b
+  | Sub (a, b) -> arith st ( -. ) `Sub a b
+  | Mul (a, b) -> arith st ( *. ) `Mul a b
+  | Div (a, b) -> Num (scalar (eval st a) /. scalar (eval st b))
+  | Lt (a, b) ->
+      Num (if scalar (eval st a) < scalar (eval st b) then 1.0 else 0.0)
+  | Gt (a, b) ->
+      Num (if scalar (eval st a) > scalar (eval st b) then 1.0 else 0.0)
+  | And (a, b) ->
+      Num
+        (if scalar (eval st a) <> 0.0 && scalar (eval st b) <> 0.0 then 1.0
+         else 0.0)
+  | Matmul (T te, rhs) as e -> (
+      (* reached only outside an assignment's recognition, e.g. nested *)
+      match recognize st e with
+      | Some v -> v
+      | None -> (
+          (* t(p) %*% q over vectors is a dot product *)
+          match (eval st te, eval st rhs) with
+          | Vector u, Vector v -> Num (Ml_algos.Session.dot st.session u v)
+          | _ -> type_error "unsupported transpose product"))
+  | Matmul (me, ye) -> (
+      let m = matrix (eval st me) in
+      match eval st ye with
+      | Vector y -> Vector (Ml_algos.Session.x_y st.session m y)
+      | _ -> type_error "matrix product needs a vector right operand")
+  | T _ -> type_error "t() is only valid inside a matrix product"
+  | Sum (Mul (a, b)) -> (
+      (* sum(u * v) is a dot product — one kernel, as cuBLAS would run *)
+      match (eval st a, eval st b) with
+      | Vector u, Vector v -> Num (Ml_algos.Session.dot st.session u v)
+      | va, vb -> Num (scalar va *. scalar vb))
+  | Sum e ->
+      let v = vector (eval st e) in
+      Num (Ml_algos.Session.dot st.session v (Array.make (Array.length v) 1.0))
+  | Ncol e -> Num (float_of_int (Fusion.Executor.cols (matrix (eval st e))))
+  | Zero_vector e ->
+      Vector (Matrix.Vec.create (int_of_float (scalar (eval st e))))
+  | Pow (a, b) -> Num (scalar (eval st a) ** scalar (eval st b))
+  | Read k ->
+      if k < 1 || k > Array.length st.positional then
+        type_error "read($%d): no such positional input" k
+      else st.positional.(k - 1)
+
+and arith st op kind a b =
+  match (eval st a, eval st b) with
+  | Num x, Num y -> Num (op x y)
+  | Num s, Vector v | Vector v, Num s -> (
+      match kind with
+      | `Mul -> Vector (Ml_algos.Session.scal st.session s v)
+      | `Add | `Sub ->
+          type_error "scalar +/- vector is not defined")
+  | Vector u, Vector v -> (
+      match kind with
+      | `Add -> Vector (Ml_algos.Session.axpy st.session 1.0 u v)
+      | `Sub -> Vector (Ml_algos.Session.axpy st.session (-1.0) v u)
+      | `Mul -> Vector (Ml_algos.Session.mul_elementwise st.session u v))
+  | _ -> type_error "unsupported operand combination"
+
+let rec exec st = function
+  | Assign (name, e) ->
+      let value =
+        match recognize st e with Some v -> v | None -> eval st e
+      in
+      Hashtbl.replace st.bindings name value
+  | While (cond, body) ->
+      while scalar (eval st cond) <> 0.0 do
+        List.iter (exec st) body
+      done
+  | If (cond, then_, else_) ->
+      if scalar (eval st cond) <> 0.0 then List.iter (exec st) then_
+      else List.iter (exec st) else_
+  | Write (e, name) ->
+      let v = match recognize st e with Some v -> v | None -> eval st e in
+      st.outputs <- (name, v) :: st.outputs
+
+let eval ?engine ?(positional = []) device ~inputs program =
+  let session = Ml_algos.Session.create ?engine device ~algorithm:"script" in
+  let st =
+    {
+      device;
+      session;
+      bindings = Hashtbl.create 16;
+      positional = Array.of_list positional;
+      outputs = [];
+      fused = 0;
+    }
+  in
+  ignore st.device;
+  List.iter (fun (name, v) -> Hashtbl.replace st.bindings name v) inputs;
+  List.iter (exec st) program;
+  {
+    env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.bindings [];
+    outputs = st.outputs;
+    gpu_ms = Ml_algos.Session.gpu_ms session;
+    fused_launches = st.fused;
+    trace = Ml_algos.Session.trace session;
+  }
+
+let lookup run name = List.assoc name run.env
+
+let lookup_vector run name =
+  match lookup run name with
+  | Vector v -> v
+  | _ -> type_error "%s is not a vector" name
+
+(* Listing 1, transcribed. *)
+let linreg_cg_script ~max_iterations ~eps =
+  let v = Var "V" and y = Var "y" in
+  [
+    Assign ("r", Neg (Matmul (T v, y)));
+    Assign ("p", Neg (Var "r"));
+    Assign ("nr2", Sum (Mul (Var "r", Var "r")));
+    Assign ("nr2_target", Mul (Var "nr2", Const 1e-12));
+    Assign ("w", Zero_vector (Ncol v));
+    Assign ("i", Const 0.0);
+    While
+      ( And
+          ( Lt (Var "i", Const (float_of_int max_iterations)),
+            Gt (Var "nr2", Var "nr2_target") ),
+        [
+          Assign
+            ( "q",
+              Add
+                ( Matmul (T v, Matmul (v, Var "p")),
+                  Mul (Const eps, Var "p") ) );
+          Assign ("alpha", Div (Var "nr2", Sum (Mul (Var "p", Var "q"))));
+          Assign ("w", Add (Var "w", Mul (Var "alpha", Var "p")));
+          Assign ("old_nr2", Var "nr2");
+          Assign ("r", Add (Var "r", Mul (Var "alpha", Var "q")));
+          Assign ("nr2", Sum (Mul (Var "r", Var "r")));
+          Assign ("beta", Div (Var "nr2", Var "old_nr2"));
+          Assign ("p", Add (Neg (Var "r"), Mul (Var "beta", Var "p")));
+          Assign ("i", Add (Var "i", Const 1.0));
+        ] );
+  ]

@@ -1,0 +1,81 @@
+(** A miniature declarative-ML language in the style of SystemML's DML —
+    the language Listing 1 of the paper is written in — with an evaluator
+    that *transparently selects the fused GPU kernel* whenever an
+    expression tree matches the pattern of Equation 1.
+
+    This reproduces the paper's integration story at the language level:
+    the script author writes `t(V) %*% (V %*% p) + eps * p` as three
+    algebra operators; the evaluator recognises the shape and issues a
+    single fused launch (or the library composition, for comparison),
+    recording what it fused.
+
+    The subset implemented is exactly what the studied algorithms need:
+    scalars, vectors and matrices; arithmetic; comparisons and [&];
+    [t(X)], [%*%], element-wise [*], [sum], [ncol], [zero_vector];
+    assignment, [while] and [if]. *)
+
+(** Expressions.  Infix smart constructors are provided below; [Var]
+    resolves in the program environment, [Input] in the initial
+    bindings. *)
+type expr =
+  | Const of float
+  | Var of string
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr  (** scalar*scalar, scalar*vector, vector*vector *)
+  | Div of expr * expr
+  | Lt of expr * expr  (** 1.0 / 0.0 *)
+  | Gt of expr * expr
+  | And of expr * expr
+  | Matmul of expr * expr  (** %*% *)
+  | T of expr  (** transpose; only valid directly under [Matmul] *)
+  | Sum of expr  (** sum of a vector's elements *)
+  | Ncol of expr
+  | Zero_vector of expr  (** zero vector of the given (scalar) length *)
+  | Pow of expr * expr  (** scalar exponentiation, [^] *)
+  | Read of int  (** positional input, DML's [read($k)] *)
+
+type stmt =
+  | Assign of string * expr
+  | While of expr * stmt list  (** condition is a scalar; 0.0 = false *)
+  | If of expr * stmt list * stmt list
+  | Write of expr * string  (** DML's [write(e, "name")]: export a value *)
+
+type value =
+  | Num of float
+  | Vector of Matrix.Vec.t
+  | Matrix of Fusion.Executor.input
+
+type run = {
+  env : (string * value) list;  (** final variable bindings *)
+  outputs : (string * value) list;  (** values exported with [Write] *)
+  gpu_ms : float;  (** simulated device time of all issued operators *)
+  fused_launches : int;  (** pattern trees recognised and fused *)
+  trace : Fusion.Pattern.Trace.t;
+}
+
+exception Type_error of string
+
+val eval :
+  ?engine:Fusion.Executor.engine ->
+  ?positional:value list ->
+  Gpu_sim.Device.t ->
+  inputs:(string * value) list ->
+  stmt list ->
+  run
+(** Run a program.  [positional] supplies [read($1)], [read($2)], ...;
+    [~engine:Library] executes the same script without fusion (every
+    operator its own kernel chain) — the two runs return the same values,
+    which the tests check. *)
+
+val lookup : run -> string -> value
+(** Raises [Not_found]. *)
+
+val lookup_vector : run -> string -> Matrix.Vec.t
+(** Raises [Type_error] if the binding is not a vector. *)
+
+val linreg_cg_script : max_iterations:int -> eps:float -> stmt list
+(** Listing 1 of the paper, transcribed into this AST; expects inputs
+    ["V"] (matrix) and ["y"] (targets vector), leaves the solution in
+    ["w"]. *)

@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Blas Csc Csr Dense Float Gen Matrix QCheck QCheck_alcotest Rng Vec

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Blas Csr Device Fusion Gen Gpu_sim List Matrix Option Printf QCheck QCheck_alcotest Rng Sysml Vec

@@ -1,0 +1,1 @@
+test/test_dense.ml: Alcotest Dense Gen Matrix QCheck QCheck_alcotest Rng

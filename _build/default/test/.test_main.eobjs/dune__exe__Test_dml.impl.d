@@ -1,0 +1,1 @@
+test/test_dml.ml: Alcotest Astring Blas Dml Filename Float Fusion Gen Gpu_sim List Matrix Ml_algos Printf QCheck QCheck_alcotest Rng Script Sys Sysml Vec

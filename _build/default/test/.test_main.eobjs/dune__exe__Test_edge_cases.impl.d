@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Blas Csr Dense Device Filename Float Fusion Gen Gpu_sim Gpulibs Market Matrix Ml_algos Rng Sys Sysml Vec

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Astring Blas Coalesce Cost_model Dense Device Float Fusion Gen Gpu_sim List Matrix Ml_algos Occupancy QCheck QCheck_alcotest Rng Sim Stats Sysml Vec Xfer

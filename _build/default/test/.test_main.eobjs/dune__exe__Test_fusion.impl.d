@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Astring Blas Csr Device Fusion Gen Gpu_sim List Matrix Option QCheck QCheck_alcotest Rng Sim Stats String Trace Vec

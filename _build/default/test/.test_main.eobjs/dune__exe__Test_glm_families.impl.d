@@ -1,0 +1,1 @@
+test/test_glm_families.ml: Alcotest Array Blas Fusion Gen Gpu_sim List Matrix Ml_algos Printf Rng Vec

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Cache Coalesce Cost_model Device Float Gen Gpu_sim Launch List Matrix Occupancy QCheck QCheck_alcotest Stats Xfer

@@ -1,0 +1,1 @@
+test/test_gpulibs.ml: Alcotest Blas Csr Device Gen Gpu_sim Gpulibs List Matrix Rng Sim Vec

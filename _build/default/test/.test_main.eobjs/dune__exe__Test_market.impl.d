@@ -1,0 +1,1 @@
+test/test_market.ml: Alcotest Blas Csr Dense Filename Fusion Gen Gpu_sim List Market Matrix Rng Sys Vec

@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Blas Coo Csr Device Float Fusion Gen Gpu_sim List Matrix Ml_algos Rng Vec

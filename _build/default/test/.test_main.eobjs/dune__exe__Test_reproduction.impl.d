@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Blas Csr Device Float Fusion Gen Gpu_sim Gpulibs List Matrix Ml_algos Rng Sim Stats Sysml Vec

@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest Blas Fusion Gen Gpu_sim List Matrix Ml_algos Rng Sysml Vec

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Coo Csc Csr Dense Format Gen List Matrix QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Blas Csr Dense Device Float Fusion Gen Gpu_sim Matrix QCheck QCheck_alcotest Rng Vec

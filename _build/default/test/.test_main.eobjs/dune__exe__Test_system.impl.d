@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Device Float Gpu_sim Matrix Ml_algos Printf Sysml

@@ -1,0 +1,1 @@
+test/test_warp.ml: Alcotest Array Float Gen Gpu_sim QCheck QCheck_alcotest Warp

@@ -1,0 +1,124 @@
+(* Reference BLAS: hand-checked values plus cross-representation
+   consistency (sparse and dense paths must agree on the same matrix). *)
+open Matrix
+
+let x_dense () = Dense.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |]
+
+let test_gemv () =
+  Alcotest.(check (array (float 1e-12)))
+    "X y" [| 5.0; 11.0; 17.0 |]
+    (Blas.gemv (x_dense ()) [| 1.0; 2.0 |])
+
+let test_gemv_t () =
+  Alcotest.(check (array (float 1e-12)))
+    "X^T p" [| 22.0; 28.0 |]
+    (Blas.gemv_t (x_dense ()) [| 1.0; 2.0; 3.0 |])
+
+let test_csrmv_matches_gemv () =
+  let rng = Rng.create 3 in
+  let x = Gen.sparse_uniform rng ~rows:40 ~cols:25 ~density:0.2 in
+  let y = Gen.vector rng 25 in
+  Alcotest.(check bool) "csrmv = gemv on dense form" true
+    (Vec.approx_equal (Blas.csrmv x y) (Blas.gemv (Csr.to_dense x) y))
+
+let test_csrmv_t_matches_gemv_t () =
+  let rng = Rng.create 4 in
+  let x = Gen.sparse_uniform rng ~rows:40 ~cols:25 ~density:0.2 in
+  let p = Gen.vector rng 40 in
+  Alcotest.(check bool) "csrmv_t = gemv_t on dense form" true
+    (Vec.approx_equal (Blas.csrmv_t x p) (Blas.gemv_t (Csr.to_dense x) p))
+
+let test_cscmv_matches_csrmv () =
+  let rng = Rng.create 5 in
+  let x = Gen.sparse_bernoulli rng ~rows:30 ~cols:20 ~density:0.3 in
+  let y = Gen.vector rng 20 in
+  Alcotest.(check bool) "cscmv = csrmv" true
+    (Vec.approx_equal (Blas.cscmv (Csc.of_csr x) y) (Blas.csrmv x y))
+
+let test_pattern_sparse_full () =
+  let rng = Rng.create 6 in
+  let x = Gen.sparse_uniform rng ~rows:30 ~cols:15 ~density:0.3 in
+  let y = Gen.vector rng 15 and v = Gen.vector rng 30 and z = Gen.vector rng 15 in
+  let got = Blas.pattern_sparse ~alpha:2.0 x ~v y ~beta:0.5 ~z () in
+  (* manual composition *)
+  let p = Vec.mul_elementwise v (Blas.csrmv x y) in
+  let expected = Vec.scale 2.0 (Blas.csrmv_t x p) in
+  Vec.axpy 0.5 z expected;
+  Alcotest.(check bool) "full pattern" true (Vec.approx_equal got expected)
+
+let test_pattern_dense_matches_sparse () =
+  let rng = Rng.create 7 in
+  let x = Gen.sparse_uniform rng ~rows:25 ~cols:12 ~density:0.4 in
+  let y = Gen.vector rng 12 and v = Gen.vector rng 25 and z = Gen.vector rng 12 in
+  let sparse = Blas.pattern_sparse ~alpha:1.5 x ~v y ~beta:0.3 ~z () in
+  let dense =
+    Blas.pattern_dense ~alpha:1.5 (Csr.to_dense x) ~v y ~beta:0.3 ~z ()
+  in
+  Alcotest.(check bool) "sparse = dense" true (Vec.approx_equal sparse dense)
+
+let test_pattern_without_optionals () =
+  let rng = Rng.create 8 in
+  let x = Gen.sparse_uniform rng ~rows:20 ~cols:10 ~density:0.3 in
+  let y = Gen.vector rng 10 in
+  let got = Blas.pattern_sparse ~alpha:1.0 x y () in
+  let expected = Blas.csrmv_t x (Blas.csrmv x y) in
+  Alcotest.(check bool) "X^T X y" true (Vec.approx_equal got expected)
+
+let test_pattern_beta_without_z_rejected () =
+  let x = Csr.of_dense (Dense.create 2 2) in
+  Alcotest.check_raises "beta without z"
+    (Invalid_argument "Blas.pattern: beta given without z") (fun () ->
+      ignore (Blas.pattern_sparse ~alpha:1.0 x [| 0.0; 0.0 |] ~beta:1.0 ()))
+
+let test_timed_buckets () =
+  let buckets = Blas.fresh_buckets () in
+  let r = Blas.timed buckets Blas.Pattern_op (fun () -> 41 + 1) in
+  Alcotest.(check int) "result passes through" 42 r;
+  Alcotest.(check bool) "pattern bucket accumulated" true
+    (buckets.Blas.pattern_s >= 0.0);
+  Alcotest.(check bool) "total = sum" true
+    (Float.abs
+       (Blas.total_seconds buckets
+       -. (buckets.Blas.pattern_s +. buckets.Blas.blas1_s +. buckets.Blas.other_s))
+    < 1e-12)
+
+(* Property: pattern linearity in y. *)
+let prop_pattern_linear =
+  QCheck.Test.make ~name:"pattern linear in y" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let x = Gen.sparse_bernoulli rng ~rows:15 ~cols:10 ~density:0.4 in
+      let y1 = Gen.vector rng 10 and y2 = Gen.vector rng 10 in
+      let f y = Blas.pattern_sparse ~alpha:1.0 x y () in
+      Vec.approx_equal ~tol:1e-8 (f (Vec.add y1 y2)) (Vec.add (f y1) (f y2)))
+
+let prop_gemv_t_adjoint =
+  QCheck.Test.make ~name:"<Xy, p> = <y, X^T p>" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let x = Gen.dense rng ~rows:12 ~cols:9 in
+      let y = Gen.vector rng 9 and p = Gen.vector rng 12 in
+      let lhs = Vec.dot (Blas.gemv x y) p in
+      let rhs = Vec.dot y (Blas.gemv_t x p) in
+      Float.abs (lhs -. rhs) <= 1e-8 *. Float.max 1.0 (Float.abs lhs))
+
+let suite =
+  [
+    Alcotest.test_case "gemv" `Quick test_gemv;
+    Alcotest.test_case "gemv_t" `Quick test_gemv_t;
+    Alcotest.test_case "csrmv vs gemv" `Quick test_csrmv_matches_gemv;
+    Alcotest.test_case "csrmv_t vs gemv_t" `Quick test_csrmv_t_matches_gemv_t;
+    Alcotest.test_case "cscmv vs csrmv" `Quick test_cscmv_matches_csrmv;
+    Alcotest.test_case "full sparse pattern" `Quick test_pattern_sparse_full;
+    Alcotest.test_case "pattern sparse = dense" `Quick
+      test_pattern_dense_matches_sparse;
+    Alcotest.test_case "pattern without optionals" `Quick
+      test_pattern_without_optionals;
+    Alcotest.test_case "beta without z rejected" `Quick
+      test_pattern_beta_without_z_rejected;
+    Alcotest.test_case "timed buckets" `Quick test_timed_buckets;
+    QCheck_alcotest.to_alcotest prop_pattern_linear;
+    QCheck_alcotest.to_alcotest prop_gemv_t_adjoint;
+  ]

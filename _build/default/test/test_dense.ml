@@ -1,0 +1,105 @@
+(* Dense matrices: storage, padding (Section 3.2's rule), transpose. *)
+open Matrix
+
+let test_init_get () =
+  let x = Dense.init 3 4 (fun r c -> float_of_int ((r * 10) + c)) in
+  Alcotest.(check (float 1e-12)) "x(2,3)" 23.0 (Dense.get x 2 3);
+  Alcotest.(check int) "rows" 3 x.Dense.rows;
+  Alcotest.(check int) "cols" 4 x.Dense.cols
+
+let test_of_arrays () =
+  let x = Dense.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check (float 1e-12)) "x(1,0)" 3.0 (Dense.get x 1 0)
+
+let test_of_arrays_ragged () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Dense.of_arrays: ragged rows") (fun () ->
+      ignore (Dense.of_arrays [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_row_col () =
+  let x = Dense.init 2 3 (fun r c -> float_of_int ((r * 3) + c)) in
+  Alcotest.(check (array (float 1e-12))) "row 1" [| 3.0; 4.0; 5.0 |]
+    (Dense.row x 1);
+  Alcotest.(check (array (float 1e-12))) "col 2" [| 2.0; 5.0 |] (Dense.col x 2)
+
+let test_transpose () =
+  let x = Dense.init 2 3 (fun r c -> float_of_int ((r * 3) + c)) in
+  let xt = Dense.transpose x in
+  Alcotest.(check int) "rows" 3 xt.Dense.rows;
+  Alcotest.(check (float 1e-12)) "xt(2,1)" 5.0 (Dense.get xt 2 1)
+
+let test_pad_cols () =
+  let x = Dense.init 2 5 (fun _ _ -> 1.0) in
+  let padded = Dense.pad_cols x ~multiple_of:4 in
+  Alcotest.(check int) "padded to 8" 8 padded.Dense.cols;
+  Alcotest.(check (float 1e-12)) "pad is zero" 0.0 (Dense.get padded 0 7);
+  Alcotest.(check (float 1e-12)) "data kept" 1.0 (Dense.get padded 1 4)
+
+let test_pad_cols_noop () =
+  let x = Dense.init 2 8 (fun _ _ -> 1.0) in
+  Alcotest.(check bool) "aligned returns same" true
+    (Dense.pad_cols x ~multiple_of:4 == x)
+
+let test_pad_cost_bound () =
+  (* the paper: worst case VS - 1 extra columns *)
+  for cols = 1 to 40 do
+    let x = Dense.init 2 cols (fun _ _ -> 1.0) in
+    let padded = Dense.pad_cols x ~multiple_of:16 in
+    Alcotest.(check bool) "at most VS-1 pad" true
+      (padded.Dense.cols - cols < 16)
+  done
+
+let test_pad_vector () =
+  let y = Dense.pad_vector [| 1.0; 2.0; 3.0 |] ~multiple_of:4 in
+  Alcotest.(check (array (float 1e-12))) "padded" [| 1.0; 2.0; 3.0; 0.0 |] y
+
+let test_nnz_frobenius () =
+  let x = Dense.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  Alcotest.(check int) "nnz" 2 (Dense.nnz x);
+  Alcotest.(check (float 1e-12)) "frobenius" 5.0 (Dense.frobenius x)
+
+let test_bytes () =
+  Alcotest.(check int) "footprint" (8 * 6) (Dense.bytes (Dense.create 2 3))
+
+let prop_pad_preserves_values =
+  QCheck.Test.make ~name:"padding preserves values" ~count:100
+    QCheck.(triple (int_range 1 10) (int_range 1 20) (int_range 1 16))
+    (fun (rows, cols, multiple) ->
+      let x =
+        Dense.init rows cols (fun r c -> float_of_int ((r * 31) + c))
+      in
+      let padded = Dense.pad_cols x ~multiple_of:multiple in
+      let ok = ref (padded.Dense.cols mod multiple = 0) in
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if Dense.get padded r c <> Dense.get x r c then ok := false
+        done;
+        for c = cols to padded.Dense.cols - 1 do
+          if Dense.get padded r c <> 0.0 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"dense transpose involution" ~count:100
+    QCheck.(pair (int_range 1 12) (int_range 1 12))
+    (fun (rows, cols) ->
+      let x = Gen.dense (Rng.create (rows + (100 * cols))) ~rows ~cols in
+      Dense.approx_equal x (Dense.transpose (Dense.transpose x)))
+
+let suite =
+  [
+    Alcotest.test_case "init/get" `Quick test_init_get;
+    Alcotest.test_case "of_arrays" `Quick test_of_arrays;
+    Alcotest.test_case "ragged rejected" `Quick test_of_arrays_ragged;
+    Alcotest.test_case "row/col" `Quick test_row_col;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "pad columns" `Quick test_pad_cols;
+    Alcotest.test_case "pad no-op when aligned" `Quick test_pad_cols_noop;
+    Alcotest.test_case "pad cost bound (paper)" `Quick test_pad_cost_bound;
+    Alcotest.test_case "pad vector" `Quick test_pad_vector;
+    Alcotest.test_case "nnz and frobenius" `Quick test_nnz_frobenius;
+    Alcotest.test_case "bytes" `Quick test_bytes;
+    QCheck_alcotest.to_alcotest prop_pad_preserves_values;
+    QCheck_alcotest.to_alcotest prop_transpose_involution;
+  ]

@@ -1,0 +1,224 @@
+(* Extensions beyond the paper's core: multinomial logistic regression,
+   alternative device models, and deeper property coverage of the
+   simulator's invariants. *)
+open Matrix
+open Gpu_sim
+
+let device = Device.gtx_titan
+
+(* --- Multinomial logistic regression --- *)
+
+let three_class_problem seed ~rows ~cols =
+  let rng = Rng.create seed in
+  let x = Gen.dense rng ~rows ~cols in
+  let w0 = Gen.vector rng cols
+  and w1 = Gen.vector rng cols
+  and w2 = Gen.vector rng cols in
+  let labels =
+    Array.init rows (fun i ->
+        let s k w = Vec.dot (Dense.row x i) w +. float_of_int k *. 0.0 in
+        let s0 = s 0 w0 and s1 = s 1 w1 and s2 = s 2 w2 in
+        if s0 >= s1 && s0 >= s2 then 0 else if s1 >= s2 then 1 else 2)
+  in
+  (Fusion.Executor.Dense x, labels)
+
+let test_multinomial_accuracy () =
+  let input, labels = three_class_problem 1 ~rows:300 ~cols:8 in
+  let r =
+    Ml_algos.Multinomial.fit ~lambda:0.01 device input ~labels ~classes:3
+  in
+  Alcotest.(check bool) "separable 3-class accuracy > 85%" true
+    (r.Ml_algos.Multinomial.accuracy > 0.85);
+  Alcotest.(check int) "three weight vectors" 3
+    (Array.length r.Ml_algos.Multinomial.class_weights)
+
+let test_multinomial_predict_consistent () =
+  let input, labels = three_class_problem 2 ~rows:200 ~cols:6 in
+  let r = Ml_algos.Multinomial.fit ~lambda:0.01 device input ~labels ~classes:3 in
+  let predicted = Ml_algos.Multinomial.predict r input in
+  let agree = ref 0 in
+  Array.iteri (fun i p -> if p = labels.(i) then incr agree) predicted;
+  Alcotest.(check bool) "predict matches training accuracy" true
+    (Float.abs
+       ((float_of_int !agree /. 200.0) -. r.Ml_algos.Multinomial.accuracy)
+    < 1e-9)
+
+let test_multinomial_trace_is_logreg () =
+  let input, labels = three_class_problem 3 ~rows:150 ~cols:5 in
+  let r = Ml_algos.Multinomial.fit device input ~labels ~classes:3 in
+  Alcotest.(check bool) "ticks the full pattern" true
+    (List.mem Fusion.Pattern.Full_pattern
+       (Fusion.Pattern.Trace.instantiations r.Ml_algos.Multinomial.trace))
+
+let test_multinomial_validation () =
+  let input, labels = three_class_problem 4 ~rows:50 ~cols:4 in
+  Alcotest.check_raises "classes < 2"
+    (Invalid_argument "Multinomial.fit: need at least 2 classes") (fun () ->
+      ignore (Ml_algos.Multinomial.fit device input ~labels ~classes:1));
+  Alcotest.check_raises "label out of range"
+    (Invalid_argument "Multinomial.fit: label out of range") (fun () ->
+      ignore
+        (Ml_algos.Multinomial.fit device input
+           ~labels:(Array.map (fun l -> l + 5) labels)
+           ~classes:3))
+
+(* --- Device models --- *)
+
+let test_devices_distinct () =
+  Alcotest.(check bool) "K20X slower memory" true
+    (Device.tesla_k20x.mem_bandwidth_gbs < Device.gtx_titan.mem_bandwidth_gbs);
+  Alcotest.(check bool) "680 fewer SMs" true
+    (Device.gtx_680.num_sms < Device.gtx_titan.num_sms)
+
+let test_tuner_adapts_to_device () =
+  let rng = Rng.create 5 in
+  let x = Gen.sparse_uniform rng ~rows:200_000 ~cols:1024 ~density:0.01 in
+  let titan = Fusion.Tuning.sparse_plan Device.gtx_titan x in
+  let gk104 = Fusion.Tuning.sparse_plan Device.gtx_680 x in
+  (* fewer SMs -> fewer concurrent vectors -> more rows per vector *)
+  Alcotest.(check bool) "coarsening grows on the smaller chip" true
+    (gk104.Fusion.Tuning.sp_coarsening > titan.Fusion.Tuning.sp_coarsening)
+
+let test_kernels_correct_on_all_devices () =
+  let rng = Rng.create 6 in
+  let x = Gen.sparse_uniform rng ~rows:1000 ~cols:128 ~density:0.05 in
+  let y = Gen.vector rng 128 in
+  let expected = Blas.csrmv_t x (Blas.csrmv x y) in
+  List.iter
+    (fun dev ->
+      let got, _, _ = Fusion.Fused_sparse.pattern dev x ~y ~alpha:1.0 () in
+      Alcotest.(check bool) dev.Device.name true
+        (Vec.approx_equal ~tol:1e-7 got expected))
+    [ Device.gtx_titan; Device.tesla_k20x; Device.gtx_680 ]
+
+let test_bandwidth_scaling_monotone () =
+  let rng = Rng.create 7 in
+  (* the dense kernel is memory-bound by construction *)
+  let x = Gen.dense rng ~rows:20_000 ~cols:512 in
+  let y = Gen.vector rng 512 in
+  let time dev =
+    let _, reports, _, _ = Fusion.Fused_dense.pattern dev x ~y ~alpha:1.0 () in
+    Sim.total_ms reports
+  in
+  let slow = time (Device.scale_bandwidth Device.gtx_titan 0.25) in
+  let fast = time Device.gtx_titan in
+  Alcotest.(check bool) "quarter bandwidth is slower" true (slow > fast)
+
+(* --- Simulator properties --- *)
+
+let prop_cost_model_additive =
+  QCheck.Test.make ~name:"cost of summed stats >= max of parts" ~count:100
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+    (fun (g1, g2) ->
+      let occupancy =
+        Occupancy.calculate device ~block_size:256 ~regs_per_thread:32
+          ~shared_per_block:0
+      in
+      let mk g =
+        let s = Stats.create () in
+        s.Stats.gld_transactions <- g;
+        s
+      in
+      let t g =
+        (Cost_model.time device ~occupancy ~grid_blocks:28 (mk g))
+          .Cost_model.total_ms
+      in
+      t (g1 + g2) >= Float.max (t g1) (t g2) -. 1e-9)
+
+let prop_occupancy_shared_monotone =
+  QCheck.Test.make ~name:"more shared memory never raises occupancy"
+    ~count:100
+    QCheck.(pair (int_range 1 16) (int_range 0 24_000))
+    (fun (warps, shared) ->
+      let occ s =
+        (Occupancy.calculate device ~block_size:(warps * 32)
+           ~regs_per_thread:32 ~shared_per_block:s)
+          .Occupancy.occupancy
+      in
+      occ (shared + 8192) <= occ shared +. 1e-12)
+
+let prop_segment_additive =
+  QCheck.Test.make ~name:"segment transactions subadditive under split"
+    ~count:200
+    QCheck.(triple (int_range 0 10_000) (int_range 1 500) (int_range 1 500))
+    (fun (start, c1, c2) ->
+      let seg s c =
+        Coalesce.segment ~transaction_bytes:128 ~bytes_per_elt:8 ~start:s
+          ~count:c
+      in
+      let whole = seg start (c1 + c2) in
+      let split = seg start c1 + seg (start + c1) c2 in
+      whole <= split && split <= whole + 1)
+
+let prop_xfer_linear =
+  QCheck.Test.make ~name:"transfer time monotone in bytes" ~count:100
+    QCheck.(pair (int_range 0 1_000_000_000) (int_range 0 1_000_000_000))
+    (fun (b1, b2) ->
+      let ledger = Xfer.create device in
+      let t1 = Xfer.transfer ledger Xfer.Host_to_device ~bytes:b1 ~label:"a" in
+      let t2 = Xfer.transfer ledger Xfer.Host_to_device ~bytes:b2 ~label:"b" in
+      (b1 <= b2) = (t1 <= t2) || b1 = b2)
+
+let prop_memmgr_capacity_invariant =
+  QCheck.Test.make ~name:"memmgr never exceeds device memory" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 30) (int_range 1 2000))
+    (fun blocks_mb ->
+      let mm = Sysml.Memmgr.create device in
+      List.iteri
+        (fun i mb ->
+          ignore
+            (Sysml.Memmgr.ensure_resident mm
+               ~key:(string_of_int (i mod 7))
+               ~bytes:(mb * 1024 * 1024) ~needs_conversion:false))
+        blocks_mb;
+      Sysml.Memmgr.resident_bytes mm <= device.Device.global_mem_bytes)
+
+(* --- Codegen snapshot --- *)
+
+let test_codegen_listing2_shape () =
+  (* the paper's Listing 2 parameters: 32 columns, VS=16, TL=2 *)
+  let spec =
+    { Fusion.Codegen.cols = 32; vs = 16; tl = 2; regs = 29; unrolled = true }
+  in
+  Alcotest.(check string) "kernel name" "mtmvm_32_16_2"
+    (Fusion.Codegen.kernel_name spec);
+  let src = Fusion.Codegen.cuda_source spec in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true
+        (Astring.String.is_infix ~affix:fragment src))
+    [
+      "__global__ void mtmvm_32_16_2";
+      "lid = tid & 15";
+      "l_y1"; "l_y2"; "l_X2"; "l_w2";
+      "interVectorReduce";
+      "atomicAdd(r + 16, a * l_w2);";
+    ];
+  (* unrolled source must not contain loop-indexed register arrays *)
+  Alcotest.(check bool) "no indexed registers" false
+    (Astring.String.is_infix ~affix:"l_X[i]" src)
+
+let suite =
+  [
+    Alcotest.test_case "multinomial accuracy" `Quick test_multinomial_accuracy;
+    Alcotest.test_case "multinomial predict" `Quick
+      test_multinomial_predict_consistent;
+    Alcotest.test_case "multinomial trace" `Quick
+      test_multinomial_trace_is_logreg;
+    Alcotest.test_case "multinomial validation" `Quick
+      test_multinomial_validation;
+    Alcotest.test_case "device models distinct" `Quick test_devices_distinct;
+    Alcotest.test_case "tuner adapts to device" `Quick
+      test_tuner_adapts_to_device;
+    Alcotest.test_case "kernels correct on all devices" `Quick
+      test_kernels_correct_on_all_devices;
+    Alcotest.test_case "bandwidth scaling" `Quick
+      test_bandwidth_scaling_monotone;
+    QCheck_alcotest.to_alcotest prop_cost_model_additive;
+    QCheck_alcotest.to_alcotest prop_occupancy_shared_monotone;
+    QCheck_alcotest.to_alcotest prop_segment_additive;
+    QCheck_alcotest.to_alcotest prop_xfer_linear;
+    QCheck_alcotest.to_alcotest prop_memmgr_capacity_invariant;
+    Alcotest.test_case "codegen Listing-2 snapshot" `Quick
+      test_codegen_listing2_shape;
+  ]

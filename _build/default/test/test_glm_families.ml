@@ -1,0 +1,102 @@
+(* GLM families beyond the Poisson default: binomial and gamma links,
+   family validation, and cross-family behaviour. *)
+open Matrix
+
+let device = Gpu_sim.Device.gtx_titan
+
+let design seed ~rows ~cols = Gen.dense (Rng.create seed) ~rows ~cols
+
+let planted seed ~rows ~cols =
+  let x = design seed ~rows ~cols in
+  let truth = Array.init cols (fun i -> 0.3 *. float_of_int ((i mod 3) - 1)) in
+  (x, truth, Blas.gemv x truth)
+
+let test_binomial_recovers () =
+  let x, truth, eta = planted 21 ~rows:800 ~cols:6 in
+  (* deterministic targets: the conditional mean itself (fractional
+     outcomes are valid for the binomial deviance) *)
+  let targets = Array.map (fun e -> 1.0 /. (1.0 +. exp (-.e))) eta in
+  let r =
+    Ml_algos.Glm.fit ~family:Ml_algos.Glm.binomial ~newton_iterations:20
+      device (Dense x) ~targets
+  in
+  Alcotest.(check bool) "weights near truth" true
+    (Vec.max_abs_diff r.Ml_algos.Glm.weights truth < 0.1)
+
+let test_gamma_recovers () =
+  let x, truth, eta = planted 22 ~rows:800 ~cols:6 in
+  let targets = Array.map (fun e -> exp e) eta in
+  let r =
+    Ml_algos.Glm.fit ~family:Ml_algos.Glm.gamma ~newton_iterations:20 device
+      (Dense x) ~targets
+  in
+  Alcotest.(check bool) "weights near truth" true
+    (Vec.max_abs_diff r.Ml_algos.Glm.weights truth < 0.1)
+
+let test_gamma_trace_has_no_hadamard () =
+  (* the gamma log link has unit IRLS weights, so its Hessian products
+     degrade to X^T(Xy) — the session must elide the Hadamard stage *)
+  let x, _, eta = planted 23 ~rows:300 ~cols:5 in
+  let targets = Array.map (fun e -> exp e) eta in
+  let r =
+    Ml_algos.Glm.fit ~family:Ml_algos.Glm.gamma device (Dense x) ~targets
+  in
+  let insts = Fusion.Pattern.Trace.instantiations r.Ml_algos.Glm.trace in
+  Alcotest.(check bool) "plain X^T(Xy)" true
+    (List.mem Fusion.Pattern.Xt_X_y insts);
+  Alcotest.(check bool) "no Hadamard" true
+    (not (List.mem Fusion.Pattern.Xt_v_X_y insts))
+
+let test_family_validation () =
+  let x = design 24 ~rows:10 ~cols:3 in
+  let reject family targets name =
+    Alcotest.check_raises name
+      (Invalid_argument
+         (Printf.sprintf "Glm.fit: invalid target for the %s family"
+            family.Ml_algos.Glm.family_name))
+      (fun () ->
+        ignore (Ml_algos.Glm.fit ~family device (Dense x) ~targets))
+  in
+  reject Ml_algos.Glm.binomial (Array.make 10 1.5) "binomial beyond 1";
+  reject Ml_algos.Glm.gamma (Array.make 10 0.0) "gamma needs positive";
+  reject Ml_algos.Glm.poisson (Array.make 10 (-2.0)) "poisson non-negative"
+
+let test_deviance_zero_at_perfect_fit () =
+  List.iter
+    (fun (family, target_of_eta) ->
+      let x, _, eta = planted 25 ~rows:100 ~cols:4 in
+      let targets = Array.map target_of_eta eta in
+      let r =
+        Ml_algos.Glm.fit ~family ~newton_iterations:25 device (Dense x)
+          ~targets
+      in
+      Alcotest.(check bool)
+        (family.Ml_algos.Glm.family_name ^ " deviance near zero") true
+        (r.Ml_algos.Glm.deviance < 0.05))
+    [
+      (Ml_algos.Glm.gamma, fun e -> exp e);
+      (Ml_algos.Glm.binomial, fun e -> 1.0 /. (1.0 +. exp (-.e)));
+    ]
+
+let test_families_differ () =
+  (* fitting the same positive data under gamma vs poisson must give
+     different weights (different variance assumptions) *)
+  let x, _, eta = planted 26 ~rows:400 ~cols:5 in
+  let targets = Array.map (fun e -> exp e +. 0.5) eta in
+  let g = Ml_algos.Glm.fit ~family:Ml_algos.Glm.gamma device (Dense x) ~targets in
+  let p = Ml_algos.Glm.fit ~family:Ml_algos.Glm.poisson device (Dense x) ~targets in
+  Alcotest.(check bool) "distinct estimates" true
+    (Vec.max_abs_diff g.Ml_algos.Glm.weights p.Ml_algos.Glm.weights > 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "binomial recovers planted" `Quick
+      test_binomial_recovers;
+    Alcotest.test_case "gamma recovers planted" `Quick test_gamma_recovers;
+    Alcotest.test_case "gamma trace has no Hadamard" `Quick
+      test_gamma_trace_has_no_hadamard;
+    Alcotest.test_case "family validation" `Quick test_family_validation;
+    Alcotest.test_case "zero deviance at perfect fit" `Quick
+      test_deviance_zero_at_perfect_fit;
+    Alcotest.test_case "families differ" `Quick test_families_differ;
+  ]

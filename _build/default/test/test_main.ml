@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "kernel_fusion"
+    [
+      ("vec", Test_vec.suite);
+      ("dense", Test_dense.suite);
+      ("sparse", Test_sparse.suite);
+      ("blas", Test_blas.suite);
+      ("market", Test_market.suite);
+      ("gpu", Test_gpu.suite);
+      ("warp", Test_warp.suite);
+      ("gpulibs", Test_gpulibs.suite);
+      ("fusion", Test_fusion.suite);
+      ("ml", Test_ml.suite);
+      ("glm-families", Test_glm_families.suite);
+      ("streaming", Test_streaming.suite);
+      ("system", Test_system.suite);
+      ("script", Test_script.suite);
+      ("dml", Test_dml.suite);
+      ("extensions", Test_extensions.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("consistency", Test_consistency.suite);
+      ("reproduction", Test_reproduction.suite);
+    ]

@@ -1,0 +1,129 @@
+(* Matrix Market I/O: round trips, format variants, and error paths. *)
+open Matrix
+
+let temp_file suffix =
+  Filename.temp_file "kf_market_test" suffix
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let test_sparse_roundtrip () =
+  let rng = Rng.create 1 in
+  let x = Gen.sparse_bernoulli rng ~rows:30 ~cols:20 ~density:0.2 in
+  let path = temp_file ".mtx" in
+  Market.write_sparse path x;
+  let back = Market.read_sparse path in
+  Sys.remove path;
+  Alcotest.(check bool) "roundtrip" true (Csr.approx_equal x back)
+
+let test_dense_roundtrip () =
+  let rng = Rng.create 2 in
+  let d = Gen.dense rng ~rows:7 ~cols:5 in
+  let path = temp_file ".mtx" in
+  Market.write_dense path d;
+  let back = Market.read_dense path in
+  Sys.remove path;
+  Alcotest.(check bool) "roundtrip" true (Dense.approx_equal d back)
+
+let test_vector_roundtrip () =
+  let v = [| 1.5; -2.25; 0.0; 3.0 |] in
+  let path = temp_file ".mtx" in
+  Market.write_vector path v;
+  let back = Market.read_vector path in
+  Sys.remove path;
+  Alcotest.(check (array (float 1e-12))) "roundtrip" v back
+
+let test_pattern_field () =
+  let path = temp_file ".mtx" in
+  write_lines path
+    [
+      "%%MatrixMarket matrix coordinate pattern general";
+      "% a comment line";
+      "2 3 2";
+      "1 1";
+      "2 3";
+    ];
+  let x = Market.read_sparse path in
+  Sys.remove path;
+  Alcotest.(check int) "nnz" 2 (Csr.nnz x);
+  Alcotest.(check (float 1e-12)) "unit value" 1.0
+    (Dense.get (Csr.to_dense x) 0 0)
+
+let test_symmetric_expansion () =
+  let path = temp_file ".mtx" in
+  write_lines path
+    [
+      "%%MatrixMarket matrix coordinate real symmetric";
+      "3 3 2";
+      "2 1 5.0";
+      "3 3 7.0";
+    ];
+  let x = Market.read_sparse path in
+  Sys.remove path;
+  Alcotest.(check int) "expanded nnz" 3 (Csr.nnz x);
+  let d = Csr.to_dense x in
+  Alcotest.(check (float 1e-12)) "mirrored" 5.0 (Dense.get d 0 1);
+  Alcotest.(check (float 1e-12)) "diagonal once" 7.0 (Dense.get d 2 2)
+
+let test_integer_field () =
+  let path = temp_file ".mtx" in
+  write_lines path
+    [ "%%MatrixMarket matrix coordinate integer general"; "1 2 1"; "1 2 4" ];
+  let x = Market.read_sparse path in
+  Sys.remove path;
+  Alcotest.(check (float 1e-12)) "integer value" 4.0
+    (Dense.get (Csr.to_dense x) 0 1)
+
+let expect_parse_error name lines =
+  let path = temp_file ".mtx" in
+  write_lines path lines;
+  let raised =
+    match Market.read_sparse path with
+    | (_ : Csr.t) -> false
+    | exception Market.Parse_error _ -> true
+  in
+  Sys.remove path;
+  Alcotest.(check bool) name true raised
+
+let test_bad_header () =
+  expect_parse_error "garbage header" [ "not a header"; "1 1 0" ]
+
+let test_truncated () =
+  expect_parse_error "truncated entries"
+    [ "%%MatrixMarket matrix coordinate real general"; "3 3 5"; "1 1 1.0" ]
+
+let test_out_of_range () =
+  expect_parse_error "out-of-range entry"
+    [ "%%MatrixMarket matrix coordinate real general"; "2 2 1"; "3 1 1.0" ]
+
+let test_kernels_on_loaded_matrix () =
+  (* integration: file -> kernels -> same result as reference *)
+  let rng = Rng.create 3 in
+  let x = Gen.sparse_uniform rng ~rows:200 ~cols:64 ~density:0.05 in
+  let path = temp_file ".mtx" in
+  Market.write_sparse path x;
+  let loaded = Market.read_sparse path in
+  Sys.remove path;
+  let y = Gen.vector rng 64 in
+  let got, _, _ =
+    Fusion.Fused_sparse.pattern Gpu_sim.Device.gtx_titan loaded ~y ~alpha:1.0 ()
+  in
+  Alcotest.(check bool) "kernel on loaded data" true
+    (Vec.approx_equal ~tol:1e-7 got (Blas.csrmv_t x (Blas.csrmv x y)))
+
+let suite =
+  [
+    Alcotest.test_case "sparse roundtrip" `Quick test_sparse_roundtrip;
+    Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+    Alcotest.test_case "vector roundtrip" `Quick test_vector_roundtrip;
+    Alcotest.test_case "pattern field" `Quick test_pattern_field;
+    Alcotest.test_case "symmetric expansion" `Quick test_symmetric_expansion;
+    Alcotest.test_case "integer field" `Quick test_integer_field;
+    Alcotest.test_case "bad header rejected" `Quick test_bad_header;
+    Alcotest.test_case "truncated file rejected" `Quick test_truncated;
+    Alcotest.test_case "out-of-range rejected" `Quick test_out_of_range;
+    Alcotest.test_case "kernels on loaded matrix" `Quick
+      test_kernels_on_loaded_matrix;
+  ]

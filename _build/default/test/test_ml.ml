@@ -1,0 +1,267 @@
+(* ML algorithms: convergence to known solutions, engine equivalence,
+   and the pattern traces that regenerate Table 1. *)
+open Matrix
+open Gpu_sim
+
+let device = Device.gtx_titan
+
+let well_conditioned_problem seed ~rows ~cols =
+  let rng = Rng.create seed in
+  let x = Gen.dense rng ~rows ~cols in
+  let truth = Gen.vector rng cols in
+  let targets = Blas.gemv x truth in
+  (Fusion.Executor.Dense x, targets, truth)
+
+let sparse_problem seed ~rows ~cols ~density =
+  let rng = Rng.create seed in
+  let x = Gen.sparse_uniform rng ~rows ~cols ~density in
+  let truth = Gen.vector rng cols in
+  let targets = Blas.csrmv x truth in
+  (Fusion.Executor.Sparse x, targets, truth)
+
+(* --- Linear regression CG --- *)
+
+let test_lr_recovers_planted_dense () =
+  let input, targets, truth = well_conditioned_problem 1 ~rows:400 ~cols:30 in
+  let r = Ml_algos.Linreg_cg.fit ~eps:1e-10 device input ~targets in
+  Alcotest.(check bool) "recovers planted weights" true
+    (Vec.max_abs_diff r.Ml_algos.Linreg_cg.weights truth < 1e-4)
+
+let test_lr_recovers_planted_sparse () =
+  let input, targets, truth =
+    sparse_problem 2 ~rows:800 ~cols:60 ~density:0.2
+  in
+  let r = Ml_algos.Linreg_cg.fit ~eps:1e-10 device input ~targets in
+  Alcotest.(check bool) "recovers planted weights" true
+    (Vec.max_abs_diff r.Ml_algos.Linreg_cg.weights truth < 1e-4)
+
+let test_lr_engines_agree () =
+  let input, targets, _ = sparse_problem 3 ~rows:500 ~cols:40 ~density:0.2 in
+  let f = Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Fused device input ~targets in
+  let l = Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Library device input ~targets in
+  Alcotest.(check bool) "same weights" true
+    (Vec.approx_equal ~tol:1e-6 f.Ml_algos.Linreg_cg.weights
+       l.Ml_algos.Linreg_cg.weights);
+  Alcotest.(check bool) "fused is faster" true
+    (f.Ml_algos.Linreg_cg.gpu_ms < l.Ml_algos.Linreg_cg.gpu_ms)
+
+let test_lr_cpu_matches_gpu () =
+  let input, targets, _ = sparse_problem 4 ~rows:400 ~cols:30 ~density:0.2 in
+  let g = Ml_algos.Linreg_cg.fit device input ~targets in
+  let c = Ml_algos.Linreg_cg.fit_cpu input ~targets in
+  Alcotest.(check bool) "same solution" true
+    (Vec.approx_equal ~tol:1e-6 g.Ml_algos.Linreg_cg.weights
+       c.Ml_algos.Linreg_cg.cpu_weights);
+  Alcotest.(check int) "same iterations" g.Ml_algos.Linreg_cg.iterations
+    c.Ml_algos.Linreg_cg.cpu_iterations
+
+let test_lr_trace_matches_table1 () =
+  let input, targets, _ = sparse_problem 5 ~rows:300 ~cols:25 ~density:0.2 in
+  let r = Ml_algos.Linreg_cg.fit device input ~targets in
+  let insts = Fusion.Pattern.Trace.instantiations r.Ml_algos.Linreg_cg.trace in
+  (* Listing 1 exercises X^T y (init) and X^T(Xy)+eps p (loop) *)
+  Alcotest.(check bool) "uses Xt_y" true
+    (List.mem Fusion.Pattern.Xt_y insts);
+  Alcotest.(check bool) "uses Xt_X_y_plus_z" true
+    (List.mem Fusion.Pattern.Xt_X_y_plus_z insts);
+  Alcotest.(check bool) "no Hadamard stage" true
+    (not (List.mem Fusion.Pattern.Xt_v_X_y insts))
+
+let test_lr_iteration_cap () =
+  let input, targets, _ = sparse_problem 6 ~rows:300 ~cols:100 ~density:0.1 in
+  let r = Ml_algos.Linreg_cg.fit ~max_iterations:3 device input ~targets in
+  Alcotest.(check bool) "capped" true (r.Ml_algos.Linreg_cg.iterations <= 3)
+
+let test_lr_rejects_bad_targets () =
+  let input, _, _ = sparse_problem 7 ~rows:100 ~cols:10 ~density:0.2 in
+  Alcotest.check_raises "wrong target length"
+    (Invalid_argument "Linreg_cg.fit: one target per row required") (fun () ->
+      ignore (Ml_algos.Linreg_cg.fit device input ~targets:[| 1.0 |]))
+
+(* --- GLM --- *)
+
+let test_glm_fits_poisson () =
+  let rng = Rng.create 8 in
+  let rows = 500 and cols = 8 in
+  let x = Gen.dense rng ~rows ~cols in
+  let truth = Array.init cols (fun i -> 0.2 *. float_of_int (i mod 3 - 1)) in
+  let eta = Blas.gemv x truth in
+  (* deterministic "counts": the conditional mean itself, rounded *)
+  let targets = Array.map (fun e -> Float.round (exp e)) eta in
+  let r = Ml_algos.Glm.fit device (Dense x) ~targets in
+  Alcotest.(check bool) "converged near truth" true
+    (Vec.max_abs_diff r.Ml_algos.Glm.weights truth < 0.2);
+  Alcotest.(check bool) "deviance finite" true
+    (Float.is_finite r.Ml_algos.Glm.deviance)
+
+let test_glm_trace () =
+  let rng = Rng.create 9 in
+  let x = Gen.sparse_uniform rng ~rows:300 ~cols:20 ~density:0.3 in
+  let targets = Array.init 300 (fun i -> float_of_int (i mod 4)) in
+  let r = Ml_algos.Glm.fit device (Sparse x) ~targets in
+  let insts = Fusion.Pattern.Trace.instantiations r.Ml_algos.Glm.trace in
+  Alcotest.(check bool) "uses Xt_y" true (List.mem Fusion.Pattern.Xt_y insts);
+  Alcotest.(check bool) "uses the weighted product" true
+    (List.mem Fusion.Pattern.Xt_v_X_y insts)
+
+let test_glm_rejects_negative () =
+  let rng = Rng.create 10 in
+  let x = Gen.dense rng ~rows:10 ~cols:3 in
+  Alcotest.check_raises "negative counts"
+    (Invalid_argument "Glm.fit: invalid target for the poisson family") (fun () ->
+      ignore (Ml_algos.Glm.fit device (Dense x) ~targets:(Array.make 10 (-1.0))))
+
+(* --- LogReg --- *)
+
+let separable_classification seed ~rows ~cols =
+  let rng = Rng.create seed in
+  let x = Gen.dense rng ~rows ~cols in
+  let truth = Gen.vector rng cols in
+  let labels =
+    Array.map (fun z -> if z >= 0.0 then 1.0 else -1.0) (Blas.gemv x truth)
+  in
+  (Fusion.Executor.Dense x, labels)
+
+let test_logreg_high_accuracy () =
+  let input, labels = separable_classification 11 ~rows:400 ~cols:10 in
+  let r = Ml_algos.Logreg.fit ~lambda:0.01 device input ~labels in
+  Alcotest.(check bool) "accuracy > 95%" true
+    (r.Ml_algos.Logreg.accuracy > 0.95)
+
+let test_logreg_trace_full_pattern () =
+  let input, labels = separable_classification 12 ~rows:200 ~cols:8 in
+  let r = Ml_algos.Logreg.fit ~lambda:1.0 device input ~labels in
+  let insts = Fusion.Pattern.Trace.instantiations r.Ml_algos.Logreg.trace in
+  Alcotest.(check bool) "regularised fit ticks the full pattern" true
+    (List.mem Fusion.Pattern.Full_pattern insts);
+  let r0 = Ml_algos.Logreg.fit ~lambda:0.0 device input ~labels in
+  let insts0 = Fusion.Pattern.Trace.instantiations r0.Ml_algos.Logreg.trace in
+  Alcotest.(check bool) "unregularised fit ticks Xt_v_X_y" true
+    (List.mem Fusion.Pattern.Xt_v_X_y insts0)
+
+let test_logreg_loss_decreases () =
+  let input, labels = separable_classification 13 ~rows:300 ~cols:12 in
+  let r1 = Ml_algos.Logreg.fit ~newton_iterations:1 device input ~labels in
+  let r8 = Ml_algos.Logreg.fit ~newton_iterations:8 device input ~labels in
+  Alcotest.(check bool) "more Newton steps, lower loss" true
+    (r8.Ml_algos.Logreg.loss <= r1.Ml_algos.Logreg.loss +. 1e-9)
+
+(* --- SVM --- *)
+
+let test_svm_separates () =
+  let input, labels = separable_classification 14 ~rows:300 ~cols:10 in
+  let r = Ml_algos.Svm.fit ~lambda:0.1 device input ~labels in
+  Alcotest.(check bool) "accuracy > 95%" true (r.Ml_algos.Svm.accuracy > 0.95);
+  Alcotest.(check bool) "support set shrinks" true
+    (r.Ml_algos.Svm.support_vectors < 300)
+
+let test_svm_trace_no_hadamard () =
+  let input, labels = separable_classification 15 ~rows:200 ~cols:8 in
+  let r = Ml_algos.Svm.fit device input ~labels in
+  let insts = Fusion.Pattern.Trace.instantiations r.Ml_algos.Svm.trace in
+  Alcotest.(check bool) "uses Xt_y" true (List.mem Fusion.Pattern.Xt_y insts);
+  Alcotest.(check bool) "uses Xt_X_y_plus_z" true
+    (List.mem Fusion.Pattern.Xt_X_y_plus_z insts);
+  Alcotest.(check bool) "never the Hadamard rows (Table 1)" true
+    (not (List.mem Fusion.Pattern.Xt_v_X_y insts)
+    && not (List.mem Fusion.Pattern.Full_pattern insts))
+
+let test_svm_sparse () =
+  let rng = Rng.create 16 in
+  let x = Gen.sparse_uniform rng ~rows:400 ~cols:30 ~density:0.2 in
+  let truth = Gen.vector rng 30 in
+  let labels =
+    Array.map (fun z -> if z >= 0.0 then 1.0 else -1.0) (Blas.csrmv x truth)
+  in
+  let r = Ml_algos.Svm.fit ~lambda:0.1 device (Sparse x) ~labels in
+  Alcotest.(check bool) "sparse svm accuracy" true
+    (r.Ml_algos.Svm.accuracy > 0.9)
+
+(* --- HITS --- *)
+
+let test_hits_star_graph () =
+  (* edges: every node 1..n-1 points to node 0 -> node 0 is the authority *)
+  let n = 20 in
+  let entries = List.init (n - 1) (fun i -> (i + 1, 0, 1.0)) in
+  let a = Csr.of_coo (Coo.create ~rows:n ~cols:n entries) in
+  let r = Ml_algos.Hits.run device a in
+  let auth = r.Ml_algos.Hits.authorities in
+  Alcotest.(check (float 1e-6)) "hub of the star" 1.0 auth.(0);
+  for i = 1 to n - 1 do
+    Alcotest.(check (float 1e-6)) "others zero" 0.0 auth.(i)
+  done
+
+let test_hits_converges_to_eigenvector () =
+  let rng = Rng.create 17 in
+  let a = Ml_algos.Dataset.adjacency rng ~nodes:100 ~out_degree:5 in
+  let r = Ml_algos.Hits.run ~iterations:200 device a in
+  (* a converged authority vector is a fixed point of normalised A^T A *)
+  let next = Blas.csrmv_t a (Blas.csrmv a r.Ml_algos.Hits.authorities) in
+  let nn = Vec.nrm2 next in
+  Vec.scal (1.0 /. nn) next;
+  Alcotest.(check bool) "fixed point" true
+    (Vec.max_abs_diff next r.Ml_algos.Hits.authorities < 1e-5)
+
+let test_hits_trace () =
+  let rng = Rng.create 18 in
+  let a = Ml_algos.Dataset.adjacency rng ~nodes:50 ~out_degree:4 in
+  let r = Ml_algos.Hits.run device a in
+  let insts = Fusion.Pattern.Trace.instantiations r.Ml_algos.Hits.trace in
+  Alcotest.(check bool) "Xt_y + Xt_X_y exactly (Table 1)" true
+    (insts = [ Fusion.Pattern.Xt_y; Fusion.Pattern.Xt_X_y ])
+
+let test_hits_requires_square () =
+  let rng = Rng.create 19 in
+  let a = Gen.sparse_uniform rng ~rows:10 ~cols:12 ~density:0.2 in
+  Alcotest.check_raises "square only"
+    (Invalid_argument "Hits.run: adjacency matrix must be square") (fun () ->
+      ignore (Ml_algos.Hits.run device a))
+
+(* --- Dataset --- *)
+
+let test_dataset_shapes () =
+  let rng = Rng.create 20 in
+  let kdd = Ml_algos.Dataset.kdd_like ~scale:0.001 rng in
+  Alcotest.(check bool) "kdd ultra-sparse" true
+    (match kdd.Ml_algos.Dataset.features with
+    | Fusion.Executor.Sparse x -> Csr.density x < 0.01
+    | Fusion.Executor.Dense _ -> false);
+  let higgs = Ml_algos.Dataset.higgs_like ~scale:0.001 rng in
+  Alcotest.(check int) "higgs has 28 columns" 28
+    (Fusion.Executor.cols higgs.Ml_algos.Dataset.features)
+
+let test_classification_targets () =
+  Alcotest.(check (array (float 0.0))) "signs" [| 1.0; -1.0; 1.0 |]
+    (Ml_algos.Dataset.classification_targets [| 0.5; -2.0; 0.0 |])
+
+let suite =
+  [
+    Alcotest.test_case "LR recovers planted (dense)" `Quick
+      test_lr_recovers_planted_dense;
+    Alcotest.test_case "LR recovers planted (sparse)" `Quick
+      test_lr_recovers_planted_sparse;
+    Alcotest.test_case "LR engines agree" `Quick test_lr_engines_agree;
+    Alcotest.test_case "LR cpu = gpu" `Quick test_lr_cpu_matches_gpu;
+    Alcotest.test_case "LR trace (Table 1)" `Quick test_lr_trace_matches_table1;
+    Alcotest.test_case "LR iteration cap" `Quick test_lr_iteration_cap;
+    Alcotest.test_case "LR input validation" `Quick test_lr_rejects_bad_targets;
+    Alcotest.test_case "GLM fits Poisson" `Slow test_glm_fits_poisson;
+    Alcotest.test_case "GLM trace (Table 1)" `Quick test_glm_trace;
+    Alcotest.test_case "GLM input validation" `Quick test_glm_rejects_negative;
+    Alcotest.test_case "LogReg accuracy" `Quick test_logreg_high_accuracy;
+    Alcotest.test_case "LogReg trace (Table 1)" `Quick
+      test_logreg_trace_full_pattern;
+    Alcotest.test_case "LogReg loss decreases" `Quick
+      test_logreg_loss_decreases;
+    Alcotest.test_case "SVM separates" `Quick test_svm_separates;
+    Alcotest.test_case "SVM trace (Table 1)" `Quick test_svm_trace_no_hadamard;
+    Alcotest.test_case "SVM sparse" `Quick test_svm_sparse;
+    Alcotest.test_case "HITS star graph" `Quick test_hits_star_graph;
+    Alcotest.test_case "HITS fixed point" `Quick
+      test_hits_converges_to_eigenvector;
+    Alcotest.test_case "HITS trace (Table 1)" `Quick test_hits_trace;
+    Alcotest.test_case "HITS requires square" `Quick test_hits_requires_square;
+    Alcotest.test_case "dataset shapes" `Quick test_dataset_shapes;
+    Alcotest.test_case "classification targets" `Quick
+      test_classification_targets;
+  ]

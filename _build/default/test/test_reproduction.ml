@@ -1,0 +1,171 @@
+(* End-to-end reproduction guards: each test asserts the *claim* behind a
+   table or figure of the paper, at reduced scale, so a regression in any
+   model or kernel that would break the reproduction fails the suite.
+   Bands are wide on purpose — they encode "who wins and by roughly what
+   factor", not point estimates. *)
+open Matrix
+open Gpu_sim
+
+let device = Device.gtx_titan
+let cpu = Device.core_i7_host
+let tot = Sim.total_ms
+
+let sweep_case cols =
+  let rng = Rng.create (1000 + cols) in
+  let x = Gen.sparse_uniform rng ~rows:50_000 ~cols ~density:0.01 in
+  let y = Gen.vector rng cols in
+  let p = Gen.vector rng 50_000 in
+  (x, y, p)
+
+(* Figure 2: X^T y speedup large at few columns, declining with n. *)
+let test_fig2_claim () =
+  let speedup cols =
+    let x, _, p = sweep_case cols in
+    let _, rf, _ = Fusion.Fused_sparse.xt_p device x p ~alpha:1.0 in
+    let _, rc = Gpulibs.Cusparse.csrmv_t device x p in
+    tot rc /. tot rf
+  in
+  let s200 = speedup 200 and s1024 = speedup 1024 and s4096 = speedup 4096 in
+  Alcotest.(check bool) "two orders of magnitude at n=200" true (s200 > 30.0);
+  Alcotest.(check bool) "declining with n" true (s200 > s1024 && s1024 > s4096);
+  Alcotest.(check bool) "still winning at n=4096" true (s4096 > 2.0)
+
+(* Figure 3: baseline ordering cuSPARSE > BIDMat-GPU > BIDMat-CPU. *)
+let test_fig3_claim () =
+  let x, y, _ = sweep_case 1024 in
+  let _, rf, _ = Fusion.Fused_sparse.pattern device x ~y ~alpha:1.0 () in
+  let t_f = tot rf in
+  let p1 = Blas.csrmv x y in
+  let _, r1 = Gpulibs.Cusparse.csrmv device x y in
+  let _, r2 = Gpulibs.Cusparse.csrmv_t device x p1 in
+  let _, rb2 = Gpulibs.Bidmat.csrmv_t device x p1 in
+  let s_cusp = tot (r1 @ r2) /. t_f in
+  let s_bid = tot (r1 @ rb2) /. t_f in
+  let s_cpu =
+    Gpulibs.Cpu_model.pattern_sparse_ms cpu x ~with_v:false ~with_z:false /. t_f
+  in
+  Alcotest.(check bool) "cuSPARSE is the weakest baseline" true
+    (s_cusp > s_bid);
+  Alcotest.(check bool) "MKL is the strongest baseline on sparse" true
+    (s_bid > s_cpu);
+  Alcotest.(check bool) "fused beats even the CPU" true (s_cpu > 1.5)
+
+(* Figure 5: dense ordering cuBLAS > BIDMat; CPU loses by much more than
+   on sparse data. *)
+let test_fig5_claim () =
+  let rng = Rng.create 2001 in
+  let x = Gen.dense rng ~rows:20_000 ~cols:512 in
+  let y = Gen.vector rng 512 in
+  let _, rf, _, _ = Fusion.Fused_dense.pattern device x ~y ~alpha:1.0 () in
+  let t_f = tot rf in
+  let p1, r1 = Gpulibs.Cublas.gemv device x y in
+  let _, r2 = Gpulibs.Cublas.gemv_t device x p1 in
+  let _, rb2 = Gpulibs.Bidmat.gemv_t device x p1 in
+  let s_cublas = tot (r1 @ r2) /. t_f in
+  let s_bid = tot (r1 @ rb2) /. t_f in
+  let s_cpu =
+    Gpulibs.Cpu_model.pattern_dense_ms cpu ~rows:20_000 ~cols:512
+      ~with_v:false ~with_z:false
+    /. t_f
+  in
+  Alcotest.(check bool) "cuBLAS in the paper's band (2x-6x)" true
+    (s_cublas > 2.0 && s_cublas < 6.0);
+  Alcotest.(check bool) "BIDMat the closer dense competitor" true
+    (s_bid < s_cublas && s_bid > 1.0);
+  Alcotest.(check bool) "CPU loses by an order of magnitude" true
+    (s_cpu > 8.0)
+
+(* Figure 6: the analytical model's choice is near-optimal. *)
+let test_fig6_claim () =
+  let rng = Rng.create 2002 in
+  let x = Gen.sparse_uniform rng ~rows:50_000 ~cols:1024 ~density:0.01 in
+  let y = Gen.vector rng 1024 in
+  let chosen = Fusion.Tuning.sparse_plan device x in
+  let time_of plan =
+    let _, reports, _ =
+      Fusion.Fused_sparse.pattern ~plan device x ~y ~alpha:1.0 ()
+    in
+    tot reports
+  in
+  let model_time = time_of chosen in
+  let space =
+    Fusion.Tuning.enumerate_sparse_plans device x ~vs:chosen.sp_vs
+  in
+  (* subsample the space to keep the test quick *)
+  let best =
+    List.fold_left
+      (fun acc (_, _, plan) -> Float.min acc (time_of plan))
+      infinity
+      (List.filteri (fun i _ -> i mod 7 = 0) space)
+  in
+  Alcotest.(check bool) "model within 15% of sampled best" true
+    (model_time <= best *. 1.15)
+
+(* Table 4: the large-column variant keeps its two-orders-of-magnitude
+   lead on ultra-sparse data. *)
+let test_table4_claim () =
+  let rng = Rng.create 2003 in
+  let x =
+    Gen.sparse_mixture rng ~rows:40_000 ~cols:120_000 ~nnz_per_row:28
+      ~hot_fraction:0.3 ~hot_cols:8_000 ()
+  in
+  let p = Gen.vector rng 40_000 in
+  let w_f, rf, plan = Fusion.Fused_sparse.xt_p device x p ~alpha:1.0 in
+  let w_l, rc = Gpulibs.Cusparse.csrmv_t device x p in
+  Alcotest.(check bool) "large-n variant selected" true
+    plan.Fusion.Tuning.sp_large_n;
+  Alcotest.(check bool) "results agree" true
+    (Vec.approx_equal ~tol:1e-7 w_f w_l);
+  Alcotest.(check bool) "order-of-magnitude win" true (tot rc /. tot rf > 10.0)
+
+(* Table 5 claim: sparse end-to-end wins exceed dense ones. *)
+let test_table5_claim () =
+  let higgs = Ml_algos.Dataset.higgs_like ~scale:0.005 (Rng.create 2004) in
+  let kdd = Ml_algos.Dataset.kdd_like ~scale:0.002 (Rng.create 2005) in
+  let run d iters =
+    Sysml.Runtime.standalone ~max_iterations:iters ~measure_iterations:3
+      device d
+  in
+  let h = run higgs 32 and k = run kdd 100 in
+  Alcotest.(check bool) "dense end-to-end win" true
+    (h.Sysml.Runtime.speedup > 1.3);
+  Alcotest.(check bool) "sparse win larger than dense (paper ordering)" true
+    (k.Sysml.Runtime.speedup > h.Sysml.Runtime.speedup)
+
+(* The paper's worked tuning example, end to end at full size. *)
+let test_worked_example_claim () =
+  let rng = Rng.create 2006 in
+  let x = Gen.sparse_uniform rng ~rows:500_000 ~cols:1024 ~density:0.01 in
+  let plan = Fusion.Tuning.sparse_plan device x in
+  Alcotest.(check int) "VS" 8 plan.Fusion.Tuning.sp_vs;
+  Alcotest.(check int) "BS" 640 plan.Fusion.Tuning.sp_bs;
+  Alcotest.(check int) "28 blocks" 28 plan.Fusion.Tuning.sp_grid;
+  Alcotest.(check bool) "C ~ 223" true
+    (abs (plan.Fusion.Tuning.sp_coarsening - 223) <= 1)
+
+(* Memory-bound argument of Section 3: the fused X^T(Xy) moves barely
+   more DRAM bytes than a single pass over the matrix. *)
+let test_single_load_claim () =
+  let x, y, _ = sweep_case 1024 in
+  let _, reports, _ = Fusion.Fused_sparse.pattern device x ~y ~alpha:1.0 () in
+  let dram =
+    List.fold_left
+      (fun acc (r : Sim.report) -> acc + Stats.total_dram_transactions r.stats)
+      0 reports
+  in
+  let one_pass = (Csr.bytes x + 127) / 128 in
+  Alcotest.(check bool) "X effectively loaded once (< 1.8 passes)" true
+    (dram < one_pass * 9 / 5);
+  Alcotest.(check bool) "at least one full pass" true (dram >= one_pass)
+
+let suite =
+  [
+    Alcotest.test_case "figure 2 claim" `Slow test_fig2_claim;
+    Alcotest.test_case "figure 3 claim" `Slow test_fig3_claim;
+    Alcotest.test_case "figure 5 claim" `Slow test_fig5_claim;
+    Alcotest.test_case "figure 6 claim" `Slow test_fig6_claim;
+    Alcotest.test_case "table 4 claim" `Slow test_table4_claim;
+    Alcotest.test_case "table 5 claim" `Slow test_table5_claim;
+    Alcotest.test_case "worked tuning example" `Slow test_worked_example_claim;
+    Alcotest.test_case "single-load claim" `Slow test_single_load_claim;
+  ]

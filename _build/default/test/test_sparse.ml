@@ -1,0 +1,188 @@
+(* CSR / CSC / COO formats: construction invariants, conversions,
+   transposition, and generator properties. *)
+open Matrix
+
+let rng () = Rng.create 2024
+
+let small_csr () =
+  (* [ 1 0 2 ]
+     [ 0 0 0 ]
+     [ 3 4 0 ] *)
+  Csr.create ~rows:3 ~cols:3 ~values:[| 1.0; 2.0; 3.0; 4.0 |]
+    ~col_idx:[| 0; 2; 0; 1 |] ~row_off:[| 0; 2; 2; 4 |]
+
+let test_create_valid () =
+  let x = small_csr () in
+  Alcotest.(check int) "nnz" 4 (Csr.nnz x);
+  Alcotest.(check int) "row 0 nnz" 2 (Csr.row_nnz x 0);
+  Alcotest.(check int) "row 1 empty" 0 (Csr.row_nnz x 1);
+  Alcotest.(check int) "max row nnz" 2 (Csr.max_row_nnz x)
+
+let test_create_bad_offsets () =
+  Alcotest.check_raises "non-monotone"
+    (Invalid_argument "Csr: row_off must be monotone") (fun () ->
+      ignore
+        (Csr.create ~rows:2 ~cols:2 ~values:[| 1.0 |] ~col_idx:[| 0 |]
+           ~row_off:[| 0; 2; 1 |]))
+
+let test_create_bad_colidx () =
+  Alcotest.check_raises "column out of range"
+    (Invalid_argument "Csr: column index out of range") (fun () ->
+      ignore
+        (Csr.create ~rows:1 ~cols:2 ~values:[| 1.0 |] ~col_idx:[| 5 |]
+           ~row_off:[| 0; 1 |]))
+
+let test_create_unsorted_cols () =
+  Alcotest.check_raises "unsorted columns"
+    (Invalid_argument "Csr: column indices must be strictly increasing per row")
+    (fun () ->
+      ignore
+        (Csr.create ~rows:1 ~cols:3 ~values:[| 1.0; 2.0 |] ~col_idx:[| 2; 0 |]
+           ~row_off:[| 0; 2 |]))
+
+let test_dense_roundtrip () =
+  let x = small_csr () in
+  let back = Csr.of_dense (Csr.to_dense x) in
+  Alcotest.(check bool) "roundtrip" true (Csr.approx_equal x back)
+
+let test_transpose_explicit () =
+  let x = small_csr () in
+  let xt = Csr.transpose x in
+  let expected = Dense.transpose (Csr.to_dense x) in
+  Alcotest.(check bool) "transpose" true
+    (Dense.approx_equal (Csr.to_dense xt) expected)
+
+let test_transpose_involution () =
+  let x = small_csr () in
+  Alcotest.(check bool) "transpose twice" true
+    (Csr.approx_equal x (Csr.transpose (Csr.transpose x)))
+
+let test_coo_duplicates_summed () =
+  let coo = Coo.create ~rows:2 ~cols:2 [ (0, 0, 1.0); (0, 0, 2.5); (1, 1, 1.0) ] in
+  let d = Coo.to_dense coo in
+  Alcotest.(check (float 1e-12)) "summed" 3.5 (Dense.get d 0 0)
+
+let test_coo_drops_zeros () =
+  let coo = Coo.create ~rows:1 ~cols:2 [ (0, 0, 0.0); (0, 1, 1.0) ] in
+  Alcotest.(check int) "zeros dropped" 1 (Coo.nnz coo)
+
+let test_coo_out_of_range () =
+  Alcotest.check_raises "entry out of range"
+    (Invalid_argument "Coo.create: entry (2,0) out of range 2x2") (fun () ->
+      ignore (Coo.create ~rows:2 ~cols:2 [ (2, 0, 1.0) ]))
+
+let test_csc_matches_transpose () =
+  let x = small_csr () in
+  let csc = Csc.of_csr x in
+  (* column 0 of X holds rows 0 and 2 *)
+  let seen = ref [] in
+  Csc.iter_col csc 0 (fun r v -> seen := (r, v) :: !seen);
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "column 0" [ (0, 1.0); (2, 3.0) ] (List.rev !seen)
+
+let test_csc_roundtrip () =
+  let x = small_csr () in
+  Alcotest.(check bool) "csc roundtrip" true
+    (Csr.approx_equal x (Csc.to_csr (Csc.of_csr x)))
+
+let test_mean_row_nnz () =
+  let x = small_csr () in
+  Alcotest.(check (float 1e-12)) "mu" (4.0 /. 3.0) (Csr.mean_row_nnz x)
+
+let test_density () =
+  Alcotest.(check (float 1e-12)) "density" (4.0 /. 9.0)
+    (Csr.density (small_csr ()))
+
+let test_bytes_footprint () =
+  let x = small_csr () in
+  Alcotest.(check int) "8B values + 4B cols + 4B offsets"
+    ((8 * 4) + (4 * 4) + (4 * 4))
+    (Csr.bytes x)
+
+(* Generators *)
+
+let test_gen_uniform_shape () =
+  let x = Gen.sparse_uniform (rng ()) ~rows:100 ~cols:50 ~density:0.1 in
+  Alcotest.(check int) "rows" 100 x.Csr.rows;
+  Alcotest.(check int) "5 nnz per row" 500 (Csr.nnz x)
+
+let test_gen_uniform_min_one () =
+  let x = Gen.sparse_uniform (rng ()) ~rows:10 ~cols:1000 ~density:0.0001 in
+  Alcotest.(check int) "at least one nnz per row" 10 (Csr.nnz x)
+
+let test_gen_banded () =
+  let x = Gen.sparse_banded (rng ()) ~rows:20 ~cols:20 ~bandwidth:1 in
+  Alcotest.(check bool) "max 3 per row" true (Csr.max_row_nnz x <= 3)
+
+let test_gen_deterministic () =
+  let a = Gen.sparse_uniform (Rng.create 5) ~rows:50 ~cols:30 ~density:0.1 in
+  let b = Gen.sparse_uniform (Rng.create 5) ~rows:50 ~cols:30 ~density:0.1 in
+  Alcotest.(check bool) "same seed, same matrix" true (Csr.approx_equal a b)
+
+let sparse_gen =
+  QCheck.Gen.(
+    let* rows = 1 -- 30 in
+    let* cols = 1 -- 30 in
+    let* density = float_range 0.05 0.5 in
+    let* seed = 0 -- 10000 in
+    return (Gen.sparse_bernoulli (Rng.create seed) ~rows ~cols ~density))
+
+let arbitrary_sparse = QCheck.make ~print:(Format.asprintf "%a" Csr.pp) sparse_gen
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose involution (random)" ~count:100
+    arbitrary_sparse (fun x ->
+      Csr.approx_equal x (Csr.transpose (Csr.transpose x)))
+
+let prop_transpose_preserves_nnz =
+  QCheck.Test.make ~name:"transpose preserves nnz" ~count:100 arbitrary_sparse
+    (fun x -> Csr.nnz (Csr.transpose x) = Csr.nnz x)
+
+let prop_dense_roundtrip =
+  QCheck.Test.make ~name:"csr <-> dense roundtrip (random)" ~count:100
+    arbitrary_sparse (fun x ->
+      Csr.approx_equal x (Csr.of_dense (Csr.to_dense x)))
+
+let prop_csc_roundtrip =
+  QCheck.Test.make ~name:"csr <-> csc roundtrip (random)" ~count:100
+    arbitrary_sparse (fun x -> Csr.approx_equal x (Csc.to_csr (Csc.of_csr x)))
+
+let prop_mixture_within_bounds =
+  QCheck.Test.make ~name:"mixture generator bounds" ~count:50
+    QCheck.(pair (int_range 1 50) (int_range 10 200))
+    (fun (rows, cols) ->
+      let x =
+        Gen.sparse_mixture (Rng.create 7) ~rows ~cols ~nnz_per_row:5
+          ~hot_fraction:0.5 ~hot_cols:(cols / 2) ()
+      in
+      x.Csr.rows = rows && x.Csr.cols = cols
+      && Csr.max_row_nnz x <= 5)
+
+let suite =
+  [
+    Alcotest.test_case "create validates" `Quick test_create_valid;
+    Alcotest.test_case "bad offsets rejected" `Quick test_create_bad_offsets;
+    Alcotest.test_case "bad col idx rejected" `Quick test_create_bad_colidx;
+    Alcotest.test_case "unsorted cols rejected" `Quick test_create_unsorted_cols;
+    Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+    Alcotest.test_case "transpose matches dense" `Quick test_transpose_explicit;
+    Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+    Alcotest.test_case "coo duplicates summed" `Quick test_coo_duplicates_summed;
+    Alcotest.test_case "coo drops zeros" `Quick test_coo_drops_zeros;
+    Alcotest.test_case "coo range check" `Quick test_coo_out_of_range;
+    Alcotest.test_case "csc columns" `Quick test_csc_matches_transpose;
+    Alcotest.test_case "csc roundtrip" `Quick test_csc_roundtrip;
+    Alcotest.test_case "mean row nnz" `Quick test_mean_row_nnz;
+    Alcotest.test_case "density" `Quick test_density;
+    Alcotest.test_case "bytes footprint" `Quick test_bytes_footprint;
+    Alcotest.test_case "uniform generator shape" `Quick test_gen_uniform_shape;
+    Alcotest.test_case "uniform generator min 1/row" `Quick
+      test_gen_uniform_min_one;
+    Alcotest.test_case "banded generator" `Quick test_gen_banded;
+    Alcotest.test_case "generator determinism" `Quick test_gen_deterministic;
+    QCheck_alcotest.to_alcotest prop_transpose_involution;
+    QCheck_alcotest.to_alcotest prop_transpose_preserves_nnz;
+    QCheck_alcotest.to_alcotest prop_dense_roundtrip;
+    QCheck_alcotest.to_alcotest prop_csc_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mixture_within_bounds;
+  ]

@@ -1,0 +1,101 @@
+(* Out-of-core streaming executor: correctness against the in-core
+   kernel, chunking invariants, and the overlap model. *)
+open Matrix
+open Gpu_sim
+
+let device = Device.gtx_titan
+
+let data seed ~rows ~cols =
+  let rng = Rng.create seed in
+  let x = Gen.sparse_uniform rng ~rows ~cols ~density:0.02 in
+  let y = Gen.vector rng cols in
+  let v = Gen.vector rng rows in
+  let z = Gen.vector rng cols in
+  (x, y, v, z)
+
+let test_slice_rows () =
+  let x, _, _, _ = data 1 ~rows:100 ~cols:30 in
+  let s = Csr.slice_rows x ~row_start:20 ~row_count:30 in
+  Alcotest.(check int) "rows" 30 s.Csr.rows;
+  for r = 0 to 29 do
+    Alcotest.(check int) "row nnz preserved" (Csr.row_nnz x (20 + r))
+      (Csr.row_nnz s r)
+  done;
+  let full = Csr.to_dense x and part = Csr.to_dense s in
+  Alcotest.(check (array (float 1e-12))) "row content"
+    (Dense.row full 25) (Dense.row part 5)
+
+let test_slice_bounds () =
+  let x, _, _, _ = data 2 ~rows:10 ~cols:5 in
+  Alcotest.check_raises "window out of range"
+    (Invalid_argument "Csr.slice_rows: window out of range") (fun () ->
+      ignore (Csr.slice_rows x ~row_start:5 ~row_count:6))
+
+let test_streaming_matches_in_core () =
+  let x, y, v, z = data 3 ~rows:5000 ~cols:200 in
+  let expected = Blas.pattern_sparse ~alpha:2.0 x ~v y ~beta:0.5 ~z () in
+  (* a budget forcing ~8 chunks *)
+  let budget = Csr.bytes x / 8 in
+  let r =
+    Fusion.Streaming.pattern ~device_budget_bytes:budget device x ~y ~v
+      ~beta_z:(0.5, z) ~alpha:2.0 ()
+  in
+  Alcotest.(check bool) "multiple chunks" true (r.Fusion.Streaming.chunks >= 8);
+  Alcotest.(check bool) "matches reference" true
+    (Vec.approx_equal ~tol:1e-7 r.Fusion.Streaming.w expected)
+
+let test_streaming_single_chunk_when_fits () =
+  let x, y, _, _ = data 4 ~rows:1000 ~cols:100 in
+  let r = Fusion.Streaming.pattern device x ~y ~alpha:1.0 () in
+  Alcotest.(check int) "one chunk" 1 r.Fusion.Streaming.chunks
+
+let test_overlap_bounds () =
+  let x, y, _, _ = data 5 ~rows:8000 ~cols:150 in
+  let r =
+    Fusion.Streaming.pattern ~device_budget_bytes:(Csr.bytes x / 5) device x
+      ~y ~alpha:1.0 ()
+  in
+  Alcotest.(check bool) "pipelined <= serial" true
+    (r.Fusion.Streaming.pipelined_ms <= r.Fusion.Streaming.serial_ms +. 1e-9);
+  Alcotest.(check bool) "pipelined >= max(kernel, transfer)" true
+    (r.Fusion.Streaming.pipelined_ms
+    >= Float.max r.Fusion.Streaming.kernel_ms r.Fusion.Streaming.transfer_ms
+       -. 1e-9)
+
+let test_streaming_beta_z_once () =
+  (* the additive term must be applied exactly once even across chunks *)
+  let x, y, _, z = data 6 ~rows:3000 ~cols:80 in
+  let expected = Blas.pattern_sparse ~alpha:1.0 x y ~beta:3.0 ~z () in
+  let r =
+    Fusion.Streaming.pattern ~device_budget_bytes:(Csr.bytes x / 6) device x
+      ~y ~beta_z:(3.0, z) ~alpha:1.0 ()
+  in
+  Alcotest.(check bool) "beta z applied once" true
+    (Vec.approx_equal ~tol:1e-7 r.Fusion.Streaming.w expected)
+
+let prop_streaming_chunk_invariance =
+  QCheck.Test.make ~name:"streaming result independent of chunking" ~count:20
+    QCheck.(int_range 2 12)
+    (fun divisor ->
+      let x, y, _, _ = data 7 ~rows:2000 ~cols:60 in
+      let whole = Fusion.Streaming.pattern device x ~y ~alpha:1.0 () in
+      let tiled =
+        Fusion.Streaming.pattern
+          ~device_budget_bytes:(Csr.bytes x / divisor)
+          device x ~y ~alpha:1.0 ()
+      in
+      Vec.approx_equal ~tol:1e-7 whole.Fusion.Streaming.w
+        tiled.Fusion.Streaming.w)
+
+let suite =
+  [
+    Alcotest.test_case "slice rows" `Quick test_slice_rows;
+    Alcotest.test_case "slice bounds" `Quick test_slice_bounds;
+    Alcotest.test_case "streaming = in-core" `Quick
+      test_streaming_matches_in_core;
+    Alcotest.test_case "single chunk when resident" `Quick
+      test_streaming_single_chunk_when_fits;
+    Alcotest.test_case "overlap bounds" `Quick test_overlap_bounds;
+    Alcotest.test_case "beta z applied once" `Quick test_streaming_beta_z_once;
+    QCheck_alcotest.to_alcotest prop_streaming_chunk_invariance;
+  ]

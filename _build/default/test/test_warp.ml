@@ -1,0 +1,111 @@
+(* Warp-level reduction primitives: tree order, segmented reduction, and
+   equivalence (to tolerance) with sequential summation. *)
+open Gpu_sim
+
+let test_tree_reduce_exact () =
+  Alcotest.(check (float 1e-12)) "width 4" 10.0
+    (Warp.tree_reduce [| 1.0; 2.0; 3.0; 4.0 |] ~width:4);
+  Alcotest.(check (float 1e-12)) "width 1" 7.0
+    (Warp.tree_reduce [| 7.0; 100.0 |] ~width:1)
+
+let test_tree_reduce_order () =
+  (* the butterfly computes ((a+c) + (b+d)) for width 4, observable with
+     values whose rounding depends on the association *)
+  let a = 1.0 and b = 1e-16 and c = -1.0 and d = 1e-16 in
+  let tree = Warp.tree_reduce [| a; b; c; d |] ~width:4 in
+  (* (a+c) + (b+d) = 0 + 2e-16 *)
+  Alcotest.(check (float 1e-30)) "tree association" 2e-16 tree
+
+let test_tree_reduce_rejects () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Warp.tree_reduce: width must be a power of two")
+    (fun () -> ignore (Warp.tree_reduce [| 1.0; 2.0; 3.0 |] ~width:3));
+  Alcotest.check_raises "width beyond lanes"
+    (Invalid_argument "Warp.tree_reduce: width exceeds lane count") (fun () ->
+      ignore (Warp.tree_reduce [| 1.0 |] ~width:2))
+
+let test_steps () =
+  Alcotest.(check int) "32 lanes" 5 (Warp.steps ~width:32);
+  Alcotest.(check int) "1 lane" 0 (Warp.steps ~width:1)
+
+let test_segmented_reduce () =
+  let sums =
+    Warp.segmented_reduce
+      [| 1.0; 2.0; 3.0; 4.0; 5.0 |]
+      ~flags:[| true; false; true; false; false |]
+  in
+  Alcotest.(check (array (float 1e-12))) "two segments" [| 3.0; 12.0 |] sums
+
+let test_segmented_reduce_singletons () =
+  let sums =
+    Warp.segmented_reduce [| 5.0; 6.0 |] ~flags:[| true; true |]
+  in
+  Alcotest.(check (array (float 1e-12))) "singletons" [| 5.0; 6.0 |] sums
+
+let test_segmented_reduce_empty () =
+  Alcotest.(check (array (float 1e-12))) "empty" [||]
+    (Warp.segmented_reduce [||] ~flags:[||])
+
+let test_segmented_reduce_bad_flags () =
+  Alcotest.check_raises "first flag"
+    (Invalid_argument "Warp.segmented_reduce: first flag must start a segment")
+    (fun () ->
+      ignore (Warp.segmented_reduce [| 1.0 |] ~flags:[| false |]))
+
+let prop_tree_matches_sequential =
+  QCheck.Test.make ~name:"tree reduce ~ sequential sum" ~count:200
+    QCheck.(pair (int_range 0 5) (list_of_size Gen.(return 32) (float_range (-1e6) 1e6)))
+    (fun (wpow, values) ->
+      let width = 1 lsl wpow in
+      let lanes = Array.of_list values in
+      let tree = Warp.tree_reduce lanes ~width in
+      let seq = ref 0.0 in
+      for i = 0 to width - 1 do
+        seq := !seq +. lanes.(i)
+      done;
+      Float.abs (tree -. !seq) <= 1e-7 *. Float.max 1.0 (Float.abs !seq))
+
+let prop_segmented_total_preserved =
+  QCheck.Test.make ~name:"segmented reduce preserves the total" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 64) (float_range (-100.) 100.))
+    (fun values ->
+      let values = Array.of_list values in
+      let n = Array.length values in
+      let flags = Array.init n (fun i -> i = 0 || i mod 5 = 0) in
+      let sums = Warp.segmented_reduce values ~flags in
+      let total = Array.fold_left ( +. ) 0.0 values in
+      let total' = Array.fold_left ( +. ) 0.0 sums in
+      Float.abs (total -. total') <= 1e-9 *. Float.max 1.0 (Float.abs total))
+
+let prop_segment_count =
+  QCheck.Test.make ~name:"one sum per segment" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 64) bool)
+    (fun raw_flags ->
+      let flags = Array.of_list raw_flags in
+      if Array.length flags = 0 then true
+      else begin
+        flags.(0) <- true;
+        let values = Array.map (fun _ -> 1.0) flags in
+        let segments =
+          Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 flags
+        in
+        Array.length (Warp.segmented_reduce values ~flags) = segments
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "tree reduce values" `Quick test_tree_reduce_exact;
+    Alcotest.test_case "tree reduce association order" `Quick
+      test_tree_reduce_order;
+    Alcotest.test_case "tree reduce validation" `Quick test_tree_reduce_rejects;
+    Alcotest.test_case "steps" `Quick test_steps;
+    Alcotest.test_case "segmented reduce" `Quick test_segmented_reduce;
+    Alcotest.test_case "segmented singletons" `Quick
+      test_segmented_reduce_singletons;
+    Alcotest.test_case "segmented empty" `Quick test_segmented_reduce_empty;
+    Alcotest.test_case "segmented flag validation" `Quick
+      test_segmented_reduce_bad_flags;
+    QCheck_alcotest.to_alcotest prop_tree_matches_sequential;
+    QCheck_alcotest.to_alcotest prop_segmented_total_preserved;
+    QCheck_alcotest.to_alcotest prop_segment_count;
+  ]
