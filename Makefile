@@ -15,6 +15,13 @@ bench:
 bench-full:
 	dune exec bench/main.exe -- --full
 
+# Real multicore host-backend benchmark; writes BENCH_host.json.
+bench-host:
+	dune exec bench/host_suite.exe
+
+bench-host-small:
+	dune exec bench/host_suite.exe -- --small
+
 examples:
 	for e in quickstart linear_regression spam_filter page_quality \
 	         autotune_explorer out_of_core insurance_claims; do \
@@ -23,4 +30,5 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all test test-verbose bench bench-full examples clean
+.PHONY: all test test-verbose bench bench-full bench-host bench-host-small \
+	examples clean

@@ -1,0 +1,151 @@
+(* Host-backend benchmark (Bechamel): sequential reference vs the fused
+   multicore kernels vs the parallel-library composition, across domain
+   counts and both aggregation variants, on a >= 1M-nnz synthetic CSR
+   matrix.  Unlike bench/main.exe these are *real* wall-clock execution
+   times — the host backend is the one engine that does not simulate.
+
+   Usage:
+     dune exec bench/host_suite.exe            # default shape (~1M nnz)
+     dune exec bench/host_suite.exe -- --small # CI-sized quick run
+
+   Emits BENCH_host.json in the working directory. *)
+
+open Bechamel
+open Toolkit
+open Matrix
+
+type case = {
+  id : string;
+  domains : int;
+  variant : string;  (* "sequential", "dense-acc", "col-partition", "library" *)
+  run : unit -> Vec.t;
+}
+
+let build_cases ~small =
+  let rows = if small then 20_000 else 200_000 in
+  let cols = 1024 in
+  let density = 0.005 in
+  let rng = Rng.create 20250805 in
+  let x = Gen.sparse_uniform rng ~rows ~cols ~density in
+  let y = Gen.vector rng cols in
+  let v = Gen.vector rng rows in
+  let z = Gen.vector rng cols in
+  let domain_counts =
+    List.sort_uniq compare [ 1; 2; 4; Par.Pool.default_size () ]
+  in
+  let pools =
+    List.map (fun d -> (d, Par.Pool.create ~size:d ())) domain_counts
+  in
+  let pattern_args run =
+    run ~alpha:2.0 x ?v:(Some v) y ?beta:(Some 0.5) ?z:(Some z) ()
+  in
+  let cases =
+    {
+      id = "seq:blas-pattern";
+      domains = 1;
+      variant = "sequential";
+      run = (fun () -> pattern_args Blas.pattern_sparse);
+    }
+    :: List.concat_map
+         (fun (d, pool) ->
+           [
+             {
+               id = Printf.sprintf "host-fused:d=%d" d;
+               domains = d;
+               variant = "dense-acc";
+               run =
+                 (fun () ->
+                   pattern_args
+                     (Fusion.Host_fused.pattern_sparse ~pool
+                        ~variant:Fusion.Host_fused.Dense_acc));
+             };
+             {
+               id = Printf.sprintf "host-fused-large-n:d=%d" d;
+               domains = d;
+               variant = "col-partition";
+               run =
+                 (fun () ->
+                   pattern_args
+                     (Fusion.Host_fused.pattern_sparse ~pool
+                        ~variant:Fusion.Host_fused.Col_partition));
+             };
+             {
+               id = Printf.sprintf "host-library:d=%d" d;
+               domains = d;
+               variant = "library";
+               run = (fun () -> pattern_args (Blas.par_pattern_sparse ~pool));
+             };
+           ])
+         pools
+  in
+  (x, cases)
+
+let measure_case case =
+  let test =
+    Test.make ~name:case.id (Staged.stage (fun () -> ignore (case.run ())))
+  in
+  let cfg =
+    Benchmark.cfg ~limit:30 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Benchmark.all cfg instances test in
+  let analyzed = Analyze.all ols Instance.monotonic_clock results in
+  let estimate = ref None in
+  Hashtbl.iter
+    (fun _name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> estimate := Some est
+      | _ -> ())
+    analyzed;
+  match !estimate with
+  | Some ns -> ns /. 1e6 (* ms per run *)
+  | None -> Float.nan
+
+let () =
+  let small = Array.exists (( = ) "--small") Sys.argv in
+  let x, cases = build_cases ~small in
+  Printf.printf
+    "host backend suite: %d x %d CSR, %d nnz, recommended domains %d\n%!"
+    x.Csr.rows x.Csr.cols (Csr.nnz x)
+    (Par.Pool.default_size ());
+  let measured =
+    List.map
+      (fun case ->
+        let ms = measure_case case in
+        Printf.printf "  %-26s %10.3f ms/run\n%!" case.id ms;
+        (case, ms))
+      cases
+  in
+  let seq_ms =
+    match measured with
+    | ({ variant = "sequential"; _ }, ms) :: _ -> ms
+    | _ -> Float.nan
+  in
+  let oc = open_out "BENCH_host.json" in
+  let json_float f =
+    if Float.is_nan f then "null" else Printf.sprintf "%.6f" f
+  in
+  Printf.fprintf oc
+    "{\n  \"matrix\": { \"rows\": %d, \"cols\": %d, \"nnz\": %d },\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"sequential_ms\": %s,\n\
+    \  \"results\": [\n"
+    x.Csr.rows x.Csr.cols (Csr.nnz x)
+    (Par.Pool.default_size ())
+    (json_float seq_ms);
+  let n = List.length measured in
+  List.iteri
+    (fun i (case, ms) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"domains\": %d, \"variant\": %S, \"ms\": %s, \
+         \"speedup_vs_sequential\": %s }%s\n"
+        case.id case.domains case.variant (json_float ms)
+        (json_float (seq_ms /. ms))
+        (if i = n - 1 then "" else ","))
+    measured;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_host.json"

@@ -37,6 +37,46 @@ let dense_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
 
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok _ -> Error (`Msg "must be >= 1")
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "domains" ]
+        ~doc:
+          "Domain count for the $(b,host) engine (overrides the \
+           $(b,KF_DOMAINS) environment variable; default: the runtime's \
+           recommended count).")
+
+(* The shared pool reads KF_DOMAINS lazily on first use, so setting the
+   variable before any host-engine work takes effect process-wide. *)
+let apply_domains = function
+  | None -> ()
+  | Some n -> Unix.putenv "KF_DOMAINS" (string_of_int n)
+
+let engine_arg =
+  let all =
+    [ ("fused", Fusion.Executor.Fused); ("library", Fusion.Executor.Library);
+      ("host", Fusion.Executor.Host) ]
+  in
+  Arg.(
+    value
+    & opt (enum all) Fusion.Executor.Fused
+    & info [ "e"; "engine" ]
+        ~doc:
+          "Execution engine: $(b,fused) (simulated fused kernels), \
+           $(b,library) (simulated cuSPARSE/cuBLAS composition), or \
+           $(b,host) (real multicore execution on OCaml domains; timings \
+           are wall-clock).")
+
 let make_input ~dense ~rows ~cols ~density ~seed =
   let rng = Rng.create seed in
   if dense then Fusion.Executor.Dense (Gen.dense rng ~rows ~cols)
@@ -54,8 +94,9 @@ let instantiation_arg =
               (X^T(v.(Xy))), or $(b,full).")
 
 let run_cmd =
-  let run verbose dense rows cols density seed inst =
+  let run verbose dense rows cols density seed inst domains host =
     setup_logs verbose;
+    apply_domains domains;
     let input = make_input ~dense ~rows ~cols ~density ~seed in
     let rng = Rng.create (seed + 1) in
     let y = Gen.vector rng cols in
@@ -82,15 +123,33 @@ let run_cmd =
       (l.Fusion.Executor.time_ms /. f.Fusion.Executor.time_ms);
     Printf.printf "results agree to %g\n"
       (Vec.max_abs_diff f.Fusion.Executor.w l.Fusion.Executor.w);
+    if host then begin
+      let h = exec Fusion.Executor.Host in
+      Printf.printf "host engine:    %8.3f ms wall-clock  (%s)\n"
+        h.Fusion.Executor.time_ms h.Fusion.Executor.engine_used;
+      Printf.printf "host agrees with fused to %g\n"
+        (Vec.max_abs_diff h.Fusion.Executor.w f.Fusion.Executor.w)
+    end;
     List.iter
       (fun r -> Format.printf "%a@." Gpu_sim.Sim.pp_report r)
       f.Fusion.Executor.reports
   in
+  let host_flag =
+    Arg.(
+      value & flag
+      & info [ "host" ]
+          ~doc:
+            "Also execute on the real multicore host backend and report \
+             wall-clock time.")
+  in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run a pattern instantiation with both engines.")
+    (Cmd.info "run"
+       ~doc:
+         "Run a pattern instantiation with the simulated engines (and \
+          optionally the real host backend).")
     Term.(
       const run $ verbose_arg $ dense_arg $ rows_arg $ cols_arg $ density_arg
-      $ seed_arg $ instantiation_arg)
+      $ seed_arg $ instantiation_arg $ domains_arg $ host_flag)
 
 (* ---- kf tune ---- *)
 
@@ -154,7 +213,8 @@ let algo_arg =
         ~doc:"One of $(b,lr), $(b,glm), $(b,logreg), $(b,multinomial),               $(b,svm), $(b,hits).")
 
 let train_cmd =
-  let train dense rows cols density seed algo =
+  let train dense rows cols density seed algo engine domains =
+    apply_domains domains;
     let input = make_input ~dense ~rows ~cols ~density ~seed in
     let rng = Rng.create (seed + 2) in
     let truth = Gen.vector rng cols in
@@ -165,7 +225,12 @@ let train_cmd =
     in
     let report name gpu_ms trace extras =
       Printf.printf "%s: %s\n" name extras;
-      Printf.printf "simulated device time: %.2f ms\n" gpu_ms;
+      Printf.printf "%s: %.2f ms\n"
+        (match engine with
+        | Fusion.Executor.Host -> "host wall-clock time"
+        | Fusion.Executor.Fused | Fusion.Executor.Library ->
+            "simulated device time")
+        gpu_ms;
       print_endline "pattern instantiations:";
       List.iter
         (fun inst ->
@@ -176,19 +241,19 @@ let train_cmd =
     in
     match algo with
     | `Lr ->
-        let r = Ml_algos.Linreg_cg.fit device input ~targets:raw in
+        let r = Ml_algos.Linreg_cg.fit ~engine device input ~targets:raw in
         report "linear regression CG" r.gpu_ms r.trace
           (Printf.sprintf "%d iterations, residual %g" r.iterations
              r.residual_norm)
     | `Glm ->
         let targets = Array.map (fun t -> Float.round (exp (0.02 *. t))) raw in
-        let r = Ml_algos.Glm.fit device input ~targets in
+        let r = Ml_algos.Glm.fit ~engine device input ~targets in
         report "poisson GLM" r.gpu_ms r.trace
           (Printf.sprintf "%d Newton / %d CG iterations, deviance %g"
              r.newton_iterations r.cg_iterations r.deviance)
     | `Logreg ->
         let labels = Ml_algos.Dataset.classification_targets raw in
-        let r = Ml_algos.Logreg.fit device input ~labels in
+        let r = Ml_algos.Logreg.fit ~engine device input ~labels in
         report "logistic regression (trust region)" r.gpu_ms r.trace
           (Printf.sprintf "accuracy %.1f%%" (100.0 *. r.accuracy))
     | `Multinomial ->
@@ -197,13 +262,13 @@ let train_cmd =
             (fun t -> if t < -0.5 then 0 else if t < 0.5 then 1 else 2)
             raw
         in
-        let r = Ml_algos.Multinomial.fit device input ~labels ~classes:3 in
+        let r = Ml_algos.Multinomial.fit ~engine device input ~labels ~classes:3 in
         report "multinomial logistic regression (one-vs-rest)" r.gpu_ms
           r.trace
           (Printf.sprintf "3 classes, accuracy %.1f%%" (100.0 *. r.accuracy))
     | `Svm ->
         let labels = Ml_algos.Dataset.classification_targets raw in
-        let r = Ml_algos.Svm.fit device input ~labels in
+        let r = Ml_algos.Svm.fit ~engine device input ~labels in
         report "primal SVM" r.gpu_ms r.trace
           (Printf.sprintf "accuracy %.1f%%, %d support rows"
              (100.0 *. r.accuracy) r.support_vectors)
@@ -212,7 +277,7 @@ let train_cmd =
           Ml_algos.Dataset.adjacency (Rng.create seed) ~nodes:rows
             ~out_degree:8
         in
-        let r = Ml_algos.Hits.run device a in
+        let r = Ml_algos.Hits.run ~engine device a in
         report "HITS" r.gpu_ms r.trace
           (Printf.sprintf "%d iterations, delta %g" r.iterations r.delta)
   in
@@ -220,7 +285,7 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Fit an ML algorithm on synthetic data.")
     Term.(
       const train $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg
-      $ algo_arg)
+      $ algo_arg $ engine_arg $ domains_arg)
 
 (* ---- kf script ---- *)
 
@@ -232,8 +297,9 @@ let script_cmd =
       & info [ "f"; "file" ]
           ~doc:"DML script; omit to run the paper's Listing 1.")
   in
-  let script verbose dense rows cols density seed file =
+  let script verbose dense rows cols density seed file engine domains =
     setup_logs verbose;
+    apply_domains domains;
     let program =
       match file with
       | Some path -> Sysml.Dml.parse_file path
@@ -248,7 +314,7 @@ let script_cmd =
       | Fusion.Executor.Dense x -> Blas.gemv x truth
     in
     let r =
-      Sysml.Script.eval device ~inputs:[]
+      Sysml.Script.eval ~engine device ~inputs:[]
         ~positional:[ Sysml.Script.Matrix input; Sysml.Script.Vector targets ]
         program
     in
@@ -281,7 +347,7 @@ let script_cmd =
        ~doc:"Run a DML script (default: the paper's Listing 1) on synthetic              inputs bound to $1 (matrix) and $2 (targets).")
     Term.(
       const script $ verbose_arg $ dense_arg $ rows_arg $ cols_arg
-      $ density_arg $ seed_arg $ file_arg)
+      $ density_arg $ seed_arg $ file_arg $ engine_arg $ domains_arg)
 
 let () =
   let info =

@@ -4,7 +4,7 @@ let log_src = Logs.Src.create "fusion.executor" ~doc:"pattern dispatch"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type engine = Fused | Library
+type engine = Fused | Library | Host
 
 type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
 
@@ -34,6 +34,23 @@ let finish ~instantiation ~engine_used w reports =
       m "%s: %d kernel(s), %.3f ms" engine_used (List.length reports) time_ms);
   { w; reports; time_ms; instantiation; engine_used }
 
+(* The host backend runs for real, so [time_ms] is measured wall-clock
+   rather than simulated device time, and there are no kernel reports. *)
+let finish_host ~instantiation ~engine_used f =
+  let t0 = Unix.gettimeofday () in
+  let w = f () in
+  let time_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Log.debug (fun m -> m "%s: %.3f ms wall-clock" engine_used time_ms);
+  { w; reports = []; time_ms; instantiation; engine_used }
+
+let host_pool = function Some p -> p | None -> Par.Pool.default ()
+
+let host_engine_used ~kernel ~pool ~variant =
+  Printf.sprintf "host %s [%s, %d domain%s]" kernel
+    (Host_fused.variant_name variant)
+    (Par.Pool.size pool)
+    (if Par.Pool.size pool = 1 then "" else "s")
+
 (* Library composition for the trailing BLAS-1 work: w <- alpha*w, then
    optionally w <- w + beta*z (two more kernel launches). *)
 let library_epilogue device ~alpha ~beta_z w reports =
@@ -47,13 +64,33 @@ let library_epilogue device ~alpha ~beta_z w reports =
       let w, r3 = Gpulibs.Cublas.axpy device 1.0 bz w in
       (w, reports @ r1 @ r2 @ r3)
 
-let xt_y ?(engine = Fused) device input y ~alpha =
+let xt_y ?(engine = Fused) ?pool device input y ~alpha =
   let instantiation =
     Some
       (Pattern.classify ~with_first_multiply:false ~with_v:false
          ~with_z:false)
   in
   match (engine, input) with
+  | Host, Sparse x ->
+      let pool = host_pool pool in
+      let variant =
+        Host_fused.choose_variant ~domains:(Par.Pool.size pool)
+          ~cols:x.Matrix.Csr.cols ()
+      in
+      finish_host ~instantiation
+        ~engine_used:(host_engine_used ~kernel:"fused X^T*p" ~pool ~variant)
+        (fun () -> Host_fused.xt_p ~pool ~variant ~alpha x y)
+  | Host, Dense x ->
+      (* Mirrors the Fused/Library dense dispatch: X^T*y is a single
+         pass already, so the "library" gemv_t is used, parallelised. *)
+      let pool = host_pool pool in
+      finish_host ~instantiation
+        ~engine_used:
+          (Printf.sprintf "host par_gemv_t [%d domains]" (Par.Pool.size pool))
+        (fun () ->
+          let w = Matrix.Blas.par_gemv_t ~pool x y in
+          Matrix.Vec.scal alpha w;
+          w)
   | Fused, Sparse x ->
       let w, reports, plan = Fused_sparse.xt_p device x y ~alpha in
       finish ~instantiation
@@ -97,13 +134,36 @@ let library_pattern device input ~y ?v ?beta_z ~alpha () =
   in
   library_epilogue device ~alpha ~beta_z w reports
 
-let pattern ?(engine = Fused) device input ~y ?v ?beta_z ~alpha () =
+let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
   let instantiation =
     Some
       (Pattern.classify ~with_first_multiply:true ~with_v:(v <> None)
          ~with_z:(beta_z <> None))
   in
+  let beta, z =
+    match beta_z with None -> (None, None) | Some (b, z) -> (Some b, Some z)
+  in
   match (engine, input) with
+  | Host, Sparse x ->
+      let pool = host_pool pool in
+      let variant =
+        Host_fused.choose_variant ~domains:(Par.Pool.size pool)
+          ~cols:x.Matrix.Csr.cols ()
+      in
+      finish_host ~instantiation
+        ~engine_used:(host_engine_used ~kernel:"fused sparse" ~pool ~variant)
+        (fun () ->
+          Host_fused.pattern_sparse ~pool ~variant ~alpha x ?v y ?beta ?z ())
+  | Host, Dense x ->
+      let pool = host_pool pool in
+      let variant =
+        Host_fused.choose_variant ~domains:(Par.Pool.size pool)
+          ~cols:x.Matrix.Dense.cols ()
+      in
+      finish_host ~instantiation
+        ~engine_used:(host_engine_used ~kernel:"fused dense" ~pool ~variant)
+        (fun () ->
+          Host_fused.pattern_dense ~pool ~variant ~alpha x ?v y ?beta ?z ())
   | Fused, Sparse x ->
       let w, reports, plan =
         Fused_sparse.pattern device x ~y ?v ?beta_z ~alpha ()
@@ -135,13 +195,24 @@ let pattern ?(engine = Fused) device input ~y ?v ?beta_z ~alpha () =
       in
       finish ~instantiation ~engine_used w reports
 
-let x_y ?(engine = Fused) device input y =
-  ignore engine;
+let x_y ?(engine = Fused) ?pool device input y =
   let instantiation = None in
-  match input with
-  | Sparse x ->
+  match (engine, input) with
+  | Host, Sparse x ->
+      let pool = host_pool pool in
+      finish_host ~instantiation
+        ~engine_used:
+          (Printf.sprintf "host par_csrmv [%d domains]" (Par.Pool.size pool))
+        (fun () -> Matrix.Blas.par_csrmv ~pool x y)
+  | Host, Dense x ->
+      let pool = host_pool pool in
+      finish_host ~instantiation
+        ~engine_used:
+          (Printf.sprintf "host par_gemv [%d domains]" (Par.Pool.size pool))
+        (fun () -> Matrix.Blas.par_gemv ~pool x y)
+  | (Fused | Library), Sparse x ->
       let w, reports = Gpulibs.Cusparse.csrmv device x y in
       finish ~instantiation ~engine_used:"cusparse csrmv" w reports
-  | Dense x ->
+  | (Fused | Library), Dense x ->
       let w, reports = Gpulibs.Cublas.gemv device x y in
       finish ~instantiation ~engine_used:"cublas gemv" w reports

@@ -15,13 +15,22 @@ open Gpu_sim
 type engine =
   | Fused  (** the paper's kernels (with documented fallbacks) *)
   | Library  (** cuSPARSE/cuBLAS composition *)
+  | Host
+      (** real multicore execution on a [Par.Pool] of OCaml domains —
+          the fused host kernels of [Host_fused] (with parallel host
+          BLAS where the paper prescribes library calls).  Unlike the
+          simulated engines, [time_ms] is measured wall-clock and
+          [reports] is empty.  The pool defaults to [Par.Pool.default]
+          (sized by [KF_DOMAINS]); pass [?pool] to override. *)
 
 type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
 
 type result = {
   w : Matrix.Vec.t;
   reports : Sim.report list;
-  time_ms : float;  (** sum over all launched kernels *)
+  time_ms : float;
+      (** sum over all launched kernels (simulated engines) or measured
+          wall-clock (the [Host] engine) *)
   instantiation : Pattern.instantiation option;
       (** [None] for plain [X x y], which is outside the pattern *)
   engine_used : string;
@@ -37,12 +46,19 @@ val bytes : input -> int
 (** Device footprint, for the transfer ledger. *)
 
 val xt_y :
-  ?engine:engine -> Device.t -> input -> Matrix.Vec.t -> alpha:float -> result
+  ?engine:engine ->
+  ?pool:Par.Pool.t ->
+  Device.t ->
+  input ->
+  Matrix.Vec.t ->
+  alpha:float ->
+  result
 (** [alpha * X^T x y] — the first row of Table 1 ([y] has [rows]
     elements). *)
 
 val pattern :
   ?engine:engine ->
+  ?pool:Par.Pool.t ->
   Device.t ->
   input ->
   y:Matrix.Vec.t ->
@@ -54,7 +70,8 @@ val pattern :
 (** Every other row of Table 1, selected by which optional arguments are
     present. *)
 
-val x_y : ?engine:engine -> Device.t -> input -> Matrix.Vec.t -> result
+val x_y :
+  ?engine:engine -> ?pool:Par.Pool.t -> Device.t -> input -> Matrix.Vec.t -> result
 (** Plain [X x y] — not part of the fused pattern (the paper leaves it to
     the libraries, which are already optimal for it), provided so that ML
     algorithms can run entirely through this interface. *)

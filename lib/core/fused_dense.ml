@@ -20,6 +20,19 @@ let pattern ?plan ?(codegen = true) device (x : Matrix.Dense.t) ~y ?v ?beta_z
     | None -> Tuning.dense_plan device ~rows:x.rows ~cols:x.cols
   in
   let spec = if codegen then Codegen.specialize plan else Codegen.generic plan in
+  if x.rows = 0 || x.cols = 0 then begin
+    (* Same degenerate-shape contract as Fused_sparse and Host_fused:
+       epilogue only, no phantom launch. *)
+    let w = Array.make x.cols 0.0 in
+    (match beta_z with
+    | None -> ()
+    | Some (beta, z) ->
+        for i = 0 to x.cols - 1 do
+          w.(i) <- beta *. z.(i)
+        done);
+    (w, [], plan, spec)
+  end
+  else
   let launch =
     Launch.v ~tl:plan.dp_tl ~grid_blocks:plan.dp_grid ~block_size:plan.dp_bs
       ~vs:plan.dp_vs ~coarsening:plan.dp_coarsening

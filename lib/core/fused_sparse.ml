@@ -21,6 +21,22 @@ let run_fused ?(options = default_options) ?plan device (x : Matrix.Csr.t)
   let plan =
     match plan with Some p -> p | None -> Tuning.sparse_plan device x
   in
+  if x.rows = 0 || x.cols = 0 || Matrix.Csr.nnz x = 0 then begin
+    (* Degenerate shapes: the alpha term is a sum over nothing, so only
+       the beta*z epilogue remains.  Launching the kernel anyway would
+       charge simulated time (and a phantom grid) for zero work, so all
+       fused entry points — simulated and host — short-circuit here
+       identically. *)
+    let w = Array.make x.cols 0.0 in
+    (match beta_z with
+    | None -> ()
+    | Some (beta, z) ->
+        for i = 0 to x.cols - 1 do
+          w.(i) <- beta *. z.(i)
+        done);
+    (w, [], plan)
+  end
+  else begin
   let hierarchical = options.hierarchical && not plan.sp_large_n in
   let launch = plan_launch plan in
   let nv = Launch.nv launch in
@@ -146,6 +162,7 @@ let run_fused ?(options = default_options) ?plan device (x : Matrix.Csr.t)
         w)
   in
   (result, [ report ], plan)
+  end
 
 let xt_p ?options ?plan device (x : Matrix.Csr.t) p ~alpha =
   if Array.length p <> x.rows then

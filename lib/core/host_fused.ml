@@ -1,0 +1,225 @@
+type variant = Dense_acc | Col_partition
+
+let variant_name = function
+  | Dense_acc -> "dense-acc"
+  | Col_partition -> "col-partition"
+
+let default_accumulator_budget_bytes () =
+  match Sys.getenv_opt "KF_HOST_ACC_BYTES" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 256 * 1024 * 1024)
+  | None -> 256 * 1024 * 1024
+
+let choose_variant ?budget_bytes ~domains ~cols () =
+  let budget =
+    match budget_bytes with
+    | Some b -> b
+    | None -> default_accumulator_budget_bytes ()
+  in
+  if 8 * cols * domains <= budget then Dense_acc else Col_partition
+
+let get_pool = function Some p -> p | None -> Par.Pool.default ()
+
+let merge_add ~dst ~src =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) +. src.(i)
+  done
+
+let check_sparse_args (x : Matrix.Csr.t) ~v ~y ~z ~name =
+  if Array.length y <> x.cols then
+    invalid_arg (name ^ ": y must have one element per column");
+  (match v with
+  | Some v when Array.length v <> x.rows ->
+      invalid_arg (name ^ ": v must have one element per row")
+  | _ -> ());
+  match z with
+  | Some z when Array.length z <> x.cols ->
+      invalid_arg (name ^ ": z must have one element per column")
+  | _ -> ()
+
+(* Degenerate shapes never reach the pool: the alpha term is a sum over
+   zero rows (or zero columns), so the result is just the epilogue. *)
+let degenerate ~alpha ~beta ~z ~cols =
+  Matrix.Blas.finish_pattern ~alpha ~beta ~z (Array.make cols 0.0)
+
+(* One fused pass over the rows [rlo, rhi) of [x], scattering each row's
+   scalar contribution into [w] restricted to columns [clo, chi).
+   [p_of] yields the per-row scalar: either a fresh dot product against
+   y (Algorithm 2's first walk, locals standing in for registers) or a
+   precomputed value (Algorithm 1). *)
+let sparse_scatter_rows (x : Matrix.Csr.t) ~p_of ~w ~rlo ~rhi ~clo ~chi =
+  let full = clo = 0 && chi >= x.cols in
+  for r = rlo to rhi - 1 do
+    let s = x.row_off.(r) and e = x.row_off.(r + 1) in
+    if e > s then begin
+      let pr = p_of r s e in
+      if pr <> 0.0 then
+        if full then
+          for i = s to e - 1 do
+            let c = x.col_idx.(i) in
+            w.(c) <- w.(c) +. (x.values.(i) *. pr)
+          done
+        else
+          for i = s to e - 1 do
+            let c = x.col_idx.(i) in
+            if c >= clo && c < chi then w.(c) <- w.(c) +. (x.values.(i) *. pr)
+          done
+    end
+  done
+
+let sparse_row_dot (x : Matrix.Csr.t) y ~v r s e =
+  let acc = ref 0.0 in
+  for i = s to e - 1 do
+    acc := !acc +. (x.values.(i) *. y.(x.col_idx.(i)))
+  done;
+  match v with None -> !acc | Some v -> !acc *. v.(r)
+
+(* Dense_acc: nnz-balanced row ranges, per-domain accumulators, tree
+   merge — the three-tier hierarchical aggregation. *)
+let sparse_dense_acc pool (x : Matrix.Csr.t) ~p_of =
+  let workers = Par.Pool.size pool in
+  let bounds = Par.Partition.by_prefix ~prefix:x.row_off ~parts:workers () in
+  let parts =
+    Par.Pool.map_workers pool (fun wid ->
+        let w = Array.make x.cols 0.0 in
+        sparse_scatter_rows x ~p_of ~w ~rlo:bounds.(wid) ~rhi:bounds.(wid + 1)
+          ~clo:0 ~chi:x.cols;
+        w)
+  in
+  Par.Pool.reduce pool ~merge:merge_add parts
+
+(* Col_partition: [p] is materialised by a row-parallel pass, then every
+   domain streams the matrix filtering for its own column range, writing
+   into disjoint slices of one shared [w] — total accumulator memory
+   stays O(cols) instead of O(cols * domains). *)
+let sparse_col_partition pool (x : Matrix.Csr.t) ~p_of =
+  let workers = Par.Pool.size pool in
+  let p = Array.make x.rows 0.0 in
+  Par.Pool.parallel_for pool ~lo:0 ~hi:x.rows (fun a b ->
+      for r = a to b - 1 do
+        let s = x.row_off.(r) and e = x.row_off.(r + 1) in
+        if e > s then p.(r) <- p_of r s e
+      done);
+  let w = Array.make x.cols 0.0 in
+  let cbounds = Par.Partition.uniform ~n:x.cols ~parts:workers in
+  Par.Pool.run_workers pool (fun wid ->
+      let clo = cbounds.(wid) and chi = cbounds.(wid + 1) in
+      if chi > clo then
+        sparse_scatter_rows x
+          ~p_of:(fun r _s _e -> p.(r))
+          ~w ~rlo:0 ~rhi:x.rows ~clo ~chi);
+  w
+
+let run_sparse ?pool ?variant (x : Matrix.Csr.t) ~p_of ~alpha ~beta ~z =
+  let pool = get_pool pool in
+  let variant =
+    match variant with
+    | Some v -> v
+    | None ->
+        choose_variant ~domains:(Par.Pool.size pool) ~cols:x.cols ()
+  in
+  let w =
+    match variant with
+    | Dense_acc -> sparse_dense_acc pool x ~p_of
+    | Col_partition -> sparse_col_partition pool x ~p_of
+  in
+  Matrix.Blas.finish_pattern ~alpha ~beta ~z w
+
+let pattern_sparse ?pool ?variant ~alpha (x : Matrix.Csr.t) ?v y ?beta ?z () =
+  check_sparse_args x ~v ~y ~z ~name:"Host_fused.pattern_sparse";
+  if x.rows = 0 || x.cols = 0 || Matrix.Csr.nnz x = 0 then
+    degenerate ~alpha ~beta ~z ~cols:x.cols
+  else
+    run_sparse ?pool ?variant x ~p_of:(sparse_row_dot x y ~v) ~alpha ~beta ~z
+
+let xt_p ?pool ?variant ~alpha (x : Matrix.Csr.t) p =
+  if Array.length p <> x.rows then
+    invalid_arg "Host_fused.xt_p: p must have one element per row";
+  if x.rows = 0 || x.cols = 0 || Matrix.Csr.nnz x = 0 then
+    degenerate ~alpha ~beta:None ~z:None ~cols:x.cols
+  else
+    run_sparse ?pool ?variant x
+      ~p_of:(fun r _s _e -> p.(r))
+      ~alpha ~beta:None ~z:None
+
+(* ---- dense ---- *)
+
+let check_dense_args (x : Matrix.Dense.t) ~v ~y ~z ~name =
+  if Array.length y <> x.cols then
+    invalid_arg (name ^ ": y must have one element per column");
+  (match v with
+  | Some v when Array.length v <> x.rows ->
+      invalid_arg (name ^ ": v must have one element per row")
+  | _ -> ());
+  match z with
+  | Some z when Array.length z <> x.cols ->
+      invalid_arg (name ^ ": z must have one element per column")
+  | _ -> ()
+
+let dense_row_scalar (x : Matrix.Dense.t) y ~v r =
+  let base = r * x.cols in
+  let acc = ref 0.0 in
+  for c = 0 to x.cols - 1 do
+    acc := !acc +. (x.data.(base + c) *. y.(c))
+  done;
+  match v with None -> !acc | Some v -> !acc *. v.(r)
+
+let dense_scatter_rows (x : Matrix.Dense.t) ~p_of ~w ~rlo ~rhi ~clo ~chi =
+  for r = rlo to rhi - 1 do
+    let pr = p_of r in
+    if pr <> 0.0 then begin
+      let base = r * x.cols in
+      for c = clo to chi - 1 do
+        w.(c) <- w.(c) +. (x.data.(base + c) *. pr)
+      done
+    end
+  done
+
+let dense_dense_acc pool (x : Matrix.Dense.t) ~p_of =
+  let workers = Par.Pool.size pool in
+  let bounds = Par.Partition.uniform ~n:x.rows ~parts:workers in
+  let parts =
+    Par.Pool.map_workers pool (fun wid ->
+        let w = Array.make x.cols 0.0 in
+        dense_scatter_rows x ~p_of ~w ~rlo:bounds.(wid) ~rhi:bounds.(wid + 1)
+          ~clo:0 ~chi:x.cols;
+        w)
+  in
+  Par.Pool.reduce pool ~merge:merge_add parts
+
+let dense_col_partition pool (x : Matrix.Dense.t) ~p_of =
+  let workers = Par.Pool.size pool in
+  let p = Array.make x.rows 0.0 in
+  Par.Pool.parallel_for pool ~lo:0 ~hi:x.rows (fun a b ->
+      for r = a to b - 1 do
+        p.(r) <- p_of r
+      done);
+  let w = Array.make x.cols 0.0 in
+  let cbounds = Par.Partition.uniform ~n:x.cols ~parts:workers in
+  Par.Pool.run_workers pool (fun wid ->
+      let clo = cbounds.(wid) and chi = cbounds.(wid + 1) in
+      if chi > clo then
+        dense_scatter_rows x ~p_of:(fun r -> p.(r)) ~w ~rlo:0 ~rhi:x.rows ~clo
+          ~chi);
+  w
+
+let pattern_dense ?pool ?variant ~alpha (x : Matrix.Dense.t) ?v y ?beta ?z () =
+  check_dense_args x ~v ~y ~z ~name:"Host_fused.pattern_dense";
+  if x.rows = 0 || x.cols = 0 then degenerate ~alpha ~beta ~z ~cols:x.cols
+  else begin
+    let pool = get_pool pool in
+    let variant =
+      match variant with
+      | Some v -> v
+      | None -> choose_variant ~domains:(Par.Pool.size pool) ~cols:x.cols ()
+    in
+    let p_of = dense_row_scalar x y ~v in
+    let w =
+      match variant with
+      | Dense_acc -> dense_dense_acc pool x ~p_of
+      | Col_partition -> dense_col_partition pool x ~p_of
+    in
+    Matrix.Blas.finish_pattern ~alpha ~beta ~z w
+  end

@@ -1,0 +1,94 @@
+(** Multicore host execution of the Equation-1 pattern — the CPU
+    analogue of Algorithms 1–3.
+
+    Where the GPU kernels aggregate hierarchically through
+    registers -> shared memory -> global atomics, the host kernels use
+    the memory tiers a multicore CPU actually has, one level per tier:
+
+    - {b registers -> locals}: each row's dot product accumulates in a
+      local before any store, exactly like the per-lane partials;
+    - {b shared memory -> per-domain buffers}: every domain owns a
+      private dense accumulator for [w], the stand-in for the per-block
+      shared-memory buffer ([Dense_acc] variant);
+    - {b global atomics -> tree merge}: per-domain buffers are combined
+      by a log-depth tree reduce on the pool, the stand-in for the
+      inter-block atomic sweep.
+
+    Work is split across domains by nnz-balanced row partitioning
+    ([Par.Partition.by_prefix] over [row_off]), mirroring the tuner's
+    Equation-5 coarsening so domains finish together.
+
+    For ultra-wide matrices (KDD2010-shaped) the per-domain dense
+    accumulators would need [8 * cols * domains] bytes; past a
+    working-set budget the kernels switch to the [Col_partition]
+    variant: a parallel first pass materialises the per-row scalars
+    [p], then each domain owns a disjoint column range of the final [w]
+    and streams the matrix once more, accumulating only its own columns
+    — no per-domain buffers, no merge, no races.  This is the host
+    mirror of the paper's large-n global-atomics variant.
+
+    All entry points compute real results only (no simulator): they are
+    the "runs as fast as the hardware allows" backend and are verified
+    to match [Matrix.Blas.pattern_sparse]/[pattern_dense] within
+    floating-point reassociation error. *)
+
+type variant =
+  | Dense_acc  (** per-domain dense accumulators + tree merge *)
+  | Col_partition  (** shared [w], disjoint column ranges per domain *)
+
+val variant_name : variant -> string
+(** ["dense-acc"] or ["col-partition"]. *)
+
+val default_accumulator_budget_bytes : unit -> int
+(** Working-set budget for per-domain accumulators: the
+    [KF_HOST_ACC_BYTES] environment variable when set to a positive
+    integer, else 256 MiB. *)
+
+val choose_variant :
+  ?budget_bytes:int -> domains:int -> cols:int -> unit -> variant
+(** [Dense_acc] while [8 * cols * domains <= budget_bytes], else
+    [Col_partition]. *)
+
+val pattern_sparse :
+  ?pool:Par.Pool.t ->
+  ?variant:variant ->
+  alpha:float ->
+  Matrix.Csr.t ->
+  ?v:Matrix.Vec.t ->
+  Matrix.Vec.t ->
+  ?beta:float ->
+  ?z:Matrix.Vec.t ->
+  unit ->
+  Matrix.Vec.t
+(** Fused multicore [alpha * X^T (v .* (X y)) + beta * z] for CSR [x]:
+    each domain streams its rows once, computing the row dot product and
+    scattering it back in the same pass.  Argument conventions (and
+    validation) match [Matrix.Blas.pattern_sparse].  [variant] defaults
+    to {!choose_variant}.  Degenerate shapes ([rows = 0], [cols = 0] or
+    [nnz = 0]) return [beta * z] (or zeros) without touching the
+    pool. *)
+
+val pattern_dense :
+  ?pool:Par.Pool.t ->
+  ?variant:variant ->
+  alpha:float ->
+  Matrix.Dense.t ->
+  ?v:Matrix.Vec.t ->
+  Matrix.Vec.t ->
+  ?beta:float ->
+  ?z:Matrix.Vec.t ->
+  unit ->
+  Matrix.Vec.t
+(** Dense-row analogue of {!pattern_sparse} (Algorithm 3's structure:
+    one streaming pass over [X], partials kept local). *)
+
+val xt_p :
+  ?pool:Par.Pool.t ->
+  ?variant:variant ->
+  alpha:float ->
+  Matrix.Csr.t ->
+  Matrix.Vec.t ->
+  Matrix.Vec.t
+(** [xt_p ~alpha x p = alpha * X^T p] — Algorithm 1's host analogue,
+    where the per-row scalar arrives precomputed and only the scatter
+    (with its hierarchical aggregation) remains. *)

@@ -85,6 +85,112 @@ let pattern_dense ~alpha x ?v y ?beta ?z () =
   let w = gemv_t x p in
   finish_pattern ~alpha ~beta ~z w
 
+(* ---- multicore variants ----------------------------------------------
+   Row-parallel versions of the four matrix-vector products sharing one
+   domain pool, so the unfused "library" baseline is as parallel as the
+   fused host kernels and the comparison between them stays honest.
+   Outputs indexed by row partition disjointly across workers; transposed
+   products scatter into per-worker accumulators merged by a tree
+   reduce. *)
+
+let get_pool = function Some p -> p | None -> Par.Pool.default ()
+
+let merge_add ~dst ~src =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) +. src.(i)
+  done
+
+let par_gemv ?pool (x : Dense.t) y =
+  if Array.length y <> x.cols then
+    invalid_arg "Blas.par_gemv: dimension mismatch";
+  let pool = get_pool pool in
+  let out = Array.make x.rows 0.0 in
+  Par.Pool.parallel_for pool ~lo:0 ~hi:x.rows (fun a b ->
+      for r = a to b - 1 do
+        let base = r * x.cols in
+        let acc = ref 0.0 in
+        for c = 0 to x.cols - 1 do
+          acc := !acc +. (x.data.(base + c) *. y.(c))
+        done;
+        out.(r) <- !acc
+      done);
+  out
+
+let par_gemv_t ?pool (x : Dense.t) p =
+  if Array.length p <> x.rows then
+    invalid_arg "Blas.par_gemv_t: dimension mismatch";
+  let pool = get_pool pool in
+  let workers = Par.Pool.size pool in
+  if workers = 1 || x.rows = 0 || x.cols = 0 then gemv_t x p
+  else begin
+    let bounds = Par.Partition.uniform ~n:x.rows ~parts:workers in
+    let parts =
+      Par.Pool.map_workers pool (fun wid ->
+          let out = Array.make x.cols 0.0 in
+          for r = bounds.(wid) to bounds.(wid + 1) - 1 do
+            let base = r * x.cols in
+            let pr = p.(r) in
+            if pr <> 0.0 then
+              for c = 0 to x.cols - 1 do
+                out.(c) <- out.(c) +. (x.data.(base + c) *. pr)
+              done
+          done;
+          out)
+    in
+    Par.Pool.reduce pool ~merge:merge_add parts
+  end
+
+let par_csrmv ?pool (x : Csr.t) y =
+  if Array.length y <> x.cols then
+    invalid_arg "Blas.par_csrmv: dimension mismatch";
+  let pool = get_pool pool in
+  let out = Array.make x.rows 0.0 in
+  Par.Pool.parallel_for pool ~lo:0 ~hi:x.rows (fun a b ->
+      for r = a to b - 1 do
+        let acc = ref 0.0 in
+        for i = x.row_off.(r) to x.row_off.(r + 1) - 1 do
+          acc := !acc +. (x.values.(i) *. y.(x.col_idx.(i)))
+        done;
+        out.(r) <- !acc
+      done);
+  out
+
+let par_csrmv_t ?pool (x : Csr.t) p =
+  if Array.length p <> x.rows then
+    invalid_arg "Blas.par_csrmv_t: dimension mismatch";
+  let pool = get_pool pool in
+  let workers = Par.Pool.size pool in
+  if workers = 1 || x.rows = 0 || x.cols = 0 then csrmv_t x p
+  else begin
+    let bounds = Par.Partition.by_prefix ~prefix:x.row_off ~parts:workers () in
+    let parts =
+      Par.Pool.map_workers pool (fun wid ->
+          let out = Array.make x.cols 0.0 in
+          for r = bounds.(wid) to bounds.(wid + 1) - 1 do
+            let pr = p.(r) in
+            if pr <> 0.0 then
+              for i = x.row_off.(r) to x.row_off.(r + 1) - 1 do
+                let c = x.col_idx.(i) in
+                out.(c) <- out.(c) +. (x.values.(i) *. pr)
+              done
+          done;
+          out)
+    in
+    Par.Pool.reduce pool ~merge:merge_add parts
+  end
+
+let par_pattern_sparse ?pool ~alpha x ?v y ?beta ?z () =
+  let p = par_csrmv ?pool x y in
+  let p = match v with None -> p | Some v -> Vec.mul_elementwise v p in
+  let w = par_csrmv_t ?pool x p in
+  finish_pattern ~alpha ~beta ~z w
+
+let par_pattern_dense ?pool ~alpha x ?v y ?beta ?z () =
+  let p = par_gemv ?pool x y in
+  let p = match v with None -> p | Some v -> Vec.mul_elementwise v p in
+  let w = par_gemv_t ?pool x p in
+  finish_pattern ~alpha ~beta ~z w
+
 type op_class = Pattern_op | Blas1_op | Other_op
 
 type time_buckets = {

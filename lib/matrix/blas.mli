@@ -40,6 +40,44 @@ val pattern_dense :
   alpha:float -> Dense.t -> ?v:Vec.t -> Vec.t -> ?beta:float -> ?z:Vec.t ->
   unit -> Vec.t
 
+val finish_pattern :
+  alpha:float -> beta:float option -> z:Vec.t option -> Vec.t -> Vec.t
+(** [finish_pattern ~alpha ~beta ~z w] applies the trailing BLAS-1 work
+    in place: [w <- alpha * w + beta * z], validating that [beta] and
+    [z] are given together.  Shared by the sequential and multicore
+    pattern entry points so they scale and accumulate identically. *)
+
+(** {1 Multicore variants}
+
+    Row-parallel versions of the products above running on a [Par.Pool]
+    (default: the shared {!Par.Pool.default} pool).  These are the
+    "parallel library" baseline of the host backend: the same operator
+    chain as the sequential reference, parallelised operator by
+    operator, with no fusion across operators.  Transposed products use
+    nnz-balanced row partitions with per-worker accumulators merged by a
+    tree reduce.  Results match the sequential functions up to
+    floating-point summation order. *)
+
+val par_gemv : ?pool:Par.Pool.t -> Dense.t -> Vec.t -> Vec.t
+
+val par_gemv_t : ?pool:Par.Pool.t -> Dense.t -> Vec.t -> Vec.t
+
+val par_csrmv : ?pool:Par.Pool.t -> Csr.t -> Vec.t -> Vec.t
+
+val par_csrmv_t : ?pool:Par.Pool.t -> Csr.t -> Vec.t -> Vec.t
+
+val par_pattern_sparse :
+  ?pool:Par.Pool.t ->
+  alpha:float -> Csr.t -> ?v:Vec.t -> Vec.t -> ?beta:float -> ?z:Vec.t ->
+  unit -> Vec.t
+(** [pattern_sparse] as an unfused chain of multicore library calls —
+    the honest parallel baseline for the fused host kernels. *)
+
+val par_pattern_dense :
+  ?pool:Par.Pool.t ->
+  alpha:float -> Dense.t -> ?v:Vec.t -> Vec.t -> ?beta:float -> ?z:Vec.t ->
+  unit -> Vec.t
+
 (** {1 Instrumented timing for Table 2}
 
     [timed_section] buckets wall-clock time by operation class so the

@@ -3,16 +3,18 @@ open Gpu_sim
 type t = {
   device : Device.t;
   engine : Fusion.Executor.engine;
+  pool : Par.Pool.t option;  (* only consulted by the Host engine *)
   trace : Fusion.Pattern.Trace.t;
   mutable gpu_ms : float;
   mutable pattern_ms : float;
   mutable launches : int;
 }
 
-let create ?(engine = Fusion.Executor.Fused) device ~algorithm =
+let create ?(engine = Fusion.Executor.Fused) ?pool device ~algorithm =
   {
     device;
     engine;
+    pool;
     trace = Fusion.Pattern.Trace.create ~algorithm;
     gpu_ms = 0.0;
     pattern_ms = 0.0;
@@ -34,15 +36,17 @@ let absorb_result t (r : Fusion.Executor.result) =
   r.w
 
 let xt_y t input y ~alpha =
-  absorb_result t (Fusion.Executor.xt_y ~engine:t.engine t.device input y ~alpha)
+  absorb_result t
+    (Fusion.Executor.xt_y ~engine:t.engine ?pool:t.pool t.device input y ~alpha)
 
 let pattern t input ~y ?v ?beta_z ~alpha () =
   absorb_result t
-    (Fusion.Executor.pattern ~engine:t.engine t.device input ~y ?v ?beta_z
-       ~alpha ())
+    (Fusion.Executor.pattern ~engine:t.engine ?pool:t.pool t.device input ~y ?v
+       ?beta_z ~alpha ())
 
 let x_y t input y =
-  absorb_result t (Fusion.Executor.x_y ~engine:t.engine t.device input y)
+  absorb_result t
+    (Fusion.Executor.x_y ~engine:t.engine ?pool:t.pool t.device input y)
 
 let absorb_level1 t reports =
   t.gpu_ms <- t.gpu_ms +. Sim.total_ms reports;

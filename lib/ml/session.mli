@@ -12,7 +12,14 @@ open Gpu_sim
 type t
 
 val create :
-  ?engine:Fusion.Executor.engine -> Device.t -> algorithm:string -> t
+  ?engine:Fusion.Executor.engine ->
+  ?pool:Par.Pool.t ->
+  Device.t ->
+  algorithm:string ->
+  t
+(** [pool] selects the domain pool used when [engine] is
+    [Fusion.Executor.Host] (default: the shared [Par.Pool.default]
+    pool); it is ignored by the simulated engines. *)
 
 val device : t -> Device.t
 

@@ -113,6 +113,75 @@ let test_tuner_tiny_matrix () =
   Alcotest.(check bool) "launchable plan for a 1-row matrix" true
     (plan.Fusion.Tuning.sp_grid >= 1)
 
+(* rows=0 / cols=0: every entry point must return the epilogue
+   (beta*z or zeros) without simulating or launching anything. *)
+
+let test_zero_rows_fused () =
+  let x = empty_rows_csr ~rows:0 ~cols:6 in
+  let z = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let w, reports, _ =
+    Fusion.Fused_sparse.pattern device x ~y:(Array.make 6 1.0)
+      ~beta_z:(2.0, z) ~alpha:3.0 ()
+  in
+  Alcotest.(check (array (float 1e-12))) "beta*z survives" (Vec.scale 2.0 z) w;
+  Alcotest.(check int) "no phantom kernel launch" 0 (List.length reports);
+  let w, reports, _ =
+    Fusion.Fused_sparse.pattern device x ~y:(Array.make 6 1.0) ~alpha:3.0 ()
+  in
+  Alcotest.(check (float 1e-12)) "zeros without beta z" 0.0 (Vec.nrm2 w);
+  Alcotest.(check int) "no phantom kernel launch" 0 (List.length reports)
+
+let test_zero_cols_fused () =
+  let x = empty_rows_csr ~rows:7 ~cols:0 in
+  let w, reports, _ =
+    Fusion.Fused_sparse.pattern device x ~y:[||] ~alpha:1.0 ()
+  in
+  Alcotest.(check int) "empty result" 0 (Array.length w);
+  Alcotest.(check int) "no phantom kernel launch" 0 (List.length reports)
+
+let test_zero_rows_fused_dense () =
+  let x = Dense.create 0 4 in
+  let z = [| 1.0; -1.0; 2.0; -2.0 |] in
+  let w, reports, _, _ =
+    Fusion.Fused_dense.pattern device x ~y:(Array.make 4 1.0)
+      ~beta_z:(0.5, z) ~alpha:1.0 ()
+  in
+  Alcotest.(check (array (float 1e-12))) "beta*z survives" (Vec.scale 0.5 z) w;
+  Alcotest.(check int) "no phantom kernel launch" 0 (List.length reports)
+
+let test_zero_rows_host () =
+  let x = empty_rows_csr ~rows:0 ~cols:5 in
+  let z = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  List.iter
+    (fun variant ->
+      let w =
+        Fusion.Host_fused.pattern_sparse ~variant ~alpha:2.0 x
+          (Array.make 5 1.0) ~beta:3.0 ~z ()
+      in
+      Alcotest.(check (array (float 1e-12)))
+        (Fusion.Host_fused.variant_name variant ^ ": beta*z survives")
+        (Vec.scale 3.0 z) w)
+    [ Fusion.Host_fused.Dense_acc; Fusion.Host_fused.Col_partition ];
+  let w = Fusion.Host_fused.xt_p ~alpha:1.0 x [||] in
+  Alcotest.(check (float 1e-12)) "xt_p on 0 rows" 0.0 (Vec.nrm2 w)
+
+let test_zero_cols_host () =
+  let x = empty_rows_csr ~rows:9 ~cols:0 in
+  let w = Fusion.Host_fused.pattern_sparse ~alpha:1.0 x [||] () in
+  Alcotest.(check int) "empty result" 0 (Array.length w);
+  let xd = Dense.create 0 0 in
+  let w = Fusion.Host_fused.pattern_dense ~alpha:1.0 xd [||] () in
+  Alcotest.(check int) "0x0 dense" 0 (Array.length w)
+
+let test_zero_rows_executor_host () =
+  let x = empty_rows_csr ~rows:0 ~cols:3 in
+  let r =
+    Fusion.Executor.pattern ~engine:Fusion.Executor.Host device (Sparse x)
+      ~y:(Array.make 3 1.0) ~beta_z:(4.0, [| 1.0; 1.0; 1.0 |]) ~alpha:1.0 ()
+  in
+  Alcotest.(check (array (float 1e-12))) "beta*z through the executor"
+    [| 4.0; 4.0; 4.0 |] r.Fusion.Executor.w
+
 let test_memmgr_zero_bytes () =
   let mm = Sysml.Memmgr.create device in
   let cost = Sysml.Memmgr.ensure_resident mm ~key:"empty" ~bytes:0 ~needs_conversion:false in
@@ -135,5 +204,12 @@ let suite =
     Alcotest.test_case "market: zero-nnz file" `Quick test_market_empty_matrix;
     Alcotest.test_case "HITS on an empty graph" `Quick test_hits_empty_graph;
     Alcotest.test_case "tuner on a 1-row matrix" `Quick test_tuner_tiny_matrix;
+    Alcotest.test_case "rows=0: fused sparse" `Quick test_zero_rows_fused;
+    Alcotest.test_case "cols=0: fused sparse" `Quick test_zero_cols_fused;
+    Alcotest.test_case "rows=0: fused dense" `Quick test_zero_rows_fused_dense;
+    Alcotest.test_case "rows=0: host kernels" `Quick test_zero_rows_host;
+    Alcotest.test_case "cols=0: host kernels" `Quick test_zero_cols_host;
+    Alcotest.test_case "rows=0: executor host engine" `Quick
+      test_zero_rows_executor_host;
     Alcotest.test_case "memmgr zero-byte block" `Quick test_memmgr_zero_bytes;
   ]

@@ -1,0 +1,212 @@
+(* Host multicore backend: results must match the sequential reference
+   across random matrices x domain counts {1,2,4} x both aggregation
+   variants, within floating-point reassociation error (1e-9 relative). *)
+open Matrix
+
+let pool1 = lazy (Par.Pool.create ~size:1 ())
+let pool2 = lazy (Par.Pool.create ~size:2 ())
+let pool4 = lazy (Par.Pool.create ~size:4 ())
+
+let pools () =
+  [ (1, Lazy.force pool1); (2, Lazy.force pool2); (4, Lazy.force pool4) ]
+
+let variants = [ Fusion.Host_fused.Dense_acc; Fusion.Host_fused.Col_partition ]
+
+let max_abs v = Array.fold_left (fun m x -> Stdlib.max m (abs_float x)) 0.0 v
+
+let close ~what reference w =
+  if Array.length reference <> Array.length w then
+    QCheck.Test.fail_reportf "%s: length %d <> %d" what
+      (Array.length reference) (Array.length w);
+  let tol = 1e-9 *. (1.0 +. max_abs reference) in
+  Array.iteri
+    (fun i r ->
+      if abs_float (r -. w.(i)) > tol then
+        QCheck.Test.fail_reportf "%s: w.(%d) = %.17g, reference %.17g" what i
+          w.(i) r)
+    reference;
+  true
+
+(* (seed, rows, cols, density, with_v, with_bz, alpha) *)
+let sparse_case =
+  QCheck.make
+    ~print:(fun (seed, r, c, d, v, bz, a) ->
+      Printf.sprintf "seed=%d rows=%d cols=%d density=%.3f v=%b bz=%b a=%g"
+        seed r c d v bz a)
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* rows = int_range 1 80 in
+      let* cols = int_range 1 60 in
+      let* density = float_range 0.01 0.4 in
+      let* with_v = bool in
+      let* with_bz = bool in
+      let* alpha = float_range (-2.0) 2.0 in
+      return (seed, rows, cols, density, with_v, with_bz, alpha))
+
+let test_sparse_matches =
+  QCheck.Test.make ~count:60 ~name:"host pattern_sparse == Blas.pattern_sparse"
+    sparse_case
+    (fun (seed, rows, cols, density, with_v, with_bz, alpha) ->
+      let rng = Rng.create seed in
+      let x = Gen.sparse_uniform rng ~rows ~cols ~density in
+      let y = Gen.vector rng cols in
+      let v = if with_v then Some (Gen.vector rng rows) else None in
+      let beta = if with_bz then Some 0.75 else None in
+      let z = if with_bz then Some (Gen.vector rng cols) else None in
+      let reference = Blas.pattern_sparse ~alpha x ?v y ?beta ?z () in
+      List.for_all
+        (fun (d, pool) ->
+          List.for_all
+            (fun variant ->
+              let w =
+                Fusion.Host_fused.pattern_sparse ~pool ~variant ~alpha x ?v y
+                  ?beta ?z ()
+              in
+              close
+                ~what:
+                  (Printf.sprintf "sparse d=%d %s" d
+                     (Fusion.Host_fused.variant_name variant))
+                reference w)
+            variants)
+        (pools ()))
+
+let test_dense_matches =
+  QCheck.Test.make ~count:40 ~name:"host pattern_dense == Blas.pattern_dense"
+    sparse_case
+    (fun (seed, rows, cols, _density, with_v, with_bz, alpha) ->
+      let rng = Rng.create seed in
+      let x = Gen.dense rng ~rows ~cols in
+      let y = Gen.vector rng cols in
+      let v = if with_v then Some (Gen.vector rng rows) else None in
+      let beta = if with_bz then Some (-0.5) else None in
+      let z = if with_bz then Some (Gen.vector rng cols) else None in
+      let reference = Blas.pattern_dense ~alpha x ?v y ?beta ?z () in
+      List.for_all
+        (fun (d, pool) ->
+          List.for_all
+            (fun variant ->
+              let w =
+                Fusion.Host_fused.pattern_dense ~pool ~variant ~alpha x ?v y
+                  ?beta ?z ()
+              in
+              close
+                ~what:
+                  (Printf.sprintf "dense d=%d %s" d
+                     (Fusion.Host_fused.variant_name variant))
+                reference w)
+            variants)
+        (pools ()))
+
+let test_xt_p_matches =
+  QCheck.Test.make ~count:40 ~name:"host xt_p == alpha * Blas.csrmv_t"
+    sparse_case
+    (fun (seed, rows, cols, density, _v, _bz, alpha) ->
+      let rng = Rng.create seed in
+      let x = Gen.sparse_uniform rng ~rows ~cols ~density in
+      let p = Gen.vector rng rows in
+      let reference = Blas.csrmv_t x p in
+      Vec.scal alpha reference;
+      List.for_all
+        (fun (d, pool) ->
+          List.for_all
+            (fun variant ->
+              let w = Fusion.Host_fused.xt_p ~pool ~variant ~alpha x p in
+              close
+                ~what:
+                  (Printf.sprintf "xt_p d=%d %s" d
+                     (Fusion.Host_fused.variant_name variant))
+                reference w)
+            variants)
+        (pools ()))
+
+let test_par_blas_matches =
+  QCheck.Test.make ~count:40 ~name:"parallel BLAS == sequential BLAS"
+    sparse_case
+    (fun (seed, rows, cols, density, _v, _bz, _a) ->
+      let rng = Rng.create seed in
+      let x = Gen.sparse_uniform rng ~rows ~cols ~density in
+      let xd = Gen.dense rng ~rows ~cols in
+      let y = Gen.vector rng cols in
+      let p = Gen.vector rng rows in
+      List.for_all
+        (fun (d, pool) ->
+          let tag s = Printf.sprintf "%s d=%d" s d in
+          close ~what:(tag "par_csrmv") (Blas.csrmv x y)
+            (Blas.par_csrmv ~pool x y)
+          && close ~what:(tag "par_csrmv_t") (Blas.csrmv_t x p)
+               (Blas.par_csrmv_t ~pool x p)
+          && close ~what:(tag "par_gemv") (Blas.gemv xd y)
+               (Blas.par_gemv ~pool xd y)
+          && close ~what:(tag "par_gemv_t") (Blas.gemv_t xd p)
+               (Blas.par_gemv_t ~pool xd p))
+        (pools ()))
+
+(* Deterministic end-to-end checks through the executor and a session. *)
+
+let device = Gpu_sim.Device.gtx_titan
+
+let test_executor_host_engine () =
+  let rng = Rng.create 99 in
+  let x = Gen.sparse_uniform rng ~rows:3000 ~cols:200 ~density:0.02 in
+  let y = Gen.vector rng 200 in
+  let v = Gen.vector rng 3000 in
+  let z = Gen.vector rng 200 in
+  let reference = Blas.pattern_sparse ~alpha:2.0 x ~v y ~beta:0.5 ~z () in
+  let r =
+    Fusion.Executor.pattern ~engine:Fusion.Executor.Host
+      ~pool:(Lazy.force pool2) device (Sparse x) ~y ~v ~beta_z:(0.5, z)
+      ~alpha:2.0 ()
+  in
+  Alcotest.(check bool) "host result matches reference" true
+    (Vec.approx_equal ~tol:1e-9 r.Fusion.Executor.w reference);
+  Alcotest.(check bool) "no simulated reports" true
+    (r.Fusion.Executor.reports = []);
+  Alcotest.(check bool) "wall-clock time recorded" true
+    (r.Fusion.Executor.time_ms >= 0.0);
+  Alcotest.(check bool) "engine string names the host backend" true
+    (Astring.String.is_infix ~affix:"host fused sparse"
+       r.Fusion.Executor.engine_used)
+
+let test_host_variant_auto_switch () =
+  (* A tiny accumulator budget must force the column-partitioned
+     variant; a large one must keep dense accumulators. *)
+  Alcotest.(check bool) "small budget -> col-partition" true
+    (Fusion.Host_fused.choose_variant ~budget_bytes:64 ~domains:4 ~cols:1000 ()
+    = Fusion.Host_fused.Col_partition);
+  Alcotest.(check bool) "large budget -> dense-acc" true
+    (Fusion.Host_fused.choose_variant ~budget_bytes:(1 lsl 30) ~domains:4
+       ~cols:1000 ()
+    = Fusion.Host_fused.Dense_acc)
+
+let test_session_host_lr () =
+  (* A whole CG solve on the host engine must converge to the same
+     solution as the fused simulation. *)
+  let rng = Rng.create 5 in
+  let x = Gen.sparse_uniform rng ~rows:2000 ~cols:100 ~density:0.05 in
+  let truth = Gen.vector rng 100 in
+  let targets = Blas.csrmv x truth in
+  let fused =
+    Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Fused device (Sparse x)
+      ~targets
+  in
+  let host =
+    Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Host device (Sparse x)
+      ~targets
+  in
+  Alcotest.(check bool) "same solution" true
+    (Vec.approx_equal ~tol:1e-6 fused.Ml_algos.Linreg_cg.weights
+       host.Ml_algos.Linreg_cg.weights);
+  Alcotest.(check bool) "host wall-clock accumulated" true
+    (host.Ml_algos.Linreg_cg.gpu_ms >= 0.0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest test_sparse_matches;
+    QCheck_alcotest.to_alcotest test_dense_matches;
+    QCheck_alcotest.to_alcotest test_xt_p_matches;
+    QCheck_alcotest.to_alcotest test_par_blas_matches;
+    Alcotest.test_case "executor Host engine" `Quick test_executor_host_engine;
+    Alcotest.test_case "accumulator budget switches variant" `Quick
+      test_host_variant_auto_switch;
+    Alcotest.test_case "LR-CG end-to-end on host" `Quick test_session_host_lr;
+  ]

@@ -17,6 +17,8 @@ let () =
       ("script", Test_script.suite);
       ("dml", Test_dml.suite);
       ("extensions", Test_extensions.suite);
+      ("par", Test_par.suite);
+      ("host", Test_host.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("consistency", Test_consistency.suite);
       ("reproduction", Test_reproduction.suite);
