@@ -25,7 +25,7 @@ bench-host-small:
 examples:
 	for e in quickstart linear_regression spam_filter page_quality \
 	         autotune_explorer out_of_core insurance_claims; do \
-	  echo "== $$e"; dune exec examples/$$e.exe; done
+	  echo "== $$e"; dune exec examples/$$e.exe || exit 1; done
 
 clean:
 	dune clean

@@ -78,7 +78,7 @@ let build_cases ~small =
            ])
          pools
   in
-  (x, cases)
+  (x, domain_counts, cases)
 
 let measure_case case =
   let test =
@@ -104,9 +104,32 @@ let measure_case case =
   | Some ns -> ns /. 1e6 (* ms per run *)
   | None -> Float.nan
 
+(* Re-measure the widest fused case with tracing (and a Host_stats sink)
+   turned on: the delta against the normal measurement bounds what the
+   observability layer costs when it is actually recording — and, since
+   every number above ran with the instrumentation compiled in but off,
+   the off-state cost is already priced into the headline results. *)
+let measure_tracing_overhead measured =
+  let fused = List.filter (fun (c, _) -> c.variant = "dense-acc") measured in
+  match
+    List.sort (fun (a, _) (b, _) -> compare b.domains a.domains) fused
+  with
+  | [] -> None
+  | (case, off_ms) :: _ ->
+      Kf_obs.Trace.enable ();
+      let stats = Kf_obs.Host_stats.create ~domains:case.domains in
+      let on_ms =
+        Fun.protect
+          ~finally:(fun () ->
+            Kf_obs.Trace.disable ();
+            Kf_obs.Trace.clear ())
+          (fun () -> Kf_obs.Host_stats.with_sink stats (fun () -> measure_case case))
+      in
+      Some (case, off_ms, on_ms)
+
 let () =
   let small = Array.exists (( = ) "--small") Sys.argv in
-  let x, cases = build_cases ~small in
+  let x, domain_counts, cases = build_cases ~small in
   Printf.printf
     "host backend suite: %d x %d CSR, %d nnz, recommended domains %d\n%!"
     x.Csr.rows x.Csr.cols (Csr.nnz x)
@@ -124,28 +147,65 @@ let () =
     | ({ variant = "sequential"; _ }, ms) :: _ -> ms
     | _ -> Float.nan
   in
-  let oc = open_out "BENCH_host.json" in
-  let json_float f =
-    if Float.is_nan f then "null" else Printf.sprintf "%.6f" f
+  let tracing = measure_tracing_overhead measured in
+  (match tracing with
+  | Some (case, off_ms, on_ms) ->
+      Printf.printf "  tracing overhead on %s: %.3f -> %.3f ms (%+.2f%%)\n%!"
+        case.id off_ms on_ms
+        (100.0 *. ((on_ms /. off_ms) -. 1.0))
+  | None -> ());
+  let meta =
+    Kf_obs.Json.Obj
+      [
+        ("ocaml_version", Kf_obs.Json.Str Sys.ocaml_version);
+        ("small", Kf_obs.Json.Bool small);
+        ( "domain_counts",
+          Kf_obs.Json.List
+            (List.map (fun d -> Kf_obs.Json.Int d) domain_counts) );
+        ( "kf_host_acc_bytes",
+          Kf_obs.Json.Int (Fusion.Host_fused.default_accumulator_budget_bytes ())
+        );
+        ( "tracing_overhead",
+          match tracing with
+          | None -> Kf_obs.Json.Null
+          | Some (case, off_ms, on_ms) ->
+              Kf_obs.Json.Obj
+                [
+                  ("case", Kf_obs.Json.Str case.id);
+                  ("off_ms", Kf_obs.Json.Float off_ms);
+                  ("on_ms", Kf_obs.Json.Float on_ms);
+                  ( "overhead_pct",
+                    Kf_obs.Json.Float (100.0 *. ((on_ms /. off_ms) -. 1.0)) );
+                ] );
+      ]
   in
-  Printf.fprintf oc
-    "{\n  \"matrix\": { \"rows\": %d, \"cols\": %d, \"nnz\": %d },\n\
-    \  \"recommended_domains\": %d,\n\
-    \  \"sequential_ms\": %s,\n\
-    \  \"results\": [\n"
-    x.Csr.rows x.Csr.cols (Csr.nnz x)
-    (Par.Pool.default_size ())
-    (json_float seq_ms);
-  let n = List.length measured in
-  List.iteri
-    (fun i (case, ms) ->
-      Printf.fprintf oc
-        "    { \"name\": %S, \"domains\": %d, \"variant\": %S, \"ms\": %s, \
-         \"speedup_vs_sequential\": %s }%s\n"
-        case.id case.domains case.variant (json_float ms)
-        (json_float (seq_ms /. ms))
-        (if i = n - 1 then "" else ","))
-    measured;
-  Printf.fprintf oc "  ]\n}\n";
+  let result_json (case, ms) =
+    Kf_obs.Json.Obj
+      [
+        ("name", Kf_obs.Json.Str case.id);
+        ("domains", Kf_obs.Json.Int case.domains);
+        ("variant", Kf_obs.Json.Str case.variant);
+        ("ms", Kf_obs.Json.Float ms);
+        ("speedup_vs_sequential", Kf_obs.Json.Float (seq_ms /. ms));
+      ]
+  in
+  let doc =
+    Kf_obs.Json.Obj
+      [
+        ("meta", meta);
+        ( "matrix",
+          Kf_obs.Json.Obj
+            [
+              ("rows", Kf_obs.Json.Int x.Csr.rows);
+              ("cols", Kf_obs.Json.Int x.Csr.cols);
+              ("nnz", Kf_obs.Json.Int (Csr.nnz x));
+            ] );
+        ("recommended_domains", Kf_obs.Json.Int (Par.Pool.default_size ()));
+        ("sequential_ms", Kf_obs.Json.Float seq_ms);
+        ("results", Kf_obs.Json.List (List.map result_json measured));
+      ]
+  in
+  let oc = open_out "BENCH_host.json" in
+  Kf_obs.Json.to_channel oc doc;
   close_out oc;
   print_endline "wrote BENCH_host.json"

@@ -62,6 +62,78 @@ let apply_domains = function
   | None -> ()
   | Some n -> Unix.putenv "KF_DOMAINS" (string_of_int n)
 
+(* ---- observability ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file (loadable unmodified in \
+           Perfetto or chrome://tracing) when the command finishes.  The \
+           $(b,KF_TRACE) environment variable supplies the path when the \
+           flag is absent.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a span profile tree, the process counters, and — for \
+           host-engine work — per-domain busy/idle/rows/nnz stats with \
+           the load-imbalance ratio, after the command finishes.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the command's report as JSON on stdout.")
+
+(* Shared observability wrapper: tracing turns on when a trace file or
+   --profile asks for it; --profile additionally installs a run-wide
+   [Host_stats] aggregate that every host-engine op folds into.  The
+   artefacts are emitted even when the wrapped command raises, so a
+   failing run still leaves its trace behind. *)
+let with_obs ~trace ~profile f =
+  let trace =
+    match trace with Some _ as t -> t | None -> Sys.getenv_opt "KF_TRACE"
+  in
+  if trace = None && not profile then f ()
+  else begin
+    Kf_obs.Trace.enable ();
+    let agg =
+      if profile then
+        Some
+          (Kf_obs.Host_stats.create
+             ~domains:(Par.Pool.size (Par.Pool.default ())))
+      else None
+    in
+    let emit () =
+      (match trace with
+      | Some path ->
+          Kf_obs.Chrome.write_file path;
+          Printf.eprintf "trace: %d event(s) written to %s\n%!"
+            (Kf_obs.Trace.event_count ()) path
+      | None -> ());
+      if profile then begin
+        Format.printf "@.-- span profile --@.%a@." Kf_obs.Profile.pp_current
+          ();
+        Format.printf "-- counters --@.";
+        List.iter
+          (fun (name, v) -> Format.printf "  %-24s %d@." name v)
+          (Kf_obs.Counter.all ());
+        match agg with
+        | Some stats when stats.Kf_obs.Host_stats.jobs > 0 ->
+            Format.printf "-- host engine --@.%a@." Kf_obs.Host_stats.pp stats
+        | _ -> ()
+      end
+    in
+    Fun.protect ~finally:emit (fun () ->
+        match agg with
+        | Some stats -> Kf_obs.Host_stats.with_sink stats f
+        | None -> f ())
+  end
+
 let engine_arg =
   let all =
     [ ("fused", Fusion.Executor.Fused); ("library", Fusion.Executor.Library);
@@ -94,9 +166,10 @@ let instantiation_arg =
               (X^T(v.(Xy))), or $(b,full).")
 
 let run_cmd =
-  let run verbose dense rows cols density seed inst domains host =
+  let run verbose dense rows cols density seed inst domains host trace profile =
     setup_logs verbose;
     apply_domains domains;
+    with_obs ~trace ~profile @@ fun () ->
     let input = make_input ~dense ~rows ~cols ~density ~seed in
     let rng = Rng.create (seed + 1) in
     let y = Gen.vector rng cols in
@@ -149,29 +222,69 @@ let run_cmd =
           optionally the real host backend).")
     Term.(
       const run $ verbose_arg $ dense_arg $ rows_arg $ cols_arg $ density_arg
-      $ seed_arg $ instantiation_arg $ domains_arg $ host_flag)
+      $ seed_arg $ instantiation_arg $ domains_arg $ host_flag $ trace_arg
+      $ profile_arg)
 
 (* ---- kf tune ---- *)
 
+let dense_plan_json (p : Fusion.Tuning.dense_plan) =
+  Kf_obs.Json.(
+    Obj
+      [
+        ("kind", Str "dense");
+        ("vs", Int p.dp_vs);
+        ("bs", Int p.dp_bs);
+        ("tl", Int p.dp_tl);
+        ("coarsening", Int p.dp_coarsening);
+        ("grid", Int p.dp_grid);
+        ("registers", Int p.dp_regs);
+        ("shared_bytes", Int p.dp_shared_bytes);
+        ("padded_cols", Int p.dp_padded_cols);
+      ])
+
+let sparse_plan_json ~mean_row_nnz (p : Fusion.Tuning.sparse_plan) =
+  Kf_obs.Json.(
+    Obj
+      [
+        ("kind", Str "sparse");
+        ("mean_row_nnz", Float mean_row_nnz);
+        ("vs", Int p.sp_vs);
+        ("bs", Int p.sp_bs);
+        ("coarsening", Int p.sp_coarsening);
+        ("grid", Int p.sp_grid);
+        ("shared_bytes", Int p.sp_shared_bytes);
+        ("registers", Int p.sp_regs);
+        ("large_n", Bool p.sp_large_n);
+      ])
+
 let tune_cmd =
-  let tune dense rows cols density seed =
+  let tune dense rows cols density seed json =
     if dense then begin
       let plan = Fusion.Tuning.dense_plan device ~rows ~cols in
-      Format.printf "%a@." Fusion.Tuning.pp_dense_plan plan
+      if json then Kf_obs.Json.to_channel stdout (dense_plan_json plan)
+      else Format.printf "%a@." Fusion.Tuning.pp_dense_plan plan
     end
     else begin
       let input = make_input ~dense ~rows ~cols ~density ~seed in
       match input with
       | Fusion.Executor.Sparse x ->
           let plan = Fusion.Tuning.sparse_plan device x in
-          Format.printf "mu = %.2f nnz/row@." (Csr.mean_row_nnz x);
-          Format.printf "%a@." Fusion.Tuning.pp_sparse_plan plan
+          let mu = Csr.mean_row_nnz x in
+          if json then
+            Kf_obs.Json.to_channel stdout
+              (sparse_plan_json ~mean_row_nnz:mu plan)
+          else begin
+            Format.printf "mu = %.2f nnz/row@." mu;
+            Format.printf "%a@." Fusion.Tuning.pp_sparse_plan plan
+          end
       | Fusion.Executor.Dense _ -> assert false
     end
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Show the analytical launch plan (Section 3.3).")
-    Term.(const tune $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg)
+    Term.(
+      const tune $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg
+      $ json_arg)
 
 (* ---- kf codegen ---- *)
 
@@ -213,8 +326,10 @@ let algo_arg =
         ~doc:"One of $(b,lr), $(b,glm), $(b,logreg), $(b,multinomial),               $(b,svm), $(b,hits).")
 
 let train_cmd =
-  let train dense rows cols density seed algo engine domains =
+  let train dense rows cols density seed algo engine domains trace_file profile
+      json =
     apply_domains domains;
+    with_obs ~trace:trace_file ~profile @@ fun () ->
     let input = make_input ~dense ~rows ~cols ~density ~seed in
     let rng = Rng.create (seed + 2) in
     let truth = Gen.vector rng cols in
@@ -223,69 +338,138 @@ let train_cmd =
       | Fusion.Executor.Sparse x -> Blas.csrmv x truth
       | Fusion.Executor.Dense x -> Blas.gemv x truth
     in
-    let report name gpu_ms trace extras =
-      Printf.printf "%s: %s\n" name extras;
-      Printf.printf "%s: %.2f ms\n"
-        (match engine with
-        | Fusion.Executor.Host -> "host wall-clock time"
-        | Fusion.Executor.Fused | Fusion.Executor.Library ->
-            "simulated device time")
-        gpu_ms;
-      print_endline "pattern instantiations:";
-      List.iter
-        (fun inst ->
-          Printf.printf "  %-28s x%d\n"
-            (Fusion.Pattern.name inst)
-            (Fusion.Pattern.Trace.count trace inst))
-        (Fusion.Pattern.Trace.instantiations trace)
+    let time_label =
+      match engine with
+      | Fusion.Executor.Host -> "host wall-clock time"
+      | Fusion.Executor.Fused | Fusion.Executor.Library ->
+          "simulated device time"
+    in
+    (* One report path for both renderings: [extras] feeds the text
+       output, [fields] the JSON one, and the pattern trace and
+       per-iteration timeline are shared. *)
+    let report name gpu_ms trace timeline ~extras ~fields =
+      if json then
+        Kf_obs.Json.to_channel stdout
+          (Kf_obs.Json.Obj
+             ([
+                ("algorithm", Kf_obs.Json.Str name);
+                ( "engine",
+                  Kf_obs.Json.Str
+                    (match engine with
+                    | Fusion.Executor.Fused -> "fused"
+                    | Fusion.Executor.Library -> "library"
+                    | Fusion.Executor.Host -> "host") );
+                ("time_ms", Kf_obs.Json.Float gpu_ms);
+              ]
+             @ fields
+             @ [
+                 ( "pattern_instantiations",
+                   Kf_obs.Json.Obj
+                     (List.map
+                        (fun inst ->
+                          ( Fusion.Pattern.name inst,
+                            Kf_obs.Json.Int
+                              (Fusion.Pattern.Trace.count trace inst) ))
+                        (Fusion.Pattern.Trace.instantiations trace)) );
+                 ( "timeline",
+                   Kf_obs.Json.List
+                     (List.map Ml_algos.Session.iteration_json timeline) );
+               ]))
+      else begin
+        Printf.printf "%s: %s\n" name extras;
+        Printf.printf "%s: %.2f ms\n" time_label gpu_ms;
+        print_endline "pattern instantiations:";
+        List.iter
+          (fun inst ->
+            Printf.printf "  %-28s x%d\n"
+              (Fusion.Pattern.name inst)
+              (Fusion.Pattern.Trace.count trace inst))
+          (Fusion.Pattern.Trace.instantiations trace)
+      end
     in
     match algo with
     | `Lr ->
         let r = Ml_algos.Linreg_cg.fit ~engine device input ~targets:raw in
-        report "linear regression CG" r.gpu_ms r.trace
-          (Printf.sprintf "%d iterations, residual %g" r.iterations
-             r.residual_norm)
+        report "linear regression CG" r.gpu_ms r.trace r.timeline
+          ~extras:
+            (Printf.sprintf "%d iterations, residual %g" r.iterations
+               r.residual_norm)
+          ~fields:
+            [
+              ("iterations", Kf_obs.Json.Int r.iterations);
+              ("residual_norm", Kf_obs.Json.Float r.residual_norm);
+            ]
     | `Glm ->
         let targets = Array.map (fun t -> Float.round (exp (0.02 *. t))) raw in
         let r = Ml_algos.Glm.fit ~engine device input ~targets in
-        report "poisson GLM" r.gpu_ms r.trace
-          (Printf.sprintf "%d Newton / %d CG iterations, deviance %g"
-             r.newton_iterations r.cg_iterations r.deviance)
+        report "poisson GLM" r.gpu_ms r.trace r.timeline
+          ~extras:
+            (Printf.sprintf "%d Newton / %d CG iterations, deviance %g"
+               r.newton_iterations r.cg_iterations r.deviance)
+          ~fields:
+            [
+              ("newton_iterations", Kf_obs.Json.Int r.newton_iterations);
+              ("cg_iterations", Kf_obs.Json.Int r.cg_iterations);
+              ("deviance", Kf_obs.Json.Float r.deviance);
+            ]
     | `Logreg ->
         let labels = Ml_algos.Dataset.classification_targets raw in
         let r = Ml_algos.Logreg.fit ~engine device input ~labels in
         report "logistic regression (trust region)" r.gpu_ms r.trace
-          (Printf.sprintf "accuracy %.1f%%" (100.0 *. r.accuracy))
+          r.timeline
+          ~extras:(Printf.sprintf "accuracy %.1f%%" (100.0 *. r.accuracy))
+          ~fields:[ ("accuracy", Kf_obs.Json.Float r.accuracy) ]
     | `Multinomial ->
         let labels =
           Array.map
             (fun t -> if t < -0.5 then 0 else if t < 0.5 then 1 else 2)
             raw
         in
-        let r = Ml_algos.Multinomial.fit ~engine device input ~labels ~classes:3 in
+        let r =
+          Ml_algos.Multinomial.fit ~engine device input ~labels ~classes:3
+        in
         report "multinomial logistic regression (one-vs-rest)" r.gpu_ms
-          r.trace
-          (Printf.sprintf "3 classes, accuracy %.1f%%" (100.0 *. r.accuracy))
+          r.trace r.timeline
+          ~extras:
+            (Printf.sprintf "3 classes, accuracy %.1f%%" (100.0 *. r.accuracy))
+          ~fields:
+            [
+              ("classes", Kf_obs.Json.Int r.classes);
+              ("accuracy", Kf_obs.Json.Float r.accuracy);
+            ]
     | `Svm ->
         let labels = Ml_algos.Dataset.classification_targets raw in
         let r = Ml_algos.Svm.fit ~engine device input ~labels in
-        report "primal SVM" r.gpu_ms r.trace
-          (Printf.sprintf "accuracy %.1f%%, %d support rows"
-             (100.0 *. r.accuracy) r.support_vectors)
+        report "primal SVM" r.gpu_ms r.trace r.timeline
+          ~extras:
+            (Printf.sprintf "accuracy %.1f%%, %d support rows"
+               (100.0 *. r.accuracy) r.support_vectors)
+          ~fields:
+            [
+              ("accuracy", Kf_obs.Json.Float r.accuracy);
+              ("support_vectors", Kf_obs.Json.Int r.support_vectors);
+            ]
     | `Hits ->
         let a =
           Ml_algos.Dataset.adjacency (Rng.create seed) ~nodes:rows
             ~out_degree:8
         in
         let r = Ml_algos.Hits.run ~engine device a in
-        report "HITS" r.gpu_ms r.trace
-          (Printf.sprintf "%d iterations, delta %g" r.iterations r.delta)
+        report "HITS" r.gpu_ms r.trace r.timeline
+          ~extras:
+            (Printf.sprintf "%d iterations, delta %g" r.iterations r.delta)
+          ~fields:
+            [
+              ("iterations", Kf_obs.Json.Int r.iterations);
+              ("delta", Kf_obs.Json.Float r.delta);
+            ]
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Fit an ML algorithm on synthetic data.")
     Term.(
       const train $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg
-      $ algo_arg $ engine_arg $ domains_arg)
+      $ algo_arg $ engine_arg $ domains_arg $ trace_arg $ profile_arg
+      $ json_arg)
 
 (* ---- kf script ---- *)
 
@@ -297,9 +481,11 @@ let script_cmd =
       & info [ "f"; "file" ]
           ~doc:"DML script; omit to run the paper's Listing 1.")
   in
-  let script verbose dense rows cols density seed file engine domains =
+  let script verbose dense rows cols density seed file engine domains trace
+      profile =
     setup_logs verbose;
     apply_domains domains;
+    with_obs ~trace ~profile @@ fun () ->
     let program =
       match file with
       | Some path -> Sysml.Dml.parse_file path
@@ -347,7 +533,8 @@ let script_cmd =
        ~doc:"Run a DML script (default: the paper's Listing 1) on synthetic              inputs bound to $1 (matrix) and $2 (targets).")
     Term.(
       const script $ verbose_arg $ dense_arg $ rows_arg $ cols_arg
-      $ density_arg $ seed_arg $ file_arg $ engine_arg $ domains_arg)
+      $ density_arg $ seed_arg $ file_arg $ engine_arg $ domains_arg
+      $ trace_arg $ profile_arg)
 
 let () =
   let info =

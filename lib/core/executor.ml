@@ -8,12 +8,23 @@ type engine = Fused | Library | Host
 
 type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
 
+type profile = {
+  op : string;
+  decision : string;
+  p_rows : int;
+  p_cols : int;
+  p_nnz : int;
+  wall_ns : int;
+  host : Kf_obs.Host_stats.t option;
+}
+
 type result = {
   w : Matrix.Vec.t;
   reports : Sim.report list;
   time_ms : float;
   instantiation : Pattern.instantiation option;
   engine_used : string;
+  profile : profile;
 }
 
 let rows = function
@@ -28,20 +39,72 @@ let bytes = function
   | Sparse x -> Matrix.Csr.bytes x
   | Dense x -> Matrix.Dense.bytes x
 
-let finish ~instantiation ~engine_used w reports =
+let nnz = function
+  | Sparse x -> Matrix.Csr.nnz x
+  | Dense x -> x.Matrix.Dense.rows * x.Matrix.Dense.cols
+
+let ops_counter = Kf_obs.Counter.make "executor.ops"
+
+let host_ops_counter = Kf_obs.Counter.make "executor.host_ops"
+
+(* Every public entry point records its start first, so [wall_ns] covers
+   dispatch plus execution for all three engines (for the simulated
+   engines it is the time spent simulating; for the host engine it is
+   the op's real wall-clock time, which [time_ms] also reports). *)
+let mk_profile ~op ~input ~decision ~t0 ~host =
+  let wall_ns = Kf_obs.Clock.now_ns () - t0 in
+  let profile =
+    {
+      op;
+      decision;
+      p_rows = rows input;
+      p_cols = cols input;
+      p_nnz = nnz input;
+      wall_ns;
+      host;
+    }
+  in
+  Kf_obs.Counter.incr ops_counter;
+  Kf_obs.Trace.complete
+    ~name:("executor." ^ op)
+    ~args:
+      [
+        ("decision", decision);
+        ("rows", string_of_int profile.p_rows);
+        ("cols", string_of_int profile.p_cols);
+        ("nnz", string_of_int profile.p_nnz);
+      ]
+    ~ts_ns:t0 ~dur_ns:wall_ns ();
+  profile
+
+let finish ~op ~input ~t0 ~instantiation ~engine_used w reports =
   let time_ms = Sim.total_ms reports in
   Log.debug (fun m ->
       m "%s: %d kernel(s), %.3f ms" engine_used (List.length reports) time_ms);
-  { w; reports; time_ms; instantiation; engine_used }
+  let profile = mk_profile ~op ~input ~decision:engine_used ~t0 ~host:None in
+  { w; reports; time_ms; instantiation; engine_used; profile }
 
 (* The host backend runs for real, so [time_ms] is measured wall-clock
-   rather than simulated device time, and there are no kernel reports. *)
-let finish_host ~instantiation ~engine_used f =
-  let t0 = Unix.gettimeofday () in
-  let w = f () in
-  let time_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+   rather than simulated device time, and there are no kernel reports.
+   Each op gets a fresh [Host_stats] installed as the ambient sink, so
+   the pool, the fused host kernels and the parallel BLAS record into
+   it; the per-op stats ride back on [profile.host]. *)
+let finish_host ~op ~input ~t0 ~instantiation ~engine_used ~pool f =
+  let stats = Kf_obs.Host_stats.create ~domains:(Par.Pool.size pool) in
+  let w = Kf_obs.Host_stats.with_sink stats f in
+  (* Fold per-op stats into any enclosing ambient sink (e.g. the CLI's
+     run-wide aggregate) that was shadowed while this op executed. *)
+  (match Kf_obs.Host_stats.current () with
+  | Some outer -> Kf_obs.Host_stats.accumulate ~into:outer stats
+  | None -> ());
+  let profile =
+    mk_profile ~op ~input ~decision:engine_used ~t0 ~host:(Some stats)
+  in
+  Kf_obs.Host_stats.emit_trace_counters stats;
+  Kf_obs.Counter.incr host_ops_counter;
+  let time_ms = Kf_obs.Clock.ns_to_ms profile.wall_ns in
   Log.debug (fun m -> m "%s: %.3f ms wall-clock" engine_used time_ms);
-  { w; reports = []; time_ms; instantiation; engine_used }
+  { w; reports = []; time_ms; instantiation; engine_used; profile }
 
 let host_pool = function Some p -> p | None -> Par.Pool.default ()
 
@@ -65,6 +128,10 @@ let library_epilogue device ~alpha ~beta_z w reports =
       (w, reports @ r1 @ r2 @ r3)
 
 let xt_y ?(engine = Fused) ?pool device input y ~alpha =
+  let t0 = Kf_obs.Clock.now_ns () in
+  let op = "xt_y" in
+  let finish = finish ~op ~input ~t0 in
+  let finish_host = finish_host ~op ~input ~t0 in
   let instantiation =
     Some
       (Pattern.classify ~with_first_multiply:false ~with_v:false
@@ -79,6 +146,7 @@ let xt_y ?(engine = Fused) ?pool device input y ~alpha =
       in
       finish_host ~instantiation
         ~engine_used:(host_engine_used ~kernel:"fused X^T*p" ~pool ~variant)
+        ~pool
         (fun () -> Host_fused.xt_p ~pool ~variant ~alpha x y)
   | Host, Dense x ->
       (* Mirrors the Fused/Library dense dispatch: X^T*y is a single
@@ -87,6 +155,7 @@ let xt_y ?(engine = Fused) ?pool device input y ~alpha =
       finish_host ~instantiation
         ~engine_used:
           (Printf.sprintf "host par_gemv_t [%d domains]" (Par.Pool.size pool))
+        ~pool
         (fun () ->
           let w = Matrix.Blas.par_gemv_t ~pool x y in
           Matrix.Vec.scal alpha w;
@@ -135,6 +204,10 @@ let library_pattern device input ~y ?v ?beta_z ~alpha () =
   library_epilogue device ~alpha ~beta_z w reports
 
 let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
+  let t0 = Kf_obs.Clock.now_ns () in
+  let op = "pattern" in
+  let finish = finish ~op ~input ~t0 in
+  let finish_host = finish_host ~op ~input ~t0 in
   let instantiation =
     Some
       (Pattern.classify ~with_first_multiply:true ~with_v:(v <> None)
@@ -152,6 +225,7 @@ let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
       in
       finish_host ~instantiation
         ~engine_used:(host_engine_used ~kernel:"fused sparse" ~pool ~variant)
+        ~pool
         (fun () ->
           Host_fused.pattern_sparse ~pool ~variant ~alpha x ?v y ?beta ?z ())
   | Host, Dense x ->
@@ -162,6 +236,7 @@ let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
       in
       finish_host ~instantiation
         ~engine_used:(host_engine_used ~kernel:"fused dense" ~pool ~variant)
+        ~pool
         (fun () ->
           Host_fused.pattern_dense ~pool ~variant ~alpha x ?v y ?beta ?z ())
   | Fused, Sparse x ->
@@ -196,6 +271,10 @@ let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
       finish ~instantiation ~engine_used w reports
 
 let x_y ?(engine = Fused) ?pool device input y =
+  let t0 = Kf_obs.Clock.now_ns () in
+  let op = "x_y" in
+  let finish = finish ~op ~input ~t0 in
+  let finish_host = finish_host ~op ~input ~t0 in
   let instantiation = None in
   match (engine, input) with
   | Host, Sparse x ->
@@ -203,12 +282,14 @@ let x_y ?(engine = Fused) ?pool device input y =
       finish_host ~instantiation
         ~engine_used:
           (Printf.sprintf "host par_csrmv [%d domains]" (Par.Pool.size pool))
+        ~pool
         (fun () -> Matrix.Blas.par_csrmv ~pool x y)
   | Host, Dense x ->
       let pool = host_pool pool in
       finish_host ~instantiation
         ~engine_used:
           (Printf.sprintf "host par_gemv [%d domains]" (Par.Pool.size pool))
+        ~pool
         (fun () -> Matrix.Blas.par_gemv ~pool x y)
   | (Fused | Library), Sparse x ->
       let w, reports = Gpulibs.Cusparse.csrmv device x y in

@@ -25,6 +25,25 @@ type engine =
 
 type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
 
+(** Unified per-operation observability record, populated for {e all
+    three} engines.  When tracing is enabled ([Kf_obs.Trace]) the same
+    information is also recorded as an ["executor.<op>"] span, so the
+    Chrome trace and the in-process profile agree by construction. *)
+type profile = {
+  op : string;  (** ["xt_y"], ["pattern"] or ["x_y"] *)
+  decision : string;  (** the dispatch decision, same as [engine_used] *)
+  p_rows : int;
+  p_cols : int;
+  p_nnz : int;  (** stored non-zeros; dense inputs report rows*cols *)
+  wall_ns : int;
+      (** wall-clock spent in the call: simulation time for the
+          simulated engines, real execution time for [Host] *)
+  host : Kf_obs.Host_stats.t option;
+      (** [Host] engine only: per-domain busy/idle time, rows/nnz
+          processed, accumulator and tree-merge accounting — the CPU
+          analogue of [Gpu.Stats] *)
+}
+
 type result = {
   w : Matrix.Vec.t;
   reports : Sim.report list;
@@ -36,11 +55,15 @@ type result = {
   engine_used : string;
       (** human-readable description of the dispatch decision, e.g.
           ["fused sparse (large-n)"] or ["cublas gemv + gemv_t"] *)
+  profile : profile;
 }
 
 val rows : input -> int
 
 val cols : input -> int
+
+val nnz : input -> int
+(** Stored non-zeros ([rows * cols] for dense inputs). *)
 
 val bytes : input -> int
 (** Device footprint, for the transfer ledger. *)

@@ -76,14 +76,30 @@ let sparse_row_dot (x : Matrix.Csr.t) y ~v r s e =
   done;
   match v with None -> !acc | Some v -> !acc *. v.(r)
 
+(* Observability: accumulator allocations are recorded from the
+   coordinating domain (single-writer tallies); per-worker rows/nnz are
+   credited inside the worker closures, each writing only its own
+   slot.  Every recording entry point is a no-op one-flag check unless
+   the executor installed a Host_stats sink. *)
+let record_accs ~count ~elems =
+  if Kf_obs.Host_stats.profiling () then
+    for _ = 1 to count do
+      Kf_obs.Host_stats.record_alloc ~bytes:(8 * elems)
+    done
+
 (* Dense_acc: nnz-balanced row ranges, per-domain accumulators, tree
    merge — the three-tier hierarchical aggregation. *)
 let sparse_dense_acc pool (x : Matrix.Csr.t) ~p_of =
   let workers = Par.Pool.size pool in
   let bounds = Par.Partition.by_prefix ~prefix:x.row_off ~parts:workers () in
+  record_accs ~count:workers ~elems:x.cols;
   let parts =
     Par.Pool.map_workers pool (fun wid ->
         let w = Array.make x.cols 0.0 in
+        if Kf_obs.Host_stats.profiling () then
+          Kf_obs.Host_stats.add_work
+            ~rows:(bounds.(wid + 1) - bounds.(wid))
+            ~nnz:(x.row_off.(bounds.(wid + 1)) - x.row_off.(bounds.(wid)));
         sparse_scatter_rows x ~p_of ~w ~rlo:bounds.(wid) ~rhi:bounds.(wid + 1)
           ~clo:0 ~chi:x.cols;
         w)
@@ -97,7 +113,15 @@ let sparse_dense_acc pool (x : Matrix.Csr.t) ~p_of =
 let sparse_col_partition pool (x : Matrix.Csr.t) ~p_of =
   let workers = Par.Pool.size pool in
   let p = Array.make x.rows 0.0 in
+  record_accs ~count:1 ~elems:x.rows;
+  record_accs ~count:1 ~elems:x.cols;
+  (* rows/nnz are credited in the [p] pass only, so every row counts
+     exactly once even though the scatter pass re-streams the matrix
+     per column range. *)
   Par.Pool.parallel_for pool ~lo:0 ~hi:x.rows (fun a b ->
+      if Kf_obs.Host_stats.profiling () then
+        Kf_obs.Host_stats.add_work ~rows:(b - a)
+          ~nnz:(x.row_off.(b) - x.row_off.(a));
       for r = a to b - 1 do
         let s = x.row_off.(r) and e = x.row_off.(r + 1) in
         if e > s then p.(r) <- p_of r s e
@@ -120,6 +144,7 @@ let run_sparse ?pool ?variant (x : Matrix.Csr.t) ~p_of ~alpha ~beta ~z =
     | None ->
         choose_variant ~domains:(Par.Pool.size pool) ~cols:x.cols ()
   in
+  Kf_obs.Host_stats.set_variant (variant_name variant);
   let w =
     match variant with
     | Dense_acc -> sparse_dense_acc pool x ~p_of
@@ -180,9 +205,14 @@ let dense_scatter_rows (x : Matrix.Dense.t) ~p_of ~w ~rlo ~rhi ~clo ~chi =
 let dense_dense_acc pool (x : Matrix.Dense.t) ~p_of =
   let workers = Par.Pool.size pool in
   let bounds = Par.Partition.uniform ~n:x.rows ~parts:workers in
+  record_accs ~count:workers ~elems:x.cols;
   let parts =
     Par.Pool.map_workers pool (fun wid ->
         let w = Array.make x.cols 0.0 in
+        if Kf_obs.Host_stats.profiling () then
+          Kf_obs.Host_stats.add_work
+            ~rows:(bounds.(wid + 1) - bounds.(wid))
+            ~nnz:((bounds.(wid + 1) - bounds.(wid)) * x.cols);
         dense_scatter_rows x ~p_of ~w ~rlo:bounds.(wid) ~rhi:bounds.(wid + 1)
           ~clo:0 ~chi:x.cols;
         w)
@@ -192,7 +222,11 @@ let dense_dense_acc pool (x : Matrix.Dense.t) ~p_of =
 let dense_col_partition pool (x : Matrix.Dense.t) ~p_of =
   let workers = Par.Pool.size pool in
   let p = Array.make x.rows 0.0 in
+  record_accs ~count:1 ~elems:x.rows;
+  record_accs ~count:1 ~elems:x.cols;
   Par.Pool.parallel_for pool ~lo:0 ~hi:x.rows (fun a b ->
+      if Kf_obs.Host_stats.profiling () then
+        Kf_obs.Host_stats.add_work ~rows:(b - a) ~nnz:((b - a) * x.cols);
       for r = a to b - 1 do
         p.(r) <- p_of r
       done);
@@ -215,6 +249,7 @@ let pattern_dense ?pool ?variant ~alpha (x : Matrix.Dense.t) ?v y ?beta ?z () =
       | Some v -> v
       | None -> choose_variant ~domains:(Par.Pool.size pool) ~cols:x.cols ()
     in
+    Kf_obs.Host_stats.set_variant (variant_name variant);
     let p_of = dense_row_scalar x y ~v in
     let w =
       match variant with

@@ -106,6 +106,8 @@ let par_gemv ?pool (x : Dense.t) y =
   let pool = get_pool pool in
   let out = Array.make x.rows 0.0 in
   Par.Pool.parallel_for pool ~lo:0 ~hi:x.rows (fun a b ->
+      if Kf_obs.Host_stats.profiling () then
+        Kf_obs.Host_stats.add_work ~rows:(b - a) ~nnz:((b - a) * x.cols);
       for r = a to b - 1 do
         let base = r * x.cols in
         let acc = ref 0.0 in
@@ -121,12 +123,20 @@ let par_gemv_t ?pool (x : Dense.t) p =
     invalid_arg "Blas.par_gemv_t: dimension mismatch";
   let pool = get_pool pool in
   let workers = Par.Pool.size pool in
-  if workers = 1 || x.rows = 0 || x.cols = 0 then gemv_t x p
+  if workers = 1 || x.rows = 0 || x.cols = 0 then begin
+    if Kf_obs.Host_stats.profiling () then
+      Kf_obs.Host_stats.add_work ~rows:x.rows ~nnz:(x.rows * x.cols);
+    gemv_t x p
+  end
   else begin
     let bounds = Par.Partition.uniform ~n:x.rows ~parts:workers in
     let parts =
       Par.Pool.map_workers pool (fun wid ->
           let out = Array.make x.cols 0.0 in
+          if Kf_obs.Host_stats.profiling () then
+            Kf_obs.Host_stats.add_work
+              ~rows:(bounds.(wid + 1) - bounds.(wid))
+              ~nnz:((bounds.(wid + 1) - bounds.(wid)) * x.cols);
           for r = bounds.(wid) to bounds.(wid + 1) - 1 do
             let base = r * x.cols in
             let pr = p.(r) in
@@ -146,6 +156,9 @@ let par_csrmv ?pool (x : Csr.t) y =
   let pool = get_pool pool in
   let out = Array.make x.rows 0.0 in
   Par.Pool.parallel_for pool ~lo:0 ~hi:x.rows (fun a b ->
+      if Kf_obs.Host_stats.profiling () then
+        Kf_obs.Host_stats.add_work ~rows:(b - a)
+          ~nnz:(x.row_off.(b) - x.row_off.(a));
       for r = a to b - 1 do
         let acc = ref 0.0 in
         for i = x.row_off.(r) to x.row_off.(r + 1) - 1 do
@@ -160,12 +173,21 @@ let par_csrmv_t ?pool (x : Csr.t) p =
     invalid_arg "Blas.par_csrmv_t: dimension mismatch";
   let pool = get_pool pool in
   let workers = Par.Pool.size pool in
-  if workers = 1 || x.rows = 0 || x.cols = 0 then csrmv_t x p
+  if workers = 1 || x.rows = 0 || x.cols = 0 then begin
+    if Kf_obs.Host_stats.profiling () then
+      Kf_obs.Host_stats.add_work ~rows:x.rows
+        ~nnz:(x.row_off.(x.rows) - x.row_off.(0));
+    csrmv_t x p
+  end
   else begin
     let bounds = Par.Partition.by_prefix ~prefix:x.row_off ~parts:workers () in
     let parts =
       Par.Pool.map_workers pool (fun wid ->
           let out = Array.make x.cols 0.0 in
+          if Kf_obs.Host_stats.profiling () then
+            Kf_obs.Host_stats.add_work
+              ~rows:(bounds.(wid + 1) - bounds.(wid))
+              ~nnz:(x.row_off.(bounds.(wid + 1)) - x.row_off.(bounds.(wid)));
           for r = bounds.(wid) to bounds.(wid + 1) - 1 do
             let pr = p.(r) in
             if pr <> 0.0 then

@@ -59,6 +59,7 @@ type result = {
   deviance : float;
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;
 }
 
 (* Inner CG on (X^T D X + eps I) delta = g, with the Hessian-vector
@@ -106,6 +107,7 @@ let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
              family.family_name))
     targets;
   let session = Session.create ?engine device ~algorithm:"GLM" in
+  Kf_obs.Trace.with_span "fit.GLM" @@ fun () ->
   let n = Fusion.Executor.cols input in
   let w = ref (Vec.create n) in
   let cg_total = ref 0 in
@@ -113,29 +115,30 @@ let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
   let deviance = ref infinity in
   let continue_ = ref true in
   while !newton < newton_iterations && !continue_ do
-    let eta = Session.x_y session input !w in
-    let mu = Array.map family.mean eta in
-    (* gradient g = X^T residual *)
-    let resid =
-      Array.init m (fun i -> family.residual ~y:targets.(i) ~mu:mu.(i))
-    in
-    let g = Session.xt_y session input resid ~alpha:1.0 in
-    let d = Array.map family.weight mu in
-    let delta, used =
-      cg_solve session input ~d ~g ~iterations:cg_iterations ~tolerance
-    in
-    cg_total := !cg_total + used;
-    w := Session.axpy session 1.0 delta !w;
-    let dev =
-      let acc = ref 0.0 in
-      for i = 0 to m - 1 do
-        acc := !acc +. family.deviance_term ~y:targets.(i) ~mu:mu.(i)
-      done;
-      !acc
-    in
-    if Float.abs (dev -. !deviance) < tolerance *. Float.max 1.0 dev then
-      continue_ := false;
-    deviance := dev;
+    Session.iteration session (fun () ->
+        let eta = Session.x_y session input !w in
+        let mu = Array.map family.mean eta in
+        (* gradient g = X^T residual *)
+        let resid =
+          Array.init m (fun i -> family.residual ~y:targets.(i) ~mu:mu.(i))
+        in
+        let g = Session.xt_y session input resid ~alpha:1.0 in
+        let d = Array.map family.weight mu in
+        let delta, used =
+          cg_solve session input ~d ~g ~iterations:cg_iterations ~tolerance
+        in
+        cg_total := !cg_total + used;
+        w := Session.axpy session 1.0 delta !w;
+        let dev =
+          let acc = ref 0.0 in
+          for i = 0 to m - 1 do
+            acc := !acc +. family.deviance_term ~y:targets.(i) ~mu:mu.(i)
+          done;
+          !acc
+        in
+        if Float.abs (dev -. !deviance) < tolerance *. Float.max 1.0 dev then
+          continue_ := false;
+        deviance := dev);
     incr newton
   done;
   {
@@ -145,4 +148,5 @@ let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
     deviance = !deviance;
     gpu_ms = Session.gpu_ms session;
     trace = Session.trace session;
+    timeline = Session.timeline session;
   }

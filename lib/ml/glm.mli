@@ -36,6 +36,7 @@ type result = {
   deviance : float;
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;  (** one entry per Newton step *)
 }
 
 val fit :

@@ -7,6 +7,7 @@ type result = {
   delta : float;
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;
 }
 
 let run ?engine ?(iterations = 50) ?(tolerance = 1e-9) device
@@ -14,6 +15,7 @@ let run ?engine ?(iterations = 50) ?(tolerance = 1e-9) device
   if adjacency.rows <> adjacency.cols then
     invalid_arg "Hits.run: adjacency matrix must be square";
   let session = Session.create ?engine device ~algorithm:"HITS" in
+  Kf_obs.Trace.with_span "fit.HITS" @@ fun () ->
   let input = Fusion.Executor.Sparse adjacency in
   let nodes = adjacency.rows in
   let h0 = Array.make nodes (1.0 /. sqrt (float_of_int nodes)) in
@@ -24,14 +26,15 @@ let run ?engine ?(iterations = 50) ?(tolerance = 1e-9) device
   let delta = ref infinity in
   let i = ref 0 in
   while !i < iterations && !delta > tolerance do
-    (* fused double step: a' = A^T (A a) *)
-    let a' = Session.pattern session input ~y:!a ~alpha:1.0 () in
-    let norm = Session.nrm2 session a' in
-    let a' =
-      if norm > 0.0 then Session.scal session (1.0 /. norm) a' else a'
-    in
-    delta := Vec.max_abs_diff a' !a;
-    a := a';
+    Session.iteration session (fun () ->
+        (* fused double step: a' = A^T (A a) *)
+        let a' = Session.pattern session input ~y:!a ~alpha:1.0 () in
+        let norm = Session.nrm2 session a' in
+        let a' =
+          if norm > 0.0 then Session.scal session (1.0 /. norm) a' else a'
+        in
+        delta := Vec.max_abs_diff a' !a;
+        a := a');
     incr i
   done;
   let hubs = Session.x_y session input !a in
@@ -46,4 +49,5 @@ let run ?engine ?(iterations = 50) ?(tolerance = 1e-9) device
     delta = !delta;
     gpu_ms = Session.gpu_ms session;
     trace = Session.trace session;
+    timeline = Session.timeline session;
   }

@@ -13,6 +13,7 @@ type result = {
   delta : float;  (** final change in the authority vector *)
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;  (** one entry per power iteration *)
 }
 
 val run :

@@ -8,6 +8,7 @@ type result = {
   pattern_ms : float;
   launches : int;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;
 }
 
 let fit ?engine ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001)
@@ -15,6 +16,7 @@ let fit ?engine ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001)
   if Array.length targets <> Fusion.Executor.rows input then
     invalid_arg "Linreg_cg.fit: one target per row required";
   let session = Session.create ?engine device ~algorithm:"LR" in
+  Kf_obs.Trace.with_span "fit.LR" @@ fun () ->
   let n = Fusion.Executor.cols input in
   (* r = -(X^T t);  p = -r *)
   let r = Session.xt_y session input targets ~alpha:(-1.0) in
@@ -25,18 +27,19 @@ let fit ?engine ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001)
   let r = ref r and p = ref p in
   let i = ref 0 in
   while !i < max_iterations && !nr2 > nr2_target do
-    (* q = X^T (X p) + eps * p — the pattern of Table 1 row 4; an
-       unregularised solve (eps = 0) degrades to plain X^T(Xy). *)
-    let beta_z = if eps = 0.0 then None else Some (eps, !p) in
-    let q = Session.pattern session input ~y:!p ?beta_z ~alpha:1.0 () in
-    let alpha = !nr2 /. Session.dot session !p q in
-    w := Session.axpy session alpha !p !w;
-    let old_nr2 = !nr2 in
-    r := Session.axpy session alpha q !r;
-    nr2 := Session.dot session !r !r;
-    let beta = !nr2 /. old_nr2 in
-    (* p = -r + beta * p *)
-    p := Session.axpy session (-1.0) !r (Session.scal session beta !p);
+    Session.iteration session (fun () ->
+        (* q = X^T (X p) + eps * p — the pattern of Table 1 row 4; an
+           unregularised solve (eps = 0) degrades to plain X^T(Xy). *)
+        let beta_z = if eps = 0.0 then None else Some (eps, !p) in
+        let q = Session.pattern session input ~y:!p ?beta_z ~alpha:1.0 () in
+        let alpha = !nr2 /. Session.dot session !p q in
+        w := Session.axpy session alpha !p !w;
+        let old_nr2 = !nr2 in
+        r := Session.axpy session alpha q !r;
+        nr2 := Session.dot session !r !r;
+        let beta = !nr2 /. old_nr2 in
+        (* p = -r + beta * p *)
+        p := Session.axpy session (-1.0) !r (Session.scal session beta !p));
     incr i
   done;
   {
@@ -47,6 +50,7 @@ let fit ?engine ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001)
     pattern_ms = Session.pattern_ms session;
     launches = Session.launches session;
     trace = Session.trace session;
+    timeline = Session.timeline session;
   }
 
 type cpu_result = {

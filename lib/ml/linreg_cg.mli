@@ -14,6 +14,7 @@ type result = {
   pattern_ms : float;
   launches : int;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;  (** one entry per CG iteration *)
 }
 
 val fit :

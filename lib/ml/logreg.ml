@@ -8,6 +8,7 @@ type result = {
   accuracy : float;
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;
 }
 
 let sigmoid z = 1.0 /. (1.0 +. exp (-.z))
@@ -76,6 +77,7 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 15)
         invalid_arg "Logreg.fit: labels must be +1/-1")
     labels;
   let session = Session.create ?engine device ~algorithm:"LogReg" in
+  Kf_obs.Trace.with_span "fit.LogReg" @@ fun () ->
   let n = Fusion.Executor.cols input in
   let w = ref (Vec.create n) in
   let delta = ref 1.0 in
@@ -85,41 +87,45 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 15)
   let current_loss = ref (loss_of ~lambda ~labels !margins !w) in
   let converged = ref false in
   while !newton < newton_iterations && not !converged do
-    let sigma = Array.mapi (fun i z -> sigmoid (labels.(i) *. z)) !margins in
-    (* gradient: X^T ((sigma - 1) .* y_label) + lambda w *)
-    let gvec = Array.mapi (fun i s -> (s -. 1.0) *. labels.(i)) sigma in
-    let g = Session.xt_y session input gvec ~alpha:1.0 in
-    let g = Session.axpy session lambda !w g in
-    let gnorm = Session.nrm2 session g in
-    if gnorm < tolerance then converged := true
-    else begin
-      (* Hessian weights d_i = sigma_i (1 - sigma_i) *)
-      let d = Array.map (fun s -> s *. (1.0 -. s)) sigma in
-      let s, used =
-        steihaug session input ~d ~g ~lambda ~delta:!delta
-          ~iterations:cg_iterations ~tolerance
-      in
-      cg_total := !cg_total + used;
-      let w' = Vec.add !w s in
-      let margins' = Session.x_y session input w' in
-      let loss' = loss_of ~lambda ~labels margins' w' in
-      let predicted =
-        (* quadratic model decrease: -g.s - 0.5 s.H s ~ -0.5 g.s at CG exit *)
-        -.0.5 *. Vec.dot g s
-      in
-      let actual = !current_loss -. loss' in
-      let rho = if predicted > 0.0 then actual /. predicted else 0.0 in
-      if rho > 0.75 then delta := Float.min (2.0 *. !delta) 1e3
-      else if rho < 0.25 then delta := Float.max (0.25 *. !delta) 1e-6;
-      if actual > 0.0 then begin
-        w := w';
-        margins := margins';
-        current_loss := loss'
-      end;
-      if Float.abs actual < tolerance *. Float.max 1.0 !current_loss then
-        converged := true;
-      incr newton
-    end
+    Session.iteration session (fun () ->
+        let sigma =
+          Array.mapi (fun i z -> sigmoid (labels.(i) *. z)) !margins
+        in
+        (* gradient: X^T ((sigma - 1) .* y_label) + lambda w *)
+        let gvec = Array.mapi (fun i s -> (s -. 1.0) *. labels.(i)) sigma in
+        let g = Session.xt_y session input gvec ~alpha:1.0 in
+        let g = Session.axpy session lambda !w g in
+        let gnorm = Session.nrm2 session g in
+        if gnorm < tolerance then converged := true
+        else begin
+          (* Hessian weights d_i = sigma_i (1 - sigma_i) *)
+          let d = Array.map (fun s -> s *. (1.0 -. s)) sigma in
+          let s, used =
+            steihaug session input ~d ~g ~lambda ~delta:!delta
+              ~iterations:cg_iterations ~tolerance
+          in
+          cg_total := !cg_total + used;
+          let w' = Vec.add !w s in
+          let margins' = Session.x_y session input w' in
+          let loss' = loss_of ~lambda ~labels margins' w' in
+          let predicted =
+            (* quadratic model decrease: -g.s - 0.5 s.H s ~ -0.5 g.s at CG
+               exit *)
+            -.0.5 *. Vec.dot g s
+          in
+          let actual = !current_loss -. loss' in
+          let rho = if predicted > 0.0 then actual /. predicted else 0.0 in
+          if rho > 0.75 then delta := Float.min (2.0 *. !delta) 1e3
+          else if rho < 0.25 then delta := Float.max (0.25 *. !delta) 1e-6;
+          if actual > 0.0 then begin
+            w := w';
+            margins := margins';
+            current_loss := loss'
+          end;
+          if Float.abs actual < tolerance *. Float.max 1.0 !current_loss then
+            converged := true;
+          incr newton
+        end)
   done;
   let correct = ref 0 in
   Array.iteri
@@ -133,4 +139,5 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 15)
     accuracy = float_of_int !correct /. float_of_int (Stdlib.max 1 m);
     gpu_ms = Session.gpu_ms session;
     trace = Session.trace session;
+    timeline = Session.timeline session;
   }

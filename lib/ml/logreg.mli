@@ -15,6 +15,7 @@ type result = {
   accuracy : float;  (** training accuracy *)
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;  (** one entry per Newton step *)
 }
 
 val fit :

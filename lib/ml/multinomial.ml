@@ -6,6 +6,7 @@ type result = {
   accuracy : float;
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;
 }
 
 let margins input weights =
@@ -26,17 +27,25 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
     labels;
   let trace = Fusion.Pattern.Trace.create ~algorithm:"LogReg-multinomial" in
   let gpu_ms = ref 0.0 in
+  (* per-class timelines concatenated in class order; the class fits have
+     their own sessions, so the merged timeline re-runs iteration indices
+     from 0 at each class boundary *)
+  let timeline_rev = ref [] in
   let class_weights =
+    Kf_obs.Trace.with_span "fit.LogReg-multinomial" @@ fun () ->
     Array.init classes (fun k ->
         (* one-vs-rest: class k against everything else *)
         let binary =
           Array.map (fun l -> if l = k then 1.0 else -1.0) labels
         in
         let r =
-          Logreg.fit ?engine ~lambda ~newton_iterations ~cg_iterations device
-            input ~labels:binary
+          Kf_obs.Trace.with_span ~args:[ ("class", string_of_int k) ]
+            "fit.class" (fun () ->
+              Logreg.fit ?engine ~lambda ~newton_iterations ~cg_iterations
+                device input ~labels:binary)
         in
         gpu_ms := !gpu_ms +. r.Logreg.gpu_ms;
+        timeline_rev := List.rev_append r.Logreg.timeline !timeline_rev;
         List.iter
           (fun inst ->
             for _ = 1 to Fusion.Pattern.Trace.count r.Logreg.trace inst do
@@ -46,7 +55,14 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
         r.Logreg.weights)
   in
   let result =
-    { class_weights; classes; accuracy = 0.0; gpu_ms = !gpu_ms; trace }
+    {
+      class_weights;
+      classes;
+      accuracy = 0.0;
+      gpu_ms = !gpu_ms;
+      trace;
+      timeline = List.rev !timeline_rev;
+    }
   in
   let predicted =
     let scores = Array.map (margins input) class_weights in

@@ -12,6 +12,9 @@ type result = {
   accuracy : float;  (** training accuracy of the argmax predictor *)
   gpu_ms : float;  (** summed over all per-class fits *)
   trace : Fusion.Pattern.Trace.t;  (** merged across classes *)
+  timeline : Session.iteration list;
+      (** per-class timelines concatenated in class order (indices restart
+          at 0 at each class boundary) *)
 }
 
 val fit :

@@ -1,5 +1,12 @@
 open Gpu_sim
 
+type iteration = {
+  it_index : int;
+  it_wall_ns : int;
+  it_device_ms : float;
+  it_launches : int;
+}
+
 type t = {
   device : Device.t;
   engine : Fusion.Executor.engine;
@@ -8,7 +15,13 @@ type t = {
   mutable gpu_ms : float;
   mutable pattern_ms : float;
   mutable launches : int;
+  mutable iters : int;
+  mutable timeline_rev : iteration list;
+  mutable host_stats : Kf_obs.Host_stats.t option;
+      (* lazily created aggregate over every Host op issued here *)
 }
+
+let iterations_counter = Kf_obs.Counter.make "session.iterations"
 
 let create ?(engine = Fusion.Executor.Fused) ?pool device ~algorithm =
   {
@@ -19,15 +32,34 @@ let create ?(engine = Fusion.Executor.Fused) ?pool device ~algorithm =
     gpu_ms = 0.0;
     pattern_ms = 0.0;
     launches = 0;
+    iters = 0;
+    timeline_rev = [];
+    host_stats = None;
   }
 
 let device t = t.device
 
 let engine t = t.engine
 
+let algorithm t = Fusion.Pattern.Trace.algorithm t.trace
+
 let absorb_result t (r : Fusion.Executor.result) =
   t.gpu_ms <- t.gpu_ms +. r.time_ms;
   t.launches <- t.launches + List.length r.reports;
+  (match r.profile.Fusion.Executor.host with
+  | None -> ()
+  | Some stats ->
+      let agg =
+        match t.host_stats with
+        | Some agg -> agg
+        | None ->
+            let agg =
+              Kf_obs.Host_stats.create ~domains:stats.Kf_obs.Host_stats.domains
+            in
+            t.host_stats <- Some agg;
+            agg
+      in
+      Kf_obs.Host_stats.accumulate ~into:agg stats);
   (match r.instantiation with
   | Some inst ->
       t.pattern_ms <- t.pattern_ms +. r.time_ms;
@@ -76,6 +108,46 @@ let mul_elementwise t v p =
   let r, reports = Gpulibs.Cublas.mul_elementwise t.device v p in
   absorb_level1 t reports;
   r
+
+let iteration t f =
+  let index = t.iters in
+  t.iters <- t.iters + 1;
+  let ms0 = t.gpu_ms and l0 = t.launches in
+  let t0 = Kf_obs.Clock.now_ns () in
+  let record () =
+    Kf_obs.Counter.incr iterations_counter;
+    t.timeline_rev <-
+      {
+        it_index = index;
+        it_wall_ns = Kf_obs.Clock.now_ns () - t0;
+        it_device_ms = t.gpu_ms -. ms0;
+        it_launches = t.launches - l0;
+      }
+      :: t.timeline_rev
+  in
+  Kf_obs.Trace.with_span
+    ~args:
+      [
+        ("algorithm", Fusion.Pattern.Trace.algorithm t.trace);
+        ("iteration", string_of_int index);
+      ]
+    "iter"
+    (fun () -> Fun.protect ~finally:record f)
+
+let timeline t = List.rev t.timeline_rev
+
+let iteration_json it =
+  Kf_obs.Json.Obj
+    [
+      ("iteration", Kf_obs.Json.Int it.it_index);
+      ("wall_ms", Kf_obs.Json.Float (Kf_obs.Clock.ns_to_ms it.it_wall_ns));
+      ("device_ms", Kf_obs.Json.Float it.it_device_ms);
+      ("launches", Kf_obs.Json.Int it.it_launches);
+    ]
+
+let timeline_json t = Kf_obs.Json.List (List.map iteration_json (timeline t))
+
+let host_stats t = t.host_stats
 
 let gpu_ms t = t.gpu_ms
 

@@ -11,6 +11,16 @@ open Gpu_sim
 
 type t
 
+(** One timeline entry, recorded by {!iteration}. *)
+type iteration = {
+  it_index : int;  (** 0-based iteration number within the session *)
+  it_wall_ns : int;  (** real time spent inside the iteration body *)
+  it_device_ms : float;
+      (** device time the iteration issued: simulated ms for the
+          simulated engines, measured wall-clock for [Host] *)
+  it_launches : int;  (** simulated kernel launches (0 for [Host]) *)
+}
+
 val create :
   ?engine:Fusion.Executor.engine ->
   ?pool:Par.Pool.t ->
@@ -24,6 +34,29 @@ val create :
 val device : t -> Device.t
 
 val engine : t -> Fusion.Executor.engine
+
+val algorithm : t -> string
+
+(** {1 Iteration timeline} *)
+
+val iteration : t -> (unit -> 'a) -> 'a
+(** [iteration t body] runs one algorithm iteration: assigns it the next
+    index, appends an entry to {!timeline} with the iteration's wall
+    time and the device time / launches it issued, and (when tracing is
+    enabled) records an ["iter"] span so per-iteration structure shows
+    up in the Chrome trace.  The entry is recorded even if [body]
+    raises. *)
+
+val timeline : t -> iteration list
+(** Chronological *)
+
+val iteration_json : iteration -> Kf_obs.Json.t
+
+val timeline_json : t -> Kf_obs.Json.t
+
+val host_stats : t -> Kf_obs.Host_stats.t option
+(** Aggregate of every [Host]-engine operation issued through this
+    session ([None] if there were none). *)
 
 (** {1 Pattern operations} (traced) *)
 

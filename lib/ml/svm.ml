@@ -9,6 +9,7 @@ type result = {
   accuracy : float;
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;
 }
 
 (* Restrict the data to the active (margin-violating) rows — Chapelle's
@@ -81,6 +82,7 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
       if l <> 1.0 && l <> -1.0 then invalid_arg "Svm.fit: labels must be +1/-1")
     labels;
   let session = Session.create ?engine device ~algorithm:"SVM" in
+  Kf_obs.Trace.with_span "fit.SVM" @@ fun () ->
   let n = Fusion.Executor.cols input in
   let w = ref (Vec.create n) in
   let newton = ref 0 and cg_total = ref 0 in
@@ -89,45 +91,47 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
   let margins = ref (Session.x_y session input !w) in
   let converged = ref false in
   while !newton < newton_iterations && not !converged do
-    let active = ref [] in
-    for i = m - 1 downto 0 do
-      if labels.(i) *. !margins.(i) < 1.0 then active := i :: !active
-    done;
-    (match !active with
-    | [] -> converged := true
-    | active_rows ->
-        support := List.length active_rows;
-        let sub = restrict_rows input active_rows in
-        (* gradient = lambda w - 2 Xsv^T u, u_i = y_i (1 - y_i margin_i) *)
-        let u =
-          Array.of_list
-            (List.map
-               (fun i -> labels.(i) *. (1.0 -. (labels.(i) *. !margins.(i))))
-               active_rows)
-        in
-        let g = Session.xt_y session sub u ~alpha:(-2.0) in
-        let g = Session.axpy session lambda !w g in
-        if Session.nrm2 session g < tolerance then converged := true
-        else begin
-          let s, used =
-            cg_solve session sub ~g ~lambda ~iterations:cg_iterations
-              ~tolerance
-          in
-          cg_total := !cg_total + used;
-          w := Session.axpy session 1.0 s !w;
-          margins := Session.x_y session input !w;
-          let obj =
-            let acc = ref (0.5 *. lambda *. Vec.dot !w !w) in
-            for i = 0 to m - 1 do
-              let r = 1.0 -. (labels.(i) *. !margins.(i)) in
-              if r > 0.0 then acc := !acc +. (r *. r)
-            done;
-            !acc
-          in
-          if Float.abs (!objective -. obj) < tolerance *. Float.max 1.0 obj
-          then converged := true;
-          objective := obj
-        end);
+    Session.iteration session (fun () ->
+        let active = ref [] in
+        for i = m - 1 downto 0 do
+          if labels.(i) *. !margins.(i) < 1.0 then active := i :: !active
+        done;
+        match !active with
+        | [] -> converged := true
+        | active_rows ->
+            support := List.length active_rows;
+            let sub = restrict_rows input active_rows in
+            (* gradient = lambda w - 2 Xsv^T u, u_i = y_i (1 - y_i margin_i) *)
+            let u =
+              Array.of_list
+                (List.map
+                   (fun i ->
+                     labels.(i) *. (1.0 -. (labels.(i) *. !margins.(i))))
+                   active_rows)
+            in
+            let g = Session.xt_y session sub u ~alpha:(-2.0) in
+            let g = Session.axpy session lambda !w g in
+            if Session.nrm2 session g < tolerance then converged := true
+            else begin
+              let s, used =
+                cg_solve session sub ~g ~lambda ~iterations:cg_iterations
+                  ~tolerance
+              in
+              cg_total := !cg_total + used;
+              w := Session.axpy session 1.0 s !w;
+              margins := Session.x_y session input !w;
+              let obj =
+                let acc = ref (0.5 *. lambda *. Vec.dot !w !w) in
+                for i = 0 to m - 1 do
+                  let r = 1.0 -. (labels.(i) *. !margins.(i)) in
+                  if r > 0.0 then acc := !acc +. (r *. r)
+                done;
+                !acc
+              in
+              if Float.abs (!objective -. obj) < tolerance *. Float.max 1.0 obj
+              then converged := true;
+              objective := obj
+            end);
     incr newton
   done;
   let correct = ref 0 in
@@ -141,4 +145,5 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
     accuracy = float_of_int !correct /. float_of_int (Stdlib.max 1 m);
     gpu_ms = Session.gpu_ms session;
     trace = Session.trace session;
+    timeline = Session.timeline session;
   }

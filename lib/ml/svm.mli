@@ -17,6 +17,7 @@ type result = {
   accuracy : float;
   gpu_ms : float;
   trace : Fusion.Pattern.Trace.t;
+  timeline : Session.iteration list;  (** one entry per Newton step *)
 }
 
 val fit :

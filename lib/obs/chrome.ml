@@ -1,0 +1,70 @@
+let args_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
+
+let event_json = function
+  | Trace.Span { name; ts_ns; dur_ns; tid; args } ->
+      Json.Obj
+        [
+          ("name", Json.Str name);
+          ("cat", Json.Str "kf");
+          ("ph", Json.Str "X");
+          ("ts", Json.Float (Clock.ns_to_us ts_ns));
+          ("dur", Json.Float (Clock.ns_to_us dur_ns));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tid);
+          ("args", args_json args);
+        ]
+  | Trace.Counter_sample { name; ts_ns; tid; values } ->
+      Json.Obj
+        [
+          ("name", Json.Str name);
+          ("cat", Json.Str "kf");
+          ("ph", Json.Str "C");
+          ("ts", Json.Float (Clock.ns_to_us ts_ns));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tid);
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values) );
+        ]
+  | Trace.Instant { name; ts_ns; tid; args } ->
+      Json.Obj
+        [
+          ("name", Json.Str name);
+          ("cat", Json.Str "kf");
+          ("ph", Json.Str "i");
+          ("ts", Json.Float (Clock.ns_to_us ts_ns));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tid);
+          ("s", Json.Str "t");
+          ("args", args_json args);
+        ]
+
+let process_name_event =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.Str "kf") ]);
+    ]
+
+let to_json () =
+  let events = Trace.events () in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (process_name_event :: List.map event_json events) );
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("counters", Counter.to_json ());
+            ("dropped_events", Json.Int (Trace.dropped ()));
+          ] );
+    ]
+
+let write_channel oc = Json.to_channel oc (to_json ())
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc)

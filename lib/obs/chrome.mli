@@ -1,0 +1,18 @@
+(** Chrome trace-event JSON export (the [chrome://tracing] / Perfetto
+    format): spans become ["ph":"X"] complete events with microsecond
+    timestamps, {!Trace.Counter_sample}s become ["ph":"C"] counter
+    events whose per-domain series render as stacked tracks, and each
+    recording domain appears as its own [tid] row.
+
+    The top-level object also carries the process-wide counter registry
+    snapshot under ["otherData"], so one file holds both the timeline
+    and the final tallies. *)
+
+val to_json : unit -> Json.t
+(** Serialise everything currently recorded in {!Trace}. *)
+
+val write_channel : out_channel -> unit
+
+val write_file : string -> unit
+(** Write the current trace to [path]; the result is loadable in
+    Perfetto / [chrome://tracing] unmodified. *)

@@ -1,0 +1,23 @@
+let epoch = Unix.gettimeofday ()
+
+(* High-water mark shared by all domains.  Readings are strictly
+   increasing: two calls inside one microsecond tick (gettimeofday's
+   granularity) still get distinct values, advancing 1 ns past the mark,
+   so events started by successive calls order and nest unambiguously.
+   The drift this adds is bounded by 1 ns per reading — far below the
+   tick that caused it.  The CAS loop is lock-free: a failed attempt
+   means another domain advanced the mark, so system-wide progress is
+   guaranteed. *)
+let high_water = Atomic.make 0
+
+let rec claim raw =
+  let seen = Atomic.get high_water in
+  let t = if raw > seen then raw else seen + 1 in
+  if Atomic.compare_and_set high_water seen t then t else claim raw
+
+let now_ns () =
+  claim (int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9))
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+
+let ns_to_us ns = float_of_int ns /. 1e3

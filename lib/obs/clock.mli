@@ -1,0 +1,16 @@
+(** Monotonic nanosecond clock for span timestamps.
+
+    The stdlib exposes no monotonic clock without C stubs, so this wraps
+    [Unix.gettimeofday] behind a process-wide high-water mark: returned
+    values never decrease, even across NTP steps, which keeps span
+    durations non-negative and Chrome trace timestamps ordered. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary process-local epoch.  Strictly
+    increasing across all domains (readings within one clock tick are
+    disambiguated by advancing 1 ns), so distinct events never share a
+    timestamp. *)
+
+val ns_to_ms : int -> float
+
+val ns_to_us : int -> float

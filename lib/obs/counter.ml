@@ -1,0 +1,44 @@
+type t = { cname : string; cell : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let registry_mutex = Mutex.create ()
+
+let make cname =
+  Mutex.lock registry_mutex;
+  let t =
+    match Hashtbl.find_opt registry cname with
+    | Some t -> t
+    | None ->
+        let t = { cname; cell = Atomic.make 0 } in
+        Hashtbl.add registry cname t;
+        t
+  in
+  Mutex.unlock registry_mutex;
+  t
+
+let name t = t.cname
+
+let add t n =
+  if n < 0 then invalid_arg "Counter.add: counters are monotonic";
+  if n > 0 then ignore (Atomic.fetch_and_add t.cell n)
+
+let incr t = ignore (Atomic.fetch_and_add t.cell 1)
+
+let value t = Atomic.get t.cell
+
+let all () =
+  Mutex.lock registry_mutex;
+  let items =
+    Hashtbl.fold (fun cname t acc -> (cname, Atomic.get t.cell) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) items
+
+let reset_all () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ t -> Atomic.set t.cell 0) registry;
+  Mutex.unlock registry_mutex
+
+let to_json () = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (all ()))

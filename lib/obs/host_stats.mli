@@ -1,0 +1,102 @@
+(** Host execution counters — the CPU analogue of [Gpu.Stats].
+
+    Where the simulated engines report the hardware events nvvp would
+    show (global load transactions, atomics, bank conflicts), the host
+    engine runs for real, so its observable quantities are the ones a
+    CPU profiler reasons with: per-domain busy and idle nanoseconds
+    (load imbalance), rows and non-zeros processed per domain
+    (partition balance), accumulator allocations and bytes (the
+    [Dense_acc] working set), tree-merge passes and merges (the
+    inter-block aggregation analogue), pool jobs dispatched, and which
+    fused variant the dispatcher chose.
+
+    A [t] is installed as the ambient {e sink} for the duration of one
+    executor operation; [Par.Pool], [Fusion.Host_fused] and the
+    parallel BLAS record into whichever sink is installed.  With no
+    sink installed every recording entry point is a single atomic load
+    — the host hot paths stay unperturbed when profiling is off.
+
+    Writers are addressed per worker: each pool worker publishes its
+    worker id in {!worker_slot} (domain-local), and writes only its own
+    slot, so recording needs no locks. *)
+
+type t = {
+  domains : int;  (** slots below; worker ids are clamped into range *)
+  busy_ns : int array;  (** per-worker time inside pool jobs *)
+  idle_ns : int array;
+      (** per-worker time waiting inside a job for the slowest worker
+          (job wall time minus own busy time, summed over jobs) *)
+  rows : int array;  (** matrix rows processed per worker *)
+  nnz : int array;
+      (** non-zeros (dense: elements) processed per worker *)
+  mutable jobs : int;  (** pool jobs (broadcast/join handshakes) *)
+  mutable acc_allocations : int;
+      (** per-domain accumulator arrays allocated *)
+  mutable acc_bytes : int;
+  mutable merge_passes : int;  (** tree-merge rounds (log depth) *)
+  mutable merge_ops : int;  (** pairwise merges across all rounds *)
+  mutable variant : string;
+      (** dispatched variant name, e.g. ["dense-acc"]; [""] until set *)
+}
+
+val create : domains:int -> t
+
+(** {1 Ambient sink} *)
+
+val worker_slot : int Domain.DLS.key
+(** The recording worker's id; pool workers set it once at spawn,
+    the coordinating domain defaults to slot 0. *)
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Install [t] as the ambient sink for the duration of the callback
+    (restoring the previous sink after, even on exceptions). *)
+
+val current : unit -> t option
+
+val profiling : unit -> bool
+(** [current () <> None] — the one-flag check instrumented hot paths
+    gate on. *)
+
+(** {1 Recording} (all no-ops when no sink is installed) *)
+
+val add_work : rows:int -> nnz:int -> unit
+(** Credit rows/nnz to the calling worker's slot. *)
+
+val record_job : wall_ns:int -> busy_ns:int array -> unit
+(** One pool job: per-worker busy time plus derived idle time
+    ([wall_ns - busy_ns.(wid)], clamped at 0). *)
+
+val record_alloc : bytes:int -> unit
+
+val record_merge_pass : unit -> unit
+
+val record_merge_op : unit -> unit
+
+val set_variant : string -> unit
+
+(** {1 Derived views} *)
+
+val total_rows : t -> int
+
+val total_nnz : t -> int
+
+val busy_total_ns : t -> int
+
+val load_imbalance : t -> float
+(** Max over workers of busy time divided by the mean busy time —
+    [1.0] is perfect balance; meaningless (returns [1.0]) when nothing
+    ran.  Only workers that did any work count toward the mean. *)
+
+val accumulate : into:t -> t -> unit
+(** Fold [t]'s tallies into [into] (used to aggregate per-op stats into
+    a run-wide view); per-worker slots are added index-wise, the
+    variant of the latest non-empty [t] wins. *)
+
+val emit_trace_counters : t -> unit
+(** Record the per-domain series (busy ns, rows, nnz) as
+    {!Trace.counter_sample} events, keyed ["d0"], ["d1"], … — no-op
+    when tracing is disabled. *)
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** A minimal JSON emitter — the single serialisation path shared by the
+    Chrome trace exporter, [Host_stats.to_json], the bench metadata and
+    the CLI's [--json] outputs, so every machine-readable artefact the
+    system produces is escaped and formatted identically. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** emitted as [null] when not finite *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-literal escaping (quotes, backslash, control chars). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+(** Writes the value followed by a newline. *)

@@ -1,0 +1,108 @@
+type node = {
+  name : string;
+  mutable count : int;
+  mutable total_ns : int;
+  children : (string, node) Hashtbl.t;
+  mutable child_order : string list;
+}
+
+let make_node name =
+  { name; count = 0; total_ns = 0; children = Hashtbl.create 4; child_order = [] }
+
+let child_of parent name =
+  match Hashtbl.find_opt parent.children name with
+  | Some n -> n
+  | None ->
+      let n = make_node name in
+      Hashtbl.add parent.children name n;
+      parent.child_order <- name :: parent.child_order;
+      n
+
+(* The clock's microsecond granularity (plus its monotonic clamp) makes
+   a parent and its first child start at the same tick; ordering longer
+   spans first at equal starts lets the containment sweep still nest the
+   child under the parent. *)
+let span_order a b =
+  match (a, b) with
+  | ( Trace.Span { ts_ns = ta; dur_ns = da; _ },
+      Trace.Span { ts_ns = tb; dur_ns = db; _ } ) ->
+      if ta <> tb then compare ta tb else compare db da
+  | _ -> compare (Trace.event_ts a) (Trace.event_ts b)
+
+let build events =
+  let events = List.stable_sort span_order events in
+  let roots : (int, node) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  let root_of tid =
+    match Hashtbl.find_opt roots tid with
+    | Some r -> r
+    | None ->
+        let r = make_node (Printf.sprintf "domain %d" tid) in
+        Hashtbl.add roots tid r;
+        order := tid :: !order;
+        r
+  in
+  (* Per-tid stack of (end_ts, node): a span starting at or after the
+     top's end cannot be its child, so pop first; what remains on top
+     contains it. *)
+  let stacks : (int, (int * node) list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  List.iter
+    (function
+      | Trace.Span { name; ts_ns; dur_ns; tid; _ } ->
+          let stack = stack_of tid in
+          let rec pop () =
+            match !stack with
+            | (end_ts, _) :: rest when end_ts <= ts_ns ->
+                stack := rest;
+                pop ()
+            | _ -> ()
+          in
+          pop ();
+          let parent =
+            match !stack with (_, n) :: _ -> n | [] -> root_of tid
+          in
+          let n = child_of parent name in
+          n.count <- n.count + 1;
+          n.total_ns <- n.total_ns + dur_ns;
+          stack := (ts_ns + dur_ns, n) :: !stack
+      | Trace.Counter_sample _ | Trace.Instant _ -> ())
+    events;
+  List.rev_map (fun tid -> (tid, Hashtbl.find roots tid)) !order
+
+let children_in_order node =
+  List.rev_map (fun name -> Hashtbl.find node.children name) node.child_order
+  |> List.rev
+
+let rec pp_node fmt ~indent node =
+  let kids = children_in_order node in
+  let child_ns = List.fold_left (fun acc c -> acc + c.total_ns) 0 kids in
+  let self_ns = Stdlib.max 0 (node.total_ns - child_ns) in
+  Format.fprintf fmt "%s%-*s %6dx %10.3f ms  (self %8.3f ms)@," indent
+    (Stdlib.max 1 (32 - String.length indent))
+    node.name node.count
+    (Clock.ns_to_ms node.total_ns)
+    (Clock.ns_to_ms self_ns);
+  List.iter (pp_node fmt ~indent:(indent ^ "  ")) kids
+
+let pp fmt events =
+  let roots = build events in
+  if roots = [] then Format.fprintf fmt "profile: no spans recorded@."
+  else begin
+    Format.fprintf fmt "@[<v>";
+    List.iter
+      (fun (_tid, root) ->
+        Format.fprintf fmt "%s:@," root.name;
+        List.iter (pp_node fmt ~indent:"  ") (children_in_order root))
+      roots;
+    Format.fprintf fmt "@]"
+  end
+
+let pp_current fmt () = pp fmt (Trace.events ())

@@ -1,0 +1,25 @@
+(** Human-readable profile tree, rebuilt from recorded spans.
+
+    Spans carry only start/duration, so nesting is reconstructed per
+    domain by interval containment (spans are recorded on one domain's
+    own buffer in completion order and re-sorted by start time, which
+    makes a simple stack sweep exact).  Identical paths aggregate:
+    each tree row reports call count, cumulative time, and self time
+    (cumulative minus direct children). *)
+
+type node = {
+  name : string;
+  mutable count : int;
+  mutable total_ns : int;
+  children : (string, node) Hashtbl.t;
+  mutable child_order : string list;  (** insertion order, reversed *)
+}
+
+val build : Trace.event list -> (int * node) list
+(** One artificial root per [tid], children in first-seen order. *)
+
+val pp : Format.formatter -> Trace.event list -> unit
+(** Render the tree of the given events (typically [Trace.events ()]). *)
+
+val pp_current : Format.formatter -> unit -> unit
+(** [pp] applied to the currently recorded events. *)

@@ -1,0 +1,81 @@
+(** Span and event recording — the tracing core.
+
+    Recording is off by default and guarded by a single atomic flag
+    check, so an instrumented call site costs one load when tracing is
+    disabled.  When enabled, each domain appends to its own buffer
+    (created lazily through domain-local storage), so recording from
+    pool workers never contends on a lock; the global mutex is taken
+    only when a domain records its first event and when the buffers are
+    read or cleared.
+
+    Reading ({!events}) and clearing ({!clear}) must happen while no
+    parallel job is recording — in practice, between executor
+    operations, which is where every exporter runs.
+
+    Timestamps come from {!Clock.now_ns}; [tid] is the recording
+    domain's id, which Chrome/Perfetto renders as one timeline row per
+    domain. *)
+
+type event =
+  | Span of {
+      name : string;
+      ts_ns : int;  (** start *)
+      dur_ns : int;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Counter_sample of {
+      name : string;
+      ts_ns : int;
+      tid : int;
+      values : (string * float) list;
+          (** one series per key — e.g. per-domain values keyed ["d0"],
+              ["d1"], … rendered as a stacked counter track *)
+    }
+  | Instant of {
+      name : string;
+      ts_ns : int;
+      tid : int;
+      args : (string * string) list;
+    }
+
+val event_ts : event -> int
+(** Start timestamp of any event. *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()]; when tracing is enabled, records a
+    span covering the call (recorded even if [f] raises).  Nested calls
+    produce nested intervals on the same [tid]. *)
+
+val complete : name:string -> ?args:(string * string) list -> ts_ns:int ->
+  dur_ns:int -> unit -> unit
+(** Record an already-measured span — for call sites that time
+    themselves and only know the span's arguments (e.g. the dispatch
+    decision) after the fact.  No-op when disabled. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+
+val counter_sample : string -> (string * float) list -> unit
+(** Record the current value(s) of a counter series at the current
+    timestamp.  No-op when disabled. *)
+
+val events : unit -> event list
+(** Snapshot of all recorded events across domains, sorted by start
+    timestamp; spans starting on the same clock tick are ordered longest
+    first, so an enclosing span always precedes its children. *)
+
+val event_count : unit -> int
+
+val dropped : unit -> int
+(** Events discarded because a domain hit its buffer cap (2^20 events
+    per domain); non-zero means the trace is truncated, not wrong. *)
+
+val clear : unit -> unit
+(** Drop all recorded events (and the dropped tally).  Keeps the
+    enabled flag as is. *)

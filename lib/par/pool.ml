@@ -41,6 +41,10 @@ let record_failure t exn =
   Mutex.unlock t.m
 
 let worker_loop t wid =
+  (* Publish this worker's id for per-domain observability slots: when a
+     Host_stats sink is installed, recording functions credit work to
+     the slot of the calling domain. *)
+  Domain.DLS.set Kf_obs.Host_stats.worker_slot wid;
   let last_seen = ref 0 in
   let running = ref true in
   while !running do
@@ -110,7 +114,7 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let run_workers t f =
+let run_workers_plain t f =
   if t.size = 1 then f 0
   else begin
     Mutex.lock t.m;
@@ -132,13 +136,41 @@ let run_workers t f =
     match failure with None -> () | Some exn -> raise exn
   end
 
-let map_workers t f =
-  if t.size = 1 then [| f 0 |]
+(* Observability wrapper: with no Host_stats sink installed and tracing
+   off this is one flag check per job on top of [run_workers_plain];
+   otherwise each worker times its own closure (one clock pair per
+   worker per job — far below kernel granularity) and the coordinator
+   derives per-worker idle time from the job's wall time. *)
+let run_workers t f =
+  let profiling = Kf_obs.Host_stats.profiling () in
+  let tracing = Kf_obs.Trace.enabled () in
+  if not (profiling || tracing) then run_workers_plain t f
   else begin
-    let out = Array.make t.size None in
-    run_workers t (fun wid -> out.(wid) <- Some (f wid));
-    Array.map Option.get out
+    let busy = Array.make t.size 0 in
+    let wrapped wid =
+      let t0 = Kf_obs.Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Kf_obs.Clock.now_ns () - t0 in
+          busy.(wid) <- dt;
+          if tracing then
+            Kf_obs.Trace.complete ~name:"pool.job"
+              ~args:[ ("wid", string_of_int wid) ]
+              ~ts_ns:t0 ~dur_ns:dt ())
+        (fun () -> f wid)
+    in
+    let t0 = Kf_obs.Clock.now_ns () in
+    run_workers_plain t wrapped;
+    if profiling then
+      Kf_obs.Host_stats.record_job
+        ~wall_ns:(Kf_obs.Clock.now_ns () - t0)
+        ~busy_ns:busy
   end
+
+let map_workers t f =
+  let out = Array.make t.size None in
+  run_workers t (fun wid -> out.(wid) <- Some (f wid));
+  Array.map Option.get out
 
 (* Below this many iterations the broadcast/join handshake costs more
    than the loop body saves; run inline instead. *)
@@ -184,14 +216,23 @@ let reduce t ~merge parts =
     done;
     (match !pairs with
     | [] -> ()
-    | [ (d, sr) ] -> merge ~dst:parts.(d) ~src:parts.(sr)
-    | pairs ->
-        let pairs = Array.of_list pairs in
-        parallel_for t ~chunk:1 ~lo:0 ~hi:(Array.length pairs) (fun a b ->
-            for k = a to b - 1 do
-              let d, sr = pairs.(k) in
-              merge ~dst:parts.(d) ~src:parts.(sr)
-            done));
+    | ps ->
+        (* Counted on the coordinator: Host_stats merge tallies are
+           single-writer by contract. *)
+        if Kf_obs.Host_stats.profiling () then begin
+          Kf_obs.Host_stats.record_merge_pass ();
+          List.iter (fun _ -> Kf_obs.Host_stats.record_merge_op ()) ps
+        end;
+        (match ps with
+        | [ (d, sr) ] -> merge ~dst:parts.(d) ~src:parts.(sr)
+        | ps ->
+            let pairs = Array.of_list ps in
+            parallel_for t ~chunk:1 ~lo:0 ~hi:(Array.length pairs)
+              (fun a b ->
+                for k = a to b - 1 do
+                  let d, sr = pairs.(k) in
+                  merge ~dst:parts.(d) ~src:parts.(sr)
+                done)));
     stride := 2 * s
   done;
   parts.(0)

@@ -31,6 +31,8 @@ let scale_gpu_ms ~measured_iters ~report_iters gpu_ms =
 
 let standalone ?(max_iterations = 100) ?measure_iterations device
     (d : Ml_algos.Dataset.regression) =
+  Kf_obs.Trace.with_span ~args:[ ("dataset", d.name) ] "runtime.standalone"
+  @@ fun () ->
   let measure =
     match measure_iterations with
     | None -> max_iterations
@@ -133,6 +135,8 @@ let cpu_iteration_ms cpu (d : Ml_algos.Dataset.regression) =
 let systemml ?(max_iterations = 100) ?measure_iterations
     ?(bookkeeping_ms_per_op = 0.05) device cpu
     (d : Ml_algos.Dataset.regression) =
+  Kf_obs.Trace.with_span ~args:[ ("dataset", d.name) ] "runtime.systemml"
+  @@ fun () ->
   let measure =
     match measure_iterations with
     | None -> max_iterations

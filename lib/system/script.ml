@@ -233,7 +233,15 @@ and arith st op kind a b =
       | `Mul -> Vector (Ml_algos.Session.mul_elementwise st.session u v))
   | _ -> type_error "unsupported operand combination"
 
-let rec exec st = function
+let stmt_label = function
+  | Assign (name, _) -> "stmt.assign " ^ name
+  | While _ -> "stmt.while"
+  | If _ -> "stmt.if"
+  | Write (_, name) -> "stmt.write " ^ name
+
+let rec exec st stmt =
+  Kf_obs.Trace.with_span (stmt_label stmt) @@ fun () ->
+  match stmt with
   | Assign (name, e) ->
       let value =
         match recognize st e with Some v -> v | None -> eval st e
@@ -264,7 +272,7 @@ let eval ?engine ?(positional = []) device ~inputs program =
   in
   ignore st.device;
   List.iter (fun (name, v) -> Hashtbl.replace st.bindings name v) inputs;
-  List.iter (exec st) program;
+  Kf_obs.Trace.with_span "script.eval" (fun () -> List.iter (exec st) program);
   {
     env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.bindings [];
     outputs = st.outputs;

@@ -19,6 +19,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("par", Test_par.suite);
       ("host", Test_host.suite);
+      ("obs", Test_obs.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("consistency", Test_consistency.suite);
       ("reproduction", Test_reproduction.suite);

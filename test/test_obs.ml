@@ -1,0 +1,427 @@
+(* Observability layer: span recording and nesting, counter
+   monotonicity, Chrome trace-event export validity (checked with a
+   self-contained JSON parser — the repo deliberately has no JSON
+   dependency), and the Host_stats accounting invariant that per-domain
+   rows/nnz sum to the matrix totals whatever the pool size. *)
+open Matrix
+
+let device = Gpu_sim.Device.gtx_titan
+
+(* ---- minimal JSON parser (validation only) ---------------------------- *)
+
+type json =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JList of json list
+  | JObj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'u' ->
+              advance ();
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              Buffer.add_utf_8_uchar b
+                (Uchar.of_int (int_of_string ("0x" ^ hex)));
+              loop ()
+          | Some c ->
+              advance ();
+              Buffer.add_char b
+                (match c with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | 'r' -> '\r'
+                | 'b' -> '\b'
+                | 'f' -> '\012'
+                | '"' | '\\' | '/' -> c
+                | _ -> fail "bad escape");
+              loop ()
+          | None -> fail "unterminated escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          JObj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          JObj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          JList []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          JList (elements [])
+        end
+    | Some '"' -> JStr (parse_string ())
+    | Some 't' -> literal "true" (JBool true)
+    | Some 'f' -> literal "false" (JBool false)
+    | Some 'n' -> literal "null" JNull
+    | Some _ -> JNum (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let member name = function
+  | JObj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* ---- scoped tracing helper -------------------------------------------- *)
+
+(* Tests share the process-wide trace buffers, so every tracing test
+   scopes itself: clear, run with tracing on, snapshot, restore. *)
+let with_tracing f =
+  Kf_obs.Trace.clear ();
+  Kf_obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Kf_obs.Trace.disable ();
+      Kf_obs.Trace.clear ())
+    f
+
+let span_names events =
+  List.filter_map
+    (function Kf_obs.Trace.Span { name; _ } -> Some name | _ -> None)
+    events
+
+(* ---- spans ------------------------------------------------------------ *)
+
+let test_span_disabled_records_nothing () =
+  Kf_obs.Trace.clear ();
+  Kf_obs.Trace.disable ();
+  let r = Kf_obs.Trace.with_span "ghost" (fun () -> 17) in
+  Alcotest.(check int) "result passes through" 17 r;
+  Alcotest.(check int) "no events" 0 (Kf_obs.Trace.event_count ())
+
+let test_span_nesting_and_order () =
+  with_tracing @@ fun () ->
+  Kf_obs.Trace.with_span "outer" (fun () ->
+      Kf_obs.Trace.with_span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+      Kf_obs.Trace.with_span "inner" (fun () -> ignore (Sys.opaque_identity 2)));
+  let events = Kf_obs.Trace.events () in
+  Alcotest.(check (list string))
+    "sorted by start: outer first"
+    [ "outer"; "inner"; "inner" ] (span_names events);
+  (* containment: both inners start and end inside outer *)
+  let spans =
+    List.filter_map
+      (function
+        | Kf_obs.Trace.Span { name; ts_ns; dur_ns; _ } ->
+            Some (name, ts_ns, ts_ns + dur_ns)
+        | _ -> None)
+      events
+  in
+  let _, o_start, o_end =
+    List.find (fun (name, _, _) -> name = "outer") spans
+  in
+  List.iter
+    (fun (name, s, e) ->
+      if name = "inner" then begin
+        Alcotest.(check bool) "inner starts inside outer" true (s >= o_start);
+        Alcotest.(check bool) "inner ends inside outer" true (e <= o_end)
+      end)
+    spans;
+  (* the profile tree reconstructs that nesting *)
+  let roots = Kf_obs.Profile.build events in
+  match roots with
+  | [ (_tid, root) ] -> (
+      match Hashtbl.find_opt root.Kf_obs.Profile.children "outer" with
+      | None -> Alcotest.fail "outer missing from profile tree"
+      | Some outer -> (
+          Alcotest.(check int) "outer count" 1 outer.Kf_obs.Profile.count;
+          match Hashtbl.find_opt outer.Kf_obs.Profile.children "inner" with
+          | None -> Alcotest.fail "inner not nested under outer"
+          | Some inner ->
+              Alcotest.(check int) "inner aggregated" 2
+                inner.Kf_obs.Profile.count))
+  | roots ->
+      Alcotest.failf "expected one profile root, got %d" (List.length roots)
+
+let test_span_survives_exceptions () =
+  with_tracing @@ fun () ->
+  (try
+     Kf_obs.Trace.with_span "raiser" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (list string))
+    "span recorded despite raise" [ "raiser" ]
+    (span_names (Kf_obs.Trace.events ()))
+
+(* ---- counters --------------------------------------------------------- *)
+
+let test_counter_monotonic () =
+  let c = Kf_obs.Counter.make "test.monotonic" in
+  let v0 = Kf_obs.Counter.value c in
+  Kf_obs.Counter.incr c;
+  Kf_obs.Counter.add c 41;
+  Alcotest.(check int) "incr + add" (v0 + 42) (Kf_obs.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Counter.add: counters are monotonic") (fun () ->
+      Kf_obs.Counter.add c (-1));
+  Alcotest.(check int) "value unchanged after rejected add" (v0 + 42)
+    (Kf_obs.Counter.value c)
+
+let test_counter_registry () =
+  let a = Kf_obs.Counter.make "test.same-name" in
+  let b = Kf_obs.Counter.make "test.same-name" in
+  Kf_obs.Counter.incr a;
+  let v = Kf_obs.Counter.value b in
+  Kf_obs.Counter.incr b;
+  Alcotest.(check int) "same counter" (v + 1) (Kf_obs.Counter.value a);
+  Alcotest.(check bool) "registered in snapshot" true
+    (List.mem_assoc "test.same-name" (Kf_obs.Counter.all ()))
+
+(* ---- Chrome export ---------------------------------------------------- *)
+
+let test_chrome_json_valid () =
+  with_tracing @@ fun () ->
+  Kf_obs.Trace.with_span "work"
+    ~args:[ ("needs\"escaping\\", "line\nbreak") ]
+    (fun () ->
+      Kf_obs.Trace.counter_sample "gauge" [ ("d0", 1.5); ("d1", 2.5) ];
+      Kf_obs.Trace.instant "marker");
+  let text = Kf_obs.Json.to_string (Kf_obs.Chrome.to_json ()) in
+  let doc = parse_json text in
+  let events =
+    match member "traceEvents" doc with
+    | Some (JList l) -> l
+    | _ -> Alcotest.fail "traceEvents missing or not a list"
+  in
+  let phase e =
+    match member "ph" e with Some (JStr p) -> p | _ -> Alcotest.fail "no ph"
+  in
+  let count p = List.length (List.filter (fun e -> phase e = p) events) in
+  Alcotest.(check int) "one complete span" 1 (count "X");
+  Alcotest.(check int) "one counter event" 1 (count "C");
+  Alcotest.(check int) "one instant" 1 (count "i");
+  Alcotest.(check bool) "process metadata present" true (count "M" >= 1);
+  List.iter
+    (fun e ->
+      match (member "ph" e, member "pid" e) with
+      | Some (JStr _), Some (JNum _) -> ()
+      | _ -> Alcotest.fail "event missing ph/pid")
+    events;
+  match member "otherData" doc with
+  | Some other -> (
+      match member "counters" other with
+      | Some (JObj _) -> ()
+      | _ -> Alcotest.fail "otherData.counters missing")
+  | None -> Alcotest.fail "otherData missing"
+
+let test_chrome_file_roundtrip () =
+  with_tracing @@ fun () ->
+  Kf_obs.Trace.with_span "io" (fun () -> ignore (Sys.opaque_identity 3));
+  let path = Filename.temp_file "kf_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Kf_obs.Chrome.write_file path;
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match member "traceEvents" (parse_json text) with
+      | Some (JList (_ :: _)) -> ()
+      | _ -> Alcotest.fail "written file has no events")
+
+(* ---- Host_stats accounting -------------------------------------------- *)
+
+let pool1 = lazy (Par.Pool.create ~size:1 ())
+let pool2 = lazy (Par.Pool.create ~size:2 ())
+let pool4 = lazy (Par.Pool.create ~size:4 ())
+
+let pools () =
+  [ (1, Lazy.force pool1); (2, Lazy.force pool2); (4, Lazy.force pool4) ]
+
+(* (seed, rows, cols, density, dense) *)
+let stats_case =
+  QCheck.make
+    ~print:(fun (seed, r, c, d, dense) ->
+      Printf.sprintf "seed=%d rows=%d cols=%d density=%.3f dense=%b" seed r c
+        d dense)
+    QCheck.Gen.(
+      let* seed = int_bound 10_000 in
+      let* rows = int_range 1 200 in
+      let* cols = int_range 1 64 in
+      let* density = float_range 0.05 0.5 in
+      let* dense = bool in
+      return (seed, rows, cols, density, dense))
+
+let test_host_stats_totals =
+  QCheck.Test.make ~count:40
+    ~name:"Host_stats rows/nnz sum to matrix totals across pool sizes"
+    stats_case
+    (fun (seed, rows, cols, density, dense) ->
+      let rng = Rng.create seed in
+      let input =
+        if dense then Fusion.Executor.Dense (Gen.dense rng ~rows ~cols)
+        else
+          Fusion.Executor.Sparse (Gen.sparse_uniform rng ~rows ~cols ~density)
+      in
+      let y = Gen.vector rng cols in
+      List.for_all
+        (fun (size, pool) ->
+          let r =
+            Fusion.Executor.pattern ~engine:Fusion.Executor.Host ~pool device
+              input ~y ~alpha:1.0 ()
+          in
+          match r.Fusion.Executor.profile.Fusion.Executor.host with
+          | None -> QCheck.Test.fail_reportf "no host stats (pool %d)" size
+          | Some stats ->
+              let total a = Array.fold_left ( + ) 0 a in
+              if stats.Kf_obs.Host_stats.domains <> size then
+                QCheck.Test.fail_reportf "domains %d <> pool %d"
+                  stats.Kf_obs.Host_stats.domains size;
+              if total stats.Kf_obs.Host_stats.rows <> rows then
+                QCheck.Test.fail_reportf "rows %d <> %d (pool %d)"
+                  (total stats.Kf_obs.Host_stats.rows)
+                  rows size;
+              if
+                total stats.Kf_obs.Host_stats.nnz
+                <> Fusion.Executor.nnz input
+              then
+                QCheck.Test.fail_reportf "nnz %d <> %d (pool %d)"
+                  (total stats.Kf_obs.Host_stats.nnz)
+                  (Fusion.Executor.nnz input)
+                  size;
+              true)
+        (pools ()))
+
+let test_host_stats_imbalance_and_json () =
+  let rng = Rng.create 7 in
+  let x = Gen.sparse_uniform rng ~rows:500 ~cols:40 ~density:0.2 in
+  let pool = Lazy.force pool2 in
+  let r =
+    Fusion.Executor.xt_y ~engine:Fusion.Executor.Host ~pool device
+      (Fusion.Executor.Sparse x)
+      (Gen.vector rng 500) ~alpha:1.0
+  in
+  match r.Fusion.Executor.profile.Fusion.Executor.host with
+  | None -> Alcotest.fail "no host stats"
+  | Some stats ->
+      Alcotest.(check bool)
+        "imbalance >= 1" true
+        (Kf_obs.Host_stats.load_imbalance stats >= 1.0);
+      Alcotest.(check bool)
+        "variant recorded" true
+        (stats.Kf_obs.Host_stats.variant <> "");
+      (* the JSON view parses and carries the per-domain arrays *)
+      let doc =
+        parse_json (Kf_obs.Json.to_string (Kf_obs.Host_stats.to_json stats))
+      in
+      (match member "rows" doc with
+      | Some (JList l) -> Alcotest.(check int) "rows array" 2 (List.length l)
+      | _ -> Alcotest.fail "rows missing from Host_stats json");
+      Alcotest.(check bool)
+        "no sink left installed" true
+        (Kf_obs.Host_stats.current () = None)
+
+let suite =
+  [
+    Alcotest.test_case "span: disabled is free" `Quick
+      test_span_disabled_records_nothing;
+    Alcotest.test_case "span: nesting and ordering" `Quick
+      test_span_nesting_and_order;
+    Alcotest.test_case "span: recorded on raise" `Quick
+      test_span_survives_exceptions;
+    Alcotest.test_case "counter: monotonic" `Quick test_counter_monotonic;
+    Alcotest.test_case "counter: registry idempotent" `Quick
+      test_counter_registry;
+    Alcotest.test_case "chrome: export parses" `Quick test_chrome_json_valid;
+    Alcotest.test_case "chrome: file round-trip" `Quick
+      test_chrome_file_roundtrip;
+    QCheck_alcotest.to_alcotest test_host_stats_totals;
+    Alcotest.test_case "host stats: imbalance + json" `Quick
+      test_host_stats_imbalance_and_json;
+  ]
