@@ -22,6 +22,13 @@ bench-host:
 bench-host-small:
 	dune exec bench/host_suite.exe -- --small
 
+# Plan compiler vs eval-time interpretation; writes BENCH_plan.json.
+bench-plan:
+	dune exec bench/plan_suite.exe
+
+bench-plan-small:
+	dune exec bench/plan_suite.exe -- --small
+
 examples:
 	for e in quickstart linear_regression spam_filter page_quality \
 	         autotune_explorer out_of_core insurance_claims; do \
@@ -31,4 +38,4 @@ clean:
 	dune clean
 
 .PHONY: all test test-verbose bench bench-full bench-host bench-host-small \
-	examples clean
+	bench-plan bench-plan-small examples clean

@@ -481,10 +481,36 @@ let script_cmd =
       & info [ "f"; "file" ]
           ~doc:"DML script; omit to run the paper's Listing 1.")
   in
+  let plan_arg =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "Compile the script with the fusion plan compiler and execute \
+             the chosen plan instead of interpreting statement by statement \
+             (the $(b,KF_PLAN) environment variable sets the default).")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Like $(b,--plan), and also print the plan report: rewrite \
+             counts, hoisted loop-invariant nodes, and every fusion group \
+             with its candidate costs.")
+  in
+  let dump_ir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-ir" ] ~docv:"FILE"
+          ~doc:"Write the compiled plan IR as JSON to $(docv).")
+  in
   let script verbose dense rows cols density seed file engine domains trace
-      profile =
+      profile plan explain dump_ir =
     setup_logs verbose;
     apply_domains domains;
+    Kf_plan.Compiler.install ();
     with_obs ~trace ~profile @@ fun () ->
     let program =
       match file with
@@ -499,11 +525,30 @@ let script_cmd =
       | Fusion.Executor.Sparse x -> Blas.csrmv x truth
       | Fusion.Executor.Dense x -> Blas.gemv x truth
     in
-    let r =
-      Sysml.Script.eval ~engine device ~inputs:[]
-        ~positional:[ Sysml.Script.Matrix input; Sysml.Script.Vector targets ]
+    let positional =
+      [ Sysml.Script.Matrix input; Sysml.Script.Vector targets ]
+    in
+    let mode =
+      if explain then Sysml.Runtime.Plan_explain
+      else if plan || dump_ir <> None then Sysml.Runtime.Plan_on
+      else Sysml.Runtime.plan_mode_of_env ()
+    in
+    (match dump_ir with
+    | Some path ->
+        let p = Option.get (Sysml.Runtime.planner ()) in
+        let doc =
+          p.Sysml.Runtime.plan_dump_ir ~positional device ~inputs:[] program
+        in
+        let oc = open_out path in
+        Kf_obs.Json.to_channel oc doc;
+        close_out oc;
+        Printf.printf "plan IR written to %s\n" path
+    | None -> ());
+    let r, explain_text =
+      Sysml.Runtime.eval_script ~mode ~engine device ~inputs:[] ~positional
         program
     in
+    Option.iter print_string explain_text;
     Printf.printf "script finished: %.2f ms simulated device time, %d fused launches
 "
       r.Sysml.Script.gpu_ms r.Sysml.Script.fused_launches;
@@ -534,7 +579,7 @@ let script_cmd =
     Term.(
       const script $ verbose_arg $ dense_arg $ rows_arg $ cols_arg
       $ density_arg $ seed_arg $ file_arg $ engine_arg $ domains_arg
-      $ trace_arg $ profile_arg)
+      $ trace_arg $ profile_arg $ plan_arg $ explain_arg $ dump_ir_arg)
 
 let () =
   let info =

@@ -24,6 +24,19 @@ let classify ~with_first_multiply ~with_v ~with_z =
   | false, true, _ | false, _, true ->
       invalid_arg "Pattern.classify: v or z without the first multiply"
 
+(* A fused call can stop partway down the chain and leave the rest to
+   separate kernels: the only valid cut points are below the additive
+   tail (compute [beta * z] with an axpy) and below the element-wise /
+   first multiply (materialise the inner vector, then run a plain
+   [X^T x p]).  Cutting *inside* the weighted multiply is not a prefix —
+   [X^T x (X x y)] is not a sub-computation of [X^T x (v .* (X x y))]. *)
+let partials = function
+  | Xt_y -> [ Xt_y ]
+  | Xt_X_y -> [ Xt_X_y; Xt_y ]
+  | Xt_v_X_y -> [ Xt_v_X_y; Xt_y ]
+  | Xt_X_y_plus_z -> [ Xt_X_y_plus_z; Xt_X_y; Xt_y ]
+  | Full_pattern -> [ Full_pattern; Xt_v_X_y; Xt_y ]
+
 let paper_algorithms = function
   | Xt_y -> [ "LR"; "GLM"; "LogReg"; "SVM"; "HITS" ]
   | Xt_X_y -> [ "LR"; "GLM"; "SVM"; "HITS" ]

@@ -25,6 +25,14 @@ val classify :
 (** Classify from the shape of the arguments: [with_first_multiply] is
     false for plain [X^T x y]. *)
 
+val partials : instantiation -> instantiation list
+(** The fusable prefixes of an instantiation, largest first: every way a
+    plan compiler can cover the head of the chain with one fused call and
+    compute the remainder with separate kernels.  The instantiation
+    itself is always included; [Xt_y] (fuse only the transpose product,
+    with the inner vector materialised separately) is always last.
+    Dropping just the [v] weighting is never a prefix. *)
+
 val paper_algorithms : instantiation -> string list
 (** The check marks of Table 1 (algorithms among
     ["LR"; "GLM"; "LogReg"; "SVM"; "HITS"]). *)

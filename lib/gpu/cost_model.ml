@@ -85,6 +85,19 @@ let time (d : Device.t) ~occupancy ~grid_blocks (s : Stats.t) =
   in
   { launch_ms; mem_ms; atomic_ms; shmem_ms; compute_ms; sync_ms; total_ms }
 
+let estimate (d : Device.t) ~occupancy ~grid_blocks ?(load_bytes = 0)
+    ?(store_bytes = 0) ?(dram_atomics = 0) ?(atomic_conflicts = 0.0)
+    ?(flops = 0) () =
+  let transactions bytes = (bytes + d.transaction_bytes - 1) / d.transaction_bytes in
+  let s = Stats.create () in
+  s.gld_transactions <- transactions load_bytes;
+  s.gst_transactions <- transactions store_bytes;
+  s.global_atomics <- dram_atomics;
+  s.dram_atomics <- dram_atomics;
+  s.atomic_conflicts <- atomic_conflicts;
+  s.flops <- flops;
+  time d ~occupancy ~grid_blocks s
+
 let zero =
   {
     launch_ms = 0.0;

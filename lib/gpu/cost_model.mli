@@ -36,6 +36,23 @@ val time :
 (** Estimate the execution time of one kernel launch that produced the
     given counters under the given occupancy. *)
 
+val estimate :
+  Device.t ->
+  occupancy:Occupancy.result ->
+  grid_blocks:int ->
+  ?load_bytes:int ->
+  ?store_bytes:int ->
+  ?dram_atomics:int ->
+  ?atomic_conflicts:float ->
+  ?flops:int ->
+  unit ->
+  breakdown
+(** Shape-only front door to {!time} for planners that know approximate
+    byte / atomic / flop totals but have not simulated a kernel: the
+    byte counts are rounded up to whole DRAM transactions and every
+    atomic is assumed to reach DRAM (the conservative choice a cost
+    model should make without occupancy-specific conflict data). *)
+
 val zero : breakdown
 
 val add : breakdown -> breakdown -> breakdown

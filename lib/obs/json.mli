@@ -21,3 +21,16 @@ val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
 (** Writes the value followed by a newline. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Read a JSON document (the full standard grammar minus exotic
+    [\uXXXX] codepoints above Latin-1).  Raises {!Parse_error} on
+    malformed input.  Numbers without [.]/[e] parse as {!Int}, others as
+    {!Float}.  Lets consumers reload artefacts written by this module —
+    e.g. the plan compiler's host cost model calibrating itself from
+    [BENCH_host.json]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] looks up [k]; [None] on non-objects. *)

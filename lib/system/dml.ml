@@ -230,6 +230,12 @@ and parse_atom p =
       let e = parse_expr p in
       expect p RPAREN ")";
       Script.Ncol e
+  | IDENT "nrow", _ ->
+      advance p;
+      expect p LPAREN "( after nrow";
+      let e = parse_expr p in
+      expect p RPAREN ")";
+      Script.Nrow e
   | IDENT "read", _ ->
       advance p;
       expect p LPAREN "( after read";
@@ -368,6 +374,7 @@ let rec print_expr buf e =
   | T e -> p "t"; paren e
   | Sum e -> p "sum"; paren e
   | Ncol e -> p "ncol"; paren e
+  | Nrow e -> p "nrow"; paren e
   | Zero_vector e ->
       p "matrix(0, rows=";
       print_expr buf e;
@@ -437,6 +444,54 @@ while(i < max_iteration & nr2 > nr2_target) {
   nr2 = sum(r * r);
   beta = nr2 / old_nr2;
   p = -r + beta * p;
+  i = i + 1;
+}
+write(w, "w");
+|}
+
+(* Weighted ridge regression by CG — the GLM iteration of Table 1: the
+   inner loop's system matrix is [X^T diag(v) X + lambda I], so every
+   iteration is one Full_pattern call
+   [scale * t(X) %*% (v * (X %*% p)) + lambda * p].  Exercises
+   [nrow(expr)] and a scalar positional [read($3)]. *)
+let glm_listing =
+  {|
+X = read($1); y = read($2); lambda = read($3);
+n = nrow(X);
+scale = 1 / n;
+v = y * y;
+g = -(t(X) %*% y);
+p = -g;
+nr2 = sum(g * g);
+nr2_target = nr2 * 0.000001;
+w = matrix(0, rows=ncol(X), cols=1);
+i = 0;
+while(i < 20 & nr2 > nr2_target) {
+  q = (scale * (t(X) %*% (v * (X %*% p)))) + lambda * p;
+  alpha = nr2 / (t(p) %*% q);
+  w = w + alpha * p;
+  old_nr2 = nr2;
+  g = g + alpha * q;
+  nr2 = sum(g * g);
+  beta = nr2 / old_nr2;
+  p = -g + beta * p;
+  i = i + 1;
+}
+write(w, "w");
+|}
+
+(* Gradient descent on the least-squares objective — the LogReg skeleton
+   with the identity link (the DML subset has no exp).  The residual
+   [(X %*% w) - y] is not part of the fusable chain, so the gradient is
+   the *partial* prefix Xt_y over a separately materialised vector. *)
+let logreg_listing =
+  {|
+X = read($1); y = read($2); step = read($3);
+w = matrix(0, rows=ncol(X), cols=1);
+i = 0;
+while(i < 10) {
+  g = t(X) %*% ((X %*% w) - y);
+  w = w - step * g;
   i = i + 1;
 }
 write(w, "w");

@@ -16,7 +16,7 @@
     unary  ::= - unary | pow
     pow    ::= atom ( ^ unary )?
     atom   ::= number | ident | ( expr ) | $k
-             | t(expr) | sum(expr) | ncol(expr) | read($k)
+             | t(expr) | sum(expr) | ncol(expr) | nrow(expr) | read($k)
              | matrix(0, rows=expr, cols=1)
     v}
 
@@ -38,3 +38,15 @@ val print : Script.stmt list -> string
 
 val listing1 : string
 (** The paper's Listing 1, verbatim (modulo the `1` literal comments). *)
+
+val glm_listing : string
+(** Weighted ridge regression by CG (the GLM iteration of Table 1):
+    each iteration runs the full Equation 1 pattern
+    [scale * t(X) %*% (v * (X %*% p)) + lambda * p].  Inputs:
+    [$1] matrix, [$2] targets vector, [$3] scalar lambda. *)
+
+val logreg_listing : string
+(** Gradient descent on least squares (the LogReg skeleton with the
+    identity link): the gradient [t(X) %*% ((X %*% w) - y)] only fuses
+    as the partial prefix [Xt_y].  Inputs: [$1] matrix, [$2] targets,
+    [$3] scalar step size. *)

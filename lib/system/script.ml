@@ -13,6 +13,7 @@ type expr =
   | T of expr
   | Sum of expr
   | Ncol of expr
+  | Nrow of expr
   | Zero_vector of expr
   | Pow of expr * expr
   | Read of int
@@ -210,6 +211,7 @@ and eval st = function
       let v = vector (eval st e) in
       Num (Ml_algos.Session.dot st.session v (Array.make (Array.length v) 1.0))
   | Ncol e -> Num (float_of_int (Fusion.Executor.cols (matrix (eval st e))))
+  | Nrow e -> Num (float_of_int (Fusion.Executor.rows (matrix (eval st e))))
   | Zero_vector e ->
       Vector (Matrix.Vec.create (int_of_float (scalar (eval st e))))
   | Pow (a, b) -> Num (scalar (eval st a) ** scalar (eval st b))
@@ -258,8 +260,10 @@ let rec exec st stmt =
       let v = match recognize st e with Some v -> v | None -> eval st e in
       st.outputs <- (name, v) :: st.outputs
 
-let eval ?engine ?(positional = []) device ~inputs program =
-  let session = Ml_algos.Session.create ?engine device ~algorithm:"script" in
+let eval ?engine ?pool ?(positional = []) device ~inputs program =
+  let session =
+    Ml_algos.Session.create ?engine ?pool device ~algorithm:"script"
+  in
   let st =
     {
       device;

@@ -32,6 +32,7 @@ type expr =
   | T of expr  (** transpose; only valid directly under [Matmul] *)
   | Sum of expr  (** sum of a vector's elements *)
   | Ncol of expr
+  | Nrow of expr
   | Zero_vector of expr  (** zero vector of the given (scalar) length *)
   | Pow of expr * expr  (** scalar exponentiation, [^] *)
   | Read of int  (** positional input, DML's [read($k)] *)
@@ -59,6 +60,7 @@ exception Type_error of string
 
 val eval :
   ?engine:Fusion.Executor.engine ->
+  ?pool:Par.Pool.t ->
   ?positional:value list ->
   Gpu_sim.Device.t ->
   inputs:(string * value) list ->
@@ -67,7 +69,8 @@ val eval :
 (** Run a program.  [positional] supplies [read($1)], [read($2)], ...;
     [~engine:Library] executes the same script without fusion (every
     operator its own kernel chain) — the two runs return the same values,
-    which the tests check. *)
+    which the tests check.  [pool] selects the domain pool for the
+    [Host] engine. *)
 
 val lookup : run -> string -> value
 (** Raises [Not_found]. *)

@@ -132,6 +132,7 @@ let expr_gen =
             (1, map (fun e -> Script.Neg e) (self (depth - 1)));
             (1, map (fun e -> Script.Sum e) (self (depth - 1)));
             (1, map (fun e -> Script.Ncol e) (self (depth - 1)));
+            (1, map (fun e -> Script.Nrow e) (self (depth - 1)));
             (1, map (fun e -> Script.T e) (self (depth - 1)));
             (1, map (fun e -> Script.Zero_vector e) (self (depth - 1)));
           ])

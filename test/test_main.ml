@@ -20,6 +20,7 @@ let () =
       ("par", Test_par.suite);
       ("host", Test_host.suite);
       ("obs", Test_obs.suite);
+      ("plan", Test_plan.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("consistency", Test_consistency.suite);
       ("reproduction", Test_reproduction.suite);

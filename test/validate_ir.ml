@@ -1,0 +1,126 @@
+(* Structural validation of a plan-IR dump (`kf script --dump-ir FILE`),
+   using the hand-written test JSON parser — deliberately not the
+   [Kf_obs.Json] emitter's own [parse], so the CI check does not trust
+   the code under test to check itself.
+
+   Usage: validate_ir.exe FILE
+   Exits 0 when the document is well-formed kf-plan-ir/1, 1 otherwise. *)
+
+open Json_helper
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("validate_ir: " ^ s); exit 1) fmt
+
+let get name doc =
+  match member name doc with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let as_list what = function
+  | JList l -> l
+  | _ -> fail "%s is not a list" what
+
+let as_int what = function
+  | JNum f when Float.is_integer f -> int_of_float f
+  | _ -> fail "%s is not an integer" what
+
+let check_node ids node =
+  let id = as_int "node id" (get "id" node) in
+  (match get "op" node with JStr _ -> () | _ -> fail "node %d: op is not a string" id);
+  let args = as_list "node args" (get "args" node) in
+  List.iter
+    (fun a ->
+      let a = as_int "node arg" a in
+      if not (Hashtbl.mem ids a) then
+        fail "node %d: argument #%d is not a previously defined node" id a)
+    args;
+  (match member "kind" (get "ty" node) with
+  | Some (JStr ("scalar" | "vector" | "matrix")) -> ()
+  | _ -> fail "node %d: bad ty" id);
+  Hashtbl.replace ids id ()
+
+let rec check_step ids step =
+  let node_ref what v =
+    let id = as_int what v in
+    if not (Hashtbl.mem ids id) then fail "%s references unknown node #%d" what id
+  in
+  match (member "bind" step, member "write" step, member "while" step, member "if" step) with
+  | Some (JStr _), None, None, None -> node_ref "bind" (get "node" step)
+  | None, Some (JStr _), None, None -> node_ref "write" (get "node" step)
+  | None, None, Some w, None ->
+      ignore (as_int "loop id" (get "loop" w));
+      node_ref "while cond" (get "cond" w);
+      List.iter (node_ref "phi") (as_list "phis" (get "phis" w));
+      List.iter (check_step ids) (as_list "while body" (get "body" w))
+  | None, None, None, Some i ->
+      node_ref "if cond" (get "cond" i);
+      List.iter (check_step ids) (as_list "then" (get "then" i));
+      List.iter (check_step ids) (as_list "else" (get "else" i))
+  | _ -> fail "step is none of bind/write/while/if"
+
+let check_candidate what c =
+  (match get "instantiation" c with
+  | JStr _ -> ()
+  | _ -> fail "%s: instantiation is not a string" what);
+  ignore (as_int "covers" (get "covers" c));
+  ignore (as_int "operators" (get "operators" c));
+  match get "est_ms" c with
+  | JNum f when Float.is_finite f && f >= 0.0 -> ()
+  | _ -> fail "%s: est_ms is not a finite number" what
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: validate_ir.exe FILE";
+        exit 2
+  in
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* the dump ends with a newline; the parser rejects trailing input *)
+  let doc =
+    try parse_json (String.trim text)
+    with Parse_error msg -> fail "parse error: %s" msg
+  in
+  (match get "schema" doc with
+  | JStr "kf-plan-ir/1" -> ()
+  | _ -> fail "unexpected schema");
+  let nodes = as_list "nodes" (get "nodes" doc) in
+  if nodes = [] then fail "empty node list";
+  let ids = Hashtbl.create 64 in
+  List.iter (check_node ids) nodes;
+  let steps = as_list "steps" (get "steps" doc) in
+  if steps = [] then fail "empty step list";
+  List.iter (check_step ids) steps;
+  let report = get "report" doc in
+  List.iter
+    (fun k -> ignore (as_int k (get k report)))
+    [ "cse_hits"; "const_folds"; "transpose_pushdowns" ];
+  List.iter
+    (fun h ->
+      ignore (as_int "hoist loop" (get "loop" h));
+      List.iter
+        (fun n ->
+          (* {id, op} pairs; hoisting is reported before transpose
+             pushdown, so a hoisted node may legitimately be absent
+             from the (post-pushdown) node list — hence the embedded
+             op name rather than a bare id reference *)
+          let id = as_int "hoisted node id" (get "id" n) in
+          match get "op" n with
+          | JStr _ -> ()
+          | _ -> fail "hoisted node #%d: op is not a string" id)
+        (as_list "hoisted nodes" (get "nodes" h)))
+    (as_list "hoisted" (get "hoisted" report));
+  let groups = as_list "groups" (get "groups" doc) in
+  List.iter
+    (fun g ->
+      ignore (as_int "anchor" (get "anchor" g));
+      check_candidate "chosen" (get "chosen" g);
+      List.iter (check_candidate "rejected") (as_list "rejected" (get "rejected" g)))
+    groups;
+  Printf.printf "validate_ir: %s ok (%d nodes, %d steps, %d groups)\n" path
+    (List.length nodes) (List.length steps) (List.length groups)
