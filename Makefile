@@ -29,6 +29,13 @@ bench-plan:
 bench-plan-small:
 	dune exec bench/plan_suite.exe -- --small
 
+# Guard overhead (faults off) + checkpoint write cost; writes BENCH_resil.json.
+bench-resil:
+	dune exec bench/resil_suite.exe
+
+bench-resil-small:
+	dune exec bench/resil_suite.exe -- --small
+
 examples:
 	for e in quickstart linear_regression spam_filter page_quality \
 	         autotune_explorer out_of_core insurance_claims; do \
@@ -38,4 +45,4 @@ clean:
 	dune clean
 
 .PHONY: all test test-verbose bench bench-full bench-host bench-host-small \
-	bench-plan bench-plan-small examples clean
+	bench-plan bench-plan-small bench-resil bench-resil-small examples clean

@@ -314,6 +314,68 @@ let codegen_cmd =
 
 (* ---- kf train ---- *)
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault-injection spec (DESIGN.md section 10), \
+           e.g. $(b,launch:p=0.05:seed=7,nan:after=3).  Kinds: \
+           $(b,launch), $(b,nan), $(b,inf), $(b,alloc), $(b,crash), \
+           $(b,trunc); keys: $(b,p=), $(b,after=), $(b,every=), \
+           $(b,times=), $(b,seed=), $(b,point=).  Overrides the \
+           $(b,KF_FAULTS) environment variable.")
+
+let apply_faults = function
+  | None -> ()
+  | Some spec -> (
+      match Kf_resil.Fault.parse spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "kf: --faults: %s\n%!" msg;
+          exit 2)
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write a $(b,kf-ckpt/1) checkpoint of the solver state to \
+           $(docv) every $(b,--every) outer iterations.  The \
+           $(b,KF_CKPT) environment variable supplies the path when the \
+           flag is absent.")
+
+let every_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "every" ] ~docv:"K"
+        ~doc:
+          "Checkpoint cadence: every $(docv)-th outer iteration \
+           (classes for $(b,multinomial)).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume training from a checkpoint written by an identical \
+           $(b,kf train) invocation; the resumed run converges to the \
+           bit-identical model (compare $(b,weights_checksum) in the \
+           $(b,--json) output).")
+
+let max_iterations_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-iterations" ] ~docv:"N"
+        ~doc:
+          "Cap the outer iteration count: CG iterations for $(b,lr), \
+           Newton steps for $(b,glm)/$(b,logreg)/$(b,svm)/\
+           $(b,multinomial), power iterations for $(b,hits).")
+
 let algo_arg =
   let all =
     [ ("lr", `Lr); ("glm", `Glm); ("logreg", `Logreg);
@@ -325,11 +387,61 @@ let algo_arg =
     & info [ "a"; "algorithm" ]
         ~doc:"One of $(b,lr), $(b,glm), $(b,logreg), $(b,multinomial),               $(b,svm), $(b,hits).")
 
+(* Resume safety: a checkpoint only makes sense against the same
+   synthetic problem, so every checkpoint carries the generator
+   configuration and [--resume] refuses a mismatch before fitting. *)
+let field_str = function
+  | Kf_resil.Ckpt.Int i -> string_of_int i
+  | Kf_resil.Ckpt.Float f -> Printf.sprintf "%g" f
+  | Kf_resil.Ckpt.Str s -> s
+  | Kf_resil.Ckpt.Floats v -> Printf.sprintf "<%d floats>" (Array.length v)
+  | Kf_resil.Ckpt.Ints v -> Printf.sprintf "<%d ints>" (Array.length v)
+
+let validate_resume_meta ~path ~meta =
+  let ck = Kf_resil.Ckpt.read ~path in
+  List.iter
+    (fun (name, expected) ->
+      match Kf_resil.Ckpt.find ck.Kf_resil.Ckpt.payload name with
+      | Some stored when stored <> expected ->
+          Printf.eprintf
+            "kf train --resume: %s was written with %s=%s, but this \
+             invocation has %s=%s\n\
+             %!"
+            path name (field_str stored) name (field_str expected);
+          exit 2
+      | _ -> ())
+    meta
+
 let train_cmd =
   let train dense rows cols density seed algo engine domains trace_file profile
-      json =
+      json faults checkpoint every resume max_iterations =
     apply_domains domains;
+    apply_faults faults;
+    let checkpoint =
+      match checkpoint with
+      | Some _ as c -> c
+      | None -> Sys.getenv_opt "KF_CKPT"
+    in
+    let checkpoint = Option.map (fun path -> (path, every)) checkpoint in
     with_obs ~trace:trace_file ~profile @@ fun () ->
+    let algo_name =
+      match algo with
+      | `Lr -> "lr" | `Glm -> "glm" | `Logreg -> "logreg"
+      | `Multinomial -> "multinomial" | `Svm -> "svm" | `Hits -> "hits"
+    in
+    let ckpt_meta =
+      [
+        ("cfg.algo", Kf_resil.Ckpt.Str algo_name);
+        ("cfg.rows", Kf_resil.Ckpt.Int rows);
+        ("cfg.cols", Kf_resil.Ckpt.Int cols);
+        ("cfg.density", Kf_resil.Ckpt.Float density);
+        ("cfg.dense", Kf_resil.Ckpt.Int (if dense then 1 else 0));
+        ("cfg.seed", Kf_resil.Ckpt.Int seed);
+      ]
+    in
+    (match resume with
+    | Some path -> validate_resume_meta ~path ~meta:ckpt_meta
+    | None -> ());
     let input = make_input ~dense ~rows ~cols ~density ~seed in
     let rng = Rng.create (seed + 2) in
     let truth = Gen.vector rng cols in
@@ -347,7 +459,8 @@ let train_cmd =
     (* One report path for both renderings: [extras] feeds the text
        output, [fields] the JSON one, and the pattern trace and
        per-iteration timeline are shared. *)
-    let report name gpu_ms trace timeline ~extras ~fields =
+    let report name gpu_ms trace timeline ~weights ~extras ~fields =
+      let checksum = Kf_resil.Ckpt.checksum_floats weights in
       if json then
         Kf_obs.Json.to_channel stdout
           (Kf_obs.Json.Obj
@@ -360,6 +473,8 @@ let train_cmd =
                     | Fusion.Executor.Library -> "library"
                     | Fusion.Executor.Host -> "host") );
                 ("time_ms", Kf_obs.Json.Float gpu_ms);
+                ("resumed", Kf_obs.Json.Bool (resume <> None));
+                ("weights_checksum", Kf_obs.Json.Str checksum);
               ]
              @ fields
              @ [
@@ -377,6 +492,8 @@ let train_cmd =
                ]))
       else begin
         Printf.printf "%s: %s\n" name extras;
+        if resume <> None then print_endline "resumed from checkpoint";
+        Printf.printf "weights checksum: %s\n" checksum;
         Printf.printf "%s: %.2f ms\n" time_label gpu_ms;
         print_endline "pattern instantiations:";
         List.iter
@@ -389,8 +506,12 @@ let train_cmd =
     in
     match algo with
     | `Lr ->
-        let r = Ml_algos.Linreg_cg.fit ~engine device input ~targets:raw in
+        let r =
+          Ml_algos.Linreg_cg.fit ~engine ?max_iterations ?checkpoint
+            ~ckpt_meta ?resume device input ~targets:raw
+        in
         report "linear regression CG" r.gpu_ms r.trace r.timeline
+          ~weights:r.weights
           ~extras:
             (Printf.sprintf "%d iterations, residual %g" r.iterations
                r.residual_norm)
@@ -401,8 +522,11 @@ let train_cmd =
             ]
     | `Glm ->
         let targets = Array.map (fun t -> Float.round (exp (0.02 *. t))) raw in
-        let r = Ml_algos.Glm.fit ~engine device input ~targets in
-        report "poisson GLM" r.gpu_ms r.trace r.timeline
+        let r =
+          Ml_algos.Glm.fit ~engine ?newton_iterations:max_iterations
+            ?checkpoint ~ckpt_meta ?resume device input ~targets
+        in
+        report "poisson GLM" r.gpu_ms r.trace r.timeline ~weights:r.weights
           ~extras:
             (Printf.sprintf "%d Newton / %d CG iterations, deviance %g"
                r.newton_iterations r.cg_iterations r.deviance)
@@ -414,9 +538,12 @@ let train_cmd =
             ]
     | `Logreg ->
         let labels = Ml_algos.Dataset.classification_targets raw in
-        let r = Ml_algos.Logreg.fit ~engine device input ~labels in
+        let r =
+          Ml_algos.Logreg.fit ~engine ?newton_iterations:max_iterations
+            ?checkpoint ~ckpt_meta ?resume device input ~labels
+        in
         report "logistic regression (trust region)" r.gpu_ms r.trace
-          r.timeline
+          r.timeline ~weights:r.weights
           ~extras:(Printf.sprintf "accuracy %.1f%%" (100.0 *. r.accuracy))
           ~fields:[ ("accuracy", Kf_obs.Json.Float r.accuracy) ]
     | `Multinomial ->
@@ -426,10 +553,13 @@ let train_cmd =
             raw
         in
         let r =
-          Ml_algos.Multinomial.fit ~engine device input ~labels ~classes:3
+          Ml_algos.Multinomial.fit ~engine
+            ?newton_iterations:max_iterations ?checkpoint ~ckpt_meta ?resume
+            device input ~labels ~classes:3
         in
         report "multinomial logistic regression (one-vs-rest)" r.gpu_ms
           r.trace r.timeline
+          ~weights:(Array.concat (Array.to_list r.class_weights))
           ~extras:
             (Printf.sprintf "3 classes, accuracy %.1f%%" (100.0 *. r.accuracy))
           ~fields:
@@ -439,8 +569,11 @@ let train_cmd =
             ]
     | `Svm ->
         let labels = Ml_algos.Dataset.classification_targets raw in
-        let r = Ml_algos.Svm.fit ~engine device input ~labels in
-        report "primal SVM" r.gpu_ms r.trace r.timeline
+        let r =
+          Ml_algos.Svm.fit ~engine ?newton_iterations:max_iterations
+            ?checkpoint ~ckpt_meta ?resume device input ~labels
+        in
+        report "primal SVM" r.gpu_ms r.trace r.timeline ~weights:r.weights
           ~extras:
             (Printf.sprintf "accuracy %.1f%%, %d support rows"
                (100.0 *. r.accuracy) r.support_vectors)
@@ -454,8 +587,11 @@ let train_cmd =
           Ml_algos.Dataset.adjacency (Rng.create seed) ~nodes:rows
             ~out_degree:8
         in
-        let r = Ml_algos.Hits.run ~engine device a in
-        report "HITS" r.gpu_ms r.trace r.timeline
+        let r =
+          Ml_algos.Hits.run ~engine ?iterations:max_iterations ?checkpoint
+            ~ckpt_meta ?resume device a
+        in
+        report "HITS" r.gpu_ms r.trace r.timeline ~weights:r.authorities
           ~extras:
             (Printf.sprintf "%d iterations, delta %g" r.iterations r.delta)
           ~fields:
@@ -469,7 +605,8 @@ let train_cmd =
     Term.(
       const train $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg
       $ algo_arg $ engine_arg $ domains_arg $ trace_arg $ profile_arg
-      $ json_arg)
+      $ json_arg $ faults_arg $ checkpoint_arg $ every_arg $ resume_arg
+      $ max_iterations_arg)
 
 (* ---- kf script ---- *)
 

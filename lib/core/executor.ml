@@ -108,6 +108,97 @@ let finish_host ~op ~input ~t0 ~instantiation ~engine_used ~pool f =
 
 let host_pool = function Some p -> p | None -> Par.Pool.default ()
 
+(* --- guarded dispatch ----------------------------------------------------- *)
+
+(* Recovery plumbing: every public op runs through [guarded], which
+   (when fault injection or numerical guards are active) arms the fault
+   points below this layer, checks the output's health, and walks a
+   bounded retry-with-fallback chain — retry the same engine once, step
+   down Host/Fused -> Library, and as a last resort run the sequential
+   reference BLAS, which depends on nothing that can be injected.  With
+   faults inactive *and* guards disabled this collapses to a direct
+   call. *)
+
+let retries_counter = Kf_obs.Counter.make "resil.retries"
+
+let fallbacks_counter = Kf_obs.Counter.make "resil.fallbacks"
+
+let reference_counter = Kf_obs.Counter.make "resil.reference_runs"
+
+let engine_name = function
+  | Fused -> "fused"
+  | Library -> "library"
+  | Host -> "host"
+
+(* One retry on the engine the caller asked for, then progressively
+   simpler engines.  Library is the floor among engines because it is a
+   chain of independent single-kernel launches. *)
+let attempt_plan engine =
+  let tail = match engine with Host | Fused -> [ Library ] | Library -> [] in
+  engine :: engine :: tail
+
+let describe_failure = function
+  | Kf_resil.Fault.Injected { kind; point } ->
+      Printf.sprintf "injected %s fault at %s" (Kf_resil.Fault.kind_name kind)
+        point
+  | Kf_resil.Guard.Unhealthy { index; value; point } ->
+      Printf.sprintf "non-finite output (w.(%d) = %h) at %s" index value point
+  | e -> Printexc.to_string e
+
+let reference_result ~op ~input ~t0 ~instantiation w =
+  let engine_used = "reference sequential blas" in
+  let profile = mk_profile ~op ~input ~decision:engine_used ~t0 ~host:None in
+  {
+    w;
+    reports = [];
+    time_ms = Kf_obs.Clock.ns_to_ms profile.wall_ns;
+    instantiation;
+    engine_used;
+    profile;
+  }
+
+let guarded ~op ~engine ~dispatch ~reference =
+  let faults = Kf_resil.Fault.active () in
+  if not (faults || Kf_resil.Guard.enabled ()) then dispatch engine
+  else
+    let point = "executor." ^ op in
+    let attempt e =
+      Kf_resil.Fault.with_arm @@ fun () ->
+      Kf_resil.Fault.check Kf_resil.Fault.Launch ~point;
+      let r = dispatch e in
+      if faults then Kf_resil.Fault.poison ~point r.w;
+      Kf_resil.Guard.check_vec ~point r.w;
+      r
+    in
+    let note verb e exn =
+      let cause = describe_failure exn in
+      Kf_obs.Trace.instant ("resil." ^ verb)
+        ~args:[ ("op", op); ("engine", engine_name e); ("cause", cause) ];
+      Log.warn (fun m -> m "%s after %s on %s %s" verb cause (engine_name e) op)
+    in
+    let rec run = function
+      | [] ->
+          Kf_obs.Counter.incr reference_counter;
+          let r = reference () in
+          (* if even the reference output is unhealthy the data itself is
+             bad: surface it rather than return garbage *)
+          Kf_resil.Guard.check_vec ~point:(point ^ ".reference") r.w;
+          r
+      | e :: rest -> (
+          try attempt e
+          with (Kf_resil.Fault.Injected _ | Kf_resil.Guard.Unhealthy _) as exn
+            ->
+            (match rest with
+            | e' :: _ when e' = e ->
+                Kf_obs.Counter.incr retries_counter;
+                note "retry" e exn
+            | _ ->
+                Kf_obs.Counter.incr fallbacks_counter;
+                note "fallback" e exn);
+            run rest)
+    in
+    run (attempt_plan engine)
+
 let host_engine_used ~kernel ~pool ~variant =
   Printf.sprintf "host %s [%s, %d domain%s]" kernel
     (Host_fused.variant_name variant)
@@ -137,6 +228,16 @@ let xt_y ?(engine = Fused) ?pool device input y ~alpha =
       (Pattern.classify ~with_first_multiply:false ~with_v:false
          ~with_z:false)
   in
+  let reference () =
+    let w =
+      match input with
+      | Sparse x -> Matrix.Blas.csrmv_t x y
+      | Dense x -> Matrix.Blas.gemv_t x y
+    in
+    let w = Matrix.Blas.finish_pattern ~alpha ~beta:None ~z:None w in
+    reference_result ~op ~input ~t0 ~instantiation w
+  in
+  guarded ~op ~engine ~reference ~dispatch:(fun engine ->
   match (engine, input) with
   | Host, Sparse x ->
       let pool = host_pool pool in
@@ -177,7 +278,7 @@ let xt_y ?(engine = Fused) ?pool device input y ~alpha =
          already a single pass. *)
       let w, reports = Gpulibs.Cublas.gemv_t device x y in
       let w, reports = library_epilogue device ~alpha ~beta_z:None w reports in
-      finish ~instantiation ~engine_used:"cublas gemv (transpose)" w reports
+      finish ~instantiation ~engine_used:"cublas gemv (transpose)" w reports)
 
 let library_pattern device input ~y ?v ?beta_z ~alpha () =
   let p, reports =
@@ -216,6 +317,15 @@ let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
   let beta, z =
     match beta_z with None -> (None, None) | Some (b, z) -> (Some b, Some z)
   in
+  let reference () =
+    let w =
+      match input with
+      | Sparse x -> Matrix.Blas.pattern_sparse ~alpha x ?v y ?beta ?z ()
+      | Dense x -> Matrix.Blas.pattern_dense ~alpha x ?v y ?beta ?z ()
+    in
+    reference_result ~op ~input ~t0 ~instantiation w
+  in
+  guarded ~op ~engine ~reference ~dispatch:(fun engine ->
   match (engine, input) with
   | Host, Sparse x ->
       let pool = host_pool pool in
@@ -268,7 +378,7 @@ let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
         | Sparse _ -> "cusparse csrmv + csrmv_t (+ cublas level-1)"
         | Dense _ -> "cublas gemv + gemv_t (+ level-1)"
       in
-      finish ~instantiation ~engine_used w reports
+      finish ~instantiation ~engine_used w reports)
 
 let x_y ?(engine = Fused) ?pool device input y =
   let t0 = Kf_obs.Clock.now_ns () in
@@ -276,6 +386,15 @@ let x_y ?(engine = Fused) ?pool device input y =
   let finish = finish ~op ~input ~t0 in
   let finish_host = finish_host ~op ~input ~t0 in
   let instantiation = None in
+  let reference () =
+    let w =
+      match input with
+      | Sparse x -> Matrix.Blas.csrmv x y
+      | Dense x -> Matrix.Blas.gemv x y
+    in
+    reference_result ~op ~input ~t0 ~instantiation w
+  in
+  guarded ~op ~engine ~reference ~dispatch:(fun engine ->
   match (engine, input) with
   | Host, Sparse x ->
       let pool = host_pool pool in
@@ -296,4 +415,4 @@ let x_y ?(engine = Fused) ?pool device input y =
       finish ~instantiation ~engine_used:"cusparse csrmv" w reports
   | (Fused | Library), Dense x ->
       let w, reports = Gpulibs.Cublas.gemv device x y in
-      finish ~instantiation ~engine_used:"cublas gemv" w reports
+      finish ~instantiation ~engine_used:"cublas gemv" w reports)

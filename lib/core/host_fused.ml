@@ -137,6 +137,8 @@ let sparse_col_partition pool (x : Matrix.Csr.t) ~p_of =
   w
 
 let run_sparse ?pool ?variant (x : Matrix.Csr.t) ~p_of ~alpha ~beta ~z =
+  (* armed fault point: only fires under the executor's recovery scope *)
+  Kf_resil.Fault.check Kf_resil.Fault.Launch ~point:"host_fused.sparse";
   let pool = get_pool pool in
   let variant =
     match variant with
@@ -243,6 +245,7 @@ let pattern_dense ?pool ?variant ~alpha (x : Matrix.Dense.t) ?v y ?beta ?z () =
   check_dense_args x ~v ~y ~z ~name:"Host_fused.pattern_dense";
   if x.rows = 0 || x.cols = 0 then degenerate ~alpha ~beta ~z ~cols:x.cols
   else begin
+    Kf_resil.Fault.check Kf_resil.Fault.Launch ~point:"host_fused.dense";
     let pool = get_pool pool in
     let variant =
       match variant with

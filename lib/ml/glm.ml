@@ -95,7 +95,8 @@ let cg_solve session input ~d ~g ~iterations ~tolerance =
   (!delta, !count)
 
 let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
-    ?(cg_iterations = 20) ?(tolerance = 1e-6) device input ~targets =
+    ?(cg_iterations = 20) ?(tolerance = 1e-6) ?checkpoint ?ckpt_meta ?resume
+    device input ~targets =
   let m = Fusion.Executor.rows input in
   if Array.length targets <> m then
     invalid_arg "Glm.fit: one target per row required";
@@ -107,6 +108,10 @@ let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
              family.family_name))
     targets;
   let session = Session.create ?engine device ~algorithm:"GLM" in
+  (match checkpoint with
+  | Some (path, every) ->
+      Session.set_checkpoint ?meta:ckpt_meta session ~path ~every
+  | None -> ());
   Kf_obs.Trace.with_span "fit.GLM" @@ fun () ->
   let n = Fusion.Executor.cols input in
   let w = ref (Vec.create n) in
@@ -114,6 +119,23 @@ let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
   let newton = ref 0 in
   let deviance = ref infinity in
   let continue_ = ref true in
+  (match resume with
+  | Some path ->
+      let st = Session.resume session ~path in
+      w := Kf_resil.Ckpt.get_floats st "glm.w";
+      cg_total := Kf_resil.Ckpt.get_int st "glm.cg_total";
+      newton := Kf_resil.Ckpt.get_int st "glm.newton";
+      deviance := Kf_resil.Ckpt.get_float st "glm.deviance";
+      continue_ := Kf_resil.Ckpt.get_int st "glm.continue" <> 0
+  | None -> ());
+  Session.set_state_fn session (fun () ->
+      [
+        ("glm.w", Kf_resil.Ckpt.Floats !w);
+        ("glm.cg_total", Kf_resil.Ckpt.Int !cg_total);
+        ("glm.newton", Kf_resil.Ckpt.Int !newton);
+        ("glm.deviance", Kf_resil.Ckpt.Float !deviance);
+        ("glm.continue", Kf_resil.Ckpt.Int (if !continue_ then 1 else 0));
+      ]);
   while !newton < newton_iterations && !continue_ do
     Session.iteration session (fun () ->
         let eta = Session.x_y session input !w in
@@ -138,8 +160,8 @@ let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
         in
         if Float.abs (dev -. !deviance) < tolerance *. Float.max 1.0 dev then
           continue_ := false;
-        deviance := dev);
-    incr newton
+        deviance := dev;
+        incr newton)
   done;
   {
     weights = !w;

@@ -45,6 +45,9 @@ val fit :
   ?newton_iterations:int ->
   ?cg_iterations:int ->
   ?tolerance:float ->
+  ?checkpoint:string * int ->
+  ?ckpt_meta:Kf_resil.Ckpt.payload ->
+  ?resume:string ->
   Gpu_sim.Device.t ->
   Fusion.Executor.input ->
   targets:Matrix.Vec.t ->

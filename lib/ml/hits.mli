@@ -20,6 +20,9 @@ val run :
   ?engine:Fusion.Executor.engine ->
   ?iterations:int ->
   ?tolerance:float ->
+  ?checkpoint:string * int ->
+  ?ckpt_meta:Kf_resil.Ckpt.payload ->
+  ?resume:string ->
   Gpu_sim.Device.t ->
   Matrix.Csr.t ->
   result

@@ -12,21 +12,48 @@ type result = {
 }
 
 let fit ?engine ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001)
-    device input ~targets =
+    ?checkpoint ?ckpt_meta ?resume device input ~targets =
   if Array.length targets <> Fusion.Executor.rows input then
     invalid_arg "Linreg_cg.fit: one target per row required";
   let session = Session.create ?engine device ~algorithm:"LR" in
+  (match checkpoint with
+  | Some (path, every) ->
+      Session.set_checkpoint ?meta:ckpt_meta session ~path ~every
+  | None -> ());
   Kf_obs.Trace.with_span "fit.LR" @@ fun () ->
   let n = Fusion.Executor.cols input in
-  (* r = -(X^T t);  p = -r *)
-  let r = Session.xt_y session input targets ~alpha:(-1.0) in
-  let p = Session.scal session (-1.0) r in
-  let nr2 = ref (Session.dot session r r) in
-  let nr2_target = !nr2 *. tolerance *. tolerance in
   let w = ref (Vec.create n) in
-  let r = ref r and p = ref p in
+  let r = ref [||] and p = ref [||] in
+  let nr2 = ref 0.0 and nr2_target = ref 0.0 in
   let i = ref 0 in
-  while !i < max_iterations && !nr2 > nr2_target do
+  (match resume with
+  | Some path ->
+      let st = Session.resume session ~path in
+      w := Kf_resil.Ckpt.get_floats st "lr.w";
+      r := Kf_resil.Ckpt.get_floats st "lr.r";
+      p := Kf_resil.Ckpt.get_floats st "lr.p";
+      nr2 := Kf_resil.Ckpt.get_float st "lr.nr2";
+      nr2_target := Kf_resil.Ckpt.get_float st "lr.nr2_target";
+      i := Kf_resil.Ckpt.get_int st "lr.i"
+  | None ->
+      (* r = -(X^T t);  p = -r *)
+      let r0 = Session.xt_y session input targets ~alpha:(-1.0) in
+      r := r0;
+      p := Session.scal session (-1.0) r0;
+      nr2 := Session.dot session r0 r0;
+      (* derived before the loop, so it must be checkpointed, not
+         recomputed: resuming re-derives nothing *)
+      nr2_target := !nr2 *. tolerance *. tolerance);
+  Session.set_state_fn session (fun () ->
+      [
+        ("lr.w", Kf_resil.Ckpt.Floats !w);
+        ("lr.r", Kf_resil.Ckpt.Floats !r);
+        ("lr.p", Kf_resil.Ckpt.Floats !p);
+        ("lr.nr2", Kf_resil.Ckpt.Float !nr2);
+        ("lr.nr2_target", Kf_resil.Ckpt.Float !nr2_target);
+        ("lr.i", Kf_resil.Ckpt.Int !i);
+      ]);
+  while !i < max_iterations && !nr2 > !nr2_target do
     Session.iteration session (fun () ->
         (* q = X^T (X p) + eps * p — the pattern of Table 1 row 4; an
            unregularised solve (eps = 0) degrades to plain X^T(Xy). *)
@@ -39,8 +66,8 @@ let fit ?engine ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001)
         nr2 := Session.dot session !r !r;
         let beta = !nr2 /. old_nr2 in
         (* p = -r + beta * p *)
-        p := Session.axpy session (-1.0) !r (Session.scal session beta !p));
-    incr i
+        p := Session.axpy session (-1.0) !r (Session.scal session beta !p);
+        incr i)
   done;
   {
     weights = !w;

@@ -22,12 +22,21 @@ val fit :
   ?max_iterations:int ->
   ?tolerance:float ->
   ?eps:float ->
+  ?checkpoint:string * int ->
+  ?ckpt_meta:Kf_resil.Ckpt.payload ->
+  ?resume:string ->
   Gpu_sim.Device.t ->
   Fusion.Executor.input ->
   targets:Matrix.Vec.t ->
   result
 (** Defaults follow Listing 1: [max_iterations = 100],
-    [tolerance = 1e-6], [eps = 0.001]. *)
+    [tolerance = 1e-6], [eps = 0.001].
+
+    [checkpoint:(path, every)] writes a [kf-ckpt/1] file after every
+    [every]-th CG iteration; [resume:path] restores the full solver
+    state (w, r, p, residual norms, iteration counter, pattern trace)
+    bit-exactly, so a resumed run converges to the identical model.
+    [ckpt_meta] fields ride in each checkpoint unchanged. *)
 
 (** CPU reference execution with wall-clock time bucketed by operation
     class — the measurement behind Table 2. *)

@@ -67,7 +67,8 @@ let steihaug session input ~d ~g ~lambda ~delta ~iterations ~tolerance =
   (!s, !count)
 
 let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 15)
-    ?(cg_iterations = 25) ?(tolerance = 1e-5) device input ~labels =
+    ?(cg_iterations = 25) ?(tolerance = 1e-5) ?checkpoint ?ckpt_meta ?resume
+    device input ~labels =
   let m = Fusion.Executor.rows input in
   if Array.length labels <> m then
     invalid_arg "Logreg.fit: one label per row required";
@@ -77,15 +78,42 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 15)
         invalid_arg "Logreg.fit: labels must be +1/-1")
     labels;
   let session = Session.create ?engine device ~algorithm:"LogReg" in
+  (match checkpoint with
+  | Some (path, every) ->
+      Session.set_checkpoint ?meta:ckpt_meta session ~path ~every
+  | None -> ());
   Kf_obs.Trace.with_span "fit.LogReg" @@ fun () ->
   let n = Fusion.Executor.cols input in
   let w = ref (Vec.create n) in
   let delta = ref 1.0 in
   let cg_total = ref 0 in
   let newton = ref 0 in
-  let margins = ref (Session.x_y session input !w) in
-  let current_loss = ref (loss_of ~lambda ~labels !margins !w) in
+  let margins = ref [||] in
+  let current_loss = ref 0.0 in
   let converged = ref false in
+  (match resume with
+  | Some path ->
+      let st = Session.resume session ~path in
+      w := Kf_resil.Ckpt.get_floats st "logreg.w";
+      delta := Kf_resil.Ckpt.get_float st "logreg.delta";
+      cg_total := Kf_resil.Ckpt.get_int st "logreg.cg_total";
+      newton := Kf_resil.Ckpt.get_int st "logreg.newton";
+      margins := Kf_resil.Ckpt.get_floats st "logreg.margins";
+      current_loss := Kf_resil.Ckpt.get_float st "logreg.loss";
+      converged := Kf_resil.Ckpt.get_int st "logreg.converged" <> 0
+  | None ->
+      margins := Session.x_y session input !w;
+      current_loss := loss_of ~lambda ~labels !margins !w);
+  Session.set_state_fn session (fun () ->
+      [
+        ("logreg.w", Kf_resil.Ckpt.Floats !w);
+        ("logreg.delta", Kf_resil.Ckpt.Float !delta);
+        ("logreg.cg_total", Kf_resil.Ckpt.Int !cg_total);
+        ("logreg.newton", Kf_resil.Ckpt.Int !newton);
+        ("logreg.margins", Kf_resil.Ckpt.Floats !margins);
+        ("logreg.loss", Kf_resil.Ckpt.Float !current_loss);
+        ("logreg.converged", Kf_resil.Ckpt.Int (if !converged then 1 else 0));
+      ]);
   while !newton < newton_iterations && not !converged do
     Session.iteration session (fun () ->
         let sigma =

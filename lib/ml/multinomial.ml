@@ -14,8 +14,11 @@ let margins input weights =
   | Fusion.Executor.Sparse x -> Blas.csrmv x weights
   | Fusion.Executor.Dense x -> Blas.gemv x weights
 
+let algorithm_name = "LogReg-multinomial"
+
 let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
-    ?(cg_iterations = 20) device input ~labels ~classes =
+    ?(cg_iterations = 20) ?checkpoint ?(ckpt_meta = []) ?resume device input
+    ~labels ~classes =
   if classes < 2 then invalid_arg "Multinomial.fit: need at least 2 classes";
   let m = Fusion.Executor.rows input in
   if Array.length labels <> m then
@@ -25,19 +28,74 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
       if l < 0 || l >= classes then
         invalid_arg "Multinomial.fit: label out of range")
     labels;
-  let trace = Fusion.Pattern.Trace.create ~algorithm:"LogReg-multinomial" in
+  let n = Fusion.Executor.cols input in
+  let trace = Fusion.Pattern.Trace.create ~algorithm:algorithm_name in
   let gpu_ms = ref 0.0 in
   (* per-class timelines concatenated in class order; the class fits have
      their own sessions, so the merged timeline re-runs iteration indices
      from 0 at each class boundary *)
   let timeline_rev = ref [] in
-  let class_weights =
-    Kf_obs.Trace.with_span "fit.LogReg-multinomial" @@ fun () ->
-    Array.init classes (fun k ->
-        (* one-vs-rest: class k against everything else *)
-        let binary =
-          Array.map (fun l -> if l = k then 1.0 else -1.0) labels
+  let weights = Array.make classes [||] in
+  (* Checkpoints land at class granularity: the one-vs-rest fits are
+     independent, so "resume" means "skip the classes already solved" —
+     far coarser than the solvers' per-iteration checkpoints but exact
+     for the same reason.  Resumed classes contribute no timeline
+     entries (their wall times belonged to a dead process). *)
+  let start_class = ref 0 in
+  (match resume with
+  | Some path ->
+      let ck = Kf_resil.Ckpt.read ~path in
+      if ck.Kf_resil.Ckpt.algorithm <> algorithm_name then
+        invalid_arg
+          (Printf.sprintf
+             "Multinomial.fit: checkpoint %s was written by algorithm %S, not \
+              %S"
+             path ck.Kf_resil.Ckpt.algorithm algorithm_name);
+      let st = ck.Kf_resil.Ckpt.payload in
+      let done_ = Kf_resil.Ckpt.get_int st "mn.classes_done" in
+      let flat = Kf_resil.Ckpt.get_floats st "mn.weights" in
+      if Array.length flat <> done_ * n then
+        raise
+          (Kf_resil.Ckpt.Corrupt
+             (Printf.sprintf
+                "%s: stored weights cover %d values, expected %d classes x %d \
+                 columns"
+                path (Array.length flat) done_ n));
+      for k = 0 to done_ - 1 do
+        weights.(k) <- Array.sub flat (k * n) n
+      done;
+      gpu_ms := Kf_resil.Ckpt.get_float st "mn.gpu_ms";
+      let counts = Kf_resil.Ckpt.get_ints st "mn.trace" in
+      List.iteri
+        (fun j inst ->
+          if j < Array.length counts then
+            for _ = 1 to counts.(j) do
+              Fusion.Pattern.Trace.record trace inst
+            done)
+        Fusion.Pattern.all;
+      start_class := done_
+  | None -> ());
+  let write_class_ckpt k =
+    match checkpoint with
+    | Some (path, every) when (k + 1) mod every = 0 || k + 1 = classes ->
+        let flat = Array.concat (Array.to_list (Array.sub weights 0 (k + 1))) in
+        let counts =
+          List.map (fun i -> Fusion.Pattern.Trace.count trace i) Fusion.Pattern.all
         in
+        Kf_resil.Ckpt.write ~path ~algorithm:algorithm_name ~iteration:(k + 1)
+          ([
+             ("mn.classes_done", Kf_resil.Ckpt.Int (k + 1));
+             ("mn.weights", Kf_resil.Ckpt.Floats flat);
+             ("mn.gpu_ms", Kf_resil.Ckpt.Float !gpu_ms);
+             ("mn.trace", Kf_resil.Ckpt.Ints (Array.of_list counts));
+           ]
+          @ ckpt_meta)
+    | _ -> ()
+  in
+  Kf_obs.Trace.with_span "fit.LogReg-multinomial" (fun () ->
+      for k = !start_class to classes - 1 do
+        (* one-vs-rest: class k against everything else *)
+        let binary = Array.map (fun l -> if l = k then 1.0 else -1.0) labels in
         let r =
           Kf_obs.Trace.with_span ~args:[ ("class", string_of_int k) ]
             "fit.class" (fun () ->
@@ -52,8 +110,10 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
               Fusion.Pattern.Trace.record trace inst
             done)
           (Fusion.Pattern.Trace.instantiations r.Logreg.trace);
-        r.Logreg.weights)
-  in
+        weights.(k) <- r.Logreg.weights;
+        write_class_ckpt k
+      done);
+  let class_weights = weights in
   let result =
     {
       class_weights;

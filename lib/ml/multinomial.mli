@@ -22,6 +22,9 @@ val fit :
   ?lambda:float ->
   ?newton_iterations:int ->
   ?cg_iterations:int ->
+  ?checkpoint:string * int ->
+  ?ckpt_meta:Kf_resil.Ckpt.payload ->
+  ?resume:string ->
   Gpu_sim.Device.t ->
   Fusion.Executor.input ->
   labels:int array ->

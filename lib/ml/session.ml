@@ -19,9 +19,15 @@ type t = {
   mutable timeline_rev : iteration list;
   mutable host_stats : Kf_obs.Host_stats.t option;
       (* lazily created aggregate over every Host op issued here *)
+  mutable ckpt : ckpt_cfg option;
+  mutable state_fn : (unit -> Kf_resil.Ckpt.payload) option;
 }
 
+and ckpt_cfg = { ckpt_path : string; ckpt_every : int; ckpt_meta : Kf_resil.Ckpt.payload }
+
 let iterations_counter = Kf_obs.Counter.make "session.iterations"
+
+let ckpt_resumes_counter = Kf_obs.Counter.make "resil.ckpt_resumes"
 
 let create ?(engine = Fusion.Executor.Fused) ?pool device ~algorithm =
   {
@@ -35,6 +41,8 @@ let create ?(engine = Fusion.Executor.Fused) ?pool device ~algorithm =
     iters = 0;
     timeline_rev = [];
     host_stats = None;
+    ckpt = None;
+    state_fn = None;
   }
 
 let device t = t.device
@@ -109,6 +117,69 @@ let mul_elementwise t v p =
   absorb_level1 t reports;
   r
 
+(* --- checkpoint/restore --------------------------------------------------- *)
+
+let set_checkpoint ?(meta = []) t ~path ~every =
+  if every < 1 then invalid_arg "Session.set_checkpoint: every must be >= 1";
+  t.ckpt <- Some { ckpt_path = path; ckpt_every = every; ckpt_meta = meta }
+
+let set_state_fn t f = t.state_fn <- Some f
+
+(* Session-side state rides in the same checkpoint as the algorithm's:
+   device/pattern-time accounting plus the pattern-trace counts (in
+   [Pattern.all] order), so a resumed run reports the same Table 1 row
+   and the same simulated totals as an uninterrupted one. *)
+let session_payload t =
+  let counts =
+    List.map (fun i -> Fusion.Pattern.Trace.count t.trace i) Fusion.Pattern.all
+  in
+  [
+    ("session.gpu_ms", Kf_resil.Ckpt.Float t.gpu_ms);
+    ("session.pattern_ms", Kf_resil.Ckpt.Float t.pattern_ms);
+    ("session.launches", Kf_resil.Ckpt.Int t.launches);
+    ("session.iters", Kf_resil.Ckpt.Int t.iters);
+    ("session.trace", Kf_resil.Ckpt.Ints (Array.of_list counts));
+  ]
+
+let write_checkpoint t =
+  match (t.ckpt, t.state_fn) with
+  | Some cfg, Some state_fn when t.iters mod cfg.ckpt_every = 0 ->
+      Kf_obs.Trace.with_span "ckpt.write"
+        ~args:[ ("iteration", string_of_int t.iters) ]
+      @@ fun () ->
+      Kf_resil.Ckpt.write ~path:cfg.ckpt_path
+        ~algorithm:(Fusion.Pattern.Trace.algorithm t.trace)
+        ~iteration:t.iters
+        (session_payload t @ cfg.ckpt_meta @ state_fn ())
+  | _ -> ()
+
+let resume t ~path =
+  let ck = Kf_resil.Ckpt.read ~path in
+  let alg = Fusion.Pattern.Trace.algorithm t.trace in
+  if ck.Kf_resil.Ckpt.algorithm <> alg then
+    invalid_arg
+      (Printf.sprintf
+         "Session.resume: checkpoint %s was written by algorithm %S, not %S"
+         path ck.Kf_resil.Ckpt.algorithm alg);
+  let p = ck.Kf_resil.Ckpt.payload in
+  t.gpu_ms <- Kf_resil.Ckpt.get_float p "session.gpu_ms";
+  t.pattern_ms <- Kf_resil.Ckpt.get_float p "session.pattern_ms";
+  t.launches <- Kf_resil.Ckpt.get_int p "session.launches";
+  t.iters <- Kf_resil.Ckpt.get_int p "session.iters";
+  let counts = Kf_resil.Ckpt.get_ints p "session.trace" in
+  List.iteri
+    (fun k inst ->
+      if k < Array.length counts then
+        for _ = 1 to counts.(k) do
+          Fusion.Pattern.Trace.record t.trace inst
+        done)
+    Fusion.Pattern.all;
+  Kf_obs.Counter.incr ckpt_resumes_counter;
+  Kf_obs.Trace.instant "ckpt.resume"
+    ~args:
+      [ ("path", path); ("iteration", string_of_int ck.Kf_resil.Ckpt.iteration) ];
+  p
+
 let iteration t f =
   let index = t.iters in
   t.iters <- t.iters + 1;
@@ -125,14 +196,20 @@ let iteration t f =
       }
       :: t.timeline_rev
   in
-  Kf_obs.Trace.with_span
-    ~args:
-      [
-        ("algorithm", Fusion.Pattern.Trace.algorithm t.trace);
-        ("iteration", string_of_int index);
-      ]
-    "iter"
-    (fun () -> Fun.protect ~finally:record f)
+  let result =
+    Kf_obs.Trace.with_span
+      ~args:
+        [
+          ("algorithm", Fusion.Pattern.Trace.algorithm t.trace);
+          ("iteration", string_of_int index);
+        ]
+      "iter"
+      (fun () -> Fun.protect ~finally:record f)
+  in
+  (* only after the body completed: a checkpoint must never capture the
+     state a raising iteration left behind *)
+  write_checkpoint t;
+  result
 
 let timeline t = List.rev t.timeline_rev
 

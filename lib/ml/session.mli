@@ -50,6 +50,32 @@ val iteration : t -> (unit -> 'a) -> 'a
 val timeline : t -> iteration list
 (** Chronological *)
 
+(** {1 Checkpoint/restore}
+
+    An algorithm registers a state capture function and a cadence; the
+    session then writes a [kf-ckpt/1] file (its own accounting + the
+    pattern-trace counts + the algorithm's state) after every [every]-th
+    completed iteration.  {!resume} restores the session side and hands
+    the payload back so the algorithm can restore its own state
+    bit-exactly. *)
+
+val set_checkpoint :
+  ?meta:Kf_resil.Ckpt.payload -> t -> path:string -> every:int -> unit
+(** [meta] rides along unchanged (e.g. dataset fingerprint fields the
+    CLI validates on resume).  Raises [Invalid_argument] if
+    [every < 1]. *)
+
+val set_state_fn : t -> (unit -> Kf_resil.Ckpt.payload) -> unit
+(** The capture function is called after a completed iteration, so it
+    must read the algorithm's current (post-update) state. *)
+
+val resume : t -> path:string -> Kf_resil.Ckpt.payload
+(** Restores iteration count, device-time accounting and the pattern
+    trace, and returns the full payload.  Raises [Kf_resil.Ckpt.Corrupt]
+    on a damaged file and [Invalid_argument] if the checkpoint belongs
+    to a different algorithm.  The {!timeline} restarts empty: wall
+    times from a previous process are meaningless here. *)
+
 val iteration_json : iteration -> Kf_obs.Json.t
 
 val timeline_json : t -> Kf_obs.Json.t

@@ -73,7 +73,8 @@ let cg_solve session sub ~g ~lambda ~iterations ~tolerance =
   (!s, !count)
 
 let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
-    ?(cg_iterations = 20) ?(tolerance = 1e-6) device input ~labels =
+    ?(cg_iterations = 20) ?(tolerance = 1e-6) ?checkpoint ?ckpt_meta ?resume
+    device input ~labels =
   let m = Fusion.Executor.rows input in
   if Array.length labels <> m then
     invalid_arg "Svm.fit: one label per row required";
@@ -82,21 +83,46 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
       if l <> 1.0 && l <> -1.0 then invalid_arg "Svm.fit: labels must be +1/-1")
     labels;
   let session = Session.create ?engine device ~algorithm:"SVM" in
+  (match checkpoint with
+  | Some (path, every) ->
+      Session.set_checkpoint ?meta:ckpt_meta session ~path ~every
+  | None -> ());
   Kf_obs.Trace.with_span "fit.SVM" @@ fun () ->
   let n = Fusion.Executor.cols input in
   let w = ref (Vec.create n) in
   let newton = ref 0 and cg_total = ref 0 in
   let support = ref m in
   let objective = ref infinity in
-  let margins = ref (Session.x_y session input !w) in
+  let margins = ref [||] in
   let converged = ref false in
+  (match resume with
+  | Some path ->
+      let st = Session.resume session ~path in
+      w := Kf_resil.Ckpt.get_floats st "svm.w";
+      newton := Kf_resil.Ckpt.get_int st "svm.newton";
+      cg_total := Kf_resil.Ckpt.get_int st "svm.cg_total";
+      support := Kf_resil.Ckpt.get_int st "svm.support";
+      objective := Kf_resil.Ckpt.get_float st "svm.objective";
+      margins := Kf_resil.Ckpt.get_floats st "svm.margins";
+      converged := Kf_resil.Ckpt.get_int st "svm.converged" <> 0
+  | None -> margins := Session.x_y session input !w);
+  Session.set_state_fn session (fun () ->
+      [
+        ("svm.w", Kf_resil.Ckpt.Floats !w);
+        ("svm.newton", Kf_resil.Ckpt.Int !newton);
+        ("svm.cg_total", Kf_resil.Ckpt.Int !cg_total);
+        ("svm.support", Kf_resil.Ckpt.Int !support);
+        ("svm.objective", Kf_resil.Ckpt.Float !objective);
+        ("svm.margins", Kf_resil.Ckpt.Floats !margins);
+        ("svm.converged", Kf_resil.Ckpt.Int (if !converged then 1 else 0));
+      ]);
   while !newton < newton_iterations && not !converged do
     Session.iteration session (fun () ->
         let active = ref [] in
         for i = m - 1 downto 0 do
           if labels.(i) *. !margins.(i) < 1.0 then active := i :: !active
         done;
-        match !active with
+        (match !active with
         | [] -> converged := true
         | active_rows ->
             support := List.length active_rows;
@@ -132,7 +158,7 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
               then converged := true;
               objective := obj
             end);
-    incr newton
+        incr newton)
   done;
   let correct = ref 0 in
   Array.iteri (fun i z -> if labels.(i) *. z > 0.0 then incr correct) !margins;

@@ -141,7 +141,25 @@ let run_workers_plain t f =
    otherwise each worker times its own closure (one clock pair per
    worker per job — far below kernel granularity) and the coordinator
    derives per-worker idle time from the job's wall time. *)
+(* Deterministic domain-crash injection: decided on the coordinator at
+   submission time (workers never consult the fault engine), the victim
+   raises at closure entry and the failure rides the pool's normal
+   record-and-reraise path — the same shape a real worker death would
+   take.  Only fires inside an armed recovery scope. *)
+let maybe_crash t f =
+  if Kf_resil.Fault.fire Kf_resil.Fault.Crash ~point:"pool.job" then begin
+    let victim = Kf_resil.Fault.injected_total () mod t.size in
+    fun wid ->
+      if wid = victim then
+        raise
+          (Kf_resil.Fault.Injected
+             { point = "pool.job"; kind = Kf_resil.Fault.Crash })
+      else f wid
+  end
+  else f
+
 let run_workers t f =
+  let f = if Kf_resil.Fault.active () then maybe_crash t f else f in
   let profiling = Kf_obs.Host_stats.profiling () in
   let tracing = Kf_obs.Trace.enabled () in
   if not (profiling || tracing) then run_workers_plain t f

@@ -1,0 +1,51 @@
+(** Fusion-group enumeration and cost-based selection.
+
+    Every [Matmul_t] node is an anchor: the executors have no unfused
+    [X^T x p] path, so the floor candidate (fuse just the transpose
+    product, over a separately materialised right-hand side) is always
+    available.  From the anchor the enumerator grows the maximal
+    Equation 1 chain — absorbing the inner [X %*% y], its optional
+    element-wise weighting, scalar scalings / negations, and an additive
+    [beta * z] tail — but only across nodes with exactly one consumer: a
+    node referenced anywhere else is a materialisation point (Boehm et
+    al. 2018) and cuts the chain.  Each cut point yields a candidate;
+    candidates are priced as one fused call plus separate operators for
+    whatever they leave uncovered, and the cheapest wins (ties break
+    toward the larger group). *)
+
+(** A multiplicative factor climbed through on the way to the chain
+    root: a sign flip or a scalar-valued node. *)
+type factor = F_neg | F_scalar of Ir.node
+
+(** What feeds the transpose product: the materialised right-hand side
+    itself ([Direct]), or the absorbed inner product [X %*% y] with its
+    optional element-wise weight [v] ([Chain]). *)
+type body = Direct of Ir.node | Chain of { y : Ir.node; v : Ir.node option }
+
+type candidate = {
+  c_root : Ir.node;  (** the node whose value the fused call produces *)
+  c_body : body;
+  c_alpha : factor list;  (** innermost first; empty = 1.0 *)
+  c_beta_z : (Ir.node option * Ir.node) option;  (** (scalar factor, z) *)
+  c_inst : Fusion.Pattern.instantiation;  (** what the trace will show *)
+  c_absorbed : Ir.node list;  (** interior nodes covered by the call *)
+  c_kernels_ms : float;
+  c_ops : int;  (** operators issued for the whole chain region *)
+  c_total_ms : float;
+}
+
+type group = {
+  g_anchor : Ir.node;
+  g_x : Ir.node;
+  g_chosen : candidate;
+  g_rejected : candidate list;
+}
+
+val select :
+  Cost.ctx ->
+  mat_of:(Ir.node -> Cost.mat) ->
+  Ir.step list ->
+  (int, group) Hashtbl.t * group list
+(** [(by_root, ordered)]: one group per reachable [Matmul_t] anchor,
+    keyed by the chosen candidate's root node id, plus the same groups
+    in deterministic discovery order (for explain output). *)

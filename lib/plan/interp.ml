@@ -132,7 +132,37 @@ and bin st op a b =
    out exactly as the interpreter's recognizer folds them (products of
    scalars and sign flips are bitwise-exact), and the Direct-body
    epilogue mirrors the interpreter's [xt_y]-then-[axpy] path. *)
+(* Recovery scope for a fused group: a fault injected anywhere in the
+   group's execution (or a guard trip on its output) re-runs the whole
+   group, bounded.  The executor underneath has its own finer-grained
+   retry/fallback chain; this layer exists so a plan-level fault point
+   ("plan.exec_group") also has a recovery story. *)
 and exec_group st g =
+  if not (Kf_resil.Fault.active ()) then exec_group_body st g
+  else begin
+    let rec attempt k =
+      match
+        Kf_resil.Fault.with_arm (fun () ->
+            Kf_resil.Fault.check Kf_resil.Fault.Launch ~point:"plan.exec_group";
+            let w = exec_group_body st g in
+            Kf_resil.Guard.check_vec ~point:"plan.exec_group" w;
+            w)
+      with
+      | w -> w
+      | exception
+          ((Kf_resil.Fault.Injected _ | Kf_resil.Guard.Unhealthy _) as exn)
+        ->
+          if k >= 3 then raise exn
+          else begin
+            Kf_obs.Trace.instant "resil.retry"
+              ~args:[ ("op", "plan.exec_group") ];
+            attempt (k + 1)
+          end
+    in
+    attempt 0
+  end
+
+and exec_group_body st g =
   let c = g.Fuse.g_chosen in
   let x = matrix (force st g.Fuse.g_x) in
   let alpha =

@@ -1,0 +1,27 @@
+(** Lowering: [Sysml.Script.stmt list] -> shape-annotated operator DAG.
+
+    The compiler specialises the plan to one concrete set of inputs (the
+    same pair the interpreter would receive), so every node carries a
+    fully resolved type: scalar inputs fold to constants, [ncol]/[nrow]
+    fold to constants, and vector lengths / matrix shapes are exact.
+    Typing mirrors the interpreter's dynamic rules; a program the
+    interpreter would reject at runtime is rejected here at plan time,
+    by raising {!Ir.Type_error} (plus two deliberate strictness
+    differences: conditionally-dead ill-typed code and non-constant
+    [matrix(0, rows=e)] lengths are compile errors). *)
+
+type result = {
+  steps : Ir.step list;
+  builder : Ir.builder;  (** for CSE / fold statistics and node listing *)
+  loops : int;  (** number of [while] loops, = the next fresh loop id *)
+}
+
+val program :
+  inputs:(string * Sysml.Script.value) list ->
+  positional:Sysml.Script.value list ->
+  Sysml.Script.stmt list ->
+  result
+(** Lower a parsed script against its concrete inputs.  [inputs] are the
+    named bindings ([read("name")] / free variables), [positional] the
+    [$k] inputs, both exactly as {!Sysml.Script.eval} would receive
+    them. *)

@@ -1,0 +1,28 @@
+(** Numerical health guards.
+
+    A guard scans an operation's output vector for NaN/Inf and raises
+    {!Unhealthy} so the caller's retry-with-fallback chain can re-run
+    the work instead of letting poison propagate silently through a
+    solver. Scans are O(output length) — for the fused pattern that is
+    O(cols) against O(nnz) compute, which is why they are cheap enough
+    to leave on by default.
+
+    Guards are enabled unless [KF_GUARDS] is [0] / [off] / [false] (or
+    {!set_enabled} says otherwise). *)
+
+exception Unhealthy of { point : string; index : int; value : float }
+(** [value] is the first non-finite element found, at [index]. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run [f] with the guard flag forced, restoring it after. *)
+
+val check_vec : point:string -> float array -> unit
+(** Raise {!Unhealthy} on the first NaN/Inf in [v]; no-op when guards
+    are disabled. *)
+
+val healthy : float array -> bool
+(** Pure scan, never raises, ignores the enabled flag. *)

@@ -79,6 +79,8 @@ let evict_lru t =
       if block.device_dirty then t.downloads <- t.downloads + 1;
       cost
 
+let alloc_recoveries = Kf_obs.Counter.make "resil.alloc_recoveries"
+
 let ensure_resident t ~key ~bytes ~needs_conversion =
   if bytes > t.device.global_mem_bytes then
     invalid_arg "Memmgr.ensure_resident: block larger than device memory";
@@ -89,6 +91,20 @@ let ensure_resident t ~key ~bytes ~needs_conversion =
       0.0
   | None ->
       let eviction_cost = ref 0.0 in
+      (* An injected allocation failure is recovered in place the way a
+         real device OOM would be: spill every resident block back to
+         the host (paying the eviction/download costs), then retry the
+         now-trivially-satisfiable allocation. *)
+      if Kf_resil.Fault.fire Kf_resil.Fault.Alloc ~point:"memmgr.alloc" then begin
+        Kf_obs.Counter.incr alloc_recoveries;
+        Log.warn (fun m ->
+            m "injected allocation failure for %s: spilling %d resident blocks"
+              key
+              (Hashtbl.length t.blocks));
+        while Hashtbl.length t.blocks > 0 do
+          eviction_cost := !eviction_cost +. evict_lru t
+        done
+      end;
       while t.used_bytes + bytes > t.device.global_mem_bytes do
         eviction_cost := !eviction_cost +. evict_lru t
       done;

@@ -24,4 +24,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("consistency", Test_consistency.suite);
       ("reproduction", Test_reproduction.suite);
+      ("resil", Test_resil.suite);
     ]
