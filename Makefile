@@ -36,6 +36,14 @@ bench-resil:
 bench-resil-small:
 	dune exec bench/resil_suite.exe -- --small
 
+# Scoring-service micro-batching: window vs throughput/p99 on the Host
+# engine; writes BENCH_serve.json.
+bench-serve:
+	dune exec bench/serve_suite.exe
+
+bench-serve-small:
+	dune exec bench/serve_suite.exe -- --small
+
 examples:
 	for e in quickstart linear_regression spam_filter page_quality \
 	         autotune_explorer out_of_core insurance_claims; do \
@@ -45,4 +53,5 @@ clean:
 	dune clean
 
 .PHONY: all test test-verbose bench bench-full bench-host bench-host-small \
-	bench-plan bench-plan-small bench-resil bench-resil-small examples clean
+	bench-plan bench-plan-small bench-resil bench-resil-small \
+	bench-serve bench-serve-small examples clean

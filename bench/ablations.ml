@@ -75,13 +75,13 @@ let run (s : scale) =
     (total rnogen /. total rgen);
   (* hybrid scheduling: the future-work cost model in action *)
   header "Ablation: hybrid CPU/GPU scheduling (the paper's future work)";
-  let d = Ml_algos.Dataset.synthetic_sparse (Rng.create 303) ~rows:s.sparse_rows ~cols:512 in
-  let xx = match d.Ml_algos.Dataset.features with
+  let d = Kf_ml.Dataset.synthetic_sparse (Rng.create 303) ~rows:s.sparse_rows ~cols:512 in
+  let xx = match d.Kf_ml.Dataset.features with
     | Fusion.Executor.Sparse m -> m
     | Fusion.Executor.Dense _ -> assert false
   in
   let f =
-    Fusion.Executor.pattern device d.Ml_algos.Dataset.features
+    Fusion.Executor.pattern device d.Kf_ml.Dataset.features
       ~y:(Gen.vector (Rng.create 304) 512) ~alpha:1.0 ()
   in
   let cpu_ms = Gpulibs.Cpu_model.pattern_sparse_ms cpu xx ~with_v:false ~with_z:false in
@@ -90,7 +90,7 @@ let run (s : scale) =
       let decision =
         Sysml.Sched.decide_iterative ~cpu_ms_per_iter:cpu_ms
           ~gpu_kernel_ms_per_iter:f.Fusion.Executor.time_ms
-          ~one_time_transfer_bytes:(Fusion.Executor.bytes d.Ml_algos.Dataset.features)
+          ~one_time_transfer_bytes:(Fusion.Executor.bytes d.Kf_ml.Dataset.features)
           ~iterations device
       in
       row "  %4d iterations -> %s (gpu est %.1f ms vs cpu est %.1f ms)"

@@ -23,7 +23,7 @@ let inputs =
          ~hot_fraction:0.3 ~hot_cols:1500 ()
      in
      let ykdd = Gen.vector rng 20_000 in
-     let adj = Ml_algos.Dataset.adjacency rng ~nodes:500 ~out_degree:5 in
+     let adj = Kf_ml.Dataset.adjacency rng ~nodes:500 ~out_degree:5 in
      (x, xd, y, yd, p, kdd, ykdd, adj))
 
 let staged f = Staged.stage f
@@ -33,11 +33,11 @@ let tests () =
   let targets = Blas.csrmv x y in
   [
     Test.make ~name:"table1:trace-hits"
-      (staged (fun () -> ignore (Ml_algos.Hits.run ~iterations:3 device adj)));
+      (staged (fun () -> ignore (Kf_ml.Hits.run ~iterations:3 device adj)));
     Test.make ~name:"table2:cpu-lr-iteration"
       (staged (fun () ->
            ignore
-             (Ml_algos.Linreg_cg.fit_cpu ~max_iterations:2 (Sparse x)
+             (Kf_ml.Linreg_cg.fit_cpu ~max_iterations:2 (Sparse x)
                 ~targets)));
     Test.make ~name:"fig2:fused-xty"
       (staged (fun () -> ignore (Fusion.Fused_sparse.xt_p device x p ~alpha:1.0)));
@@ -62,13 +62,13 @@ let tests () =
     Test.make ~name:"table5:lr-cg-fused-iter"
       (staged (fun () ->
            ignore
-             (Ml_algos.Linreg_cg.fit ~max_iterations:1 device (Sparse x)
+             (Kf_ml.Linreg_cg.fit ~max_iterations:1 device (Sparse x)
                 ~targets)));
     Test.make ~name:"table6:systemml-run"
       (staged (fun () ->
            let d =
              {
-               Ml_algos.Dataset.features = Sparse x;
+               Kf_ml.Dataset.features = Sparse x;
                targets;
                name = "bench";
                scale = 1.0;

@@ -15,7 +15,7 @@ let table1 (_ : scale) =
   let input = Fusion.Executor.Sparse x in
   let truth = Gen.vector rng cols in
   let targets = Blas.csrmv x truth in
-  let labels = Ml_algos.Dataset.classification_targets targets in
+  let labels = Kf_ml.Dataset.classification_targets targets in
   let counts = Array.map (fun t -> Float.round (exp (0.05 *. t))) targets in
   let merge a b =
     List.iter
@@ -31,20 +31,20 @@ let table1 (_ : scale) =
       (* regularised + unregularised variants together cover the paper's
          claims: eps/lambda = 0 drops the beta*z stage *)
       merge
-        (Ml_algos.Linreg_cg.fit device input ~targets).Ml_algos.Linreg_cg.trace
-        (Ml_algos.Linreg_cg.fit ~eps:0.0 device input ~targets)
-          .Ml_algos.Linreg_cg.trace;
-      (Ml_algos.Glm.fit device input ~targets:counts).Ml_algos.Glm.trace;
+        (Kf_ml.Linreg_cg.fit device input ~targets).Kf_ml.Linreg_cg.trace
+        (Kf_ml.Linreg_cg.fit ~eps:0.0 device input ~targets)
+          .Kf_ml.Linreg_cg.trace;
+      (Kf_ml.Glm.fit device input ~targets:counts).Kf_ml.Glm.trace;
       merge
-        (Ml_algos.Logreg.fit ~lambda:1.0 device input ~labels)
-          .Ml_algos.Logreg.trace
-        (Ml_algos.Logreg.fit ~lambda:0.0 device input ~labels)
-          .Ml_algos.Logreg.trace;
+        (Kf_ml.Logreg.fit ~lambda:1.0 device input ~labels)
+          .Kf_ml.Logreg.trace
+        (Kf_ml.Logreg.fit ~lambda:0.0 device input ~labels)
+          .Kf_ml.Logreg.trace;
       merge
-        (Ml_algos.Svm.fit ~lambda:0.1 device input ~labels).Ml_algos.Svm.trace
-        (Ml_algos.Svm.fit ~lambda:0.0 device input ~labels).Ml_algos.Svm.trace;
-      (let a = Ml_algos.Dataset.adjacency (Rng.create 7) ~nodes:rows ~out_degree:5 in
-       (Ml_algos.Hits.run device a).Ml_algos.Hits.trace);
+        (Kf_ml.Svm.fit ~lambda:0.1 device input ~labels).Kf_ml.Svm.trace
+        (Kf_ml.Svm.fit ~lambda:0.0 device input ~labels).Kf_ml.Svm.trace;
+      (let a = Kf_ml.Dataset.adjacency (Rng.create 7) ~nodes:rows ~out_degree:5 in
+       (Kf_ml.Hits.run device a).Kf_ml.Hits.trace);
     ]
   in
   let algorithms = List.map Fusion.Pattern.Trace.algorithm traces in
@@ -85,22 +85,22 @@ let table1 (_ : scale) =
 
 let table2 (s : scale) =
   header "Table 2: single-threaded CPU time breakdown, LR-CG (measured)";
-  let run name (d : Ml_algos.Dataset.regression) iters =
+  let run name (d : Kf_ml.Dataset.regression) iters =
     let r =
-      Ml_algos.Linreg_cg.fit_cpu ~tolerance:0.0 ~max_iterations:iters
+      Kf_ml.Linreg_cg.fit_cpu ~tolerance:0.0 ~max_iterations:iters
         d.features ~targets:d.targets
     in
-    let b = r.Ml_algos.Linreg_cg.buckets in
+    let b = r.Kf_ml.Linreg_cg.buckets in
     let total = Blas.total_seconds b in
     let pct x = 100.0 *. x /. Float.max 1e-12 total in
     row "%-24s pattern %5.1f%%  blas-1 %5.1f%%  total-in-pattern+blas1 %5.1f%%"
       name (pct b.Blas.pattern_s) (pct b.Blas.blas1_s)
       (pct (b.Blas.pattern_s +. b.Blas.blas1_s));
     note "  (%s, %d iterations, %.2f s wall)" d.name
-      r.Ml_algos.Linreg_cg.cpu_iterations total
+      r.Kf_ml.Linreg_cg.cpu_iterations total
   in
-  run "KDD2010-like (sparse)" (Ml_algos.Dataset.kdd_like ~scale:s.kdd_scale (Rng.create 11)) 40;
-  run "HIGGS-like (dense)" (Ml_algos.Dataset.higgs_like ~scale:s.higgs_scale (Rng.create 12)) 40;
+  run "KDD2010-like (sparse)" (Kf_ml.Dataset.kdd_like ~scale:s.kdd_scale (Rng.create 11)) 40;
+  run "HIGGS-like (dense)" (Kf_ml.Dataset.higgs_like ~scale:s.higgs_scale (Rng.create 12)) 40;
   note "paper: KDD 82.9%% pattern / 16.9%% blas-1 / 99.8%% total;";
   note "       HIGGS 99.4%% / 0.1%% / 99.5%%"
 
@@ -110,7 +110,7 @@ let table2 (s : scale) =
 
 let table4 (s : scale) =
   header "Table 4: KDD2010-like ultra-sparse data set (ms; large-n variant)";
-  let d = Ml_algos.Dataset.kdd_like ~scale:s.kdd_scale (Rng.create 21) in
+  let d = Kf_ml.Dataset.kdd_like ~scale:s.kdd_scale (Rng.create 21) in
   let x = match d.features with
     | Fusion.Executor.Sparse x -> x
     | Fusion.Executor.Dense _ -> assert false
@@ -170,10 +170,10 @@ let table5 (s : scale) =
     | None -> ()
   in
   run "HIGGS-like (dense)"
-    (Ml_algos.Dataset.higgs_like ~scale:s.higgs_scale (Rng.create 31))
+    (Kf_ml.Dataset.higgs_like ~scale:s.higgs_scale (Rng.create 31))
     32 "4.8x / 32 iters";
   run "KDD2010-like (sparse)"
-    (Ml_algos.Dataset.kdd_like ~scale:s.kdd_scale (Rng.create 32))
+    (Kf_ml.Dataset.kdd_like ~scale:s.kdd_scale (Rng.create 32))
     100 "9x / 100 iters"
 
 (* ------------------------------------------------------------------ *)
@@ -194,8 +194,8 @@ let table6 (s : scale) =
       r.Sysml.Runtime.mm.Sysml.Memmgr.conversion_ms
   in
   run "HIGGS-like (dense)"
-    (Ml_algos.Dataset.higgs_like ~scale:s.higgs_scale (Rng.create 41))
+    (Kf_ml.Dataset.higgs_like ~scale:s.higgs_scale (Rng.create 41))
     32 "total 1.2x, kernel 11.2x";
   run "KDD2010-like (sparse)"
-    (Ml_algos.Dataset.kdd_like ~scale:s.kdd_scale (Rng.create 42))
+    (Kf_ml.Dataset.kdd_like ~scale:s.kdd_scale (Rng.create 42))
     100 "total 1.9x, kernel 4.1x"

@@ -4,7 +4,8 @@
      kf run     run a pattern instantiation on synthetic data, both engines
      kf tune    show the analytical launch plan for a matrix shape
      kf codegen print the generated CUDA for a dense plan
-     kf train   fit an ML algorithm and report timings + pattern trace *)
+     kf train   fit an ML algorithm and report timings + pattern trace
+     kf serve   micro-batched scoring service driven by synthetic clients *)
 
 open Cmdliner
 open Matrix
@@ -376,16 +377,18 @@ let max_iterations_arg =
            Newton steps for $(b,glm)/$(b,logreg)/$(b,svm)/\
            $(b,multinomial), power iterations for $(b,hits).")
 
+(* The registry is the single source of truth for what can be trained
+   and served: no per-algorithm match anywhere in this file. *)
+let algo_enum = List.map (fun n -> (n, n)) Kf_ml.Registry.names
+
+let algo_doc =
+  String.concat ", " (List.map (Printf.sprintf "$(b,%s)") Kf_ml.Registry.names)
+
 let algo_arg =
-  let all =
-    [ ("lr", `Lr); ("glm", `Glm); ("logreg", `Logreg);
-      ("multinomial", `Multinomial); ("svm", `Svm); ("hits", `Hits) ]
-  in
   Arg.(
     value
-    & opt (enum all) `Lr
-    & info [ "a"; "algorithm" ]
-        ~doc:"One of $(b,lr), $(b,glm), $(b,logreg), $(b,multinomial),               $(b,svm), $(b,hits).")
+    & opt (enum algo_enum) "lr"
+    & info [ "a"; "algorithm" ] ~doc:(Printf.sprintf "One of %s." algo_doc))
 
 (* Resume safety: a checkpoint only makes sense against the same
    synthetic problem, so every checkpoint carries the generator
@@ -412,11 +415,22 @@ let validate_resume_meta ~path ~meta =
       | _ -> ())
     meta
 
+let save_model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-model" ] ~docv:"FILE"
+        ~doc:
+          "Write the trained model as a $(b,kf-ckpt/1) file ($(b,model.*) \
+           fields plus the generator configuration); $(b,kf serve) loads \
+           it.")
+
 let train_cmd =
-  let train dense rows cols density seed algo engine domains trace_file profile
-      json faults checkpoint every resume max_iterations =
+  let train dense rows cols density seed algo_name engine domains trace_file
+      profile json faults checkpoint every resume max_iterations save_model =
     apply_domains domains;
     apply_faults faults;
+    let (module A : Kf_ml.Algorithm.S) = Kf_ml.Registry.find algo_name in
     let checkpoint =
       match checkpoint with
       | Some _ as c -> c
@@ -424,11 +438,6 @@ let train_cmd =
     in
     let checkpoint = Option.map (fun path -> (path, every)) checkpoint in
     with_obs ~trace:trace_file ~profile @@ fun () ->
-    let algo_name =
-      match algo with
-      | `Lr -> "lr" | `Glm -> "glm" | `Logreg -> "logreg"
-      | `Multinomial -> "multinomial" | `Svm -> "svm" | `Hits -> "hits"
-    in
     let ckpt_meta =
       [
         ("cfg.algo", Kf_resil.Ckpt.Str algo_name);
@@ -456,149 +465,62 @@ let train_cmd =
       | Fusion.Executor.Fused | Fusion.Executor.Library ->
           "simulated device time"
     in
-    (* One report path for both renderings: [extras] feeds the text
-       output, [fields] the JSON one, and the pattern trace and
-       per-iteration timeline are shared. *)
-    let report name gpu_ms trace timeline ~weights ~extras ~fields =
-      let checksum = Kf_resil.Ckpt.checksum_floats weights in
-      if json then
-        Kf_obs.Json.to_channel stdout
-          (Kf_obs.Json.Obj
-             ([
-                ("algorithm", Kf_obs.Json.Str name);
-                ( "engine",
-                  Kf_obs.Json.Str
-                    (match engine with
-                    | Fusion.Executor.Fused -> "fused"
-                    | Fusion.Executor.Library -> "library"
-                    | Fusion.Executor.Host -> "host") );
-                ("time_ms", Kf_obs.Json.Float gpu_ms);
-                ("resumed", Kf_obs.Json.Bool (resume <> None));
-                ("weights_checksum", Kf_obs.Json.Str checksum);
-              ]
-             @ fields
-             @ [
-                 ( "pattern_instantiations",
-                   Kf_obs.Json.Obj
-                     (List.map
-                        (fun inst ->
-                          ( Fusion.Pattern.name inst,
-                            Kf_obs.Json.Int
-                              (Fusion.Pattern.Trace.count trace inst) ))
-                        (Fusion.Pattern.Trace.instantiations trace)) );
-                 ( "timeline",
-                   Kf_obs.Json.List
-                     (List.map Ml_algos.Session.iteration_json timeline) );
-               ]))
-      else begin
-        Printf.printf "%s: %s\n" name extras;
-        if resume <> None then print_endline "resumed from checkpoint";
-        Printf.printf "weights checksum: %s\n" checksum;
-        Printf.printf "%s: %.2f ms\n" time_label gpu_ms;
-        print_endline "pattern instantiations:";
-        List.iter
-          (fun inst ->
-            Printf.printf "  %-28s x%d\n"
-              (Fusion.Pattern.name inst)
-              (Fusion.Pattern.Trace.count trace inst))
-          (Fusion.Pattern.Trace.instantiations trace)
-      end
+    let cfg =
+      { Kf_ml.Algorithm.engine; max_iterations; checkpoint; ckpt_meta; resume }
     in
-    match algo with
-    | `Lr ->
-        let r =
-          Ml_algos.Linreg_cg.fit ~engine ?max_iterations ?checkpoint
-            ~ckpt_meta ?resume device input ~targets:raw
-        in
-        report "linear regression CG" r.gpu_ms r.trace r.timeline
-          ~weights:r.weights
-          ~extras:
-            (Printf.sprintf "%d iterations, residual %g" r.iterations
-               r.residual_norm)
-          ~fields:
-            [
-              ("iterations", Kf_obs.Json.Int r.iterations);
-              ("residual_norm", Kf_obs.Json.Float r.residual_norm);
+    let r =
+      A.train ~cfg { Kf_ml.Algorithm.device; input; raw; seed }
+    in
+    let flat = Kf_ml.Algorithm.flat_weights r.weights in
+    let checksum = Kf_resil.Ckpt.checksum_floats flat in
+    (match save_model with
+    | Some path ->
+        Kf_resil.Ckpt.write ~path ~algorithm:A.name ~iteration:0
+          (Kf_ml.Algorithm.weights_payload r.weights @ ckpt_meta);
+        Printf.eprintf "model written to %s\n%!" path
+    | None -> ());
+    if json then
+      Kf_obs.Json.to_channel stdout
+        (Kf_obs.Json.Obj
+           ([
+              ("algorithm", Kf_obs.Json.Str A.display_name);
+              ( "engine",
+                Kf_obs.Json.Str
+                  (match engine with
+                  | Fusion.Executor.Fused -> "fused"
+                  | Fusion.Executor.Library -> "library"
+                  | Fusion.Executor.Host -> "host") );
+              ("time_ms", Kf_obs.Json.Float r.gpu_ms);
+              ("resumed", Kf_obs.Json.Bool (resume <> None));
+              ("weights_checksum", Kf_obs.Json.Str checksum);
             ]
-    | `Glm ->
-        let targets = Array.map (fun t -> Float.round (exp (0.02 *. t))) raw in
-        let r =
-          Ml_algos.Glm.fit ~engine ?newton_iterations:max_iterations
-            ?checkpoint ~ckpt_meta ?resume device input ~targets
-        in
-        report "poisson GLM" r.gpu_ms r.trace r.timeline ~weights:r.weights
-          ~extras:
-            (Printf.sprintf "%d Newton / %d CG iterations, deviance %g"
-               r.newton_iterations r.cg_iterations r.deviance)
-          ~fields:
-            [
-              ("newton_iterations", Kf_obs.Json.Int r.newton_iterations);
-              ("cg_iterations", Kf_obs.Json.Int r.cg_iterations);
-              ("deviance", Kf_obs.Json.Float r.deviance);
-            ]
-    | `Logreg ->
-        let labels = Ml_algos.Dataset.classification_targets raw in
-        let r =
-          Ml_algos.Logreg.fit ~engine ?newton_iterations:max_iterations
-            ?checkpoint ~ckpt_meta ?resume device input ~labels
-        in
-        report "logistic regression (trust region)" r.gpu_ms r.trace
-          r.timeline ~weights:r.weights
-          ~extras:(Printf.sprintf "accuracy %.1f%%" (100.0 *. r.accuracy))
-          ~fields:[ ("accuracy", Kf_obs.Json.Float r.accuracy) ]
-    | `Multinomial ->
-        let labels =
-          Array.map
-            (fun t -> if t < -0.5 then 0 else if t < 0.5 then 1 else 2)
-            raw
-        in
-        let r =
-          Ml_algos.Multinomial.fit ~engine
-            ?newton_iterations:max_iterations ?checkpoint ~ckpt_meta ?resume
-            device input ~labels ~classes:3
-        in
-        report "multinomial logistic regression (one-vs-rest)" r.gpu_ms
-          r.trace r.timeline
-          ~weights:(Array.concat (Array.to_list r.class_weights))
-          ~extras:
-            (Printf.sprintf "3 classes, accuracy %.1f%%" (100.0 *. r.accuracy))
-          ~fields:
-            [
-              ("classes", Kf_obs.Json.Int r.classes);
-              ("accuracy", Kf_obs.Json.Float r.accuracy);
-            ]
-    | `Svm ->
-        let labels = Ml_algos.Dataset.classification_targets raw in
-        let r =
-          Ml_algos.Svm.fit ~engine ?newton_iterations:max_iterations
-            ?checkpoint ~ckpt_meta ?resume device input ~labels
-        in
-        report "primal SVM" r.gpu_ms r.trace r.timeline ~weights:r.weights
-          ~extras:
-            (Printf.sprintf "accuracy %.1f%%, %d support rows"
-               (100.0 *. r.accuracy) r.support_vectors)
-          ~fields:
-            [
-              ("accuracy", Kf_obs.Json.Float r.accuracy);
-              ("support_vectors", Kf_obs.Json.Int r.support_vectors);
-            ]
-    | `Hits ->
-        let a =
-          Ml_algos.Dataset.adjacency (Rng.create seed) ~nodes:rows
-            ~out_degree:8
-        in
-        let r =
-          Ml_algos.Hits.run ~engine ?iterations:max_iterations ?checkpoint
-            ~ckpt_meta ?resume device a
-        in
-        report "HITS" r.gpu_ms r.trace r.timeline ~weights:r.authorities
-          ~extras:
-            (Printf.sprintf "%d iterations, delta %g" r.iterations r.delta)
-          ~fields:
-            [
-              ("iterations", Kf_obs.Json.Int r.iterations);
-              ("delta", Kf_obs.Json.Float r.delta);
-            ]
+           @ r.fields
+           @ [
+               ( "pattern_instantiations",
+                 Kf_obs.Json.Obj
+                   (List.map
+                      (fun inst ->
+                        ( Fusion.Pattern.name inst,
+                          Kf_obs.Json.Int
+                            (Fusion.Pattern.Trace.count r.trace inst) ))
+                      (Fusion.Pattern.Trace.instantiations r.trace)) );
+               ( "timeline",
+                 Kf_obs.Json.List
+                   (List.map Kf_ml.Session.iteration_json r.timeline) );
+             ]))
+    else begin
+      Printf.printf "%s: %s\n" A.display_name r.label;
+      if resume <> None then print_endline "resumed from checkpoint";
+      Printf.printf "weights checksum: %s\n" checksum;
+      Printf.printf "%s: %.2f ms\n" time_label r.gpu_ms;
+      print_endline "pattern instantiations:";
+      List.iter
+        (fun inst ->
+          Printf.printf "  %-28s x%d\n"
+            (Fusion.Pattern.name inst)
+            (Fusion.Pattern.Trace.count r.trace inst))
+        (Fusion.Pattern.Trace.instantiations r.trace)
+    end
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Fit an ML algorithm on synthetic data.")
@@ -606,7 +528,150 @@ let train_cmd =
       const train $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg
       $ algo_arg $ engine_arg $ domains_arg $ trace_arg $ profile_arg
       $ json_arg $ faults_arg $ checkpoint_arg $ every_arg $ resume_arg
-      $ max_iterations_arg)
+      $ max_iterations_arg $ save_model_arg)
+
+(* ---- kf serve ---- *)
+
+let serve_cmd =
+  let model_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:
+            "Model file written by $(b,kf train --save-model) (a \
+             $(b,kf-ckpt/1) checkpoint with $(b,model.*) fields).")
+  in
+  let serve_algo_arg =
+    Arg.(
+      value
+      & opt (some (enum algo_enum)) None
+      & info [ "a"; "algorithm" ]
+          ~doc:
+            (Printf.sprintf
+               "Scoring algorithm (%s); default: the model file's \
+                algorithm field."
+               algo_doc))
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window-us" ] ~docv:"US"
+          ~doc:
+            "Micro-batching window in microseconds; $(b,0) scores every \
+             request alone (the unbatched baseline).  Default: \
+             $(b,KF_SERVE_WINDOW_US) or 200.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Largest coalesced batch.  Default: $(b,KF_SERVE_MAX_BATCH) \
+             or 32.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission bound: submissions beyond $(docv) queued requests \
+             are shed.  Default: $(b,KF_SERVE_QUEUE) or 1024.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt positive_int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent synthetic clients.")
+  in
+  let rps_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rps" ] ~docv:"R"
+          ~doc:
+            "Aggregate offered load in requests/second; $(b,0) runs \
+             closed-loop (each client keeps one request in flight).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"S" ~doc:"Load duration in seconds.")
+  in
+  let serve verbose model algo engine domains window_us max_batch queue_depth
+      clients rps duration seed json trace profile =
+    setup_logs verbose;
+    apply_domains domains;
+    with_obs ~trace ~profile @@ fun () ->
+    let ck = Kf_resil.Ckpt.read ~path:model in
+    let algo_name =
+      match algo with Some n -> n | None -> ck.Kf_resil.Ckpt.algorithm
+    in
+    let (module A : Kf_ml.Algorithm.S) = Kf_ml.Registry.find algo_name in
+    let weights = Kf_ml.Algorithm.weights_of_payload ck.Kf_resil.Ckpt.payload in
+    let env_cfg = Kf_serve.Service.config_of_env () in
+    let config =
+      {
+        Kf_serve.Service.window_us =
+          Option.value window_us ~default:env_cfg.Kf_serve.Service.window_us;
+        max_batch =
+          Option.value max_batch ~default:env_cfg.Kf_serve.Service.max_batch;
+        queue_depth =
+          Option.value queue_depth
+            ~default:env_cfg.Kf_serve.Service.queue_depth;
+      }
+    in
+    let svc =
+      Kf_serve.Service.create ~engine ~config device ~algo:(module A) ~weights
+        ()
+    in
+    let summary =
+      Kf_serve.Driver.run svc ~cols:weights.Kf_ml.Algorithm.cols
+        { Kf_serve.Driver.clients; rps; duration_s = duration; seed }
+    in
+    let st = Kf_serve.Service.stats svc in
+    Kf_serve.Service.shutdown svc;
+    if json then
+      Kf_obs.Json.to_channel stdout
+        (Kf_serve.Driver.summary_json ~service_stats:st summary)
+    else begin
+      Printf.printf "serving %s model from %s (%d features, %s engine)\n"
+        A.display_name model weights.Kf_ml.Algorithm.cols
+        (match engine with
+        | Fusion.Executor.Fused -> "fused"
+        | Fusion.Executor.Library -> "library"
+        | Fusion.Executor.Host -> "host");
+      Printf.printf
+        "window %d us, max batch %d, queue depth %d, %d client(s), %s\n"
+        config.Kf_serve.Service.window_us config.Kf_serve.Service.max_batch
+        config.Kf_serve.Service.queue_depth clients
+        (if rps > 0.0 then Printf.sprintf "open loop at %g rps" rps
+         else "closed loop");
+      Printf.printf "%d requests in %.2f s: %.0f req/s\n"
+        summary.Kf_serve.Driver.ok summary.Kf_serve.Driver.wall_s
+        summary.Kf_serve.Driver.throughput_rps;
+      Printf.printf "latency p50 %.0f us, p99 %.0f us, max %.0f us\n"
+        (Kf_serve.Histogram.quantile summary.Kf_serve.Driver.latency_us 0.5)
+        (Kf_serve.Histogram.quantile summary.Kf_serve.Driver.latency_us 0.99)
+        (Kf_serve.Histogram.max_value summary.Kf_serve.Driver.latency_us);
+      Printf.printf
+        "%d batch(es), mean occupancy %.1f rows, %d shed, %d failed\n"
+        st.Kf_serve.Service.batches
+        (Kf_serve.Histogram.mean st.Kf_serve.Service.occupancy)
+        summary.Kf_serve.Driver.shed summary.Kf_serve.Driver.failed
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the micro-batched scoring service on a trained model and \
+          drive it with synthetic clients.")
+    Term.(
+      const serve $ verbose_arg $ model_arg $ serve_algo_arg $ engine_arg
+      $ domains_arg $ window_arg $ max_batch_arg $ queue_depth_arg
+      $ clients_arg $ rps_arg $ duration_arg $ seed_arg $ json_arg $ trace_arg
+      $ profile_arg)
 
 (* ---- kf script ---- *)
 
@@ -726,4 +791,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; tune_cmd; codegen_cmd; train_cmd; script_cmd ]))
+          [ run_cmd; tune_cmd; codegen_cmd; train_cmd; serve_cmd; script_cmd ]))

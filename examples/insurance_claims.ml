@@ -25,7 +25,7 @@ let () =
   (* frequency: expected claim counts, Poisson with log link *)
   let counts = Array.map (fun e -> Float.round (exp (0.5 *. e))) eta in
   let freq =
-    Ml_algos.Glm.fit ~family:Ml_algos.Glm.poisson device input ~targets:counts
+    Kf_ml.Glm.fit ~family:Kf_ml.Glm.poisson device input ~targets:counts
   in
   Format.printf
     "claim frequency (poisson): %d Newton / %d CG iterations, deviance %.2f, \
@@ -36,7 +36,7 @@ let () =
      model needs no intercept), gamma with log link *)
   let severity_targets = Array.map (fun e -> exp (0.3 *. e)) eta in
   let sev =
-    Ml_algos.Glm.fit ~family:Ml_algos.Glm.gamma device input
+    Kf_ml.Glm.fit ~family:Kf_ml.Glm.gamma device input
       ~targets:severity_targets
   in
   Format.printf

@@ -11,12 +11,12 @@ let () =
   let rng = Rng.create 7 in
 
   (* A scaled HIGGS surrogate: dense, 28 physics features per event. *)
-  let data = Ml_algos.Dataset.higgs_like ~scale:0.01 rng in
+  let data = Kf_ml.Dataset.higgs_like ~scale:0.01 rng in
   Format.printf "data set: %s@." data.name;
 
   (* Fit with the fused kernels. *)
   let result =
-    Ml_algos.Linreg_cg.fit ~max_iterations:32 ~tolerance:0.0 device
+    Kf_ml.Linreg_cg.fit ~max_iterations:32 ~tolerance:0.0 device
       data.features ~targets:data.targets
   in
   Format.printf "fit: %d CG iterations, residual %g@."

@@ -12,7 +12,7 @@ let () =
 
   (* A web-like graph: 20k pages, a few hubs with very high out-degree. *)
   let nodes = 20_000 in
-  let base = Ml_algos.Dataset.adjacency rng ~nodes ~out_degree:8 in
+  let base = Kf_ml.Dataset.adjacency rng ~nodes ~out_degree:8 in
   let hub_edges =
     (* five deliberate hubs pointing at the first 2000 pages *)
     List.concat_map
@@ -32,7 +32,7 @@ let () =
   in
   Format.printf "graph: %a@." Csr.pp adjacency;
 
-  let result = Ml_algos.Hits.run ~iterations:60 device adjacency in
+  let result = Kf_ml.Hits.run ~iterations:60 device adjacency in
   Format.printf "converged in %d iterations (delta %g), device %.1f ms@."
     result.iterations result.delta result.gpu_ms;
 

@@ -35,13 +35,13 @@ let () =
   let plan = Fusion.Tuning.sparse_plan device x in
   Format.printf "plan: %a@.@." Fusion.Tuning.pp_sparse_plan plan;
 
-  let logreg = Ml_algos.Logreg.fit ~lambda:0.1 device input ~labels in
+  let logreg = Kf_ml.Logreg.fit ~lambda:0.1 device input ~labels in
   Format.printf
     "logreg: %d Newton / %d CG iterations, accuracy %.1f%%, device %.1f ms@."
     logreg.newton_iterations logreg.cg_iterations
     (100.0 *. logreg.accuracy) logreg.gpu_ms;
 
-  let svm = Ml_algos.Svm.fit ~lambda:0.1 device input ~labels in
+  let svm = Kf_ml.Svm.fit ~lambda:0.1 device input ~labels in
   Format.printf
     "svm:    %d Newton / %d CG iterations, accuracy %.1f%%, %d support rows, \
      device %.1f ms@."

@@ -172,3 +172,70 @@ let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
     trace = Session.trace session;
     timeline = Session.timeline session;
   }
+
+(* --- unified algorithm API ------------------------------------------------ *)
+
+let families = [ poisson; binomial; gamma ]
+
+let family_of_name name =
+  List.find_opt (fun f -> f.family_name = name) families
+
+let predict ?(family = poisson) w input =
+  Array.map family.mean (Algorithm.matvec input w)
+
+module Algo = struct
+  let name = "glm"
+
+  let display_name = "poisson GLM"
+
+  let train ~(cfg : Algorithm.train_cfg) (p : Algorithm.problem) =
+    (* The CLI's synthetic Poisson problem: counts from the linear
+       predictor through the log link. *)
+    let targets =
+      Array.map (fun t -> Float.round (exp (0.02 *. t))) p.raw
+    in
+    let r =
+      fit ~engine:cfg.engine ?newton_iterations:cfg.max_iterations
+        ?checkpoint:cfg.checkpoint ~ckpt_meta:cfg.ckpt_meta ?resume:cfg.resume
+        p.device p.input ~targets
+    in
+    {
+      Algorithm.label =
+        Printf.sprintf "%d Newton / %d CG iterations, deviance %g"
+          r.newton_iterations r.cg_iterations r.deviance;
+      fields =
+        [
+          ("newton_iterations", Kf_obs.Json.Int r.newton_iterations);
+          ("cg_iterations", Kf_obs.Json.Int r.cg_iterations);
+          ("deviance", Kf_obs.Json.Float r.deviance);
+        ];
+      weights =
+        {
+          Algorithm.vecs = [| r.weights |];
+          cols = Array.length r.weights;
+          extra =
+            [ ("model.family", Kf_resil.Ckpt.Str poisson.family_name) ];
+        };
+      gpu_ms = r.gpu_ms;
+      trace = r.trace;
+      timeline = r.timeline;
+    }
+
+  let scorer (w : Algorithm.weights) =
+    let family =
+      match Kf_resil.Ckpt.find w.extra "model.family" with
+      | Some (Kf_resil.Ckpt.Str s) -> (
+          match family_of_name s with
+          | Some f -> f
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Glm.Algo.scorer: unknown family %S" s))
+      | Some _ ->
+          invalid_arg "Glm.Algo.scorer: model.family must be a string field"
+      | None -> poisson
+    in
+    {
+      Algorithm.s_vecs = [| w.vecs.(0) |];
+      s_finish = (fun m -> Array.map family.mean m.(0));
+    }
+end

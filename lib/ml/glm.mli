@@ -55,3 +55,17 @@ val fit :
 (** Defaults: [family = poisson], [newton_iterations = 10],
     [cg_iterations = 20], [tolerance = 1e-6].  Raises [Invalid_argument]
     when a target is invalid for the family. *)
+
+val families : family list
+(** All built-in families ({!poisson}, {!binomial}, {!gamma}). *)
+
+val family_of_name : string -> family option
+
+val predict : ?family:family -> Matrix.Vec.t -> Fusion.Executor.input -> Matrix.Vec.t
+(** [predict ~family w input] is the fitted mean response
+    [mu_i = g^{-1}((X x w)_i)] through the family's inverse link
+    (default {!poisson}). *)
+
+module Algo : Algorithm.S
+(** Registry adapter ([name = "glm"]); stores the family name in the
+    model's [model.family] field so serving applies the right link. *)

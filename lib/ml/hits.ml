@@ -69,3 +69,48 @@ let run ?engine ?(iterations = 50) ?(tolerance = 1e-9) ?checkpoint ?ckpt_meta
     trace = Session.trace session;
     timeline = Session.timeline session;
   }
+
+(* --- unified algorithm API ------------------------------------------------ *)
+
+let scores ~authorities input = Algorithm.matvec input authorities
+
+module Algo = struct
+  let name = "hits"
+
+  let display_name = "HITS"
+
+  let train ~(cfg : Algorithm.train_cfg) (p : Algorithm.problem) =
+    (* HITS ignores the regression features: it scores a graph built
+       from the same generator seed, with one node per feature row. *)
+    let a =
+      Dataset.adjacency (Rng.create p.seed)
+        ~nodes:(Fusion.Executor.rows p.input)
+        ~out_degree:8
+    in
+    let r =
+      run ~engine:cfg.engine ?iterations:cfg.max_iterations
+        ?checkpoint:cfg.checkpoint ~ckpt_meta:cfg.ckpt_meta ?resume:cfg.resume
+        p.device a
+    in
+    {
+      Algorithm.label =
+        Printf.sprintf "%d iterations, delta %g" r.iterations r.delta;
+      fields =
+        [
+          ("iterations", Kf_obs.Json.Int r.iterations);
+          ("delta", Kf_obs.Json.Float r.delta);
+        ];
+      weights =
+        {
+          Algorithm.vecs = [| r.authorities |];
+          cols = Array.length r.authorities;
+          extra = [];
+        };
+      gpu_ms = r.gpu_ms;
+      trace = r.trace;
+      timeline = r.timeline;
+    }
+
+  let scorer (w : Algorithm.weights) =
+    { Algorithm.s_vecs = [| w.vecs.(0) |]; s_finish = (fun m -> m.(0)) }
+end

@@ -28,3 +28,12 @@ val run :
   result
 (** [run device adjacency] — defaults: [iterations = 50],
     [tolerance = 1e-9]. *)
+
+val scores : authorities:Matrix.Vec.t -> Fusion.Executor.input -> Matrix.Vec.t
+(** [scores ~authorities rows] — the hub score each query row would
+    have: its adjacency pattern times the authority vector ([X x a]). *)
+
+module Algo : Algorithm.S
+(** Registry adapter ([name = "hits"]); a request row is an adjacency
+    row over the graph's nodes and its score is the induced hub
+    score. *)

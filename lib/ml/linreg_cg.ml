@@ -129,3 +129,42 @@ let fit_cpu ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001) input
     incr i
   done;
   { cpu_weights = w; cpu_iterations = !i; buckets }
+
+(* --- unified algorithm API ------------------------------------------------ *)
+
+let predict w input = Algorithm.matvec input w
+
+module Algo = struct
+  let name = "lr"
+
+  let display_name = "linear regression CG"
+
+  let train ~(cfg : Algorithm.train_cfg) (p : Algorithm.problem) =
+    let r =
+      fit ~engine:cfg.engine ?max_iterations:cfg.max_iterations
+        ?checkpoint:cfg.checkpoint ~ckpt_meta:cfg.ckpt_meta ?resume:cfg.resume
+        p.device p.input ~targets:p.raw
+    in
+    {
+      Algorithm.label =
+        Printf.sprintf "%d iterations, residual %g" r.iterations
+          r.residual_norm;
+      fields =
+        [
+          ("iterations", Kf_obs.Json.Int r.iterations);
+          ("residual_norm", Kf_obs.Json.Float r.residual_norm);
+        ];
+      weights =
+        {
+          Algorithm.vecs = [| r.weights |];
+          cols = Array.length r.weights;
+          extra = [];
+        };
+      gpu_ms = r.gpu_ms;
+      trace = r.trace;
+      timeline = r.timeline;
+    }
+
+  let scorer (w : Algorithm.weights) =
+    { Algorithm.s_vecs = [| w.vecs.(0) |]; s_finish = (fun m -> m.(0)) }
+end

@@ -53,3 +53,11 @@ val fit_cpu :
   Fusion.Executor.input ->
   targets:Matrix.Vec.t ->
   cpu_result
+
+val predict : Matrix.Vec.t -> Fusion.Executor.input -> Matrix.Vec.t
+(** [predict w input = X x w] — the fitted linear predictor, one score
+    per input row (sequential reference; the serving layer batches the
+    same product through {!Fusion.Executor.x_y}). *)
+
+module Algo : Algorithm.S
+(** Registry adapter ([name = "lr"]). *)

@@ -169,3 +169,40 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 15)
     trace = Session.trace session;
     timeline = Session.timeline session;
   }
+
+(* --- unified algorithm API ------------------------------------------------ *)
+
+let predict_proba w input = Array.map sigmoid (Algorithm.matvec input w)
+
+module Algo = struct
+  let name = "logreg"
+
+  let display_name = "logistic regression (trust region)"
+
+  let train ~(cfg : Algorithm.train_cfg) (p : Algorithm.problem) =
+    let labels = Dataset.classification_targets p.raw in
+    let r =
+      fit ~engine:cfg.engine ?newton_iterations:cfg.max_iterations
+        ?checkpoint:cfg.checkpoint ~ckpt_meta:cfg.ckpt_meta ?resume:cfg.resume
+        p.device p.input ~labels
+    in
+    {
+      Algorithm.label = Printf.sprintf "accuracy %.1f%%" (100.0 *. r.accuracy);
+      fields = [ ("accuracy", Kf_obs.Json.Float r.accuracy) ];
+      weights =
+        {
+          Algorithm.vecs = [| r.weights |];
+          cols = Array.length r.weights;
+          extra = [];
+        };
+      gpu_ms = r.gpu_ms;
+      trace = r.trace;
+      timeline = r.timeline;
+    }
+
+  let scorer (w : Algorithm.weights) =
+    {
+      Algorithm.s_vecs = [| w.vecs.(0) |];
+      s_finish = (fun m -> Array.map sigmoid m.(0));
+    }
+end

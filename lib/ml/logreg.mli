@@ -33,3 +33,10 @@ val fit :
   result
 (** [labels] in [{-1, +1}].  Defaults: [lambda = 1.0],
     [newton_iterations = 15], [cg_iterations = 25]. *)
+
+val predict_proba : Matrix.Vec.t -> Fusion.Executor.input -> Matrix.Vec.t
+(** [predict_proba w input] — the positive-class probability
+    [sigmoid((X x w)_i)] for every input row. *)
+
+module Algo : Algorithm.S
+(** Registry adapter ([name = "logreg"]); scores are probabilities. *)

@@ -146,3 +146,66 @@ let predict r input =
         if scores.(k).(i) > scores.(!best).(i) then best := k
       done;
       !best)
+
+(* --- unified algorithm API ------------------------------------------------ *)
+
+let argmax_classes margins =
+  let classes = Array.length margins in
+  let m = Array.length margins.(0) in
+  Array.init m (fun i ->
+      let best = ref 0 in
+      for k = 1 to classes - 1 do
+        if margins.(k).(i) > margins.(!best).(i) then best := k
+      done;
+      !best)
+
+let predict_weights class_weights input =
+  argmax_classes (Array.map (margins input) class_weights)
+
+module Algo = struct
+  let name = "multinomial"
+
+  let display_name = "multinomial logistic regression (one-vs-rest)"
+
+  let train ~(cfg : Algorithm.train_cfg) (p : Algorithm.problem) =
+    let labels =
+      Array.map
+        (fun t -> if t < -0.5 then 0 else if t < 0.5 then 1 else 2)
+        p.raw
+    in
+    let classes = 3 in
+    let r =
+      fit ~engine:cfg.engine ?newton_iterations:cfg.max_iterations
+        ?checkpoint:cfg.checkpoint ~ckpt_meta:cfg.ckpt_meta ?resume:cfg.resume
+        p.device p.input ~labels ~classes
+    in
+    {
+      Algorithm.label =
+        Printf.sprintf "%d classes, accuracy %.1f%%" r.classes
+          (100.0 *. r.accuracy);
+      fields =
+        [
+          ("classes", Kf_obs.Json.Int r.classes);
+          ("accuracy", Kf_obs.Json.Float r.accuracy);
+        ];
+      weights =
+        {
+          Algorithm.vecs = r.class_weights;
+          cols = Fusion.Executor.cols p.input;
+          extra = [ ("model.classes", Kf_resil.Ckpt.Int r.classes) ];
+        };
+      gpu_ms = r.gpu_ms;
+      trace = r.trace;
+      timeline = r.timeline;
+    }
+
+  (* Scores are predicted class indices (as floats): the argmax over the
+     per-class margins, each margin being one [X x w_k] launch. *)
+  let scorer (w : Algorithm.weights) =
+    {
+      Algorithm.s_vecs = w.vecs;
+      s_finish =
+        (fun margins ->
+          Array.map float_of_int (argmax_classes margins));
+    }
+end

@@ -1,0 +1,22 @@
+let all : (module Algorithm.S) list =
+  [
+    (module Linreg_cg.Algo);
+    (module Glm.Algo);
+    (module Logreg.Algo);
+    (module Multinomial.Algo);
+    (module Svm.Algo);
+    (module Hits.Algo);
+  ]
+
+let names = List.map (fun (module A : Algorithm.S) -> A.name) all
+
+let find_opt name =
+  List.find_opt (fun (module A : Algorithm.S) -> A.name = name) all
+
+let find name =
+  match find_opt name with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.find: unknown algorithm %S (available: %s)"
+           name (String.concat ", " names))

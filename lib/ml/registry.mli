@@ -1,0 +1,17 @@
+(** First-class-module registry of every ML algorithm.
+
+    The single source of truth for what the CLI's [kf train] and
+    [kf serve] can run: no caller matches on algorithm names, they look
+    the module up here.  Adding an algorithm means implementing
+    {!Algorithm.S} and appending it to {!all}. *)
+
+val all : (module Algorithm.S) list
+(** In CLI listing order: lr, glm, logreg, multinomial, svm, hits. *)
+
+val names : string list
+
+val find : string -> (module Algorithm.S)
+(** Raises [Invalid_argument] naming the available algorithms when the
+    key is unknown. *)
+
+val find_opt : string -> (module Algorithm.S) option

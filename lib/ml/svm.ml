@@ -173,3 +173,43 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
     trace = Session.trace session;
     timeline = Session.timeline session;
   }
+
+(* --- unified algorithm API ------------------------------------------------ *)
+
+let predict w input = Algorithm.matvec input w
+
+module Algo = struct
+  let name = "svm"
+
+  let display_name = "primal SVM"
+
+  let train ~(cfg : Algorithm.train_cfg) (p : Algorithm.problem) =
+    let labels = Dataset.classification_targets p.raw in
+    let r =
+      fit ~engine:cfg.engine ?newton_iterations:cfg.max_iterations
+        ?checkpoint:cfg.checkpoint ~ckpt_meta:cfg.ckpt_meta ?resume:cfg.resume
+        p.device p.input ~labels
+    in
+    {
+      Algorithm.label =
+        Printf.sprintf "accuracy %.1f%%, %d support rows" (100.0 *. r.accuracy)
+          r.support_vectors;
+      fields =
+        [
+          ("accuracy", Kf_obs.Json.Float r.accuracy);
+          ("support_vectors", Kf_obs.Json.Int r.support_vectors);
+        ];
+      weights =
+        {
+          Algorithm.vecs = [| r.weights |];
+          cols = Array.length r.weights;
+          extra = [];
+        };
+      gpu_ms = r.gpu_ms;
+      trace = r.trace;
+      timeline = r.timeline;
+    }
+
+  let scorer (w : Algorithm.weights) =
+    { Algorithm.s_vecs = [| w.vecs.(0) |]; s_finish = (fun m -> m.(0)) }
+end

@@ -35,3 +35,10 @@ val fit :
   result
 (** [labels] in [{-1, +1}].  Defaults: [lambda = 1.0],
     [newton_iterations = 10], [cg_iterations = 20]. *)
+
+val predict : Matrix.Vec.t -> Fusion.Executor.input -> Matrix.Vec.t
+(** [predict w input = X x w] — the signed margin per input row
+    (positive means the +1 class). *)
+
+module Algo : Algorithm.S
+(** Registry adapter ([name = "svm"]); scores are margins. *)

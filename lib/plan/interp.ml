@@ -1,4 +1,4 @@
-(* Plan execution: drive an {!Ml_algos.Session} over the lowered steps.
+(* Plan execution: drive an {!Kf_ml.Session} over the lowered steps.
 
    Node values live in a per-run cache keyed by node id.  A node is
    computed at most once until some loop in its flush set starts an
@@ -14,7 +14,7 @@ open Ir
 module S = Sysml.Script
 
 type t = {
-  session : Ml_algos.Session.t;
+  session : Kf_ml.Session.t;
   cache : (int, S.value) Hashtbl.t;
   env : (string, S.value) Hashtbl.t;
   inputs : (string * S.value) list;
@@ -82,23 +82,23 @@ and eval_node st n =
   | Neg, [ a ] -> (
       match force st a with
       | S.Num f -> S.Num (-.f)
-      | S.Vector v -> S.Vector (Ml_algos.Session.scal st.session (-1.0) v)
+      | S.Vector v -> S.Vector (Kf_ml.Session.scal st.session (-1.0) v)
       | S.Matrix _ -> type_error "cannot negate a matrix")
   | Bin op, [ a; b ] -> bin st op (force st a) (force st b)
   | Dot, [ a; b ] ->
       S.Num
-        (Ml_algos.Session.dot st.session (vector (force st a))
+        (Kf_ml.Session.dot st.session (vector (force st a))
            (vector (force st b)))
   | Matmul, [ m; y ] ->
       S.Vector
-        (Ml_algos.Session.x_y st.session (matrix (force st m))
+        (Kf_ml.Session.x_y st.session (matrix (force st m))
            (vector (force st y)))
   | Matmul_t, [ m; p ] ->
       (* every anchor normally executes through its group; this is the
          floor behaviour should one ever be forced bare *)
       st.fused <- st.fused + 1;
       S.Vector
-        (Ml_algos.Session.xt_y st.session (matrix (force st m))
+        (Kf_ml.Session.xt_y st.session (matrix (force st m))
            (vector (force st p)) ~alpha:1.0)
   | Transpose, _ -> type_error "t() is only valid inside a matrix product"
   | _ -> assert false
@@ -117,13 +117,13 @@ and bin st op a b =
         | Gt -> if x > y then 1.0 else 0.0
         | And -> if x <> 0.0 && y <> 0.0 then 1.0 else 0.0)
   | Mul, S.Num s, S.Vector v | Mul, S.Vector v, S.Num s ->
-      S.Vector (Ml_algos.Session.scal st.session s v)
+      S.Vector (Kf_ml.Session.scal st.session s v)
   | Mul, S.Vector u, S.Vector v ->
-      S.Vector (Ml_algos.Session.mul_elementwise st.session u v)
+      S.Vector (Kf_ml.Session.mul_elementwise st.session u v)
   | Add, S.Vector u, S.Vector v ->
-      S.Vector (Ml_algos.Session.axpy st.session 1.0 u v)
+      S.Vector (Kf_ml.Session.axpy st.session 1.0 u v)
   | Sub, S.Vector u, S.Vector v ->
-      S.Vector (Ml_algos.Session.axpy st.session (-1.0) v u)
+      S.Vector (Kf_ml.Session.axpy st.session (-1.0) v u)
   | (Add | Sub), (S.Num _ | S.Vector _), (S.Num _ | S.Vector _) ->
       type_error "scalar +/- vector is not defined"
   | _ -> type_error "unsupported operand combination"
@@ -178,11 +178,11 @@ and exec_group_body st g =
   match c.Fuse.c_body with
   | Fuse.Direct p -> (
       let pv = vector (force st p) in
-      let w = Ml_algos.Session.xt_y st.session x pv ~alpha in
+      let w = Kf_ml.Session.xt_y st.session x pv ~alpha in
       match c.Fuse.c_beta_z with
       | None -> w
       | Some (s, z) ->
-          Ml_algos.Session.axpy st.session (beta_of s) (vector (force st z)) w)
+          Kf_ml.Session.axpy st.session (beta_of s) (vector (force st z)) w)
   | Fuse.Chain { y; v } ->
       let yv = vector (force st y) in
       let vv = Option.map (fun v -> vector (force st v)) v in
@@ -191,7 +191,7 @@ and exec_group_body st g =
           (fun (s, z) -> (beta_of s, vector (force st z)))
           c.Fuse.c_beta_z
       in
-      Ml_algos.Session.pattern st.session x ~y:yv ?v:vv ?beta_z ~alpha ()
+      Kf_ml.Session.pattern st.session x ~y:yv ?v:vv ?beta_z ~alpha ()
 
 let flush st loop_id =
   match Hashtbl.find_opt st.flush_by_loop loop_id with
@@ -217,7 +217,7 @@ let rec exec_step st = function
 let execute ?engine ?pool ?(positional = []) device ~inputs ~steps ~groups
     ~flush_by_loop () : S.run =
   let session =
-    Ml_algos.Session.create ?engine ?pool device ~algorithm:"script"
+    Kf_ml.Session.create ?engine ?pool device ~algorithm:"script"
   in
   let st =
     {
@@ -238,7 +238,7 @@ let execute ?engine ?pool ?(positional = []) device ~inputs ~steps ~groups
   {
     S.env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.env [];
     outputs = st.outputs;
-    gpu_ms = Ml_algos.Session.gpu_ms session;
+    gpu_ms = Kf_ml.Session.gpu_ms session;
     fused_launches = st.fused;
-    trace = Ml_algos.Session.trace session;
+    trace = Kf_ml.Session.trace session;
   }

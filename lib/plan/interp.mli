@@ -1,4 +1,4 @@
-(** Plan execution: drive an {!Ml_algos.Session} over the lowered steps.
+(** Plan execution: drive an {!Kf_ml.Session} over the lowered steps.
 
     Node values live in a per-run cache keyed by node id.  A node is
     computed at most once until some loop in its flush set starts an

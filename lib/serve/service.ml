@@ -1,0 +1,470 @@
+open Matrix
+
+(* In-process scoring service with a micro-batching scheduler.
+
+   Clients submit single-row scoring requests; a dedicated scheduler
+   domain coalesces every request that arrives within a bounded window
+   into one dense/CSR block, runs a single batched predict through the
+   executor (one launch per weight vector, whatever the batch size),
+   and scatters the scores back to per-request tickets.  This is the
+   serving-side instance of the paper's fusion economics: N concurrent
+   requests share the weight vector exactly as Eq. 1's operands share
+   X, so executing them as one launch amortises the per-launch overhead
+   that dominates single-row scoring.
+
+   The scheduler is event-driven, not polling: a submission that fills
+   the batch to [max_batch] wakes it immediately, so under load batches
+   close at the cap with no timer in the path.  Only a partial batch
+   relies on the timer tick to notice its window expired — the one case
+   where someone must wake the scheduler because no more submissions
+   are coming. *)
+
+type row = Dense_row of float array | Sparse_row of int array * float array
+
+type outcome = Score of float | Failed of string
+
+(* Tickets share the service-wide [done_mu]/[done_cv] pair: the
+   scheduler resolves a whole batch under one lock with one broadcast,
+   instead of a lock + signal per request. *)
+type ticket = {
+  t_row : row;
+  t_enqueue_ns : int;
+  mutable t_outcome : outcome option;
+  mutable t_done_ns : int;
+  t_done_mu : Mutex.t;
+  t_done_cv : Condition.t;
+}
+
+type config = { window_us : int; max_batch : int; queue_depth : int }
+
+let default_config = { window_us = 200; max_batch = 32; queue_depth = 1024 }
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> default)
+  | None -> default
+
+let config_of_env () =
+  {
+    window_us = env_int "KF_SERVE_WINDOW_US" default_config.window_us;
+    max_batch =
+      Stdlib.max 1 (env_int "KF_SERVE_MAX_BATCH" default_config.max_batch);
+    queue_depth =
+      Stdlib.max 1 (env_int "KF_SERVE_QUEUE" default_config.queue_depth);
+  }
+
+type stats = {
+  accepted : int;
+  shed : int;
+  batches : int;
+  failures : int;
+  batch_retries : int;
+  exec_ms : float;
+  queue_us : Histogram.t;
+  latency_us : Histogram.t;
+  occupancy : Histogram.t;
+}
+
+type t = {
+  device : Gpu_sim.Device.t;
+  engine : Fusion.Executor.engine;
+  pool : Par.Pool.t option;
+  scorer : Kf_ml.Algorithm.scorer;
+  cols : int;
+  cfg : config;
+  cap : int;  (** effective batch cap: 1 when [window_us = 0] *)
+  mu : Mutex.t;  (** guards [queue], [stopped], [accepted], [shed] *)
+  nonempty : Condition.t;  (** wakes the scheduler *)
+  done_mu : Mutex.t;
+  done_cv : Condition.t;
+  queue : ticket Queue.t;
+  mutable stopped : bool;
+  mutable scheduler : unit Domain.t option;
+  (* tallies and histograms below are written by the scheduler domain
+     only (except [accepted]/[shed], written under [mu] by submitters);
+     every write lands before the batch's tickets resolve, so a client
+     returning from [await] observes its own request in a snapshot *)
+  mutable accepted : int;
+  mutable shed : int;
+  mutable batches : int;
+  mutable failures : int;
+  mutable batch_retries : int;
+  mutable exec_ms : float;
+  queue_hist : Histogram.t;
+  latency_hist : Histogram.t;
+  occupancy_hist : Histogram.t;
+}
+
+let requests_counter = Kf_obs.Counter.make "serve.requests"
+
+let shed_counter = Kf_obs.Counter.make "serve.shed"
+
+let batches_counter = Kf_obs.Counter.make "serve.batches"
+
+let retries_counter = Kf_obs.Counter.make "serve.batch_retries"
+
+let failures_counter = Kf_obs.Counter.make "serve.failures"
+
+(* --- request validation -------------------------------------------------- *)
+
+let validate_row t = function
+  | Dense_row v ->
+      if Array.length v <> t.cols then
+        invalid_arg
+          (Printf.sprintf
+             "Service.submit: dense row has %d elements, model expects %d"
+             (Array.length v) t.cols)
+  | Sparse_row (idx, vals) ->
+      if Array.length idx <> Array.length vals then
+        invalid_arg "Service.submit: sparse row index/value length mismatch";
+      let last = ref (-1) in
+      Array.iter
+        (fun c ->
+          if c <= !last || c >= t.cols then
+            invalid_arg
+              (Printf.sprintf
+                 "Service.submit: sparse row columns must be strictly \
+                  increasing in [0, %d)"
+                 t.cols);
+          last := c)
+        idx
+
+(* --- batch assembly ------------------------------------------------------ *)
+
+let densify ~cols idx vals =
+  let r = Array.make cols 0.0 in
+  Array.iteri (fun k c -> r.(c) <- vals.(k)) idx;
+  r
+
+(* A batch of all-sparse rows coalesces into one CSR block (offsets are
+   exact concatenation); any dense row in the mix densifies the whole
+   block.  Either way the scheduler hands the executor one input. *)
+let assemble t batch =
+  let all_sparse =
+    Array.for_all
+      (function { t_row = Sparse_row _; _ } -> true | _ -> false)
+      batch
+  in
+  if all_sparse then begin
+    let rows = Array.length batch in
+    let row_off = Array.make (rows + 1) 0 in
+    Array.iteri
+      (fun i tk ->
+        match tk.t_row with
+        | Sparse_row (idx, _) ->
+            row_off.(i + 1) <- row_off.(i) + Array.length idx
+        | Dense_row _ -> assert false)
+      batch;
+    let nnz = row_off.(rows) in
+    let values = Array.make nnz 0.0 in
+    let col_idx = Array.make nnz 0 in
+    Array.iteri
+      (fun i tk ->
+        match tk.t_row with
+        | Sparse_row (idx, vals) ->
+            Array.blit idx 0 col_idx row_off.(i) (Array.length idx);
+            Array.blit vals 0 values row_off.(i) (Array.length vals)
+        | Dense_row _ -> assert false)
+      batch;
+    Fusion.Executor.Sparse
+      (Csr.create ~rows ~cols:t.cols ~values ~col_idx ~row_off)
+  end
+  else
+    Fusion.Executor.Dense
+      (Dense.of_arrays
+         (Array.map
+            (fun tk ->
+              match tk.t_row with
+              | Dense_row v -> v
+              | Sparse_row (idx, vals) -> densify ~cols:t.cols idx vals)
+            batch))
+
+(* --- batch execution ------------------------------------------------------ *)
+
+let execute t batch =
+  let dispatch_ns = Kf_obs.Clock.now_ns () in
+  t.batches <- t.batches + 1;
+  Kf_obs.Counter.incr batches_counter;
+  Histogram.record t.occupancy_hist (float_of_int (Array.length batch));
+  Array.iter
+    (fun tk ->
+      Histogram.record t.queue_hist
+        (Kf_obs.Clock.ns_to_us (dispatch_ns - tk.t_enqueue_ns)))
+    batch;
+  let input = assemble t batch in
+  (* One batched predict through the executor.  The executor's own
+     recovery chain (retry -> engine fallback -> sequential reference)
+     already absorbs injected faults and unhealthy outputs; a failure
+     that still escapes (e.g. the reference output itself is unhealthy)
+     gets one whole-batch retry before the requests are answered
+     [Failed] — requests are never dropped. *)
+  let attempt () =
+    Kf_obs.Trace.with_span "serve.batch"
+      ~args:[ ("size", string_of_int (Array.length batch)) ]
+    @@ fun () ->
+    Kf_ml.Algorithm.predict_exec_with t.scorer ~engine:t.engine ?pool:t.pool
+      t.device input
+  in
+  let result =
+    match attempt () with
+    | r -> Ok r
+    | exception first -> (
+        t.batch_retries <- t.batch_retries + 1;
+        Kf_obs.Counter.incr retries_counter;
+        Kf_obs.Trace.instant "serve.batch_retry"
+          ~args:[ ("cause", Printexc.to_string first) ];
+        match attempt () with
+        | r -> Ok r
+        | exception second -> Error (Printexc.to_string second))
+  in
+  let done_ns = Kf_obs.Clock.now_ns () in
+  (* book-keeping happens before the tickets resolve so that a client
+     returning from [await] always observes its request in the stats.
+     The per-request trace args are only formatted when tracing is on —
+     a sprintf per request would otherwise dominate the serving path. *)
+  let tracing = Kf_obs.Trace.enabled () in
+  Array.iter
+    (fun tk ->
+      let lat_ns = done_ns - tk.t_enqueue_ns in
+      Histogram.record t.latency_hist (Kf_obs.Clock.ns_to_us lat_ns);
+      if tracing then
+        Kf_obs.Trace.complete ~name:"serve.request"
+          ~args:
+            [
+              ( "queue_us",
+                Printf.sprintf "%.1f"
+                  (Kf_obs.Clock.ns_to_us (dispatch_ns - tk.t_enqueue_ns)) );
+            ]
+          ~ts_ns:tk.t_enqueue_ns ~dur_ns:lat_ns ())
+    batch;
+  (match result with
+  | Error _ ->
+      t.failures <- t.failures + Array.length batch;
+      Kf_obs.Counter.add failures_counter (Array.length batch)
+  | Ok (_, ms) -> t.exec_ms <- t.exec_ms +. ms);
+  (* resolve the whole batch under one lock with one broadcast *)
+  Mutex.lock t.done_mu;
+  (match result with
+  | Ok (scores, _) ->
+      Array.iteri
+        (fun i tk ->
+          tk.t_done_ns <- done_ns;
+          tk.t_outcome <- Some (Score scores.(i)))
+        batch
+  | Error msg ->
+      Array.iter
+        (fun tk ->
+          tk.t_done_ns <- done_ns;
+          tk.t_outcome <- Some (Failed msg))
+        batch);
+  Condition.broadcast t.done_cv;
+  Mutex.unlock t.done_mu
+
+(* --- scheduler ------------------------------------------------------------ *)
+
+(* A batch is ready when it is full, or its oldest request has waited
+   out the window, or the service is draining for shutdown.  [window_us
+   = 0] makes the cap 1, so every request is its own batch — the
+   unbatched baseline. *)
+let batch_ready t ~window_ns =
+  t.stopped
+  || Queue.length t.queue >= t.cap
+  || ((not (Queue.is_empty t.queue))
+     && Kf_obs.Clock.now_ns () - (Queue.peek t.queue).t_enqueue_ns
+        >= window_ns)
+
+let scheduler_loop t =
+  let window_ns = t.cfg.window_us * 1000 in
+  let rec loop () =
+    Mutex.lock t.mu;
+    while not (batch_ready t ~window_ns) do
+      Condition.wait t.nonempty t.mu
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mu (* stopped and drained *)
+    else begin
+      let n = Stdlib.min t.cap (Queue.length t.queue) in
+      let batch = Array.init n (fun _ -> Queue.pop t.queue) in
+      Mutex.unlock t.mu;
+      execute t batch;
+      loop ()
+    end
+  in
+  loop ()
+
+(* The timer only matters for a partial batch whose producers have gone
+   quiet: nobody else will wake the scheduler to notice the window
+   expired.  It ticks at a fraction of the window (bounded below by
+   what [sleepf] can resolve) and signals only when work is queued. *)
+let timer_loop t =
+  let period = Float.max 20e-6 (float_of_int t.cfg.window_us *. 1e-6 /. 4.0) in
+  let rec loop () =
+    Mutex.lock t.mu;
+    let stop = t.stopped in
+    if not (Queue.is_empty t.queue) then Condition.signal t.nonempty;
+    Mutex.unlock t.mu;
+    if not stop then begin
+      Unix.sleepf period;
+      loop ()
+    end
+  in
+  loop ()
+
+let run_scheduler t =
+  (* the timer is a thread inside the scheduler domain: it only runs
+     while the scheduler blocks (condvar wait or executor call), which
+     is exactly when it is needed *)
+  if t.cfg.window_us = 0 then scheduler_loop t
+  else begin
+    let timer = Thread.create timer_loop t in
+    scheduler_loop t;
+    Thread.join timer
+  end
+
+(* --- public API ----------------------------------------------------------- *)
+
+let create ?(engine = Fusion.Executor.Fused) ?pool ?config ?(start = true)
+    device ~algo ~weights () =
+  let cfg = match config with Some c -> c | None -> config_of_env () in
+  if cfg.window_us < 0 then
+    invalid_arg "Service.create: window_us must be >= 0";
+  if cfg.max_batch < 1 then invalid_arg "Service.create: max_batch must be >= 1";
+  if cfg.queue_depth < 1 then
+    invalid_arg "Service.create: queue_depth must be >= 1";
+  let (module A : Kf_ml.Algorithm.S) = algo in
+  let t =
+    {
+      device;
+      engine;
+      pool;
+      scorer = A.scorer weights;
+      cols = weights.Kf_ml.Algorithm.cols;
+      cfg;
+      cap = (if cfg.window_us = 0 then 1 else cfg.max_batch);
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      done_mu = Mutex.create ();
+      done_cv = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      scheduler = None;
+      accepted = 0;
+      shed = 0;
+      batches = 0;
+      failures = 0;
+      batch_retries = 0;
+      exec_ms = 0.0;
+      queue_hist = Histogram.create ();
+      latency_hist = Histogram.create ();
+      occupancy_hist = Histogram.create ();
+    }
+  in
+  if start then t.scheduler <- Some (Domain.spawn (fun () -> run_scheduler t));
+  t
+
+let start t =
+  Mutex.lock t.mu;
+  let must_spawn = t.scheduler = None && not t.stopped in
+  Mutex.unlock t.mu;
+  if must_spawn then
+    t.scheduler <- Some (Domain.spawn (fun () -> run_scheduler t))
+
+let config t = t.cfg
+
+let submit t row =
+  validate_row t row;
+  Mutex.lock t.mu;
+  if t.stopped then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Service.submit: service is shut down"
+  end
+  else if Queue.length t.queue >= t.cfg.queue_depth then begin
+    t.shed <- t.shed + 1;
+    Mutex.unlock t.mu;
+    Kf_obs.Counter.incr shed_counter;
+    None
+  end
+  else begin
+    let was_empty = Queue.is_empty t.queue in
+    let tk =
+      {
+        t_row = row;
+        t_enqueue_ns = Kf_obs.Clock.now_ns ();
+        t_outcome = None;
+        t_done_ns = 0;
+        t_done_mu = t.done_mu;
+        t_done_cv = t.done_cv;
+      }
+    in
+    Queue.add tk t.queue;
+    t.accepted <- t.accepted + 1;
+    (* wake the scheduler only when this submission changes what it
+       should do: the queue just became non-empty, or it reached the
+       batch cap *)
+    if was_empty || Queue.length t.queue >= t.cap then
+      Condition.signal t.nonempty;
+    Mutex.unlock t.mu;
+    Kf_obs.Counter.incr requests_counter;
+    Some tk
+  end
+
+let await tk =
+  Mutex.lock tk.t_done_mu;
+  while tk.t_outcome = None do
+    Condition.wait tk.t_done_cv tk.t_done_mu
+  done;
+  let outcome = Option.get tk.t_outcome in
+  Mutex.unlock tk.t_done_mu;
+  outcome
+
+let latency_ns tk =
+  match tk.t_outcome with
+  | None -> invalid_arg "Service.latency_ns: ticket not resolved yet"
+  | Some _ -> tk.t_done_ns - tk.t_enqueue_ns
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stopped <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  match t.scheduler with
+  | Some d ->
+      Domain.join d;
+      t.scheduler <- None
+  | None ->
+      (* never started: drain synchronously so no ticket is lost *)
+      scheduler_loop t
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      accepted = t.accepted;
+      shed = t.shed;
+      batches = t.batches;
+      failures = t.failures;
+      batch_retries = t.batch_retries;
+      exec_ms = t.exec_ms;
+      queue_us = Histogram.copy t.queue_hist;
+      latency_us = Histogram.copy t.latency_hist;
+      occupancy = Histogram.copy t.occupancy_hist;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let stats_json (s : stats) =
+  Kf_obs.Json.Obj
+    [
+      ("requests", Kf_obs.Json.Int s.accepted);
+      ("shed", Kf_obs.Json.Int s.shed);
+      ("batches", Kf_obs.Json.Int s.batches);
+      ("failures", Kf_obs.Json.Int s.failures);
+      ("batch_retries", Kf_obs.Json.Int s.batch_retries);
+      ("exec_ms", Kf_obs.Json.Float s.exec_ms);
+      ("queue_us", Histogram.summary_json s.queue_us);
+      ("latency_us", Histogram.summary_json s.latency_us);
+      ("occupancy", Histogram.summary_json s.occupancy);
+    ]

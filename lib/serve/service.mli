@@ -1,0 +1,95 @@
+(** In-process scoring service with a micro-batching scheduler.
+
+    Clients {!submit} single-row scoring requests; a dedicated scheduler
+    domain coalesces all requests arriving within a bounded window into
+    one dense/CSR block, runs a single batched predict through
+    {!Fusion.Executor} (one launch per weight vector, whatever the batch
+    size), and scatters scores back to per-request tickets.  The serving
+    counterpart of the paper's launch amortisation: N coalesced requests
+    cost the launches of one.
+
+    Admission is bounded: once [queue_depth] requests are waiting,
+    further submissions are shed (returned [None]) instead of growing
+    the queue without bound.  A batch whose execution fails even after
+    the executor's own recovery chain is retried once; if that also
+    fails every request in it resolves to {!Failed} — requests are
+    never silently dropped. *)
+
+type row =
+  | Dense_row of float array  (** exactly [cols] features *)
+  | Sparse_row of int array * float array
+      (** strictly increasing column indices in [\[0, cols)] *)
+
+type outcome = Score of float | Failed of string
+
+type ticket
+(** One in-flight request; resolves exactly once. *)
+
+type config = {
+  window_us : int;
+      (** coalescing window measured from the oldest request in the
+          forming batch; [0] disables batching (every request is a
+          batch of one — the unbatched baseline) *)
+  max_batch : int;  (** batch-size cap; a backlog drains at this size *)
+  queue_depth : int;  (** admission bound; beyond it requests are shed *)
+}
+
+val default_config : config
+(** [{window_us = 200; max_batch = 32; queue_depth = 1024}]. *)
+
+val config_of_env : unit -> config
+(** {!default_config} overridden by [KF_SERVE_WINDOW_US],
+    [KF_SERVE_MAX_BATCH] and [KF_SERVE_QUEUE]. *)
+
+type t
+
+val create :
+  ?engine:Fusion.Executor.engine ->
+  ?pool:Par.Pool.t ->
+  ?config:config ->
+  ?start:bool ->
+  Gpu_sim.Device.t ->
+  algo:(module Kf_ml.Algorithm.S) ->
+  weights:Kf_ml.Algorithm.weights ->
+  unit ->
+  t
+(** [create device ~algo ~weights ()] builds the service and (unless
+    [~start:false]) spawns its scheduler domain.  [?config] defaults to
+    {!config_of_env}.  Engine defaults to [Fused]. *)
+
+val start : t -> unit
+(** Spawn the scheduler if [create ~start:false] deferred it (tests use
+    this to fill the queue deterministically first).  Idempotent. *)
+
+val config : t -> config
+
+val submit : t -> row -> ticket option
+(** [None] when the queue is at [queue_depth] (the request is shed).
+    Raises [Invalid_argument] on malformed rows or after {!shutdown}. *)
+
+val await : ticket -> outcome
+(** Block until the request resolves. *)
+
+val latency_ns : ticket -> int
+(** Enqueue-to-resolve latency; raises if the ticket has not resolved. *)
+
+val shutdown : t -> unit
+(** Stop admitting, drain every queued request (without window waits),
+    and join the scheduler. *)
+
+type stats = {
+  accepted : int;
+  shed : int;
+  batches : int;
+  failures : int;  (** requests resolved [Failed] *)
+  batch_retries : int;
+  exec_ms : float;  (** summed executor time across batches *)
+  queue_us : Histogram.t;  (** submit-to-dispatch wait *)
+  latency_us : Histogram.t;  (** submit-to-resolve *)
+  occupancy : Histogram.t;  (** rows per executed batch *)
+}
+
+val stats : t -> stats
+(** Consistent snapshot (histograms are copies). *)
+
+val stats_json : stats -> Kf_obs.Json.t

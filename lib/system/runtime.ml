@@ -15,7 +15,7 @@ type standalone = {
   amortized_speedup : float option;
 }
 
-let input_bytes (d : Ml_algos.Dataset.regression) =
+let input_bytes (d : Kf_ml.Dataset.regression) =
   Fusion.Executor.bytes d.features
   + (8 * Array.length d.targets)
   + (8 * Fusion.Executor.cols d.features)
@@ -30,7 +30,7 @@ let scale_gpu_ms ~measured_iters ~report_iters gpu_ms =
   else gpu_ms *. (float_of_int report_iters /. float_of_int measured_iters)
 
 let standalone ?(max_iterations = 100) ?measure_iterations device
-    (d : Ml_algos.Dataset.regression) =
+    (d : Kf_ml.Dataset.regression) =
   Kf_obs.Trace.with_span ~args:[ ("dataset", d.name) ] "runtime.standalone"
   @@ fun () ->
   let measure =
@@ -46,11 +46,11 @@ let standalone ?(max_iterations = 100) ?measure_iterations device
   (* the paper reports fixed iteration budgets (32 / 100), so the solver
      runs without an early-exit tolerance *)
   let fused =
-    Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Fused ~tolerance:0.0
+    Kf_ml.Linreg_cg.fit ~engine:Fusion.Executor.Fused ~tolerance:0.0
       ~max_iterations:measure device d.features ~targets:d.targets
   in
   let library =
-    Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Library ~tolerance:0.0
+    Kf_ml.Linreg_cg.fit ~engine:Fusion.Executor.Library ~tolerance:0.0
       ~max_iterations:measure device d.features ~targets:d.targets
   in
   let report_iters =
@@ -165,7 +165,7 @@ type systemml = {
 
 (* The SystemML CPU backend's per-iteration cost: the pattern op plus the
    Level-1 updates of Listing 1, through the MKL-backed roofline. *)
-let cpu_iteration_ms cpu (d : Ml_algos.Dataset.regression) =
+let cpu_iteration_ms cpu (d : Kf_ml.Dataset.regression) =
   let rows = Fusion.Executor.rows d.features in
   let cols = Fusion.Executor.cols d.features in
   let pattern =
@@ -185,7 +185,7 @@ let cpu_iteration_ms cpu (d : Ml_algos.Dataset.regression) =
 
 let systemml ?(max_iterations = 100) ?measure_iterations
     ?(bookkeeping_ms_per_op = 0.05) device cpu
-    (d : Ml_algos.Dataset.regression) =
+    (d : Kf_ml.Dataset.regression) =
   Kf_obs.Trace.with_span ~args:[ ("dataset", d.name) ] "runtime.systemml"
   @@ fun () ->
   let measure =
@@ -194,7 +194,7 @@ let systemml ?(max_iterations = 100) ?measure_iterations
     | Some k -> Stdlib.min k max_iterations
   in
   let fused =
-    Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Fused ~tolerance:0.0
+    Kf_ml.Linreg_cg.fit ~engine:Fusion.Executor.Fused ~tolerance:0.0
       ~max_iterations:measure device d.features ~targets:d.targets
   in
   let iters =

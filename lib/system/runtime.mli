@@ -32,7 +32,7 @@ val standalone :
   ?max_iterations:int ->
   ?measure_iterations:int ->
   Device.t ->
-  Ml_algos.Dataset.regression ->
+  Kf_ml.Dataset.regression ->
   standalone
 (** [measure_iterations] bounds how many CG iterations are actually
     simulated; device time is extrapolated linearly to [max_iterations]
@@ -110,7 +110,7 @@ val systemml :
   ?bookkeeping_ms_per_op:float ->
   Device.t ->
   Device.cpu ->
-  Ml_algos.Dataset.regression ->
+  Kf_ml.Dataset.regression ->
   systemml
 (** [bookkeeping_ms_per_op] (default 0.05) is the interpreter/manager
     cost charged per GPU operator issued, matching the prototype

@@ -43,7 +43,7 @@ let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
 
 type state = {
   device : Gpu_sim.Device.t;
-  session : Ml_algos.Session.t;
+  session : Kf_ml.Session.t;
   bindings : (string, value) Hashtbl.t;
   positional : value array;
   mutable outputs : (string * value) list;
@@ -137,16 +137,16 @@ and recognize st expr =
     match body with
     | `Direct p ->
         (* alpha * X^T p; the additive tail, if any, is applied after *)
-        let w = Ml_algos.Session.xt_y st.session input p ~alpha in
+        let w = Kf_ml.Session.xt_y st.session input p ~alpha in
         Some
           (match beta_z with
           | None -> Vector w
           | Some (beta, z) ->
-              Vector (Ml_algos.Session.axpy st.session beta z w))
+              Vector (Kf_ml.Session.axpy st.session beta z w))
     | `Chain (y, v) ->
         Some
           (Vector
-             (Ml_algos.Session.pattern st.session input ~y ?v ?beta_z ~alpha
+             (Kf_ml.Session.pattern st.session input ~y ?v ?beta_z ~alpha
                 ()))
   in
   match expr with
@@ -173,7 +173,7 @@ and eval st = function
   | Neg e -> (
       match eval st e with
       | Num f -> Num (-.f)
-      | Vector v -> Vector (Ml_algos.Session.scal st.session (-1.0) v)
+      | Vector v -> Vector (Kf_ml.Session.scal st.session (-1.0) v)
       | Matrix _ -> type_error "cannot negate a matrix")
   | Add (a, b) -> arith st ( +. ) `Add a b
   | Sub (a, b) -> arith st ( -. ) `Sub a b
@@ -194,22 +194,22 @@ and eval st = function
       | None -> (
           (* t(p) %*% q over vectors is a dot product *)
           match (eval st te, eval st rhs) with
-          | Vector u, Vector v -> Num (Ml_algos.Session.dot st.session u v)
+          | Vector u, Vector v -> Num (Kf_ml.Session.dot st.session u v)
           | _ -> type_error "unsupported transpose product"))
   | Matmul (me, ye) -> (
       let m = matrix (eval st me) in
       match eval st ye with
-      | Vector y -> Vector (Ml_algos.Session.x_y st.session m y)
+      | Vector y -> Vector (Kf_ml.Session.x_y st.session m y)
       | _ -> type_error "matrix product needs a vector right operand")
   | T _ -> type_error "t() is only valid inside a matrix product"
   | Sum (Mul (a, b)) -> (
       (* sum(u * v) is a dot product — one kernel, as cuBLAS would run *)
       match (eval st a, eval st b) with
-      | Vector u, Vector v -> Num (Ml_algos.Session.dot st.session u v)
+      | Vector u, Vector v -> Num (Kf_ml.Session.dot st.session u v)
       | va, vb -> Num (scalar va *. scalar vb))
   | Sum e ->
       let v = vector (eval st e) in
-      Num (Ml_algos.Session.dot st.session v (Array.make (Array.length v) 1.0))
+      Num (Kf_ml.Session.dot st.session v (Array.make (Array.length v) 1.0))
   | Ncol e -> Num (float_of_int (Fusion.Executor.cols (matrix (eval st e))))
   | Nrow e -> Num (float_of_int (Fusion.Executor.rows (matrix (eval st e))))
   | Zero_vector e ->
@@ -225,14 +225,14 @@ and arith st op kind a b =
   | Num x, Num y -> Num (op x y)
   | Num s, Vector v | Vector v, Num s -> (
       match kind with
-      | `Mul -> Vector (Ml_algos.Session.scal st.session s v)
+      | `Mul -> Vector (Kf_ml.Session.scal st.session s v)
       | `Add | `Sub ->
           type_error "scalar +/- vector is not defined")
   | Vector u, Vector v -> (
       match kind with
-      | `Add -> Vector (Ml_algos.Session.axpy st.session 1.0 u v)
-      | `Sub -> Vector (Ml_algos.Session.axpy st.session (-1.0) v u)
-      | `Mul -> Vector (Ml_algos.Session.mul_elementwise st.session u v))
+      | `Add -> Vector (Kf_ml.Session.axpy st.session 1.0 u v)
+      | `Sub -> Vector (Kf_ml.Session.axpy st.session (-1.0) v u)
+      | `Mul -> Vector (Kf_ml.Session.mul_elementwise st.session u v))
   | _ -> type_error "unsupported operand combination"
 
 let stmt_label = function
@@ -262,7 +262,7 @@ let rec exec st stmt =
 
 let eval ?engine ?pool ?(positional = []) device ~inputs program =
   let session =
-    Ml_algos.Session.create ?engine ?pool device ~algorithm:"script"
+    Kf_ml.Session.create ?engine ?pool device ~algorithm:"script"
   in
   let st =
     {
@@ -280,9 +280,9 @@ let eval ?engine ?pool ?(positional = []) device ~inputs program =
   {
     env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.bindings [];
     outputs = st.outputs;
-    gpu_ms = Ml_algos.Session.gpu_ms session;
+    gpu_ms = Kf_ml.Session.gpu_ms session;
     fused_launches = st.fused;
-    trace = Ml_algos.Session.trace session;
+    trace = Kf_ml.Session.trace session;
   }
 
 let lookup run name = List.assoc name run.env

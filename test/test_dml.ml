@@ -81,11 +81,11 @@ let test_listing1_verbatim () =
     | Script.Vector w -> w
     | _ -> Alcotest.fail "expected the written output to be a vector"
   in
-  let direct = Ml_algos.Linreg_cg.fit device input ~targets in
+  let direct = Kf_ml.Linreg_cg.fit device input ~targets in
   Alcotest.(check bool) "Listing 1 verbatim = built-in LR-CG" true
-    (Vec.approx_equal ~tol:1e-6 w direct.Ml_algos.Linreg_cg.weights);
+    (Vec.approx_equal ~tol:1e-6 w direct.Kf_ml.Linreg_cg.weights);
   Alcotest.(check bool) "the q assignment fused every iteration" true
-    (r.Script.fused_launches > direct.Ml_algos.Linreg_cg.iterations);
+    (r.Script.fused_launches > direct.Kf_ml.Linreg_cg.iterations);
   Alcotest.(check bool) "trace shows X^T(Xy)+bz" true
     (List.mem Fusion.Pattern.Xt_X_y_plus_z
        (Fusion.Pattern.Trace.instantiations r.Script.trace))

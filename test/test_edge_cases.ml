@@ -100,9 +100,9 @@ let test_market_empty_matrix () =
 
 let test_hits_empty_graph () =
   let a = empty_rows_csr ~rows:5 ~cols:5 in
-  let r = Ml_algos.Hits.run ~iterations:3 device a in
+  let r = Kf_ml.Hits.run ~iterations:3 device a in
   Alcotest.(check bool) "finite scores" true
-    (Array.for_all Float.is_finite r.Ml_algos.Hits.authorities)
+    (Array.for_all Float.is_finite r.Kf_ml.Hits.authorities)
 
 let test_tuner_tiny_matrix () =
   let x =

@@ -25,40 +25,40 @@ let three_class_problem seed ~rows ~cols =
 let test_multinomial_accuracy () =
   let input, labels = three_class_problem 1 ~rows:300 ~cols:8 in
   let r =
-    Ml_algos.Multinomial.fit ~lambda:0.01 device input ~labels ~classes:3
+    Kf_ml.Multinomial.fit ~lambda:0.01 device input ~labels ~classes:3
   in
   Alcotest.(check bool) "separable 3-class accuracy > 85%" true
-    (r.Ml_algos.Multinomial.accuracy > 0.85);
+    (r.Kf_ml.Multinomial.accuracy > 0.85);
   Alcotest.(check int) "three weight vectors" 3
-    (Array.length r.Ml_algos.Multinomial.class_weights)
+    (Array.length r.Kf_ml.Multinomial.class_weights)
 
 let test_multinomial_predict_consistent () =
   let input, labels = three_class_problem 2 ~rows:200 ~cols:6 in
-  let r = Ml_algos.Multinomial.fit ~lambda:0.01 device input ~labels ~classes:3 in
-  let predicted = Ml_algos.Multinomial.predict r input in
+  let r = Kf_ml.Multinomial.fit ~lambda:0.01 device input ~labels ~classes:3 in
+  let predicted = Kf_ml.Multinomial.predict r input in
   let agree = ref 0 in
   Array.iteri (fun i p -> if p = labels.(i) then incr agree) predicted;
   Alcotest.(check bool) "predict matches training accuracy" true
     (Float.abs
-       ((float_of_int !agree /. 200.0) -. r.Ml_algos.Multinomial.accuracy)
+       ((float_of_int !agree /. 200.0) -. r.Kf_ml.Multinomial.accuracy)
     < 1e-9)
 
 let test_multinomial_trace_is_logreg () =
   let input, labels = three_class_problem 3 ~rows:150 ~cols:5 in
-  let r = Ml_algos.Multinomial.fit device input ~labels ~classes:3 in
+  let r = Kf_ml.Multinomial.fit device input ~labels ~classes:3 in
   Alcotest.(check bool) "ticks the full pattern" true
     (List.mem Fusion.Pattern.Full_pattern
-       (Fusion.Pattern.Trace.instantiations r.Ml_algos.Multinomial.trace))
+       (Fusion.Pattern.Trace.instantiations r.Kf_ml.Multinomial.trace))
 
 let test_multinomial_validation () =
   let input, labels = three_class_problem 4 ~rows:50 ~cols:4 in
   Alcotest.check_raises "classes < 2"
     (Invalid_argument "Multinomial.fit: need at least 2 classes") (fun () ->
-      ignore (Ml_algos.Multinomial.fit device input ~labels ~classes:1));
+      ignore (Kf_ml.Multinomial.fit device input ~labels ~classes:1));
   Alcotest.check_raises "label out of range"
     (Invalid_argument "Multinomial.fit: label out of range") (fun () ->
       ignore
-        (Ml_algos.Multinomial.fit device input
+        (Kf_ml.Multinomial.fit device input
            ~labels:(Array.map (fun l -> l + 5) labels)
            ~classes:3))
 

@@ -17,21 +17,21 @@ let test_binomial_recovers () =
      outcomes are valid for the binomial deviance) *)
   let targets = Array.map (fun e -> 1.0 /. (1.0 +. exp (-.e))) eta in
   let r =
-    Ml_algos.Glm.fit ~family:Ml_algos.Glm.binomial ~newton_iterations:20
+    Kf_ml.Glm.fit ~family:Kf_ml.Glm.binomial ~newton_iterations:20
       device (Dense x) ~targets
   in
   Alcotest.(check bool) "weights near truth" true
-    (Vec.max_abs_diff r.Ml_algos.Glm.weights truth < 0.1)
+    (Vec.max_abs_diff r.Kf_ml.Glm.weights truth < 0.1)
 
 let test_gamma_recovers () =
   let x, truth, eta = planted 22 ~rows:800 ~cols:6 in
   let targets = Array.map (fun e -> exp e) eta in
   let r =
-    Ml_algos.Glm.fit ~family:Ml_algos.Glm.gamma ~newton_iterations:20 device
+    Kf_ml.Glm.fit ~family:Kf_ml.Glm.gamma ~newton_iterations:20 device
       (Dense x) ~targets
   in
   Alcotest.(check bool) "weights near truth" true
-    (Vec.max_abs_diff r.Ml_algos.Glm.weights truth < 0.1)
+    (Vec.max_abs_diff r.Kf_ml.Glm.weights truth < 0.1)
 
 let test_gamma_trace_has_no_hadamard () =
   (* the gamma log link has unit IRLS weights, so its Hessian products
@@ -39,9 +39,9 @@ let test_gamma_trace_has_no_hadamard () =
   let x, _, eta = planted 23 ~rows:300 ~cols:5 in
   let targets = Array.map (fun e -> exp e) eta in
   let r =
-    Ml_algos.Glm.fit ~family:Ml_algos.Glm.gamma device (Dense x) ~targets
+    Kf_ml.Glm.fit ~family:Kf_ml.Glm.gamma device (Dense x) ~targets
   in
-  let insts = Fusion.Pattern.Trace.instantiations r.Ml_algos.Glm.trace in
+  let insts = Fusion.Pattern.Trace.instantiations r.Kf_ml.Glm.trace in
   Alcotest.(check bool) "plain X^T(Xy)" true
     (List.mem Fusion.Pattern.Xt_X_y insts);
   Alcotest.(check bool) "no Hadamard" true
@@ -53,13 +53,13 @@ let test_family_validation () =
     Alcotest.check_raises name
       (Invalid_argument
          (Printf.sprintf "Glm.fit: invalid target for the %s family"
-            family.Ml_algos.Glm.family_name))
+            family.Kf_ml.Glm.family_name))
       (fun () ->
-        ignore (Ml_algos.Glm.fit ~family device (Dense x) ~targets))
+        ignore (Kf_ml.Glm.fit ~family device (Dense x) ~targets))
   in
-  reject Ml_algos.Glm.binomial (Array.make 10 1.5) "binomial beyond 1";
-  reject Ml_algos.Glm.gamma (Array.make 10 0.0) "gamma needs positive";
-  reject Ml_algos.Glm.poisson (Array.make 10 (-2.0)) "poisson non-negative"
+  reject Kf_ml.Glm.binomial (Array.make 10 1.5) "binomial beyond 1";
+  reject Kf_ml.Glm.gamma (Array.make 10 0.0) "gamma needs positive";
+  reject Kf_ml.Glm.poisson (Array.make 10 (-2.0)) "poisson non-negative"
 
 let test_deviance_zero_at_perfect_fit () =
   List.iter
@@ -67,15 +67,15 @@ let test_deviance_zero_at_perfect_fit () =
       let x, _, eta = planted 25 ~rows:100 ~cols:4 in
       let targets = Array.map target_of_eta eta in
       let r =
-        Ml_algos.Glm.fit ~family ~newton_iterations:25 device (Dense x)
+        Kf_ml.Glm.fit ~family ~newton_iterations:25 device (Dense x)
           ~targets
       in
       Alcotest.(check bool)
-        (family.Ml_algos.Glm.family_name ^ " deviance near zero") true
-        (r.Ml_algos.Glm.deviance < 0.05))
+        (family.Kf_ml.Glm.family_name ^ " deviance near zero") true
+        (r.Kf_ml.Glm.deviance < 0.05))
     [
-      (Ml_algos.Glm.gamma, fun e -> exp e);
-      (Ml_algos.Glm.binomial, fun e -> 1.0 /. (1.0 +. exp (-.e)));
+      (Kf_ml.Glm.gamma, fun e -> exp e);
+      (Kf_ml.Glm.binomial, fun e -> 1.0 /. (1.0 +. exp (-.e)));
     ]
 
 let test_families_differ () =
@@ -83,10 +83,10 @@ let test_families_differ () =
      different weights (different variance assumptions) *)
   let x, _, eta = planted 26 ~rows:400 ~cols:5 in
   let targets = Array.map (fun e -> exp e +. 0.5) eta in
-  let g = Ml_algos.Glm.fit ~family:Ml_algos.Glm.gamma device (Dense x) ~targets in
-  let p = Ml_algos.Glm.fit ~family:Ml_algos.Glm.poisson device (Dense x) ~targets in
+  let g = Kf_ml.Glm.fit ~family:Kf_ml.Glm.gamma device (Dense x) ~targets in
+  let p = Kf_ml.Glm.fit ~family:Kf_ml.Glm.poisson device (Dense x) ~targets in
   Alcotest.(check bool) "distinct estimates" true
-    (Vec.max_abs_diff g.Ml_algos.Glm.weights p.Ml_algos.Glm.weights > 1e-6)
+    (Vec.max_abs_diff g.Kf_ml.Glm.weights p.Kf_ml.Glm.weights > 1e-6)
 
 let suite =
   [

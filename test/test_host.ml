@@ -186,18 +186,18 @@ let test_session_host_lr () =
   let truth = Gen.vector rng 100 in
   let targets = Blas.csrmv x truth in
   let fused =
-    Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Fused device (Sparse x)
+    Kf_ml.Linreg_cg.fit ~engine:Fusion.Executor.Fused device (Sparse x)
       ~targets
   in
   let host =
-    Ml_algos.Linreg_cg.fit ~engine:Fusion.Executor.Host device (Sparse x)
+    Kf_ml.Linreg_cg.fit ~engine:Fusion.Executor.Host device (Sparse x)
       ~targets
   in
   Alcotest.(check bool) "same solution" true
-    (Vec.approx_equal ~tol:1e-6 fused.Ml_algos.Linreg_cg.weights
-       host.Ml_algos.Linreg_cg.weights);
+    (Vec.approx_equal ~tol:1e-6 fused.Kf_ml.Linreg_cg.weights
+       host.Kf_ml.Linreg_cg.weights);
   Alcotest.(check bool) "host wall-clock accumulated" true
-    (host.Ml_algos.Linreg_cg.gpu_ms >= 0.0)
+    (host.Kf_ml.Linreg_cg.gpu_ms >= 0.0)
 
 let suite =
   [

@@ -25,4 +25,5 @@ let () =
       ("consistency", Test_consistency.suite);
       ("reproduction", Test_reproduction.suite);
       ("resil", Test_resil.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -120,8 +120,8 @@ let test_table4_claim () =
 
 (* Table 5 claim: sparse end-to-end wins exceed dense ones. *)
 let test_table5_claim () =
-  let higgs = Ml_algos.Dataset.higgs_like ~scale:0.005 (Rng.create 2004) in
-  let kdd = Ml_algos.Dataset.kdd_like ~scale:0.002 (Rng.create 2005) in
+  let higgs = Kf_ml.Dataset.higgs_like ~scale:0.005 (Rng.create 2004) in
+  let kdd = Kf_ml.Dataset.kdd_like ~scale:0.002 (Rng.create 2005) in
   let run d iters =
     Sysml.Runtime.standalone ~max_iterations:iters ~measure_iterations:3
       device d

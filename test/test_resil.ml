@@ -414,122 +414,122 @@ let mk_regression seed =
 
 let test_resume_lr () =
   let input, targets = mk_regression 21 in
-  let reference = Ml_algos.Linreg_cg.fit device input ~targets in
+  let reference = Kf_ml.Linreg_cg.fit device input ~targets in
   with_tmp @@ fun path ->
   let partial =
-    Ml_algos.Linreg_cg.fit ~max_iterations:4 ~checkpoint:(path, 2) device
+    Kf_ml.Linreg_cg.fit ~max_iterations:4 ~checkpoint:(path, 2) device
       input ~targets
   in
   Alcotest.(check bool) "partial run stopped early" true
-    (partial.Ml_algos.Linreg_cg.iterations
-    < reference.Ml_algos.Linreg_cg.iterations);
-  let resumed = Ml_algos.Linreg_cg.fit ~resume:path device input ~targets in
+    (partial.Kf_ml.Linreg_cg.iterations
+    < reference.Kf_ml.Linreg_cg.iterations);
+  let resumed = Kf_ml.Linreg_cg.fit ~resume:path device input ~targets in
   Alcotest.(check bool) "weights bit-identical" true
-    (bits_equal reference.Ml_algos.Linreg_cg.weights
-       resumed.Ml_algos.Linreg_cg.weights);
-  Alcotest.(check int) "iteration count agrees" reference.Ml_algos.Linreg_cg.iterations
-    resumed.Ml_algos.Linreg_cg.iterations
+    (bits_equal reference.Kf_ml.Linreg_cg.weights
+       resumed.Kf_ml.Linreg_cg.weights);
+  Alcotest.(check int) "iteration count agrees" reference.Kf_ml.Linreg_cg.iterations
+    resumed.Kf_ml.Linreg_cg.iterations
 
 let test_resume_glm () =
   let input, raw = mk_regression 22 in
   let targets = Array.map (fun t -> Float.round (exp (0.02 *. t))) raw in
-  let reference = Ml_algos.Glm.fit device input ~targets in
+  let reference = Kf_ml.Glm.fit device input ~targets in
   with_tmp @@ fun path ->
   ignore
-    (Ml_algos.Glm.fit ~newton_iterations:3 ~checkpoint:(path, 1) device input
+    (Kf_ml.Glm.fit ~newton_iterations:3 ~checkpoint:(path, 1) device input
        ~targets);
-  let resumed = Ml_algos.Glm.fit ~resume:path device input ~targets in
+  let resumed = Kf_ml.Glm.fit ~resume:path device input ~targets in
   Alcotest.(check bool) "weights bit-identical" true
-    (bits_equal reference.Ml_algos.Glm.weights resumed.Ml_algos.Glm.weights)
+    (bits_equal reference.Kf_ml.Glm.weights resumed.Kf_ml.Glm.weights)
 
 let test_resume_logreg () =
   let input, raw = mk_regression 23 in
-  let labels = Ml_algos.Dataset.classification_targets raw in
-  let reference = Ml_algos.Logreg.fit device input ~labels in
+  let labels = Kf_ml.Dataset.classification_targets raw in
+  let reference = Kf_ml.Logreg.fit device input ~labels in
   with_tmp @@ fun path ->
   ignore
-    (Ml_algos.Logreg.fit ~newton_iterations:2 ~checkpoint:(path, 1) device
+    (Kf_ml.Logreg.fit ~newton_iterations:2 ~checkpoint:(path, 1) device
        input ~labels);
-  let resumed = Ml_algos.Logreg.fit ~resume:path device input ~labels in
+  let resumed = Kf_ml.Logreg.fit ~resume:path device input ~labels in
   Alcotest.(check bool) "weights bit-identical" true
-    (bits_equal reference.Ml_algos.Logreg.weights
-       resumed.Ml_algos.Logreg.weights)
+    (bits_equal reference.Kf_ml.Logreg.weights
+       resumed.Kf_ml.Logreg.weights)
 
 let test_resume_svm () =
   let input, raw = mk_regression 24 in
-  let labels = Ml_algos.Dataset.classification_targets raw in
-  let reference = Ml_algos.Svm.fit device input ~labels in
+  let labels = Kf_ml.Dataset.classification_targets raw in
+  let reference = Kf_ml.Svm.fit device input ~labels in
   with_tmp @@ fun path ->
   ignore
-    (Ml_algos.Svm.fit ~newton_iterations:2 ~checkpoint:(path, 1) device input
+    (Kf_ml.Svm.fit ~newton_iterations:2 ~checkpoint:(path, 1) device input
        ~labels);
-  let resumed = Ml_algos.Svm.fit ~resume:path device input ~labels in
+  let resumed = Kf_ml.Svm.fit ~resume:path device input ~labels in
   Alcotest.(check bool) "weights bit-identical" true
-    (bits_equal reference.Ml_algos.Svm.weights resumed.Ml_algos.Svm.weights)
+    (bits_equal reference.Kf_ml.Svm.weights resumed.Kf_ml.Svm.weights)
 
 let test_resume_hits () =
-  let a = Ml_algos.Dataset.adjacency (Rng.create 25) ~nodes:80 ~out_degree:6 in
-  let reference = Ml_algos.Hits.run device a in
+  let a = Kf_ml.Dataset.adjacency (Rng.create 25) ~nodes:80 ~out_degree:6 in
+  let reference = Kf_ml.Hits.run device a in
   with_tmp @@ fun path ->
-  ignore (Ml_algos.Hits.run ~iterations:3 ~checkpoint:(path, 1) device a);
-  let resumed = Ml_algos.Hits.run ~resume:path device a in
+  ignore (Kf_ml.Hits.run ~iterations:3 ~checkpoint:(path, 1) device a);
+  let resumed = Kf_ml.Hits.run ~resume:path device a in
   Alcotest.(check bool) "authorities bit-identical" true
-    (bits_equal reference.Ml_algos.Hits.authorities
-       resumed.Ml_algos.Hits.authorities);
+    (bits_equal reference.Kf_ml.Hits.authorities
+       resumed.Kf_ml.Hits.authorities);
   Alcotest.(check bool) "hubs bit-identical" true
-    (bits_equal reference.Ml_algos.Hits.hubs resumed.Ml_algos.Hits.hubs)
+    (bits_equal reference.Kf_ml.Hits.hubs resumed.Kf_ml.Hits.hubs)
 
 let test_resume_multinomial () =
   let input, raw = mk_regression 26 in
   let labels =
     Array.map (fun t -> if t < -0.5 then 0 else if t < 0.5 then 1 else 2) raw
   in
-  let reference = Ml_algos.Multinomial.fit device input ~labels ~classes:3 in
+  let reference = Kf_ml.Multinomial.fit device input ~labels ~classes:3 in
   with_tmp @@ fun path ->
   (* a run killed after class 0: its checkpoint holds exactly the
      one-vs-rest solve the full fit performs for that class *)
   let binary = Array.map (fun l -> if l = 0 then 1.0 else -1.0) labels in
   let r0 =
-    Ml_algos.Logreg.fit ~lambda:1.0 ~newton_iterations:10 ~cg_iterations:20
+    Kf_ml.Logreg.fit ~lambda:1.0 ~newton_iterations:10 ~cg_iterations:20
       device input ~labels:binary
   in
   Ckpt.write ~path ~algorithm:"LogReg-multinomial" ~iteration:1
     [
       ("mn.classes_done", Ckpt.Int 1);
-      ("mn.weights", Ckpt.Floats r0.Ml_algos.Logreg.weights);
-      ("mn.gpu_ms", Ckpt.Float r0.Ml_algos.Logreg.gpu_ms);
+      ("mn.weights", Ckpt.Floats r0.Kf_ml.Logreg.weights);
+      ("mn.gpu_ms", Ckpt.Float r0.Kf_ml.Logreg.gpu_ms);
       ("mn.trace", Ckpt.Ints [||]);
     ];
   let resumed =
-    Ml_algos.Multinomial.fit ~resume:path device input ~labels ~classes:3
+    Kf_ml.Multinomial.fit ~resume:path device input ~labels ~classes:3
   in
   Array.iteri
     (fun k w ->
       Alcotest.(check bool)
         (Printf.sprintf "class %d weights bit-identical" k)
         true
-        (bits_equal w resumed.Ml_algos.Multinomial.class_weights.(k)))
-    reference.Ml_algos.Multinomial.class_weights
+        (bits_equal w resumed.Kf_ml.Multinomial.class_weights.(k)))
+    reference.Kf_ml.Multinomial.class_weights
 
 let test_resume_algorithm_mismatch () =
   let input, targets = mk_regression 27 in
   with_tmp @@ fun path ->
   ignore
-    (Ml_algos.Linreg_cg.fit ~max_iterations:2 ~checkpoint:(path, 1) device
+    (Kf_ml.Linreg_cg.fit ~max_iterations:2 ~checkpoint:(path, 1) device
        input ~targets);
   (match
-     Ml_algos.Glm.fit ~resume:path device input
+     Kf_ml.Glm.fit ~resume:path device input
        ~targets:(Array.map abs_float targets)
    with
-  | (_ : Ml_algos.Glm.result) ->
+  | (_ : Kf_ml.Glm.result) ->
       Alcotest.fail "GLM accepted a CG checkpoint"
   | exception Invalid_argument _ -> ());
   match
-    Ml_algos.Multinomial.fit ~resume:path device input
+    Kf_ml.Multinomial.fit ~resume:path device input
       ~labels:(Array.map (fun _ -> 0) targets)
       ~classes:2
   with
-  | (_ : Ml_algos.Multinomial.result) ->
+  | (_ : Kf_ml.Multinomial.result) ->
       Alcotest.fail "Multinomial accepted a CG checkpoint"
   | exception Invalid_argument _ -> ()
 
@@ -537,18 +537,18 @@ let test_resume_algorithm_mismatch () =
    the end-to-end chaos + checkpoint composition. *)
 let test_resume_under_faults () =
   let input, targets = mk_regression 28 in
-  let reference = Ml_algos.Linreg_cg.fit device input ~targets in
+  let reference = Kf_ml.Linreg_cg.fit device input ~targets in
   with_tmp @@ fun path ->
   Fault.with_config "launch:every=7:seed=4,trunc:every=3:seed=1" (fun () ->
       ignore
-        (Ml_algos.Linreg_cg.fit ~max_iterations:6 ~checkpoint:(path, 2)
+        (Kf_ml.Linreg_cg.fit ~max_iterations:6 ~checkpoint:(path, 2)
            device input ~targets);
       let resumed =
-        Ml_algos.Linreg_cg.fit ~resume:path device input ~targets
+        Kf_ml.Linreg_cg.fit ~resume:path device input ~targets
       in
       Alcotest.(check bool) "weights bit-identical under faults" true
-        (bits_equal reference.Ml_algos.Linreg_cg.weights
-           resumed.Ml_algos.Linreg_cg.weights))
+        (bits_equal reference.Kf_ml.Linreg_cg.weights
+           resumed.Kf_ml.Linreg_cg.weights))
 
 let suite =
   [

@@ -145,12 +145,12 @@ let test_listing1_matches_builtin () =
       (linreg_cg_script ~max_iterations:100 ~eps:0.001)
   in
   let direct =
-    Ml_algos.Linreg_cg.fit ~max_iterations:100 device input ~targets
+    Kf_ml.Linreg_cg.fit ~max_iterations:100 device input ~targets
   in
   Alcotest.(check bool) "script = built-in solver" true
     (Vec.approx_equal ~tol:1e-6
        (lookup_vector script_run "w")
-       direct.Ml_algos.Linreg_cg.weights);
+       direct.Kf_ml.Linreg_cg.weights);
   Alcotest.(check bool) "one fusion per iteration (plus init)" true
     (script_run.fused_launches >= 2)
 

@@ -1,0 +1,355 @@
+(* The micro-batched scoring service: delivery guarantees (every
+   accepted request resolves exactly once), numeric equivalence of
+   batched and unbatched scoring, and admission control. *)
+open Matrix
+open Gpu_sim
+open Kf_serve
+
+let device = Device.gtx_titan
+
+let lr = Kf_ml.Registry.find "lr"
+
+(* A small planted linear model: weights w over [cols] features. *)
+let lr_weights ~cols seed =
+  let rng = Rng.create seed in
+  let w = Gen.vector rng cols in
+  { Kf_ml.Algorithm.vecs = [| w |]; cols; extra = [] }
+
+let dense_row ~cols seed =
+  let rng = Rng.create seed in
+  Array.init cols (fun _ -> (2.0 *. Rng.uniform rng) -. 1.0)
+
+let reference_score weights row =
+  let input = Fusion.Executor.Dense (Dense.of_arrays [| row |]) in
+  (Kf_ml.Algorithm.predict lr weights input).(0)
+
+let mk_service ?engine ?pool ?(window_us = 200) ?(max_batch = 32)
+    ?(queue_depth = 1024) ?start weights =
+  Service.create ?engine ?pool
+    ~config:{ Service.window_us; max_batch; queue_depth }
+    ?start device ~algo:lr ~weights ()
+
+let score_exn = function
+  | Service.Score s -> s
+  | Service.Failed msg -> Alcotest.failf "request failed: %s" msg
+
+let submit_exn svc row =
+  match Service.submit svc row with
+  | Some t -> t
+  | None -> Alcotest.fail "request shed below queue bound"
+
+(* --- basic correctness -------------------------------------------------- *)
+
+let test_scores_match_reference () =
+  let cols = 24 in
+  let weights = lr_weights ~cols 1 in
+  let svc = mk_service weights in
+  let rows = Array.init 40 (fun i -> dense_row ~cols (100 + i)) in
+  let tickets =
+    Array.map (fun r -> submit_exn svc (Service.Dense_row r)) rows
+  in
+  Array.iteri
+    (fun i t ->
+      let got = score_exn (Service.await t) in
+      let want = reference_score weights rows.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "row %d matches reference" i)
+        true
+        (Float.abs (got -. want) <= 1e-9))
+    tickets;
+  Service.shutdown svc
+
+let test_sparse_rows_match_dense () =
+  let cols = 32 in
+  let weights = lr_weights ~cols 2 in
+  let svc = mk_service weights in
+  (* every third column populated; the all-sparse batch takes the CSR
+     assembly path *)
+  let idx = Array.init (cols / 3) (fun k -> 3 * k) in
+  let mk seed =
+    let rng = Rng.create seed in
+    Array.init (Array.length idx) (fun _ -> (2.0 *. Rng.uniform rng) -. 1.0)
+  in
+  let sparse_tickets =
+    Array.init 16 (fun i ->
+        let vals = mk (200 + i) in
+        (vals, submit_exn svc (Service.Sparse_row (idx, vals))))
+  in
+  Array.iter
+    (fun (vals, t) ->
+      let dense = Array.make cols 0.0 in
+      Array.iteri (fun k c -> dense.(c) <- vals.(k)) idx;
+      let want = reference_score weights dense in
+      let got = score_exn (Service.await t) in
+      Alcotest.(check bool) "sparse row scores like its dense image" true
+        (Float.abs (got -. want) <= 1e-9))
+    sparse_tickets;
+  (* a mixed batch densifies: interleave sparse and dense submissions *)
+  let mixed =
+    Array.init 10 (fun i ->
+        if i mod 2 = 0 then begin
+          let vals = mk (300 + i) in
+          let dense = Array.make cols 0.0 in
+          Array.iteri (fun k c -> dense.(c) <- vals.(k)) idx;
+          (dense, submit_exn svc (Service.Sparse_row (idx, vals)))
+        end
+        else
+          let row = dense_row ~cols (300 + i) in
+          (row, submit_exn svc (Service.Dense_row row)))
+  in
+  Array.iter
+    (fun (dense, t) ->
+      let want = reference_score weights dense in
+      let got = score_exn (Service.await t) in
+      Alcotest.(check bool) "mixed batch row matches reference" true
+        (Float.abs (got -. want) <= 1e-9))
+    mixed;
+  Service.shutdown svc
+
+let test_row_validation () =
+  let weights = lr_weights ~cols:8 3 in
+  let svc = mk_service weights in
+  Alcotest.check_raises "short dense row"
+    (Invalid_argument
+       "Service.submit: dense row has 5 elements, model expects 8")
+    (fun () -> ignore (Service.submit svc (Service.Dense_row (Array.make 5 0.))));
+  (try
+     ignore
+       (Service.submit svc (Service.Sparse_row ([| 3; 1 |], [| 1.0; 2.0 |])));
+     Alcotest.fail "unsorted sparse row accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Service.submit svc (Service.Sparse_row ([| 9 |], [| 1.0 |])));
+     Alcotest.fail "out-of-range sparse column accepted"
+   with Invalid_argument _ -> ());
+  Service.shutdown svc;
+  (try
+     ignore (Service.submit svc (Service.Dense_row (Array.make 8 0.)));
+     Alcotest.fail "submit after shutdown accepted"
+   with Invalid_argument _ -> ())
+
+(* --- delivery guarantee across engines and pool sizes ------------------- *)
+
+(* N submitter threads x M requests each: every accepted request
+   resolves exactly once with the reference score, whatever engine runs
+   the batch and however many domains its pool has. *)
+let exactly_one_reply ~engine ~pool_size () =
+  let cols = 16 in
+  let weights = lr_weights ~cols 4 in
+  let pool =
+    if pool_size = 0 then None else Some (Par.Pool.create ~size:pool_size ())
+  in
+  let svc = mk_service ~engine ?pool ~window_us:100 ~max_batch:8 weights in
+  let n_threads = 4 and per_thread = 25 in
+  let replies = Array.make (n_threads * per_thread) None in
+  let threads =
+    Array.init n_threads (fun tid ->
+        Thread.create
+          (fun () ->
+            for j = 0 to per_thread - 1 do
+              let k = (tid * per_thread) + j in
+              let row = dense_row ~cols (1000 + k) in
+              let t = submit_exn svc (Service.Dense_row row) in
+              let got = score_exn (Service.await t) in
+              replies.(k) <- Some (row, got)
+            done)
+          ())
+  in
+  Array.iter Thread.join threads;
+  Service.shutdown svc;
+  (match pool with Some p -> Par.Pool.shutdown p | None -> ());
+  Array.iteri
+    (fun k reply ->
+      match reply with
+      | None -> Alcotest.failf "request %d never resolved" k
+      | Some (row, got) ->
+          let want = reference_score weights row in
+          Alcotest.(check bool)
+            (Printf.sprintf "request %d scored correctly" k)
+            true
+            (Float.abs (got -. want) <= 1e-9))
+    replies;
+  let st = Service.stats svc in
+  Alcotest.(check int) "all requests accepted" (n_threads * per_thread)
+    st.Service.accepted;
+  Alcotest.(check int) "none shed" 0 st.Service.shed;
+  Alcotest.(check int) "none failed" 0 st.Service.failures;
+  Alcotest.(check bool) "batching happened (batches <= requests)" true
+    (st.Service.batches >= 1 && st.Service.batches <= st.Service.accepted)
+
+let test_replies_fused () = exactly_one_reply ~engine:Fusion.Executor.Fused ~pool_size:0 ()
+
+let test_replies_library () =
+  exactly_one_reply ~engine:Fusion.Executor.Library ~pool_size:0 ()
+
+let test_replies_host_pool1 () =
+  exactly_one_reply ~engine:Fusion.Executor.Host ~pool_size:1 ()
+
+let test_replies_host_pool2 () =
+  exactly_one_reply ~engine:Fusion.Executor.Host ~pool_size:2 ()
+
+(* --- batched == unbatched ----------------------------------------------- *)
+
+let test_batched_equals_unbatched () =
+  let cols = 20 in
+  let weights = lr_weights ~cols 5 in
+  let rows = Array.init 60 (fun i -> dense_row ~cols (2000 + i)) in
+  let score_all ~window_us =
+    let svc = mk_service ~window_us ~max_batch:16 weights in
+    let tickets =
+      Array.map (fun r -> submit_exn svc (Service.Dense_row r)) rows
+    in
+    let scores = Array.map (fun t -> score_exn (Service.await t)) tickets in
+    let st = Service.stats svc in
+    Service.shutdown svc;
+    (scores, st)
+  in
+  let batched, bst = score_all ~window_us:500 in
+  let unbatched, ust = score_all ~window_us:0 in
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "row %d batched == unbatched" i)
+        true
+        (Float.abs (b -. unbatched.(i)) <= 1e-9))
+    batched;
+  (* window=0 really is unbatched: one batch per request *)
+  Alcotest.(check int) "window=0 gives batch-of-1" (Array.length rows)
+    ust.Service.batches;
+  Alcotest.(check bool) "window>0 coalesces" true
+    (bst.Service.batches < Array.length rows)
+
+(* --- admission control --------------------------------------------------- *)
+
+let test_shed_only_above_bound () =
+  let cols = 12 in
+  let weights = lr_weights ~cols 6 in
+  let depth = 4 in
+  (* deferred start: the queue fills deterministically before the
+     scheduler gets to drain it *)
+  let svc =
+    mk_service ~window_us:0 ~queue_depth:depth ~start:false weights
+  in
+  let accepted = ref [] and shed = ref 0 in
+  for i = 0 to (2 * depth) - 1 do
+    match Service.submit svc (Service.Dense_row (dense_row ~cols (3000 + i))) with
+    | Some t -> accepted := t :: !accepted
+    | None -> incr shed
+  done;
+  Alcotest.(check int) "queue holds exactly queue_depth" depth
+    (List.length !accepted);
+  Alcotest.(check int) "overflow is shed" depth !shed;
+  Service.start svc;
+  List.iter (fun t -> ignore (score_exn (Service.await t))) !accepted;
+  let st = Service.stats svc in
+  Alcotest.(check int) "stats agree on accepted" depth st.Service.accepted;
+  Alcotest.(check int) "stats agree on shed" depth st.Service.shed;
+  Service.shutdown svc
+
+let test_shutdown_drains_unstarted () =
+  let cols = 10 in
+  let weights = lr_weights ~cols 7 in
+  let svc = mk_service ~start:false weights in
+  let tickets =
+    Array.init 5 (fun i ->
+        submit_exn svc (Service.Dense_row (dense_row ~cols (4000 + i))))
+  in
+  (* shutdown on a never-started service drains synchronously *)
+  Service.shutdown svc;
+  Array.iter (fun t -> ignore (score_exn (Service.await t))) tickets
+
+(* --- stats and histograms ------------------------------------------------ *)
+
+let test_stats_histograms () =
+  let cols = 14 in
+  let weights = lr_weights ~cols 8 in
+  let svc = mk_service ~window_us:200 ~max_batch:8 weights in
+  let tickets =
+    Array.init 30 (fun i ->
+        submit_exn svc (Service.Dense_row (dense_row ~cols (5000 + i))))
+  in
+  Array.iter (fun t -> ignore (score_exn (Service.await t))) tickets;
+  let st = Service.stats svc in
+  Service.shutdown svc;
+  Alcotest.(check int) "latency histogram counts every request" 30
+    (Histogram.count st.Service.latency_us);
+  Alcotest.(check int) "occupancy histogram counts every batch"
+    st.Service.batches
+    (Histogram.count st.Service.occupancy);
+  Alcotest.(check bool) "mean occupancy >= 1" true
+    (Histogram.mean st.Service.occupancy >= 1.0);
+  Alcotest.(check bool) "p99 latency >= p50" true
+    (Histogram.quantile st.Service.latency_us 0.99
+    >= Histogram.quantile st.Service.latency_us 0.5);
+  (* the JSON snapshot round-trips through the independent test-side
+     parser *)
+  let j = Json_helper.parse_json (Kf_obs.Json.to_string (Service.stats_json st)) in
+  match Json_helper.member "requests" j with
+  | Some (Json_helper.JNum n) ->
+      Alcotest.(check int) "json requests field" 30 (int_of_float n)
+  | _ -> Alcotest.fail "stats json lacks requests"
+
+(* --- histogram unit behaviour -------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Histogram.quantile h 0.5);
+  for v = 1 to 1000 do
+    Histogram.record h (float_of_int v)
+  done;
+  let p50 = Histogram.quantile h 0.5 and p99 = Histogram.quantile h 0.99 in
+  (* geometric buckets: estimates land within ~25% above the true value *)
+  Alcotest.(check bool) "p50 in range" true (p50 >= 500.0 && p50 <= 650.0);
+  Alcotest.(check bool) "p99 in range" true (p99 >= 990.0 && p99 <= 1000.0);
+  Alcotest.(check (float 1e-9)) "max is exact" 1000.0 (Histogram.max_value h);
+  Alcotest.(check (float 1e-6)) "mean is exact" 500.5 (Histogram.mean h);
+  let h2 = Histogram.create () in
+  Histogram.record h2 2000.0;
+  Histogram.merge ~into:h h2;
+  Alcotest.(check int) "merge adds counts" 1001 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "merge tracks max" 2000.0 (Histogram.max_value h)
+
+(* --- driver -------------------------------------------------------------- *)
+
+let test_driver_closed_loop () =
+  let cols = 16 in
+  let weights = lr_weights ~cols 9 in
+  let svc = mk_service ~window_us:100 ~max_batch:8 weights in
+  let summary =
+    Driver.run svc ~cols
+      { Driver.clients = 4; rps = 0.0; duration_s = 0.3; seed = 42 }
+  in
+  let st = Service.stats svc in
+  Service.shutdown svc;
+  Alcotest.(check bool) "made progress" true (summary.Driver.ok > 0);
+  Alcotest.(check int) "driver and service agree on delivered requests"
+    summary.Driver.ok st.Service.accepted;
+  Alcotest.(check int) "sent = ok + shed + failed" summary.Driver.sent
+    (summary.Driver.ok + summary.Driver.shed + summary.Driver.failed);
+  Alcotest.(check int) "latency recorded per success" summary.Driver.ok
+    (Histogram.count summary.Driver.latency_us)
+
+let suite =
+  [
+    Alcotest.test_case "scores match reference" `Quick
+      test_scores_match_reference;
+    Alcotest.test_case "sparse rows match dense" `Quick
+      test_sparse_rows_match_dense;
+    Alcotest.test_case "row validation" `Quick test_row_validation;
+    Alcotest.test_case "exactly one reply (fused)" `Quick test_replies_fused;
+    Alcotest.test_case "exactly one reply (library)" `Quick
+      test_replies_library;
+    Alcotest.test_case "exactly one reply (host, pool=1)" `Quick
+      test_replies_host_pool1;
+    Alcotest.test_case "exactly one reply (host, pool=2)" `Quick
+      test_replies_host_pool2;
+    Alcotest.test_case "batched equals unbatched" `Quick
+      test_batched_equals_unbatched;
+    Alcotest.test_case "shed only above queue bound" `Quick
+      test_shed_only_above_bound;
+    Alcotest.test_case "shutdown drains unstarted queue" `Quick
+      test_shutdown_drains_unstarted;
+    Alcotest.test_case "stats and histograms" `Quick test_stats_histograms;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "driver closed loop" `Quick test_driver_closed_loop;
+  ]

@@ -114,14 +114,14 @@ let test_sched_amortisation () =
 
 let small_dataset seed =
   let rng = Matrix.Rng.create seed in
-  Ml_algos.Dataset.synthetic_sparse rng ~rows:20_000 ~cols:512
+  Kf_ml.Dataset.synthetic_sparse rng ~rows:20_000 ~cols:512
 
 (* Table 6's phenomenon needs enough data for the kernel win to show
    through the fixed per-iteration overheads, as in the paper's multi-GB
    data sets. *)
 let medium_dataset seed =
   let rng = Matrix.Rng.create seed in
-  Ml_algos.Dataset.synthetic_sparse rng ~rows:100_000 ~cols:512
+  Kf_ml.Dataset.synthetic_sparse rng ~rows:100_000 ~cols:512
 
 let test_standalone_speedup () =
   let r = Sysml.Runtime.standalone ~max_iterations:20 device (small_dataset 1) in

@@ -1,0 +1,93 @@
+(* Structural validation of a `kf serve --json` report, using the
+   hand-written test JSON parser — deliberately not the [Kf_obs.Json]
+   emitter's own [parse], so the CI smoke test does not trust the code
+   under test to check itself.
+
+   Usage: validate_serve.exe FILE
+   Exits 0 when the report is well-formed and self-consistent (request
+   conservation, histogram counts, quantile ordering), 1 otherwise. *)
+
+open Json_helper
+
+let fail fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("validate_serve: " ^ s); exit 1) fmt
+
+let get name doc =
+  match member name doc with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let as_int what = function
+  | JNum f when Float.is_integer f -> int_of_float f
+  | _ -> fail "%s is not an integer" what
+
+let as_num what = function
+  | JNum f when Float.is_finite f -> f
+  | _ -> fail "%s is not a finite number" what
+
+(* {count, mean, p50, p99, max} with 0 <= p50 <= p99 <= max *)
+let check_hist what h =
+  let count = as_int (what ^ ".count") (get "count" h) in
+  let p50 = as_num (what ^ ".p50") (get "p50" h) in
+  let p99 = as_num (what ^ ".p99") (get "p99" h) in
+  let mx = as_num (what ^ ".max") (get "max" h) in
+  ignore (as_num (what ^ ".mean") (get "mean" h));
+  if p50 < 0.0 || p50 > p99 || p99 > mx then
+    fail "%s: quantiles out of order (p50 %g, p99 %g, max %g)" what p50 p99 mx;
+  count
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: validate_serve.exe FILE";
+        exit 2
+  in
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc =
+    try parse_json (String.trim text)
+    with Parse_error msg -> fail "parse error: %s" msg
+  in
+  let sent = as_int "sent" (get "sent" doc) in
+  let ok = as_int "ok" (get "ok" doc) in
+  let shed = as_int "shed" (get "shed" doc) in
+  let failed = as_int "failed" (get "failed" doc) in
+  if ok < 1 then fail "no request succeeded (ok = %d)" ok;
+  if sent <> ok + shed + failed then
+    fail "request conservation: sent %d <> ok %d + shed %d + failed %d" sent ok
+      shed failed;
+  if as_num "throughput_rps" (get "throughput_rps" doc) <= 0.0 then
+    fail "throughput_rps is not positive";
+  ignore (as_num "wall_s" (get "wall_s" doc));
+  let p50 = as_num "p50_us" (get "p50_us" doc) in
+  let p99 = as_num "p99_us" (get "p99_us" doc) in
+  if p50 > p99 then fail "p50_us %g > p99_us %g" p50 p99;
+  if check_hist "latency_us" (get "latency_us" doc) <> ok then
+    fail "client latency histogram count does not match ok";
+  let svc = get "service" doc in
+  let requests = as_int "service.requests" (get "requests" svc) in
+  if requests <> ok + failed then
+    fail "service accepted %d but clients saw %d replies" requests (ok + failed);
+  if as_int "service.shed" (get "shed" svc) <> shed then
+    fail "service and client shed counts disagree";
+  let batches = as_int "service.batches" (get "batches" svc) in
+  if batches < 1 || batches > requests then
+    fail "implausible batch count %d for %d requests" batches requests;
+  if as_int "service.failures" (get "failures" svc) <> failed then
+    fail "service and client failure counts disagree";
+  ignore (as_int "service.batch_retries" (get "batch_retries" svc));
+  ignore (as_num "service.exec_ms" (get "exec_ms" svc));
+  if check_hist "service.latency_us" (get "latency_us" svc) <> requests then
+    fail "service latency histogram count does not match requests";
+  if check_hist "service.queue_us" (get "queue_us" svc) <> requests then
+    fail "queue-latency histogram count does not match requests";
+  if check_hist "service.occupancy" (get "occupancy" svc) <> batches then
+    fail "occupancy histogram count does not match batches";
+  Printf.printf "validate_serve: %s ok (%d requests, %d batches, p99 %g us)\n"
+    path requests batches p99
