@@ -1,14 +1,24 @@
 (* Host-backend benchmark (Bechamel): sequential reference vs the fused
-   multicore kernels vs the parallel-library composition, across domain
-   counts and both aggregation variants, on a >= 1M-nnz synthetic CSR
-   matrix.  Unlike bench/main.exe these are *real* wall-clock execution
-   times — the host backend is the one engine that does not simulate.
+   multicore kernels vs the parallel-library composition, swept across
+   matrix shapes x domain counts x variants x tile sizes.  Unlike
+   bench/main.exe these are *real* wall-clock execution times — the
+   host backend is the one engine that does not simulate.
+
+   Two shapes bracket the variant chooser:
+   - the tall shape (many rows, 1k columns) is the bandwidth-bound
+     regime where per-domain dense accumulators are cache-cheap;
+   - the wide shape (hundreds of thousands of columns) is where
+     full-width accumulators blow the L2 budget and the blocked
+     owner-computes kernel takes over.
 
    Usage:
-     dune exec bench/host_suite.exe            # default shape (~1M nnz)
+     dune exec bench/host_suite.exe            # full shapes (~1M+ nnz)
      dune exec bench/host_suite.exe -- --small # CI-sized quick run
 
-   Emits BENCH_host.json in the working directory. *)
+   Emits BENCH_host.json in the working directory, including the full
+   domain-count scaling curve per shape and a tile-size sweep; the
+   recommended domain count is the argmax of measured throughput, not a
+   hardware heuristic. *)
 
 open Bechamel
 open Toolkit
@@ -16,69 +26,117 @@ open Matrix
 
 type case = {
   id : string;
+  shape : string;  (* "tall" | "wide" *)
   domains : int;
-  variant : string;  (* "sequential", "dense-acc", "col-partition", "library" *)
+  variant : string;
+      (* "sequential", "dense-acc", "col-partition", "blocked",
+         "library" *)
+  tile_cols : int option;  (* Some tc only for tile-sweep cases *)
   run : unit -> Vec.t;
 }
 
-let build_cases ~small =
-  let rows = if small then 20_000 else 200_000 in
-  let cols = 1024 in
-  let density = 0.005 in
-  let rng = Rng.create 20250805 in
+type shape_data = {
+  sname : string;
+  suffix : string;  (* appended to case ids; "" for the tall shape *)
+  x : Csr.t;
+  y : Vec.t;
+  v : Vec.t;
+  z : Vec.t;
+}
+
+let make_shape ~sname ~suffix ~rows ~cols ~density ~seed =
+  let rng = Rng.create seed in
   let x = Gen.sparse_uniform rng ~rows ~cols ~density in
   let y = Gen.vector rng cols in
   let v = Gen.vector rng rows in
   let z = Gen.vector rng cols in
+  { sname; suffix; x; y; v; z }
+
+let pattern_args sd run =
+  run ~alpha:2.0 sd.x ?v:(Some sd.v) sd.y ?beta:(Some 0.5) ?z:(Some sd.z) ()
+
+let run_host sd ~pool ?variant ?tile_cols () =
+  Fusion.Host_fused.pattern_sparse ~pool ?variant ?tile_cols ~alpha:2.0 sd.x
+    ~v:sd.v sd.y ~beta:0.5 ~z:sd.z ()
+
+let shape_cases sd pools =
+  let sfx = sd.suffix in
+  let case ~id ~domains ~variant ?tile_cols run =
+    { id; shape = sd.sname; domains; variant; tile_cols; run }
+  in
+  let seq =
+    case
+      ~id:("seq:blas-pattern" ^ sfx)
+      ~domains:1 ~variant:"sequential"
+      (fun () -> pattern_args sd Blas.pattern_sparse)
+  in
+  let forced name variant (d, pool) =
+    case
+      ~id:(Printf.sprintf "%s:d=%d%s" name d sfx)
+      ~domains:d
+      ~variant:(Fusion.Host_fused.variant_name variant)
+      (fun () -> run_host sd ~pool ~variant ())
+  in
+  let per_pool ((d, pool) as dp) =
+    [
+      (* what the dispatcher actually picks for this shape/domain count *)
+      case
+        ~id:(Printf.sprintf "host-fused:d=%d%s" d sfx)
+        ~domains:d
+        ~variant:
+          (Fusion.Host_fused.variant_name
+             (Fusion.Host_fused.choose_variant ~domains:d ~cols:sd.x.Csr.cols
+                ()))
+        (fun () -> run_host sd ~pool ());
+      forced "host-densacc" Fusion.Host_fused.Dense_acc dp;
+      forced "host-blocked" Fusion.Host_fused.Blocked dp;
+      forced "host-colpart" Fusion.Host_fused.Col_partition dp;
+      case
+        ~id:(Printf.sprintf "host-library:d=%d%s" d sfx)
+        ~domains:d ~variant:"library"
+        (fun () -> pattern_args sd (Blas.par_pattern_sparse ~pool));
+    ]
+  in
+  (* tile-size sweep: the blocked kernel at the widest pool, from tiny
+     tiles (segment overhead dominates) up to one whole-width tile. *)
+  let tile_sweep =
+    match List.rev pools with
+    | [] -> []
+    | (d, pool) :: _ ->
+        let cols = sd.x.Csr.cols in
+        List.map
+          (fun tc ->
+            case
+              ~id:(Printf.sprintf "host-blocked:d=%d:tc=%d%s" d tc sfx)
+              ~domains:d ~variant:"blocked" ~tile_cols:tc
+              (fun () ->
+                run_host sd ~pool ~variant:Fusion.Host_fused.Blocked
+                  ~tile_cols:tc ()))
+          (List.sort_uniq compare
+             [ max 64 (cols / 16); max 64 (cols / 4); cols ])
+  in
+  (seq :: List.concat_map per_pool pools) @ tile_sweep
+
+let build_cases ~small =
+  let tall =
+    make_shape ~sname:"tall" ~suffix:""
+      ~rows:(if small then 20_000 else 200_000)
+      ~cols:1024 ~density:0.005 ~seed:20250805
+  in
+  let wide =
+    make_shape ~sname:"wide" ~suffix:"@wide"
+      ~rows:(if small then 4_000 else 8_000)
+      ~cols:(if small then 65_536 else 262_144)
+      ~density:0.001 ~seed:20250806
+  in
   let domain_counts =
     List.sort_uniq compare [ 1; 2; 4; Par.Pool.default_size () ]
   in
   let pools =
     List.map (fun d -> (d, Par.Pool.create ~size:d ())) domain_counts
   in
-  let pattern_args run =
-    run ~alpha:2.0 x ?v:(Some v) y ?beta:(Some 0.5) ?z:(Some z) ()
-  in
-  let cases =
-    {
-      id = "seq:blas-pattern";
-      domains = 1;
-      variant = "sequential";
-      run = (fun () -> pattern_args Blas.pattern_sparse);
-    }
-    :: List.concat_map
-         (fun (d, pool) ->
-           [
-             {
-               id = Printf.sprintf "host-fused:d=%d" d;
-               domains = d;
-               variant = "dense-acc";
-               run =
-                 (fun () ->
-                   pattern_args
-                     (Fusion.Host_fused.pattern_sparse ~pool
-                        ~variant:Fusion.Host_fused.Dense_acc));
-             };
-             {
-               id = Printf.sprintf "host-fused-large-n:d=%d" d;
-               domains = d;
-               variant = "col-partition";
-               run =
-                 (fun () ->
-                   pattern_args
-                     (Fusion.Host_fused.pattern_sparse ~pool
-                        ~variant:Fusion.Host_fused.Col_partition));
-             };
-             {
-               id = Printf.sprintf "host-library:d=%d" d;
-               domains = d;
-               variant = "library";
-               run = (fun () -> pattern_args (Blas.par_pattern_sparse ~pool));
-             };
-           ])
-         pools
-  in
-  (x, domain_counts, cases)
+  let cases = shape_cases tall pools @ shape_cases wide pools in
+  ([ tall; wide ], domain_counts, cases)
 
 let measure_case case =
   let test =
@@ -104,18 +162,27 @@ let measure_case case =
   | Some ns -> ns /. 1e6 (* ms per run *)
   | None -> Float.nan
 
-(* Re-measure the widest fused case with tracing (and a Host_stats sink)
-   turned on: the delta against the normal measurement bounds what the
-   observability layer costs when it is actually recording — and, since
-   every number above ran with the instrumentation compiled in but off,
-   the off-state cost is already priced into the headline results. *)
+(* Re-measure the heaviest blocked case with tracing (and a Host_stats
+   sink) turned on: the delta against the normal measurement bounds what
+   the observability layer costs when it is actually recording — and,
+   since every number above ran with the instrumentation compiled in but
+   off, the off-state cost is already priced into the headline
+   results. *)
 let measure_tracing_overhead measured =
-  let fused = List.filter (fun (c, _) -> c.variant = "dense-acc") measured in
-  match
-    List.sort (fun (a, _) (b, _) -> compare b.domains a.domains) fused
-  with
-  | [] -> None
-  | (case, off_ms) :: _ ->
+  let pick variant =
+    match
+      List.sort
+        (fun (a, _) (b, _) -> compare b.domains a.domains)
+        (List.filter
+           (fun (c, _) -> c.variant = variant && c.tile_cols = None)
+           measured)
+    with
+    | best :: _ -> Some best
+    | [] -> None
+  in
+  match (pick "blocked", pick "dense-acc") with
+  | None, None -> None
+  | Some (case, off_ms), _ | None, Some (case, off_ms) ->
       Kf_obs.Trace.enable ();
       let stats = Kf_obs.Host_stats.create ~domains:case.domains in
       let on_ms =
@@ -123,29 +190,60 @@ let measure_tracing_overhead measured =
           ~finally:(fun () ->
             Kf_obs.Trace.disable ();
             Kf_obs.Trace.clear ())
-          (fun () -> Kf_obs.Host_stats.with_sink stats (fun () -> measure_case case))
+          (fun () ->
+            Kf_obs.Host_stats.with_sink stats (fun () -> measure_case case))
       in
       Some (case, off_ms, on_ms)
 
 let () =
   let small = Array.exists (( = ) "--small") Sys.argv in
-  let x, domain_counts, cases = build_cases ~small in
-  Printf.printf
-    "host backend suite: %d x %d CSR, %d nnz, recommended domains %d\n%!"
-    x.Csr.rows x.Csr.cols (Csr.nnz x)
-    (Par.Pool.default_size ());
+  let shapes, domain_counts, cases = build_cases ~small in
+  List.iter
+    (fun sd ->
+      Printf.printf "host backend suite (%s): %d x %d CSR, %d nnz\n%!"
+        sd.sname sd.x.Csr.rows sd.x.Csr.cols (Csr.nnz sd.x))
+    shapes;
   let measured =
     List.map
       (fun case ->
         let ms = measure_case case in
-        Printf.printf "  %-26s %10.3f ms/run\n%!" case.id ms;
+        Printf.printf "  %-34s %10.3f ms/run\n%!" case.id ms;
         (case, ms))
       cases
   in
-  let seq_ms =
-    match measured with
-    | ({ variant = "sequential"; _ }, ms) :: _ -> ms
-    | _ -> Float.nan
+  (* per-shape sequential baselines *)
+  let seq_ms_of shape =
+    match
+      List.find_opt
+        (fun (c, _) -> c.shape = shape && c.variant = "sequential")
+        measured
+    with
+    | Some (_, ms) -> ms
+    | None -> Float.nan
+  in
+  let tall_seq = seq_ms_of "tall" in
+  (* the measured scaling curve of the auto-dispatched fused kernel *)
+  let scaling shape =
+    List.filter_map
+      (fun (c, ms) ->
+        if
+          c.shape = shape && c.tile_cols = None
+          && String.length c.id >= 10
+          && String.sub c.id 0 10 = "host-fused"
+        then Some (c, ms)
+        else None)
+      measured
+  in
+  (* argmax of measured throughput on the tall (primary) shape; ties go
+     to the smaller pool.  NaNs lose. *)
+  let recommended_domains =
+    List.fold_left
+      (fun (best_d, best_ms) (c, ms) ->
+        if Float.is_nan ms then (best_d, best_ms)
+        else if Float.is_nan best_ms || ms < best_ms then (c.domains, ms)
+        else (best_d, best_ms))
+      (1, Float.nan) (scaling "tall")
+    |> fst
   in
   let tracing = measure_tracing_overhead measured in
   (match tracing with
@@ -154,6 +252,39 @@ let () =
         case.id off_ms on_ms
         (100.0 *. ((on_ms /. off_ms) -. 1.0))
   | None -> ());
+  Printf.printf "recommended domains (measured argmax): %d\n%!"
+    recommended_domains;
+  let scaling_json shape =
+    let seq = seq_ms_of shape in
+    Kf_obs.Json.List
+      (List.map
+         (fun (c, ms) ->
+           Kf_obs.Json.Obj
+             [
+               ("domains", Kf_obs.Json.Int c.domains);
+               ("variant", Kf_obs.Json.Str c.variant);
+               ("ms", Kf_obs.Json.Float ms);
+               ("speedup_vs_sequential", Kf_obs.Json.Float (seq /. ms));
+             ])
+         (scaling shape))
+  in
+  let tile_sweep_json =
+    Kf_obs.Json.List
+      (List.filter_map
+         (fun (c, ms) ->
+           match c.tile_cols with
+           | None -> None
+           | Some tc ->
+               Some
+                 (Kf_obs.Json.Obj
+                    [
+                      ("shape", Kf_obs.Json.Str c.shape);
+                      ("domains", Kf_obs.Json.Int c.domains);
+                      ("tile_cols", Kf_obs.Json.Int tc);
+                      ("ms", Kf_obs.Json.Float ms);
+                    ]))
+         measured)
+  in
   let meta =
     Kf_obs.Json.Obj
       [
@@ -165,6 +296,12 @@ let () =
         ( "kf_host_acc_bytes",
           Kf_obs.Json.Int (Fusion.Host_fused.default_accumulator_budget_bytes ())
         );
+        ("l2_bytes", Kf_obs.Json.Int (Fusion.Tuning.host_l2_bytes ()));
+        ("tile_rows_default", Kf_obs.Json.Int (Fusion.Tuning.host_tile_rows ()));
+        ("tile_cols_default", Kf_obs.Json.Int (Fusion.Tuning.host_tile_cols ()));
+        ("scaling_tall", scaling_json "tall");
+        ("scaling_wide", scaling_json "wide");
+        ("tile_sweep", tile_sweep_json);
         ( "tracing_overhead",
           match tracing with
           | None -> Kf_obs.Json.Null
@@ -180,28 +317,37 @@ let () =
       ]
   in
   let result_json (case, ms) =
+    let seq = seq_ms_of case.shape in
     Kf_obs.Json.Obj
       [
         ("name", Kf_obs.Json.Str case.id);
+        ("shape", Kf_obs.Json.Str case.shape);
         ("domains", Kf_obs.Json.Int case.domains);
         ("variant", Kf_obs.Json.Str case.variant);
+        ( "tile_cols",
+          match case.tile_cols with
+          | None -> Kf_obs.Json.Null
+          | Some tc -> Kf_obs.Json.Int tc );
         ("ms", Kf_obs.Json.Float ms);
-        ("speedup_vs_sequential", Kf_obs.Json.Float (seq_ms /. ms));
+        ("speedup_vs_sequential", Kf_obs.Json.Float (seq /. ms));
       ]
   in
+  let tall = List.hd shapes in
   let doc =
     Kf_obs.Json.Obj
       [
         ("meta", meta);
+        (* top-level matrix/sequential_ms describe the tall (primary)
+           shape — the calibration inputs Kf_plan.Cost refits from. *)
         ( "matrix",
           Kf_obs.Json.Obj
             [
-              ("rows", Kf_obs.Json.Int x.Csr.rows);
-              ("cols", Kf_obs.Json.Int x.Csr.cols);
-              ("nnz", Kf_obs.Json.Int (Csr.nnz x));
+              ("rows", Kf_obs.Json.Int tall.x.Csr.rows);
+              ("cols", Kf_obs.Json.Int tall.x.Csr.cols);
+              ("nnz", Kf_obs.Json.Int (Csr.nnz tall.x));
             ] );
-        ("recommended_domains", Kf_obs.Json.Int (Par.Pool.default_size ()));
-        ("sequential_ms", Kf_obs.Json.Float seq_ms);
+        ("recommended_domains", Kf_obs.Json.Int recommended_domains);
+        ("sequential_ms", Kf_obs.Json.Float tall_seq);
         ("results", Kf_obs.Json.List (List.map result_json measured));
       ]
   in

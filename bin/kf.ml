@@ -58,10 +58,42 @@ let domains_arg =
            recommended count).")
 
 (* The shared pool reads KF_DOMAINS lazily on first use, so setting the
-   variable before any host-engine work takes effect process-wide. *)
+   variable before any host-engine work takes effect process-wide.
+
+   [Par.Pool] itself silently falls back to the recommended count on a
+   malformed KF_DOMAINS; the CLI is stricter — a value the user typed
+   that cannot mean anything is an error, and a count beyond the
+   recommended domain count (oversubscription: domains time-share cores
+   and the owner-computes kernels lose their cache affinity) earns a
+   warning but still runs, since CI boxes under-report cores. *)
+let warn_oversubscribed n =
+  let rec_n = Domain.recommended_domain_count () in
+  if n > rec_n then
+    Printf.eprintf
+      "kf: warning: %d domains requested but the runtime recommends at most \
+       %d on this machine; extra domains will time-share cores and usually \
+       slow the host engine down\n\
+       %!"
+      n rec_n
+
 let apply_domains = function
-  | None -> ()
-  | Some n -> Unix.putenv "KF_DOMAINS" (string_of_int n)
+  | Some n ->
+      warn_oversubscribed n;
+      Unix.putenv "KF_DOMAINS" (string_of_int n)
+  | None -> (
+      match Sys.getenv_opt "KF_DOMAINS" with
+      | None -> ()
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> warn_oversubscribed n
+          | Some n ->
+              Printf.eprintf
+                "kf: KF_DOMAINS must be a positive domain count, got %d\n%!" n;
+              exit 2
+          | None ->
+              Printf.eprintf
+                "kf: KF_DOMAINS must be a positive domain count, got %S\n%!" s;
+              exit 2))
 
 (* ---- observability ---- *)
 

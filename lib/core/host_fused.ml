@@ -1,31 +1,94 @@
-type variant = Dense_acc | Col_partition
+type variant = Dense_acc | Col_partition | Blocked
 
 let variant_name = function
   | Dense_acc -> "dense-acc"
   | Col_partition -> "col-partition"
+  | Blocked -> "blocked"
 
-let default_accumulator_budget_bytes () =
-  match Sys.getenv_opt "KF_HOST_ACC_BYTES" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n > 0 -> n
-      | _ -> 256 * 1024 * 1024)
-  | None -> 256 * 1024 * 1024
+let variant_of_name = function
+  | "dense-acc" -> Some Dense_acc
+  | "col-partition" -> Some Col_partition
+  | "blocked" -> Some Blocked
+  | _ -> None
 
+let default_accumulator_budget_bytes = Par.Tune.accumulator_budget_bytes
+
+(* KF_HOST_VARIANT forces a variant for experiments; otherwise the
+   shape decides: per-domain dense accumulators (one matrix walk, tree
+   merge) while they are cache-cheap, the owner-computes blocked kernel
+   once [8 * cols * domains] outgrows the budget/L2 cap.  The legacy
+   Col_partition variant (which re-streams the matrix per domain) is
+   never auto-chosen — it is kept as an explicitly requestable
+   baseline. *)
 let choose_variant ?budget_bytes ~domains ~cols () =
-  let budget =
-    match budget_bytes with
-    | Some b -> b
-    | None -> default_accumulator_budget_bytes ()
-  in
-  if 8 * cols * domains <= budget then Dense_acc else Col_partition
+  match Option.bind (Sys.getenv_opt "KF_HOST_VARIANT") variant_of_name with
+  | Some v -> v
+  | None ->
+      if Par.Tune.prefer_owner_computes ?budget_bytes ~domains ~cols () then
+        Blocked
+      else Dense_acc
 
 let get_pool = function Some p -> p | None -> Par.Pool.default ()
 
-let merge_add ~dst ~src =
-  for i = 0 to Array.length dst - 1 do
-    dst.(i) <- dst.(i) +. src.(i)
+(* The accumulator helpers below take the Bigarray as a parameter, so
+   the element kind must be pinned by annotation: a bare parameter is
+   still a type variable when its binding is compiled, and the compiler
+   then emits generic (C-call) accessors instead of unboxed float64
+   loads — a silent ~4x slowdown on the hot loops. *)
+type acc = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Tree-merge step over Bigarray accumulators, 4-way unrolled. *)
+let merge_add_ba ~(dst : acc) ~(src : acc) =
+  let n = Bigarray.Array1.dim dst in
+  let i = ref 0 in
+  while !i + 4 <= n do
+    let i0 = !i in
+    Bigarray.Array1.unsafe_set dst i0
+      (Bigarray.Array1.unsafe_get dst i0 +. Bigarray.Array1.unsafe_get src i0);
+    Bigarray.Array1.unsafe_set dst (i0 + 1)
+      (Bigarray.Array1.unsafe_get dst (i0 + 1)
+      +. Bigarray.Array1.unsafe_get src (i0 + 1));
+    Bigarray.Array1.unsafe_set dst (i0 + 2)
+      (Bigarray.Array1.unsafe_get dst (i0 + 2)
+      +. Bigarray.Array1.unsafe_get src (i0 + 2));
+    Bigarray.Array1.unsafe_set dst (i0 + 3)
+      (Bigarray.Array1.unsafe_get dst (i0 + 3)
+      +. Bigarray.Array1.unsafe_get src (i0 + 3));
+    i := i0 + 4
+  done;
+  while !i < n do
+    Bigarray.Array1.unsafe_set dst !i
+      (Bigarray.Array1.unsafe_get dst !i +. Bigarray.Array1.unsafe_get src !i);
+    incr i
   done
+
+(* Epilogue pairing with [Blas.finish_pattern]'s validation, so the
+   fused final-write paths reject the same argument mistakes. *)
+let epilogue_of ~beta ~z =
+  match (beta, z) with
+  | Some b, Some z -> Some (b, z)
+  | None, None -> None
+  | Some b, None ->
+      if b <> 0.0 then invalid_arg "Blas.pattern: beta given without z"
+      else None
+  | None, Some _ -> invalid_arg "Blas.pattern: z given without beta"
+
+(* Convert a merged Bigarray accumulator into the caller's result,
+   folding [alpha] and [beta * z] into the one write pass. *)
+let finalize_ba ~alpha ~beta_z (m : acc) ~cols =
+  let out = Array.make cols 0.0 in
+  (match beta_z with
+  | None ->
+      for c = 0 to cols - 1 do
+        Array.unsafe_set out c (alpha *. Bigarray.Array1.unsafe_get m c)
+      done
+  | Some (beta, z) ->
+      for c = 0 to cols - 1 do
+        Array.unsafe_set out c
+          ((alpha *. Bigarray.Array1.unsafe_get m c)
+          +. (beta *. Array.unsafe_get z c))
+      done);
+  out
 
 let check_sparse_args (x : Matrix.Csr.t) ~v ~y ~z ~name =
   if Array.length y <> x.cols then
@@ -45,10 +108,53 @@ let degenerate ~alpha ~beta ~z ~cols =
   Matrix.Blas.finish_pattern ~alpha ~beta ~z (Array.make cols 0.0)
 
 (* One fused pass over the rows [rlo, rhi) of [x], scattering each row's
-   scalar contribution into [w] restricted to columns [clo, chi).
-   [p_of] yields the per-row scalar: either a fresh dot product against
-   y (Algorithm 2's first walk, locals standing in for registers) or a
-   precomputed value (Algorithm 1). *)
+   scalar contribution into the Bigarray accumulator [w].  [p_of]
+   yields the per-row scalar: either a fresh dot product against y
+   (Algorithm 2's first walk, locals standing in for registers) or a
+   precomputed value (Algorithm 1).  The scatter is 4-way unrolled over
+   unsafe accesses — the host's register-unrolling (TL) analogue. *)
+let sparse_scatter_rows_ba (x : Matrix.Csr.t) ~p_of ~(w : acc) ~rlo ~rhi =
+  let values = x.values and col_idx = x.col_idx and row_off = x.row_off in
+  for r = rlo to rhi - 1 do
+    let s = Array.unsafe_get row_off r
+    and e = Array.unsafe_get row_off (r + 1) in
+    if e > s then begin
+      let pr = p_of r s e in
+      if pr <> 0.0 then begin
+        let i = ref s in
+        while !i + 4 <= e do
+          let i0 = !i in
+          let c0 = Array.unsafe_get col_idx i0
+          and v0 = Array.unsafe_get values i0 in
+          let c1 = Array.unsafe_get col_idx (i0 + 1)
+          and v1 = Array.unsafe_get values (i0 + 1) in
+          let c2 = Array.unsafe_get col_idx (i0 + 2)
+          and v2 = Array.unsafe_get values (i0 + 2) in
+          let c3 = Array.unsafe_get col_idx (i0 + 3)
+          and v3 = Array.unsafe_get values (i0 + 3) in
+          Bigarray.Array1.unsafe_set w c0
+            (Bigarray.Array1.unsafe_get w c0 +. (v0 *. pr));
+          Bigarray.Array1.unsafe_set w c1
+            (Bigarray.Array1.unsafe_get w c1 +. (v1 *. pr));
+          Bigarray.Array1.unsafe_set w c2
+            (Bigarray.Array1.unsafe_get w c2 +. (v2 *. pr));
+          Bigarray.Array1.unsafe_set w c3
+            (Bigarray.Array1.unsafe_get w c3 +. (v3 *. pr));
+          i := i0 + 4
+        done;
+        while !i < e do
+          let c = Array.unsafe_get col_idx !i in
+          Bigarray.Array1.unsafe_set w c
+            (Bigarray.Array1.unsafe_get w c
+            +. (Array.unsafe_get values !i *. pr));
+          incr i
+        done
+      end
+    end
+  done
+
+(* Legacy column-filtered scatter (Col_partition only): every domain
+   re-streams the matrix keeping the columns it owns. *)
 let sparse_scatter_rows (x : Matrix.Csr.t) ~p_of ~w ~rlo ~rhi ~clo ~chi =
   let full = clo = 0 && chi >= x.cols in
   for r = rlo to rhi - 1 do
@@ -69,10 +175,40 @@ let sparse_scatter_rows (x : Matrix.Csr.t) ~p_of ~w ~rlo ~rhi ~clo ~chi =
     end
   done
 
+(* Row dot product with four independent accumulators (differs from the
+   sequential reference by reassociation only). *)
 let sparse_row_dot (x : Matrix.Csr.t) y ~v r s e =
-  let acc = ref 0.0 in
-  for i = s to e - 1 do
-    acc := !acc +. (x.values.(i) *. y.(x.col_idx.(i)))
+  let values = x.values and col_idx = x.col_idx in
+  let acc0 = ref 0.0 and acc1 = ref 0.0 in
+  let acc2 = ref 0.0 and acc3 = ref 0.0 in
+  let i = ref s in
+  while !i + 4 <= e do
+    let i0 = !i in
+    acc0 :=
+      !acc0
+      +. Array.unsafe_get values i0
+         *. Array.unsafe_get y (Array.unsafe_get col_idx i0);
+    acc1 :=
+      !acc1
+      +. Array.unsafe_get values (i0 + 1)
+         *. Array.unsafe_get y (Array.unsafe_get col_idx (i0 + 1));
+    acc2 :=
+      !acc2
+      +. Array.unsafe_get values (i0 + 2)
+         *. Array.unsafe_get y (Array.unsafe_get col_idx (i0 + 2));
+    acc3 :=
+      !acc3
+      +. Array.unsafe_get values (i0 + 3)
+         *. Array.unsafe_get y (Array.unsafe_get col_idx (i0 + 3));
+    i := i0 + 4
+  done;
+  let acc = ref (!acc0 +. !acc1 +. (!acc2 +. !acc3)) in
+  while !i < e do
+    acc :=
+      !acc
+      +. Array.unsafe_get values !i
+         *. Array.unsafe_get y (Array.unsafe_get col_idx !i);
+    incr i
   done;
   match v with None -> !acc | Some v -> !acc *. v.(r)
 
@@ -87,29 +223,41 @@ let record_accs ~count ~elems =
       Kf_obs.Host_stats.record_alloc ~bytes:(8 * elems)
     done
 
-(* Dense_acc: nnz-balanced row ranges, per-domain accumulators, tree
-   merge — the three-tier hierarchical aggregation. *)
+let record_merge_traffic ~workers ~cols =
+  (* each of the (workers - 1) pairwise tree merges reads dst + src and
+     writes dst: 24 bytes per element. *)
+  if Kf_obs.Host_stats.profiling () then
+    Kf_obs.Host_stats.record_merge_bytes ~bytes:((workers - 1) * cols * 8 * 3)
+
+(* Dense_acc: nnz-balanced row ranges, per-domain Bigarray accumulators,
+   tree merge — the three-tier hierarchical aggregation in one matrix
+   walk. *)
 let sparse_dense_acc pool (x : Matrix.Csr.t) ~p_of =
   let workers = Par.Pool.size pool in
   let bounds = Par.Partition.by_prefix ~prefix:x.row_off ~parts:workers () in
   record_accs ~count:workers ~elems:x.cols;
   let parts =
     Par.Pool.map_workers pool (fun wid ->
-        let w = Array.make x.cols 0.0 in
+        let w =
+          Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout x.cols
+        in
+        Bigarray.Array1.fill w 0.0;
         if Kf_obs.Host_stats.profiling () then
           Kf_obs.Host_stats.add_work
             ~rows:(bounds.(wid + 1) - bounds.(wid))
             ~nnz:(x.row_off.(bounds.(wid + 1)) - x.row_off.(bounds.(wid)));
-        sparse_scatter_rows x ~p_of ~w ~rlo:bounds.(wid) ~rhi:bounds.(wid + 1)
-          ~clo:0 ~chi:x.cols;
+        sparse_scatter_rows_ba x ~p_of ~w ~rlo:bounds.(wid)
+          ~rhi:bounds.(wid + 1);
         w)
   in
-  Par.Pool.reduce pool ~merge:merge_add parts
+  let merged = Par.Pool.reduce pool ~merge:merge_add_ba parts in
+  record_merge_traffic ~workers ~cols:x.cols;
+  merged
 
-(* Col_partition: [p] is materialised by a row-parallel pass, then every
-   domain streams the matrix filtering for its own column range, writing
-   into disjoint slices of one shared [w] — total accumulator memory
-   stays O(cols) instead of O(cols * domains). *)
+(* Col_partition (legacy baseline): [p] is materialised by a
+   row-parallel pass, then every domain streams the matrix filtering
+   for its own column range — d-fold matrix traffic; kept only for
+   explicit comparison runs. *)
 let sparse_col_partition pool (x : Matrix.Csr.t) ~p_of =
   let workers = Par.Pool.size pool in
   let p = Array.make x.rows 0.0 in
@@ -136,38 +284,74 @@ let sparse_col_partition pool (x : Matrix.Csr.t) ~p_of =
           ~w ~rlo:0 ~rhi:x.rows ~clo ~chi);
   w
 
-let run_sparse ?pool ?variant (x : Matrix.Csr.t) ~p_of ~alpha ~beta ~z =
+(* Blocked: the owner-computes two-pass kernel.  Pass 1 materialises
+   the per-row scalars in parallel over row blocks; pass 2 scatters
+   through the cached column-tile segment layout, each domain writing
+   only the output slice it owns — no per-domain full-width
+   accumulators, no merge, and exactly one streaming of the matrix per
+   pass.  The epilogue is folded into the owners' final writes. *)
+let sparse_blocked pool ?tile_rows ?tile_cols (x : Matrix.Csr.t) ~p_of ~alpha
+    ~beta_z =
+  let workers = Par.Pool.size pool in
+  let p = Array.make x.rows 0.0 in
+  record_accs ~count:1 ~elems:x.rows;
+  let chunk =
+    match tile_rows with
+    | Some n when n >= 1 -> n
+    | _ -> Par.Tune.tile_rows ()
+  in
+  Par.Pool.parallel_for pool ~chunk ~lo:0 ~hi:x.rows (fun a b ->
+      if Kf_obs.Host_stats.profiling () then
+        Kf_obs.Host_stats.add_work ~rows:(b - a)
+          ~nnz:(x.row_off.(b) - x.row_off.(a));
+      for r = a to b - 1 do
+        let s = x.row_off.(r) and e = x.row_off.(r + 1) in
+        if e > s then p.(r) <- p_of r s e
+      done);
+  let t = Matrix.Tiles.layout ?tile_cols ~parts:workers x in
+  let out = Array.make x.cols 0.0 in
+  Matrix.Tiles.scatter ~pool ~credit:false t x ~p ~alpha ?beta_z ~out ();
+  out
+
+let run_sparse ?pool ?variant ?tile_rows ?tile_cols (x : Matrix.Csr.t) ~p_of
+    ~alpha ~beta ~z =
   (* armed fault point: only fires under the executor's recovery scope *)
   Kf_resil.Fault.check Kf_resil.Fault.Launch ~point:"host_fused.sparse";
   let pool = get_pool pool in
   let variant =
     match variant with
     | Some v -> v
-    | None ->
-        choose_variant ~domains:(Par.Pool.size pool) ~cols:x.cols ()
+    | None -> choose_variant ~domains:(Par.Pool.size pool) ~cols:x.cols ()
   in
   Kf_obs.Host_stats.set_variant (variant_name variant);
-  let w =
-    match variant with
-    | Dense_acc -> sparse_dense_acc pool x ~p_of
-    | Col_partition -> sparse_col_partition pool x ~p_of
-  in
-  Matrix.Blas.finish_pattern ~alpha ~beta ~z w
+  match variant with
+  | Dense_acc ->
+      let beta_z = epilogue_of ~beta ~z in
+      let m = sparse_dense_acc pool x ~p_of in
+      finalize_ba ~alpha ~beta_z m ~cols:x.cols
+  | Col_partition ->
+      let w = sparse_col_partition pool x ~p_of in
+      Matrix.Blas.finish_pattern ~alpha ~beta ~z w
+  | Blocked ->
+      let beta_z = epilogue_of ~beta ~z in
+      sparse_blocked pool ?tile_rows ?tile_cols x ~p_of ~alpha ~beta_z
 
-let pattern_sparse ?pool ?variant ~alpha (x : Matrix.Csr.t) ?v y ?beta ?z () =
+let pattern_sparse ?pool ?variant ?tile_rows ?tile_cols ~alpha
+    (x : Matrix.Csr.t) ?v y ?beta ?z () =
   check_sparse_args x ~v ~y ~z ~name:"Host_fused.pattern_sparse";
   if x.rows = 0 || x.cols = 0 || Matrix.Csr.nnz x = 0 then
     degenerate ~alpha ~beta ~z ~cols:x.cols
   else
-    run_sparse ?pool ?variant x ~p_of:(sparse_row_dot x y ~v) ~alpha ~beta ~z
+    run_sparse ?pool ?variant ?tile_rows ?tile_cols x
+      ~p_of:(sparse_row_dot x y ~v) ~alpha ~beta ~z
 
-let xt_p ?pool ?variant ~alpha (x : Matrix.Csr.t) p =
+let xt_p ?pool ?variant ?tile_rows ?tile_cols ~alpha (x : Matrix.Csr.t) p =
   if Array.length p <> x.rows then
     invalid_arg "Host_fused.xt_p: p must have one element per row";
   if x.rows = 0 || x.cols = 0 || Matrix.Csr.nnz x = 0 then
     degenerate ~alpha ~beta:None ~z:None ~cols:x.cols
   else
-    run_sparse ?pool ?variant x
+    run_sparse ?pool ?variant ?tile_rows ?tile_cols x
       ~p_of:(fun r _s _e -> p.(r))
       ~alpha ~beta:None ~z:None
 
@@ -186,12 +370,59 @@ let check_dense_args (x : Matrix.Dense.t) ~v ~y ~z ~name =
   | _ -> ()
 
 let dense_row_scalar (x : Matrix.Dense.t) y ~v r =
-  let base = r * x.cols in
-  let acc = ref 0.0 in
-  for c = 0 to x.cols - 1 do
-    acc := !acc +. (x.data.(base + c) *. y.(c))
+  let data = x.data and cols = x.cols in
+  let base = r * cols in
+  let acc0 = ref 0.0 and acc1 = ref 0.0 in
+  let acc2 = ref 0.0 and acc3 = ref 0.0 in
+  let c = ref 0 in
+  while !c + 4 <= cols do
+    let c0 = !c in
+    acc0 :=
+      !acc0 +. (Array.unsafe_get data (base + c0) *. Array.unsafe_get y c0);
+    acc1 :=
+      !acc1
+      +. (Array.unsafe_get data (base + c0 + 1) *. Array.unsafe_get y (c0 + 1));
+    acc2 :=
+      !acc2
+      +. (Array.unsafe_get data (base + c0 + 2) *. Array.unsafe_get y (c0 + 2));
+    acc3 :=
+      !acc3
+      +. (Array.unsafe_get data (base + c0 + 3) *. Array.unsafe_get y (c0 + 3));
+    c := c0 + 4
+  done;
+  let acc = ref (!acc0 +. !acc1 +. (!acc2 +. !acc3)) in
+  while !c < cols do
+    acc := !acc +. (Array.unsafe_get data (base + !c) *. Array.unsafe_get y !c);
+    incr c
   done;
   match v with None -> !acc | Some v -> !acc *. v.(r)
+
+(* Axpy of one dense row into the Bigarray accumulator, 4-way
+   unrolled. *)
+let dense_axpy_row_ba data ~base ~pr ~(w : acc) ~clo ~chi =
+  let c = ref clo in
+  while !c + 4 <= chi do
+    let c0 = !c in
+    Bigarray.Array1.unsafe_set w c0
+      (Bigarray.Array1.unsafe_get w c0
+      +. (Array.unsafe_get data (base + c0) *. pr));
+    Bigarray.Array1.unsafe_set w (c0 + 1)
+      (Bigarray.Array1.unsafe_get w (c0 + 1)
+      +. (Array.unsafe_get data (base + c0 + 1) *. pr));
+    Bigarray.Array1.unsafe_set w (c0 + 2)
+      (Bigarray.Array1.unsafe_get w (c0 + 2)
+      +. (Array.unsafe_get data (base + c0 + 2) *. pr));
+    Bigarray.Array1.unsafe_set w (c0 + 3)
+      (Bigarray.Array1.unsafe_get w (c0 + 3)
+      +. (Array.unsafe_get data (base + c0 + 3) *. pr));
+    c := c0 + 4
+  done;
+  while !c < chi do
+    Bigarray.Array1.unsafe_set w !c
+      (Bigarray.Array1.unsafe_get w !c
+      +. (Array.unsafe_get data (base + !c) *. pr));
+    incr c
+  done
 
 let dense_scatter_rows (x : Matrix.Dense.t) ~p_of ~w ~rlo ~rhi ~clo ~chi =
   for r = rlo to rhi - 1 do
@@ -210,16 +441,25 @@ let dense_dense_acc pool (x : Matrix.Dense.t) ~p_of =
   record_accs ~count:workers ~elems:x.cols;
   let parts =
     Par.Pool.map_workers pool (fun wid ->
-        let w = Array.make x.cols 0.0 in
+        let w =
+          Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout x.cols
+        in
+        Bigarray.Array1.fill w 0.0;
         if Kf_obs.Host_stats.profiling () then
           Kf_obs.Host_stats.add_work
             ~rows:(bounds.(wid + 1) - bounds.(wid))
             ~nnz:((bounds.(wid + 1) - bounds.(wid)) * x.cols);
-        dense_scatter_rows x ~p_of ~w ~rlo:bounds.(wid) ~rhi:bounds.(wid + 1)
-          ~clo:0 ~chi:x.cols;
+        for r = bounds.(wid) to bounds.(wid + 1) - 1 do
+          let pr = p_of r in
+          if pr <> 0.0 then
+            dense_axpy_row_ba x.data ~base:(r * x.cols) ~pr ~w ~clo:0
+              ~chi:x.cols
+        done;
         w)
   in
-  Par.Pool.reduce pool ~merge:merge_add parts
+  let merged = Par.Pool.reduce pool ~merge:merge_add_ba parts in
+  record_merge_traffic ~workers ~cols:x.cols;
+  merged
 
 let dense_col_partition pool (x : Matrix.Dense.t) ~p_of =
   let workers = Par.Pool.size pool in
@@ -241,7 +481,31 @@ let dense_col_partition pool (x : Matrix.Dense.t) ~p_of =
           ~chi);
   w
 
-let pattern_dense ?pool ?variant ~alpha (x : Matrix.Dense.t) ?v y ?beta ?z () =
+(* Dense Blocked: pass 1 materialises p over row blocks; pass 2 is the
+   owner-computes column-stripe gemv_t from the parallel BLAS with the
+   epilogue folded into the owners' final writes. *)
+let dense_blocked pool ?tile_rows ?tile_cols (x : Matrix.Dense.t) ~p_of ~alpha
+    ~beta_z =
+  let p = Array.make x.rows 0.0 in
+  record_accs ~count:1 ~elems:x.rows;
+  let chunk =
+    match tile_rows with
+    | Some n when n >= 1 -> n
+    | _ -> Par.Tune.tile_rows ()
+  in
+  Par.Pool.parallel_for pool ~chunk ~lo:0 ~hi:x.rows (fun a b ->
+      if Kf_obs.Host_stats.profiling () then
+        Kf_obs.Host_stats.add_work ~rows:(b - a) ~nnz:((b - a) * x.cols);
+      for r = a to b - 1 do
+        p.(r) <- p_of r
+      done);
+  let out = Array.make x.cols 0.0 in
+  Matrix.Blas.owner_gemv_t ~pool ?tile_rows ?tile_cols ~credit:false ~alpha
+    ?beta_z x p ~out;
+  out
+
+let pattern_dense ?pool ?variant ?tile_rows ?tile_cols ~alpha
+    (x : Matrix.Dense.t) ?v y ?beta ?z () =
   check_dense_args x ~v ~y ~z ~name:"Host_fused.pattern_dense";
   if x.rows = 0 || x.cols = 0 then degenerate ~alpha ~beta ~z ~cols:x.cols
   else begin
@@ -254,10 +518,15 @@ let pattern_dense ?pool ?variant ~alpha (x : Matrix.Dense.t) ?v y ?beta ?z () =
     in
     Kf_obs.Host_stats.set_variant (variant_name variant);
     let p_of = dense_row_scalar x y ~v in
-    let w =
-      match variant with
-      | Dense_acc -> dense_dense_acc pool x ~p_of
-      | Col_partition -> dense_col_partition pool x ~p_of
-    in
-    Matrix.Blas.finish_pattern ~alpha ~beta ~z w
+    match variant with
+    | Dense_acc ->
+        let beta_z = epilogue_of ~beta ~z in
+        let m = dense_dense_acc pool x ~p_of in
+        finalize_ba ~alpha ~beta_z m ~cols:x.cols
+    | Col_partition ->
+        let w = dense_col_partition pool x ~p_of in
+        Matrix.Blas.finish_pattern ~alpha ~beta ~z w
+    | Blocked ->
+        let beta_z = epilogue_of ~beta ~z in
+        dense_blocked pool ?tile_rows ?tile_cols x ~p_of ~alpha ~beta_z
   end

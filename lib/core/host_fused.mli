@@ -5,11 +5,12 @@
     registers -> shared memory -> global atomics, the host kernels use
     the memory tiers a multicore CPU actually has, one level per tier:
 
-    - {b registers -> locals}: each row's dot product accumulates in a
-      local before any store, exactly like the per-lane partials;
+    - {b registers -> locals}: each row's dot product accumulates in
+      four independent locals (the manual 4-way unrolling mirrors the
+      paper's [TL] register-unrolling trick) before any store;
     - {b shared memory -> per-domain buffers}: every domain owns a
-      private dense accumulator for [w], the stand-in for the per-block
-      shared-memory buffer ([Dense_acc] variant);
+      private dense [Bigarray] accumulator for [w], the stand-in for
+      the per-block shared-memory buffer ([Dense_acc] variant);
     - {b global atomics -> tree merge}: per-domain buffers are combined
       by a log-depth tree reduce on the pool, the stand-in for the
       inter-block atomic sweep.
@@ -18,14 +19,21 @@
     ([Par.Partition.by_prefix] over [row_off]), mirroring the tuner's
     Equation-5 coarsening so domains finish together.
 
-    For ultra-wide matrices (KDD2010-shaped) the per-domain dense
-    accumulators would need [8 * cols * domains] bytes; past a
-    working-set budget the kernels switch to the [Col_partition]
-    variant: a parallel first pass materialises the per-row scalars
-    [p], then each domain owns a disjoint column range of the final [w]
-    and streams the matrix once more, accumulating only its own columns
-    — no per-domain buffers, no merge, no races.  This is the host
-    mirror of the paper's large-n global-atomics variant.
+    Past a working-set budget (or half an L2 per domain —
+    {!Par.Tune.prefer_owner_computes}) the per-domain accumulators plus
+    merge stop paying and the kernels switch to the {b blocked
+    owner-computes} variant: a row-blocked parallel pass materialises
+    the per-row scalars [p], then each domain scatters only into the
+    column tiles it owns ([Matrix.Tiles] for CSR,
+    [Matrix.Blas.owner_gemv_t] column stripes for dense), sized via
+    [KF_HOST_TILE_ROWS]/[KF_HOST_TILE_COLS] so a tile's slice of [w]
+    stays L2-resident.  Ownership is exclusive, so the merge — and its
+    O(domains * cols) traffic — disappears, and the pattern epilogue
+    [alpha * w + beta * z] folds into each owner's final write.  The
+    legacy [Col_partition] variant (every domain re-streams the matrix
+    filtering its column range — d-fold matrix traffic) is kept only as
+    an explicitly requestable baseline; [KF_HOST_VARIANT] forces any
+    variant by name for experiments.
 
     All entry points compute real results only (no simulator): they are
     the "runs as fast as the hardware allows" backend and are verified
@@ -34,24 +42,33 @@
 
 type variant =
   | Dense_acc  (** per-domain dense accumulators + tree merge *)
-  | Col_partition  (** shared [w], disjoint column ranges per domain *)
+  | Col_partition
+      (** legacy: shared [w], disjoint column ranges, matrix re-streamed
+          per domain *)
+  | Blocked
+      (** owner-computes column tiles, cached segment layout, no merge *)
 
 val variant_name : variant -> string
-(** ["dense-acc"] or ["col-partition"]. *)
+(** ["dense-acc"], ["col-partition"] or ["blocked"]. *)
 
 val default_accumulator_budget_bytes : unit -> int
 (** Working-set budget for per-domain accumulators: the
     [KF_HOST_ACC_BYTES] environment variable when set to a positive
-    integer, else 256 MiB. *)
+    integer, else 256 MiB (see {!Par.Tune.accumulator_budget_bytes}). *)
 
 val choose_variant :
   ?budget_bytes:int -> domains:int -> cols:int -> unit -> variant
-(** [Dense_acc] while [8 * cols * domains <= budget_bytes], else
-    [Col_partition]. *)
+(** [KF_HOST_VARIANT] ("dense-acc" | "col-partition" | "blocked") when
+    set to a valid name; otherwise [Dense_acc] while
+    [8 * cols * domains] fits both [budget_bytes] and half an L2 per
+    domain, else [Blocked] ({!Par.Tune.prefer_owner_computes}).
+    [Col_partition] is never auto-chosen. *)
 
 val pattern_sparse :
   ?pool:Par.Pool.t ->
   ?variant:variant ->
+  ?tile_rows:int ->
+  ?tile_cols:int ->
   alpha:float ->
   Matrix.Csr.t ->
   ?v:Matrix.Vec.t ->
@@ -62,15 +79,19 @@ val pattern_sparse :
   Matrix.Vec.t
 (** Fused multicore [alpha * X^T (v .* (X y)) + beta * z] for CSR [x]:
     each domain streams its rows once, computing the row dot product and
-    scattering it back in the same pass.  Argument conventions (and
-    validation) match [Matrix.Blas.pattern_sparse].  [variant] defaults
-    to {!choose_variant}.  Degenerate shapes ([rows = 0], [cols = 0] or
-    [nnz = 0]) return [beta * z] (or zeros) without touching the
-    pool. *)
+    scattering it back in the same pass ([Dense_acc]), or runs the
+    two-pass blocked owner-computes kernel ([Blocked]).  Argument
+    conventions (and validation) match [Matrix.Blas.pattern_sparse].
+    [variant] defaults to {!choose_variant}; [tile_rows]/[tile_cols]
+    override the L2-derived {!Par.Tune} tile sizes for the blocked
+    variant.  Degenerate shapes ([rows = 0], [cols = 0] or [nnz = 0])
+    return [beta * z] (or zeros) without touching the pool. *)
 
 val pattern_dense :
   ?pool:Par.Pool.t ->
   ?variant:variant ->
+  ?tile_rows:int ->
+  ?tile_cols:int ->
   alpha:float ->
   Matrix.Dense.t ->
   ?v:Matrix.Vec.t ->
@@ -85,6 +106,8 @@ val pattern_dense :
 val xt_p :
   ?pool:Par.Pool.t ->
   ?variant:variant ->
+  ?tile_rows:int ->
+  ?tile_cols:int ->
   alpha:float ->
   Matrix.Csr.t ->
   Matrix.Vec.t ->

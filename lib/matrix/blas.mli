@@ -49,22 +49,51 @@ val finish_pattern :
 
 (** {1 Multicore variants}
 
-    Row-parallel versions of the products above running on a [Par.Pool]
+    Parallel versions of the products above running on a [Par.Pool]
     (default: the shared {!Par.Pool.default} pool).  These are the
     "parallel library" baseline of the host backend: the same operator
     chain as the sequential reference, parallelised operator by
-    operator, with no fusion across operators.  Transposed products use
-    nnz-balanced row partitions with per-worker accumulators merged by a
-    tree reduce.  Results match the sequential functions up to
-    floating-point summation order. *)
+    operator, with no fusion across operators.  Row-major products
+    partition rows disjointly; transposed products are blocked and
+    owner-computes — each worker reduces only the column slice it owns
+    (dense: a uniform column stripe walked in row blocks; sparse:
+    nnz-weighted column tiles via {!Tiles}) — eliminating the
+    per-worker full-width accumulators and tree merge the old scheme
+    paid.  Inner loops are 4-way unrolled over unsafe accesses.
+    Results match the sequential functions up to floating-point
+    summation order.  Tile sizes default to the L2-derived
+    {!Par.Tune} values ([KF_HOST_TILE_ROWS]/[KF_HOST_TILE_COLS]). *)
 
 val par_gemv : ?pool:Par.Pool.t -> Dense.t -> Vec.t -> Vec.t
 
-val par_gemv_t : ?pool:Par.Pool.t -> Dense.t -> Vec.t -> Vec.t
+val par_gemv_t :
+  ?pool:Par.Pool.t -> ?tile_rows:int -> ?tile_cols:int -> Dense.t -> Vec.t ->
+  Vec.t
 
 val par_csrmv : ?pool:Par.Pool.t -> Csr.t -> Vec.t -> Vec.t
 
-val par_csrmv_t : ?pool:Par.Pool.t -> Csr.t -> Vec.t -> Vec.t
+val par_csrmv_t : ?pool:Par.Pool.t -> ?tile_cols:int -> Csr.t -> Vec.t -> Vec.t
+
+val owner_gemv_t :
+  pool:Par.Pool.t ->
+  ?tile_rows:int ->
+  ?tile_cols:int ->
+  credit:bool ->
+  alpha:float ->
+  ?beta_z:float * Vec.t ->
+  Dense.t ->
+  Vec.t ->
+  out:Vec.t ->
+  unit
+(** The owner-computes dense transposed product underlying
+    {!par_gemv_t}, exposed so the fused host kernel can reuse it with
+    the pattern epilogue [alpha * w + beta * z] folded into each
+    worker's final write of its owned stripe.  [out] is fully
+    overwritten.  [credit] controls {!Kf_obs.Host_stats} rows/nnz
+    accounting — callers that already credited the matrix in an
+    earlier pass must pass [false].  Requires [workers >= 1]; with
+    zero-size shapes it writes nothing (callers handle degenerate
+    shapes). *)
 
 val par_pattern_sparse :
   ?pool:Par.Pool.t ->

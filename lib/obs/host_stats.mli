@@ -35,6 +35,15 @@ type t = {
   mutable acc_bytes : int;
   mutable merge_passes : int;  (** tree-merge rounds (log depth) *)
   mutable merge_ops : int;  (** pairwise merges across all rounds *)
+  mutable merge_bytes : int;
+      (** bytes moved by accumulator tree merges ([Dense_acc]) *)
+  mutable merge_bytes_saved : int;
+      (** merge bytes the owner-computes blocked kernel eliminated
+          relative to per-domain dense accumulators *)
+  mutable tiles : int;  (** column tiles scattered ([Blocked]) *)
+  mutable layout_builds : int;
+      (** column-tile segment layouts built (cache misses; a steady
+          state of 0 per op means the inspector cost is amortized) *)
   mutable variant : string;
       (** dispatched variant name, e.g. ["dense-acc"]; [""] until set *)
 }
@@ -71,6 +80,16 @@ val record_alloc : bytes:int -> unit
 val record_merge_pass : unit -> unit
 
 val record_merge_op : unit -> unit
+
+val record_merge_bytes : bytes:int -> unit
+(** Bytes read+written by accumulator merges (coordinator only). *)
+
+val record_merge_bytes_saved : bytes:int -> unit
+(** Merge traffic the blocked kernel avoided (coordinator only). *)
+
+val record_tiles : count:int -> unit
+
+val record_layout_build : unit -> unit
 
 val set_variant : string -> unit
 
