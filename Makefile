@@ -44,6 +44,22 @@ bench-serve:
 bench-serve-small:
 	dune exec bench/serve_suite.exe -- --small
 
+# Refresh the committed bench baselines from quick --small runs.
+bench-baseline: bench-host-small bench-plan-small bench-serve-small
+	mkdir -p bench/baselines
+	cp BENCH_host.json BENCH_plan.json BENCH_serve.json bench/baselines/
+
+# Regression gate: fresh --small runs compared against bench/baselines;
+# fails (exit 1) when a metric moves past the noise threshold in the
+# bad direction.  The 15% default suits a quiet machine; on a loaded or
+# shared box raise it (`make bench-check BENCH_THRESHOLD=0.5`).
+# Self-test the gate by appending `--inject 0.2` to the regress
+# invocation — it must then fail.
+BENCH_THRESHOLD ?= 0.15
+bench-check: bench-host-small bench-plan-small bench-serve-small
+	dune exec bench/regress.exe -- --baseline bench/baselines --fresh . \
+	  --threshold $(BENCH_THRESHOLD)
+
 examples:
 	for e in quickstart linear_regression spam_filter page_quality \
 	         autotune_explorer out_of_core insurance_claims; do \
@@ -54,4 +70,4 @@ clean:
 
 .PHONY: all test test-verbose bench bench-full bench-host bench-host-small \
 	bench-plan bench-plan-small bench-resil bench-resil-small \
-	bench-serve bench-serve-small examples clean
+	bench-serve bench-serve-small bench-baseline bench-check examples clean

@@ -163,6 +163,68 @@ let () =
       Util.note "pool=%d: best batched speedup at concurrency 32: %.2fx" pool
         best)
     pool_sizes;
+  (* Telemetry overhead ablation: one fixed cell (pool 1, window 50 us,
+     concurrency 8) re-run with the registry off, on, and with tracing
+     at full vs 10% sampling.  The acceptance bar is metrics <= 2% and
+     sampled tracing < 1% of throughput; the numbers land in the meta
+     block so the regression gate's artefact doubles as the record. *)
+  (* Throughput noise (GC, scheduler, thermal drift) swamps a
+     single-shot measurement at these cell durations, so the four
+     configurations are interleaved round-robin and each keeps its best
+     round — drift then hits every config equally, and the max is the
+     least contaminated estimate.  Trace buffers are cleared after each
+     traced round so one config's event backlog cannot tax the next. *)
+  let overhead_duration = Float.max duration_s 0.5 in
+  let overhead_one () =
+    let pool = Par.Pool.create ~size:1 () in
+    let c =
+      run_cell ~pool ~pool_size:1 ~window_us:50 ~concurrency:8
+        ~duration_s:overhead_duration ~weights
+    in
+    Par.Pool.shutdown pool;
+    c.summary.Kf_serve.Driver.throughput_rps
+  in
+  let configs =
+    [|
+      ( (fun () -> Kf_obs.Metrics.set_enabled false),
+        fun () -> Kf_obs.Metrics.set_enabled true );
+      ((fun () -> ()), fun () -> ());
+      ( (fun () ->
+          Kf_obs.Trace.enable ();
+          Kf_obs.Trace.set_sample 1.0),
+        fun () ->
+          Kf_obs.Trace.disable ();
+          Kf_obs.Trace.clear () );
+      ( (fun () ->
+          Kf_obs.Trace.enable ();
+          Kf_obs.Trace.set_sample ~seed:1 0.1),
+        fun () ->
+          Kf_obs.Trace.disable ();
+          Kf_obs.Trace.set_sample 1.0;
+          Kf_obs.Trace.clear () );
+    |]
+  in
+  let best = Array.make (Array.length configs) 0.0 in
+  for _round = 1 to 3 do
+    Array.iteri
+      (fun i (setup, teardown) ->
+        setup ();
+        let rps = Fun.protect ~finally:teardown overhead_one in
+        best.(i) <- Float.max best.(i) rps)
+      configs
+  done;
+  let rps_plain = best.(0) in
+  let rps_metrics = best.(1) in
+  let rps_trace_full = best.(2) in
+  let rps_trace_sampled = best.(3) in
+  let pct base v = (base -. v) /. Float.max 1e-9 base *. 100.0 in
+  let metrics_overhead_pct = pct rps_plain rps_metrics in
+  let trace_full_pct = pct rps_metrics rps_trace_full in
+  let trace_sampled_pct = pct rps_metrics rps_trace_sampled in
+  Util.note
+    "telemetry overhead: metrics %+.2f%%, trace full %+.2f%%, trace@0.1 \
+     %+.2f%%"
+    metrics_overhead_pct trace_full_pct trace_sampled_pct;
   let doc =
     Kf_obs.Json.Obj
       [
@@ -172,6 +234,19 @@ let () =
               ("suite", Kf_obs.Json.Str "serve");
               ("engine", Kf_obs.Json.Str "host");
               ("small", Kf_obs.Json.Bool small);
+              ( "telemetry",
+                Kf_obs.Json.Obj
+                  [
+                    ("rps_plain", Kf_obs.Json.Float rps_plain);
+                    ("rps_metrics", Kf_obs.Json.Float rps_metrics);
+                    ("rps_trace_full", Kf_obs.Json.Float rps_trace_full);
+                    ("rps_trace_sampled", Kf_obs.Json.Float rps_trace_sampled);
+                    ( "metrics_overhead_pct",
+                      Kf_obs.Json.Float metrics_overhead_pct );
+                    ("trace_full_overhead_pct", Kf_obs.Json.Float trace_full_pct);
+                    ( "trace_sampled_overhead_pct",
+                      Kf_obs.Json.Float trace_sampled_pct );
+                  ] );
               ("duration_s", Kf_obs.Json.Float duration_s);
               ("max_batch", Kf_obs.Json.Int max_batch);
               ( "model",

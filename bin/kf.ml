@@ -5,7 +5,8 @@
      kf tune    show the analytical launch plan for a matrix shape
      kf codegen print the generated CUDA for a dense plan
      kf train   fit an ML algorithm and report timings + pattern trace
-     kf serve   micro-batched scoring service driven by synthetic clients *)
+     kf serve   micro-batched scoring service driven by synthetic clients
+     kf top     live terminal view of a serve --metrics-port endpoint *)
 
 open Cmdliner
 open Matrix
@@ -126,8 +127,11 @@ let json_arg =
    --profile asks for it; --profile additionally installs a run-wide
    [Host_stats] aggregate that every host-engine op folds into.  The
    artefacts are emitted even when the wrapped command raises, so a
-   failing run still leaves its trace behind. *)
+   failing run still leaves its trace behind.  KF_TRACE_SAMPLE (with
+   KF_TRACE_SEED) installs the deterministic per-request trace sampler
+   for every subcommand. *)
 let with_obs ~trace ~profile f =
+  Kf_obs.Trace.sample_of_env ();
   let trace =
     match trace with Some _ as t -> t | None -> Sys.getenv_opt "KF_TRACE"
   in
@@ -631,11 +635,63 @@ let serve_cmd =
       value & opt float 2.0
       & info [ "duration" ] ~docv:"S" ~doc:"Load duration in seconds.")
   in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~env:(Cmd.Env.info "KF_METRICS_PORT")
+          ~doc:
+            "Serve an OpenMetrics scrape endpoint on \
+             $(b,127.0.0.1:)$(docv)$(b,/metrics) for the duration of the \
+             run ($(b,0) picks an ephemeral port, printed on stderr).  \
+             $(b,kf top --port) $(docv) gives a live view.")
+  in
+  let trace_sample_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:
+            "Trace only about $(docv) of requests (deterministic in the \
+             request id and $(b,KF_TRACE_SEED)); overrides \
+             $(b,KF_TRACE_SAMPLE).  Only matters when tracing is on \
+             ($(b,--trace)/$(b,--profile)).")
+  in
+  let slo_target_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-target-us" ] ~docv:"US"
+          ~doc:
+            "Attach a latency SLO: a request violates it when it fails \
+             or resolves slower than $(docv) microseconds.  Violations \
+             and the rolling error budget appear in the report, the \
+             $(b,--json) output and the scrape endpoint.")
+  in
+  let slo_objective_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "slo-objective" ] ~docv:"Q"
+          ~doc:
+            "SLO objective: the fraction of requests (over the rolling \
+             window) that must meet $(b,--slo-target-us).")
+  in
   let serve verbose model algo engine domains window_us max_batch queue_depth
-      clients rps duration seed json trace profile =
+      clients rps duration seed json trace profile metrics_port trace_sample
+      slo_target slo_objective =
     setup_logs verbose;
     apply_domains domains;
     with_obs ~trace ~profile @@ fun () ->
+    (match trace_sample with
+    | Some rate ->
+        let seed =
+          match Sys.getenv_opt "KF_TRACE_SEED" with
+          | Some s -> Option.value (int_of_string_opt (String.trim s)) ~default:0
+          | None -> 0
+        in
+        Kf_obs.Trace.set_sample ~seed rate
+    | None -> ());
     let ck = Kf_resil.Ckpt.read ~path:model in
     let algo_name =
       match algo with Some n -> n | None -> ck.Kf_resil.Ckpt.algorithm
@@ -654,19 +710,46 @@ let serve_cmd =
             ~default:env_cfg.Kf_serve.Service.queue_depth;
       }
     in
-    let svc =
-      Kf_serve.Service.create ~engine ~config device ~algo:(module A) ~weights
-        ()
+    let slo =
+      Option.map
+        (fun target_us ->
+          Kf_obs.Slo.create ~target_us ~objective:slo_objective algo_name)
+        slo_target
     in
+    let svc =
+      Kf_serve.Service.create ~engine ~config ?slo device ~algo:(module A)
+        ~weights ()
+    in
+    let scrape =
+      Option.map
+        (fun p ->
+          let s =
+            Kf_serve.Scrape.start ~port:p
+              ~render:(fun () ->
+                Kf_obs.Openmetrics.render
+                  (Kf_obs.Metrics.snapshot ~process_counters:true ()))
+              ()
+          in
+          Printf.eprintf "metrics: http://127.0.0.1:%d/metrics\n%!"
+            (Kf_serve.Scrape.port s);
+          s)
+        metrics_port
+    in
+    Fun.protect ~finally:(fun () -> Option.iter Kf_serve.Scrape.stop scrape)
+    @@ fun () ->
     let summary =
       Kf_serve.Driver.run svc ~cols:weights.Kf_ml.Algorithm.cols
         { Kf_serve.Driver.clients; rps; duration_s = duration; seed }
     in
     let st = Kf_serve.Service.stats svc in
+    let service_snapshot = Kf_serve.Service.snapshot svc in
     Kf_serve.Service.shutdown svc;
     if json then
       Kf_obs.Json.to_channel stdout
-        (Kf_serve.Driver.summary_json ~service_stats:st summary)
+        (match Kf_serve.Driver.summary_json summary with
+        | Kf_obs.Json.Obj fields ->
+            Kf_obs.Json.Obj (fields @ [ ("service", service_snapshot) ])
+        | other -> other)
     else begin
       Printf.printf "serving %s model from %s (%d features, %s engine)\n"
         A.display_name model weights.Kf_ml.Algorithm.cols
@@ -683,15 +766,27 @@ let serve_cmd =
       Printf.printf "%d requests in %.2f s: %.0f req/s\n"
         summary.Kf_serve.Driver.ok summary.Kf_serve.Driver.wall_s
         summary.Kf_serve.Driver.throughput_rps;
-      Printf.printf "latency p50 %.0f us, p99 %.0f us, max %.0f us\n"
+      Printf.printf
+        "latency p50 %.0f us, p95 %.0f us, p99 %.0f us, max %.0f us\n"
         (Kf_serve.Histogram.quantile summary.Kf_serve.Driver.latency_us 0.5)
+        (Kf_serve.Histogram.quantile summary.Kf_serve.Driver.latency_us 0.95)
         (Kf_serve.Histogram.quantile summary.Kf_serve.Driver.latency_us 0.99)
         (Kf_serve.Histogram.max_value summary.Kf_serve.Driver.latency_us);
       Printf.printf
         "%d batch(es), mean occupancy %.1f rows, %d shed, %d failed\n"
         st.Kf_serve.Service.batches
         (Kf_serve.Histogram.mean st.Kf_serve.Service.occupancy)
-        summary.Kf_serve.Driver.shed summary.Kf_serve.Driver.failed
+        summary.Kf_serve.Driver.shed summary.Kf_serve.Driver.failed;
+      match slo with
+      | Some s ->
+          Printf.printf
+            "slo: %.0f us at %g objective — %d violation(s), error budget \
+             %.2f %s\n"
+            (Kf_obs.Slo.target_us s) (Kf_obs.Slo.objective s)
+            (Kf_obs.Slo.violations s)
+            (Kf_obs.Slo.budget_remaining s)
+            (if Kf_obs.Slo.compliant s then "(compliant)" else "(EXHAUSTED)")
+      | None -> ()
     end
   in
   Cmd.v
@@ -703,7 +798,221 @@ let serve_cmd =
       const serve $ verbose_arg $ model_arg $ serve_algo_arg $ engine_arg
       $ domains_arg $ window_arg $ max_batch_arg $ queue_depth_arg
       $ clients_arg $ rps_arg $ duration_arg $ seed_arg $ json_arg $ trace_arg
-      $ profile_arg)
+      $ profile_arg $ metrics_port_arg $ trace_sample_arg $ slo_target_arg
+      $ slo_objective_arg)
+
+(* ---- kf top ---- *)
+
+(* Live terminal view of a scrape endpoint.  Each frame fetches
+   /metrics, parses the exposition, and shows counters with rates and
+   histograms with window quantiles — both computed against the
+   previous frame, the standard cumulative-series technique (rate =
+   counter delta / dt, window quantiles from the bucket-wise histogram
+   difference). *)
+
+type top_frame = {
+  tf_counters : ((string * Kf_obs.Metrics.labels) * float) list;
+  tf_gauges : ((string * Kf_obs.Metrics.labels) * float) list;
+  tf_hists : ((string * Kf_obs.Metrics.labels) * Kf_obs.Histogram.t) list;
+  tf_at : float;  (** wall-clock fetch time, for rates *)
+}
+
+let top_classify ~at points =
+  let strip name suffix =
+    let nl = String.length name and sl = String.length suffix in
+    if nl > sl && String.sub name (nl - sl) sl = suffix then
+      Some (String.sub name 0 (nl - sl))
+    else None
+  in
+  (* (base name, labels sans le) -> partially assembled histogram *)
+  let hists = Hashtbl.create 16 in
+  let part key =
+    match Hashtbl.find_opt hists key with
+    | Some p -> p
+    | None ->
+        let p = (ref [], ref 0, ref 0.0) in
+        Hashtbl.add hists key p;
+        p
+  in
+  let counters = ref [] and gauges = ref [] in
+  List.iter
+    (fun { Kf_obs.Openmetrics.p_name; p_labels; p_value } ->
+      match strip p_name "_total" with
+      | Some base -> counters := ((base, p_labels), p_value) :: !counters
+      | None -> (
+          match strip p_name "_bucket" with
+          | Some base ->
+              let le =
+                match List.assoc_opt "le" p_labels with
+                | Some le -> le
+                | None -> "+Inf"
+              in
+              let labels = List.filter (fun (k, _) -> k <> "le") p_labels in
+              let buckets, _, _ = part (base, labels) in
+              if le <> "+Inf" then
+                buckets :=
+                  (float_of_string le, int_of_float p_value) :: !buckets
+          | None -> (
+              match strip p_name "_count" with
+              | Some base ->
+                  let _, count, _ = part (base, p_labels) in
+                  count := int_of_float p_value
+              | None -> (
+                  match strip p_name "_sum" with
+                  | Some base ->
+                      let _, _, sum = part (base, p_labels) in
+                      sum := p_value
+                  | None -> gauges := ((p_name, p_labels), p_value) :: !gauges)
+              )))
+    points;
+  let tf_hists =
+    Hashtbl.fold
+      (fun key (buckets, count, sum) acc ->
+        let buckets = List.sort compare !buckets in
+        (key, Kf_obs.Histogram.of_cumulative ~buckets ~count:!count ~sum:!sum)
+        :: acc)
+      hists []
+  in
+  let by_key l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  {
+    tf_counters = by_key !counters;
+    tf_gauges = by_key !gauges;
+    tf_hists = by_key tf_hists;
+    tf_at = at;
+  }
+
+let top_render ~addr ~port ~prev frame =
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let series (name, labels) =
+    let labels = List.filter (fun (k, _) -> k <> "") labels in
+    if labels = [] then name
+    else
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels))
+  in
+  let dt =
+    match prev with
+    | Some p when frame.tf_at > p.tf_at -> Some (frame.tf_at -. p.tf_at)
+    | _ -> None
+  in
+  pf "kf top — %s:%d — %s\n\n" addr port
+    (match dt with
+    | Some dt -> Printf.sprintf "window %.1f s" dt
+    | None -> "first sample");
+  if frame.tf_counters <> [] then begin
+    pf "%-46s %14s %12s\n" "COUNTERS" "total" "per-second";
+    List.iter
+      (fun (key, v) ->
+        let rate =
+          match (dt, prev) with
+          | Some dt, Some p -> (
+              match List.assoc_opt key p.tf_counters with
+              | Some v0 -> Printf.sprintf "%.1f" (Float.max 0. (v -. v0) /. dt)
+              | None -> "-")
+          | _ -> "-"
+        in
+        pf "%-46s %14.0f %12s\n" (series key) v rate)
+      frame.tf_counters;
+    pf "\n"
+  end;
+  if frame.tf_hists <> [] then begin
+    pf "%-46s %8s %8s %8s %8s\n" "HISTOGRAMS (window)" "count" "p50" "p95"
+      "p99";
+    List.iter
+      (fun (key, h) ->
+        (* quantiles over this frame's increment when we have a previous
+           frame with the same series; cumulative otherwise *)
+        let w =
+          match prev with
+          | Some p -> (
+              match List.assoc_opt key p.tf_hists with
+              | Some h0 ->
+                  let d = Kf_obs.Histogram.diff ~after:h ~before:h0 in
+                  if Kf_obs.Histogram.count d > 0 then d else h
+              | None -> h)
+          | None -> h
+        in
+        pf "%-46s %8d %8.0f %8.0f %8.0f\n" (series key)
+          (Kf_obs.Histogram.count w)
+          (Kf_obs.Histogram.quantile w 0.5)
+          (Kf_obs.Histogram.quantile w 0.95)
+          (Kf_obs.Histogram.quantile w 0.99))
+      frame.tf_hists;
+    pf "\n"
+  end;
+  if frame.tf_gauges <> [] then begin
+    pf "%-46s %14s\n" "GAUGES" "value";
+    List.iter
+      (fun (key, v) -> pf "%-46s %14g\n" (series key) v)
+      frame.tf_gauges
+  end;
+  Buffer.contents buf
+
+let top_cmd =
+  let addr_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "addr" ] ~docv:"ADDR" ~doc:"Scrape endpoint address.")
+  in
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~env:(Cmd.Env.info "KF_METRICS_PORT")
+          ~doc:
+            "Scrape endpoint port — the $(b,--metrics-port) of a running \
+             $(b,kf serve).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Seconds between polls.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) frames; $(b,0) polls until interrupted.  \
+             $(b,1) is a plain one-shot dump (what the CI smoke test \
+             uses).")
+  in
+  let top addr port interval iterations =
+    let clear = iterations <> 1 && Unix.isatty Unix.stdout in
+    let rec loop i prev =
+      match Kf_serve.Scrape.fetch ~addr ~port ~path:"/metrics" () with
+      | Error e ->
+          Printf.eprintf "kf top: %s\n%!" e;
+          exit 1
+      | Ok body ->
+          let points =
+            try Kf_obs.Openmetrics.parse body
+            with Kf_obs.Openmetrics.Parse_error msg ->
+              Printf.eprintf "kf top: malformed exposition: %s\n%!" msg;
+              exit 1
+          in
+          let frame = top_classify ~at:(Unix.gettimeofday ()) points in
+          if clear then print_string "\027[H\027[2J";
+          print_string (top_render ~addr ~port ~prev frame);
+          flush stdout;
+          if iterations = 0 || i < iterations then begin
+            Unix.sleepf interval;
+            loop (i + 1) (Some frame)
+          end
+    in
+    loop 1 None
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a running $(b,kf serve --metrics-port) \
+          endpoint: counter rates, window latency quantiles and SLO \
+          gauges, refreshed every $(b,--interval).")
+    Term.(const top $ addr_arg $ port_arg $ interval_arg $ iterations_arg)
 
 (* ---- kf script ---- *)
 
@@ -823,4 +1132,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; tune_cmd; codegen_cmd; train_cmd; serve_cmd; script_cmd ]))
+          [
+            run_cmd; tune_cmd; codegen_cmd; train_cmd; serve_cmd; top_cmd;
+            script_cmd;
+          ]))

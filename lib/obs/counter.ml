@@ -36,6 +36,24 @@ let all () =
   Mutex.unlock registry_mutex;
   List.sort (fun (a, _) (b, _) -> String.compare a b) items
 
+type snapshot = (string * int) list
+
+let snapshot = all
+
+(* Per-name deltas between two snapshots: the way rolling windows and
+   `kf top` show rates without resetting the process-wide counters out
+   from under every other reader.  Counters born after [before] count
+   from zero; a counter that shrank (only possible across a
+   [reset_all]) clamps to zero rather than reporting a negative rate. *)
+let snapshot_diff ~before ~after =
+  List.map
+    (fun (name, v) ->
+      let prev =
+        match List.assoc_opt name before with Some p -> p | None -> 0
+      in
+      (name, Stdlib.max 0 (v - prev)))
+    after
+
 let reset_all () =
   Mutex.lock registry_mutex;
   Hashtbl.iter (fun _ t -> Atomic.set t.cell 0) registry;

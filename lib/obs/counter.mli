@@ -27,6 +27,17 @@ val value : t -> int
 val all : unit -> (string * int) list
 (** Every registered counter with its current value, sorted by name. *)
 
+type snapshot = (string * int) list
+
+val snapshot : unit -> snapshot
+(** Alias of {!all}: a consistent named snapshot to diff later. *)
+
+val snapshot_diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-name deltas ([after - before], clamped at zero; counters absent
+    from [before] count from zero) — rolling windows and [kf top]
+    derive rates this way instead of resetting the global registry out
+    from under other readers. *)
+
 val reset_all : unit -> unit
 (** Zero every registered counter (the registry itself is kept). *)
 

@@ -1,0 +1,157 @@
+(* Geometric-bucket histogram for latency and occupancy summaries.
+
+   Promoted from lib/serve so the metrics registry, the SLO tracker and
+   the OpenMetrics writer share one quantile representation with the
+   scoring service.  Buckets grow by a factor of 1.25, so quantile
+   estimates carry at most ~12% relative error — plenty for p50/p99
+   reporting — while recording stays O(1) with no allocation.  Values
+   are non-negative; the first bucket covers [0, 1).  96 buckets reach
+   1.25^95 ~ 1.6e9, which in microseconds is ~27 minutes, far beyond
+   any sane request latency.
+
+   Merge is bucket-wise addition, which makes histograms a commutative
+   monoid: per-client (or per-window) histograms combine in any order
+   into the same aggregate — the property the rolling-window quantile
+   queries and the load driver rely on, and that the qcheck suite
+   verifies. *)
+
+let nbuckets = 96
+
+let growth = 1.25
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+let create () = { count = 0; sum = 0.0; max_v = 0.0; buckets = Array.make nbuckets 0 }
+
+let copy t =
+  { count = t.count; sum = t.sum; max_v = t.max_v; buckets = Array.copy t.buckets }
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else
+    let i = 1 + int_of_float (Float.log v /. Float.log growth) in
+    Stdlib.min (nbuckets - 1) i
+
+(* Upper bound of bucket [i] (the value below which all its members
+   fall); bucket 0 is [0, 1). *)
+let bucket_upper i = if i = 0 then 1.0 else growth ** float_of_int i
+
+let record t v =
+  let v = Float.max 0.0 v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max_v then t.max_v <- v;
+  let b = bucket_of v in
+  t.buckets.(b) <- t.buckets.(b) + 1
+
+let merge ~into src =
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.max_v > into.max_v then into.max_v <- src.max_v;
+  Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) src.buckets
+
+(* Bucket-wise subtraction, for rolling windows over cumulative
+   histograms: [diff ~after ~before] is what was recorded between the
+   two snapshots.  A count that shrank (only possible when the operands
+   come from different histograms) clamps to zero rather than going
+   negative.  The true maximum of the in-between samples is not
+   recoverable from cumulative state; the upper bound of the highest
+   surviving bucket stands in for it. *)
+let diff ~after ~before =
+  let buckets =
+    Array.init nbuckets (fun i ->
+        Stdlib.max 0 (after.buckets.(i) - before.buckets.(i)))
+  in
+  let count = Array.fold_left ( + ) 0 buckets in
+  let max_v = ref 0.0 in
+  Array.iteri (fun i c -> if c > 0 then max_v := bucket_upper i) buckets;
+  {
+    count;
+    sum = Float.max 0.0 (after.sum -. before.sum);
+    max_v = Float.min !max_v after.max_v;
+    buckets;
+  }
+
+let count t = t.count
+
+let sum t = t.sum
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let max_value t = t.max_v
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+    let target = Stdlib.max 1 target in
+    let acc = ref 0 and b = ref 0 in
+    (try
+       for i = 0 to nbuckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= target then begin
+           b := i;
+           raise Exit
+         end
+       done;
+       b := nbuckets - 1
+     with Exit -> ());
+    (* report the bucket's upper bound, clamped by the observed max so a
+       single-value histogram reports that value *)
+    Float.min (bucket_upper !b) t.max_v
+  end
+
+(* (upper bound, cumulative count) for every bucket that contains at
+   least one sample — the OpenMetrics [le] series minus its empty
+   prefix/interior, plus the implicit +Inf the writer appends. *)
+let cumulative_buckets t =
+  let acc = ref 0 and out = ref [] in
+  for i = 0 to nbuckets - 1 do
+    if t.buckets.(i) > 0 then begin
+      acc := !acc + t.buckets.(i);
+      out := (bucket_upper i, !acc) :: !out
+    end
+  done;
+  List.rev !out
+
+(* Rebuild a histogram from a parsed exposition: cumulative [le]
+   buckets plus the _count/_sum lines.  Inverse of [cumulative_buckets]
+   up to the lost true maximum (the highest populated bucket's upper
+   bound stands in). *)
+let of_cumulative ~buckets ~count ~sum =
+  let t = create () in
+  t.count <- Stdlib.max 0 count;
+  t.sum <- Float.max 0.0 sum;
+  let prev = ref 0 in
+  List.iter
+    (fun (le, cum) ->
+      let i =
+        if le <= 1.0 then 0
+        else
+          Stdlib.min (nbuckets - 1)
+            (int_of_float
+               (Float.round (Float.log le /. Float.log growth)))
+      in
+      let c = Stdlib.max 0 (cum - !prev) in
+      prev := cum;
+      t.buckets.(i) <- t.buckets.(i) + c;
+      if c > 0 && le > t.max_v then t.max_v <- le)
+    (List.sort (fun (a, _) (b, _) -> Float.compare a b) buckets);
+  t
+
+let summary_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("mean", Json.Float (mean t));
+      ("p50", Json.Float (quantile t 0.5));
+      ("p95", Json.Float (quantile t 0.95));
+      ("p99", Json.Float (quantile t 0.99));
+      ("max", Json.Float t.max_v);
+    ]

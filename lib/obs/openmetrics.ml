@@ -1,0 +1,221 @@
+(* OpenMetrics v1 text exposition.
+
+   Renders a [Metrics.snapshot] in the exposition format Prometheus
+   and its ecosystem scrape:
+
+     # TYPE kf_serve_requests counter
+     # HELP kf_serve_requests Requests accepted.
+     kf_serve_requests_total{model="lr"} 42
+     # TYPE kf_serve_request_latency_us histogram
+     kf_serve_request_latency_us_bucket{model="lr",le="97.65625"} 17
+     kf_serve_request_latency_us_bucket{model="lr",le="+Inf"} 42
+     kf_serve_request_latency_us_count{model="lr"} 42
+     kf_serve_request_latency_us_sum{model="lr"} 3201.5
+     # EOF
+
+   Counters carry the mandatory [_total] suffix; histogram buckets are
+   cumulative with the implicit [+Inf] appended; the document ends with
+   [# EOF].  Only populated buckets are emitted — the geometric grid
+   has 96 of them and a scrape of mostly-empty series would be noise.
+
+   The module also carries the minimal line parser the [kf top] client
+   uses to read an exposition back; the test suite validates the writer
+   with its own hand-written parser instead (test/helpers/om_helper.ml),
+   so the emitter is not checking itself. *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  The profiling layer's
+   dotted counter names (serve.requests) sanitise to underscores. *)
+let sanitize_name s =
+  if s = "" then "_"
+  else
+    String.mapi
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+        | '0' .. '9' when i > 0 -> c
+        | _ -> '_')
+      s
+
+let escape_label v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let label_str labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
+             labels)
+      ^ "}"
+
+(* Shortest representation that round-trips; integers without the
+   trailing dot so counter values read naturally. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let add_sample b ~name ~labels v =
+  Buffer.add_string b name;
+  Buffer.add_string b (label_str labels);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (number v);
+  Buffer.add_char b '\n'
+
+let add_family_header b ~name ~kind ~help =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+  if help <> "" then
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s %s\n" name (escape_label help))
+
+let to_buffer b (snap : Metrics.snapshot) =
+  let seen_family = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = sanitize_name s.Metrics.s_name in
+      let labels = s.Metrics.s_labels in
+      let kind =
+        match s.Metrics.s_value with
+        | Metrics.Vcounter _ -> "counter"
+        | Metrics.Vgauge _ -> "gauge"
+        | Metrics.Vhist _ -> "histogram"
+      in
+      if not (Hashtbl.mem seen_family name) then begin
+        Hashtbl.add seen_family name ();
+        add_family_header b ~name ~kind ~help:s.Metrics.s_help
+      end;
+      match s.Metrics.s_value with
+      | Metrics.Vcounter v -> add_sample b ~name:(name ^ "_total") ~labels v
+      | Metrics.Vgauge v -> add_sample b ~name ~labels v
+      | Metrics.Vhist h ->
+          List.iter
+            (fun (le, cum) ->
+              add_sample b ~name:(name ^ "_bucket")
+                ~labels:(labels @ [ ("le", number le) ])
+                (float_of_int cum))
+            (Histogram.cumulative_buckets h);
+          add_sample b ~name:(name ^ "_bucket")
+            ~labels:(labels @ [ ("le", "+Inf") ])
+            (float_of_int (Histogram.count h));
+          add_sample b ~name:(name ^ "_count") ~labels
+            (float_of_int (Histogram.count h));
+          add_sample b ~name:(name ^ "_sum") ~labels (Histogram.sum h))
+    snap.Metrics.samples;
+  Buffer.add_string b "# EOF\n"
+
+let render snap =
+  let b = Buffer.create 4096 in
+  to_buffer b snap;
+  Buffer.contents b
+
+(* --- reading an exposition back (the kf top client) -------------------- *)
+
+type point = { p_name : string; p_labels : Metrics.labels; p_value : float }
+
+exception Parse_error of string
+
+let parse_labels s =
+  (* s is the text between '{' and '}' *)
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let out = ref [] in
+  while !pos < n do
+    let eq =
+      match String.index_from_opt s !pos '=' with
+      | Some i -> i
+      | None -> fail "label without '='"
+    in
+    let key = String.sub s !pos (eq - !pos) in
+    if eq + 1 >= n || s.[eq + 1] <> '"' then fail "label value not quoted";
+    let b = Buffer.create 16 in
+    let i = ref (eq + 2) in
+    let closed = ref false in
+    while not !closed do
+      if !i >= n then fail "unterminated label value";
+      (match s.[!i] with
+      | '\\' ->
+          if !i + 1 >= n then fail "unterminated escape";
+          (match s.[!i + 1] with
+          | 'n' -> Buffer.add_char b '\n'
+          | c -> Buffer.add_char b c);
+          i := !i + 1
+      | '"' -> closed := true
+      | c -> Buffer.add_char b c);
+      incr i
+    done;
+    out := (key, Buffer.contents b) :: !out;
+    pos := !i;
+    if !pos < n then
+      if s.[!pos] = ',' then incr pos else fail "expected ',' between labels"
+  done;
+  List.rev !out
+
+let parse_value v =
+  match v with
+  | "+Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> raise (Parse_error (Printf.sprintf "bad value %S" v)))
+
+(* Sample lines only; comment lines (# TYPE/# HELP/# EOF) are skipped.
+   Raises [Parse_error] if the document does not end with # EOF. *)
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let saw_eof = ref false in
+  let points =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" then None
+        else if line = "# EOF" then begin
+          saw_eof := true;
+          None
+        end
+        else if String.length line > 0 && line.[0] = '#' then None
+        else begin
+          let name_end =
+            match (String.index_opt line '{', String.index_opt line ' ') with
+            | Some b, Some sp -> Stdlib.min b sp
+            | Some b, None -> b
+            | None, Some sp -> sp
+            | None, None ->
+                raise (Parse_error ("no value on line: " ^ line))
+          in
+          let name = String.sub line 0 name_end in
+          let labels, rest_at =
+            if line.[name_end] = '{' then begin
+              match String.index_from_opt line name_end '}' with
+              | None -> raise (Parse_error "unterminated label set")
+              | Some close ->
+                  ( parse_labels
+                      (String.sub line (name_end + 1) (close - name_end - 1)),
+                    close + 1 )
+            end
+            else ([], name_end)
+          in
+          let value =
+            parse_value
+              (String.trim
+                 (String.sub line rest_at (String.length line - rest_at)))
+          in
+          Some { p_name = name; p_labels = labels; p_value = value }
+        end)
+      lines
+  in
+  if not !saw_eof then raise (Parse_error "missing # EOF terminator");
+  points

@@ -1,0 +1,33 @@
+(** OpenMetrics v1 text exposition writer (and the minimal reader the
+    [kf top] client uses).
+
+    {!render} turns a {!Metrics.snapshot} into the exposition format
+    Prometheus scrapes: one [# TYPE] (and [# HELP] when present) header
+    per family, counters with the mandatory [_total] suffix, histograms
+    as cumulative [_bucket{le=...}] series (populated buckets only,
+    with the implicit [+Inf]) plus [_count]/[_sum], and a final
+    [# EOF].  Dotted names from the profiling layer's counter registry
+    sanitise to underscores. *)
+
+val sanitize_name : string -> string
+(** Map to the metric-name alphabet [[a-zA-Z0-9_:]] (leading digits and
+    every other character become [_]). *)
+
+val render : Metrics.snapshot -> string
+
+val to_buffer : Buffer.t -> Metrics.snapshot -> unit
+
+(** {1 Reading an exposition} *)
+
+type point = { p_name : string; p_labels : Metrics.labels; p_value : float }
+(** One sample line, name kept verbatim (so histogram series appear as
+    [..._bucket] / [..._count] / [..._sum]). *)
+
+exception Parse_error of string
+
+val parse : string -> point list
+(** Parse every sample line of an exposition; comment lines are
+    skipped.  Raises {!Parse_error} on malformed lines or when the
+    [# EOF] terminator is missing.  This is the scrape client's parser;
+    the test suite checks the writer with an independent hand-written
+    one. *)

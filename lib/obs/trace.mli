@@ -48,6 +48,42 @@ val enable : unit -> unit
 
 val disable : unit -> unit
 
+(** {1 Probabilistic sampling}
+
+    Always-on per-request tracing costs a measured ~3.5% on the serving
+    path; sampling records a deterministic subset instead.  The
+    decision is a pure hash of [(seed, id)], so the same id samples
+    identically on every domain and every run — all of a request's
+    spans make the same decision, and a replay with the same seed
+    reproduces the same trace. *)
+
+val set_sample : ?seed:int -> float -> unit
+(** [set_sample rate] keeps roughly [rate] of ids ([clamped to \[0,1\]];
+    default rate is 1.0 — sample everything).  [seed] defaults to 0. *)
+
+val sample_rate : unit -> float
+
+val sampled : int -> bool
+(** Deterministic per-id decision under the current (rate, seed). *)
+
+val sample_of_env : unit -> unit
+(** Install the rate from [KF_TRACE_SAMPLE] (and seed from
+    [KF_TRACE_SEED]) when set; no-op otherwise. *)
+
+val with_suppressed : (unit -> 'a) -> 'a
+(** Run [f] with span emission suppressed on this domain — what the
+    serving path wraps around work done for an unsampled batch, so
+    per-batch infrastructure spans (executor, pool dispatch) obey the
+    request sampler too.  Nestable; restored even if [f] raises. *)
+
+val suppressed : unit -> bool
+
+val emitting : unit -> bool
+(** [enabled () && not (suppressed ())] — the predicate every emission
+    checks.  Layers that hand work to other domains (the pool) should
+    capture it on the calling domain at dispatch time, carrying the
+    suppression decision across the domain boundary. *)
+
 val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f ()]; when tracing is enabled, records a
     span covering the call (recorded even if [f] raises).  Nested calls

@@ -161,7 +161,7 @@ let maybe_crash t f =
 let run_workers t f =
   let f = if Kf_resil.Fault.active () then maybe_crash t f else f in
   let profiling = Kf_obs.Host_stats.profiling () in
-  let tracing = Kf_obs.Trace.enabled () in
+  let tracing = Kf_obs.Trace.emitting () in
   if not (profiling || tracing) then run_workers_plain t f
   else begin
     let busy = Array.make t.size 0 in

@@ -165,6 +165,7 @@ let summary_json ?service_stats s =
       ("wall_s", Kf_obs.Json.Float s.wall_s);
       ("throughput_rps", Kf_obs.Json.Float s.throughput_rps);
       ("p50_us", Kf_obs.Json.Float (Histogram.quantile s.latency_us 0.5));
+      ("p95_us", Kf_obs.Json.Float (Histogram.quantile s.latency_us 0.95));
       ("p99_us", Kf_obs.Json.Float (Histogram.quantile s.latency_us 0.99));
       ("latency_us", Histogram.summary_json s.latency_us);
     ]

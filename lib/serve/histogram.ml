@@ -1,85 +1,4 @@
-(* Geometric-bucket histogram for latency and occupancy summaries.
-
-   Buckets grow by a factor of 1.25, so quantile estimates carry at most
-   ~12% relative error — plenty for p50/p99 reporting — while recording
-   stays O(1) with no allocation.  Values are non-negative; the first
-   bucket covers [0, 1).  96 buckets reach 1.25^95 ~ 1.6e9, which in
-   microseconds is ~27 minutes, far beyond any sane request latency. *)
-
-let nbuckets = 96
-
-let growth = 1.25
-
-type t = {
-  mutable count : int;
-  mutable sum : float;
-  mutable max_v : float;
-  buckets : int array;
-}
-
-let create () = { count = 0; sum = 0.0; max_v = 0.0; buckets = Array.make nbuckets 0 }
-
-let copy t =
-  { count = t.count; sum = t.sum; max_v = t.max_v; buckets = Array.copy t.buckets }
-
-let bucket_of v =
-  if v < 1.0 then 0
-  else
-    let i = 1 + int_of_float (Float.log v /. Float.log growth) in
-    Stdlib.min (nbuckets - 1) i
-
-(* Upper bound of bucket [i] (the value below which all its members
-   fall); bucket 0 is [0, 1). *)
-let bucket_upper i = if i = 0 then 1.0 else growth ** float_of_int i
-
-let record t v =
-  let v = Float.max 0.0 v in
-  t.count <- t.count + 1;
-  t.sum <- t.sum +. v;
-  if v > t.max_v then t.max_v <- v;
-  let b = bucket_of v in
-  t.buckets.(b) <- t.buckets.(b) + 1
-
-let merge ~into src =
-  into.count <- into.count + src.count;
-  into.sum <- into.sum +. src.sum;
-  if src.max_v > into.max_v then into.max_v <- src.max_v;
-  Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) src.buckets
-
-let count t = t.count
-
-let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
-
-let max_value t = t.max_v
-
-let quantile t q =
-  if t.count = 0 then 0.0
-  else begin
-    let q = Float.max 0.0 (Float.min 1.0 q) in
-    let target = int_of_float (Float.ceil (q *. float_of_int t.count)) in
-    let target = Stdlib.max 1 target in
-    let acc = ref 0 and b = ref 0 in
-    (try
-       for i = 0 to nbuckets - 1 do
-         acc := !acc + t.buckets.(i);
-         if !acc >= target then begin
-           b := i;
-           raise Exit
-         end
-       done;
-       b := nbuckets - 1
-     with Exit -> ());
-    (* report the bucket's upper bound, clamped by the observed max so a
-       single-value histogram reports that value *)
-    Float.min (bucket_upper !b) t.max_v
-  end
-
-let summary_json t =
-  Kf_obs.Json.Obj
-    [
-      ("count", Kf_obs.Json.Int t.count);
-      ("mean", Kf_obs.Json.Float (mean t));
-      ("p50", Kf_obs.Json.Float (quantile t 0.5));
-      ("p99", Kf_obs.Json.Float (quantile t 0.99));
-      ("max", Kf_obs.Json.Float t.max_v);
-    ]
+(* Promoted to lib/obs (the metrics registry, SLO tracker and
+   OpenMetrics writer share it); this alias keeps existing
+   [Kf_serve.Histogram] call sites working — the types are equal. *)
+include Kf_obs.Histogram

@@ -1,31 +1,7 @@
-(** Constant-memory geometric histogram (factor 1.25 buckets) for
-    latency and batch-occupancy summaries: O(1) record, ~12% worst-case
-    relative error on quantiles.
+(** Alias of {!Kf_obs.Histogram}, where the implementation now lives
+    (promoted so the metrics registry, the SLO tracker and the
+    OpenMetrics writer share one quantile representation).
+    [Kf_serve.Histogram.t] and [Kf_obs.Histogram.t] are the same
+    type. *)
 
-    Not thread-safe: each histogram must be recorded into by one domain
-    at a time (the serving scheduler owns its histograms; the load
-    driver keeps one per client and merges). *)
-
-type t
-
-val create : unit -> t
-
-val copy : t -> t
-
-val record : t -> float -> unit
-(** Record a non-negative value (negative values clamp to 0). *)
-
-val merge : into:t -> t -> unit
-
-val count : t -> int
-
-val mean : t -> float
-
-val max_value : t -> float
-
-val quantile : t -> float -> float
-(** [quantile t 0.99] — an upper-bound estimate within one bucket
-    (≤ ~12% high), clamped to the observed maximum; [0] when empty. *)
-
-val summary_json : t -> Kf_obs.Json.t
-(** [{count, mean, p50, p99, max}]. *)
+include module type of Kf_obs.Histogram with type t = Kf_obs.Histogram.t

@@ -25,8 +25,15 @@ type outcome = Score of float | Failed of string
 
 (* Tickets share the service-wide [done_mu]/[done_cv] pair: the
    scheduler resolves a whole batch under one lock with one broadcast,
-   instead of a lock + signal per request. *)
+   instead of a lock + signal per request.
+
+   [t_id] is the process-wide request id — the trace-correlation key
+   and the input to the deterministic trace sampler.  [t_sampled] is
+   decided once at submission, so every span of one request (submit,
+   queue, execute, resolve) makes the same decision. *)
 type ticket = {
+  t_id : int;
+  t_sampled : bool;
   t_row : row;
   t_enqueue_ns : int;
   mutable t_outcome : outcome option;
@@ -34,6 +41,8 @@ type ticket = {
   t_done_mu : Mutex.t;
   t_done_cv : Condition.t;
 }
+
+let next_request_id = Atomic.make 0
 
 type config = { window_us : int; max_batch : int; queue_depth : int }
 
@@ -68,12 +77,27 @@ type stats = {
   occupancy : Histogram.t;
 }
 
+type metrics_cells = {
+  m_requests : Kf_obs.Metrics.counter;
+  m_shed : Kf_obs.Metrics.counter;
+  m_batches : Kf_obs.Metrics.counter;
+  m_failures : Kf_obs.Metrics.counter;
+  m_retries : Kf_obs.Metrics.counter;
+  m_queue_depth : Kf_obs.Metrics.gauge;
+  m_latency : Kf_obs.Metrics.histogram;
+  m_queue : Kf_obs.Metrics.histogram;
+  m_occupancy : Kf_obs.Metrics.histogram;
+}
+
 type t = {
   device : Gpu_sim.Device.t;
   engine : Fusion.Executor.engine;
   pool : Par.Pool.t option;
   scorer : Kf_ml.Algorithm.scorer;
   cols : int;
+  model : string;  (** metric/SLO label: algorithm name unless overridden *)
+  slo : Kf_obs.Slo.t option;
+  metrics : metrics_cells;
   cfg : config;
   cap : int;  (** effective batch cap: 1 when [window_us = 0] *)
   mu : Mutex.t;  (** guards [queue], [stopped], [accepted], [shed] *)
@@ -107,6 +131,40 @@ let batches_counter = Kf_obs.Counter.make "serve.batches"
 let retries_counter = Kf_obs.Counter.make "serve.batch_retries"
 
 let failures_counter = Kf_obs.Counter.make "serve.failures"
+
+(* Labeled time-series cells for the scrape endpoint; one label set per
+   served model, so several services in one process stay separable. *)
+let make_metrics ~model =
+  let labels = [ ("model", model) ] in
+  {
+    m_requests =
+      Kf_obs.Metrics.counter ~help:"Requests accepted." ~labels
+        "kf_serve_requests";
+    m_shed =
+      Kf_obs.Metrics.counter ~help:"Requests shed at the admission bound."
+        ~labels "kf_serve_shed";
+    m_batches =
+      Kf_obs.Metrics.counter ~help:"Batches executed." ~labels
+        "kf_serve_batches";
+    m_failures =
+      Kf_obs.Metrics.counter ~help:"Requests resolved Failed." ~labels
+        "kf_serve_failures";
+    m_retries =
+      Kf_obs.Metrics.counter ~help:"Whole-batch retries." ~labels
+        "kf_serve_batch_retries";
+    m_queue_depth =
+      Kf_obs.Metrics.gauge ~help:"Requests waiting at last dispatch." ~labels
+        "kf_serve_queue_depth";
+    m_latency =
+      Kf_obs.Metrics.histogram ~help:"Submit-to-resolve latency (us)."
+        ~labels "kf_serve_request_latency_us";
+    m_queue =
+      Kf_obs.Metrics.histogram ~help:"Submit-to-dispatch queue wait (us)."
+        ~labels "kf_serve_queue_wait_us";
+    m_occupancy =
+      Kf_obs.Metrics.histogram ~help:"Rows per executed batch." ~labels
+        "kf_serve_batch_occupancy";
+  }
 
 (* --- request validation -------------------------------------------------- *)
 
@@ -188,11 +246,15 @@ let execute t batch =
   let dispatch_ns = Kf_obs.Clock.now_ns () in
   t.batches <- t.batches + 1;
   Kf_obs.Counter.incr batches_counter;
+  Kf_obs.Metrics.inc t.metrics.m_batches;
+  Kf_obs.Metrics.observe t.metrics.m_occupancy
+    (float_of_int (Array.length batch));
   Histogram.record t.occupancy_hist (float_of_int (Array.length batch));
   Array.iter
     (fun tk ->
-      Histogram.record t.queue_hist
-        (Kf_obs.Clock.ns_to_us (dispatch_ns - tk.t_enqueue_ns)))
+      let wait_us = Kf_obs.Clock.ns_to_us (dispatch_ns - tk.t_enqueue_ns) in
+      Histogram.record t.queue_hist wait_us;
+      Kf_obs.Metrics.observe t.metrics.m_queue wait_us)
     batch;
   let input = assemble t batch in
   (* One batched predict through the executor.  The executor's own
@@ -201,12 +263,34 @@ let execute t batch =
      that still escapes (e.g. the reference output itself is unhealthy)
      gets one whole-batch retry before the requests are answered
      [Failed] — requests are never dropped. *)
+  let batch_id = t.batches in
+  (* Batch-level spans (serve.batch, the executor's, the pool's) follow
+     the sampler too, keyed on the batch's own id — sampling by "does
+     the batch carry a sampled request" would keep [1 - (1-r)^size] of
+     batches, i.e. most of them at useful occupancies, defeating the
+     volume cut.  The xor moves batch ids into a keyspace disjoint from
+     request ids so batch k and request k decide independently.
+     Per-request spans are emitted outside this scope, so a sampled
+     request keeps its full span set either way (its [batch] arg still
+     correlates it with the batch when that batch was kept). *)
+  let batch_sampled =
+    Kf_obs.Trace.sample_rate () >= 1.0
+    || Kf_obs.Trace.sampled (batch_id lxor 0x5bd1e995)
+  in
   let attempt () =
-    Kf_obs.Trace.with_span "serve.batch"
-      ~args:[ ("size", string_of_int (Array.length batch)) ]
-    @@ fun () ->
-    Kf_ml.Algorithm.predict_exec_with t.scorer ~engine:t.engine ?pool:t.pool
-      t.device input
+    let body () =
+      Kf_ml.Algorithm.predict_exec_with t.scorer ~engine:t.engine ?pool:t.pool
+        t.device input
+    in
+    if batch_sampled then
+      Kf_obs.Trace.with_span "serve.batch"
+        ~args:
+          [ ("size", string_of_int (Array.length batch));
+            ("batch", string_of_int batch_id) ]
+        body
+    else
+      (* also silences the executor's and pool's per-batch spans *)
+      Kf_obs.Trace.with_suppressed body
   in
   let result =
     match attempt () with
@@ -214,6 +298,7 @@ let execute t batch =
     | exception first -> (
         t.batch_retries <- t.batch_retries + 1;
         Kf_obs.Counter.incr retries_counter;
+        Kf_obs.Metrics.inc t.metrics.m_retries;
         Kf_obs.Trace.instant "serve.batch_retry"
           ~args:[ ("cause", Printexc.to_string first) ];
         match attempt () with
@@ -221,29 +306,43 @@ let execute t batch =
         | exception second -> Error (Printexc.to_string second))
   in
   let done_ns = Kf_obs.Clock.now_ns () in
+  let batch_ok = match result with Ok _ -> true | Error _ -> false in
   (* book-keeping happens before the tickets resolve so that a client
      returning from [await] always observes its request in the stats.
-     The per-request trace args are only formatted when tracing is on —
-     a sprintf per request would otherwise dominate the serving path. *)
+     Per-request trace spans are emitted only for sampled tickets (the
+     sampler decided at submission), and the args are only formatted
+     then — a sprintf per request would otherwise dominate the serving
+     path.  Each sampled request contributes two phase spans on top of
+     its end-to-end one, so a Chrome timeline separates queue wait from
+     execution per request. *)
   let tracing = Kf_obs.Trace.enabled () in
   Array.iter
     (fun tk ->
       let lat_ns = done_ns - tk.t_enqueue_ns in
-      Histogram.record t.latency_hist (Kf_obs.Clock.ns_to_us lat_ns);
-      if tracing then
+      let lat_us = Kf_obs.Clock.ns_to_us lat_ns in
+      Histogram.record t.latency_hist lat_us;
+      Kf_obs.Metrics.observe t.metrics.m_latency lat_us;
+      (match t.slo with
+      | Some slo -> Kf_obs.Slo.record slo ~latency_us:lat_us ~ok:batch_ok
+      | None -> ());
+      if tracing && tk.t_sampled then begin
+        let rid = [ ("rid", string_of_int tk.t_id) ] in
         Kf_obs.Trace.complete ~name:"serve.request"
-          ~args:
-            [
-              ( "queue_us",
-                Printf.sprintf "%.1f"
-                  (Kf_obs.Clock.ns_to_us (dispatch_ns - tk.t_enqueue_ns)) );
-            ]
-          ~ts_ns:tk.t_enqueue_ns ~dur_ns:lat_ns ())
+          ~args:(("batch", string_of_int batch_id) :: rid)
+          ~ts_ns:tk.t_enqueue_ns ~dur_ns:lat_ns ();
+        Kf_obs.Trace.complete ~name:"serve.request.queue" ~args:rid
+          ~ts_ns:tk.t_enqueue_ns
+          ~dur_ns:(dispatch_ns - tk.t_enqueue_ns) ();
+        Kf_obs.Trace.complete ~name:"serve.request.execute" ~args:rid
+          ~ts_ns:dispatch_ns ~dur_ns:(done_ns - dispatch_ns) ()
+      end)
     batch;
   (match result with
   | Error _ ->
       t.failures <- t.failures + Array.length batch;
-      Kf_obs.Counter.add failures_counter (Array.length batch)
+      Kf_obs.Counter.add failures_counter (Array.length batch);
+      Kf_obs.Metrics.inc ~by:(float_of_int (Array.length batch))
+        t.metrics.m_failures
   | Ok (_, ms) -> t.exec_ms <- t.exec_ms +. ms);
   (* resolve the whole batch under one lock with one broadcast *)
   Mutex.lock t.done_mu;
@@ -287,6 +386,8 @@ let scheduler_loop t =
     else begin
       let n = Stdlib.min t.cap (Queue.length t.queue) in
       let batch = Array.init n (fun _ -> Queue.pop t.queue) in
+      Kf_obs.Metrics.set t.metrics.m_queue_depth
+        (float_of_int (Queue.length t.queue));
       Mutex.unlock t.mu;
       execute t batch;
       loop ()
@@ -326,7 +427,7 @@ let run_scheduler t =
 (* --- public API ----------------------------------------------------------- *)
 
 let create ?(engine = Fusion.Executor.Fused) ?pool ?config ?(start = true)
-    device ~algo ~weights () =
+    ?model ?slo device ~algo ~weights () =
   let cfg = match config with Some c -> c | None -> config_of_env () in
   if cfg.window_us < 0 then
     invalid_arg "Service.create: window_us must be >= 0";
@@ -334,6 +435,7 @@ let create ?(engine = Fusion.Executor.Fused) ?pool ?config ?(start = true)
   if cfg.queue_depth < 1 then
     invalid_arg "Service.create: queue_depth must be >= 1";
   let (module A : Kf_ml.Algorithm.S) = algo in
+  let model = match model with Some m -> m | None -> A.name in
   let t =
     {
       device;
@@ -341,6 +443,9 @@ let create ?(engine = Fusion.Executor.Fused) ?pool ?config ?(start = true)
       pool;
       scorer = A.scorer weights;
       cols = weights.Kf_ml.Algorithm.cols;
+      model;
+      slo;
+      metrics = make_metrics ~model;
       cfg;
       cap = (if cfg.window_us = 0 then 1 else cfg.max_batch);
       mu = Mutex.create ();
@@ -375,6 +480,7 @@ let config t = t.cfg
 
 let submit t row =
   validate_row t row;
+  let submit_ns = Kf_obs.Clock.now_ns () in
   Mutex.lock t.mu;
   if t.stopped then begin
     Mutex.unlock t.mu;
@@ -384,12 +490,17 @@ let submit t row =
     t.shed <- t.shed + 1;
     Mutex.unlock t.mu;
     Kf_obs.Counter.incr shed_counter;
+    Kf_obs.Metrics.inc t.metrics.m_shed;
     None
   end
   else begin
     let was_empty = Queue.is_empty t.queue in
+    let id = Atomic.fetch_and_add next_request_id 1 in
+    let sampled = Kf_obs.Trace.enabled () && Kf_obs.Trace.sampled id in
     let tk =
       {
+        t_id = id;
+        t_sampled = sampled;
         t_row = row;
         t_enqueue_ns = Kf_obs.Clock.now_ns ();
         t_outcome = None;
@@ -407,6 +518,13 @@ let submit t row =
       Condition.signal t.nonempty;
     Mutex.unlock t.mu;
     Kf_obs.Counter.incr requests_counter;
+    Kf_obs.Metrics.inc t.metrics.m_requests;
+    if sampled then
+      Kf_obs.Trace.complete ~name:"serve.request.submit"
+        ~args:[ ("rid", string_of_int id) ]
+        ~ts_ns:submit_ns
+        ~dur_ns:(tk.t_enqueue_ns - submit_ns)
+        ();
     Some tk
   end
 
@@ -417,6 +535,13 @@ let await tk =
   done;
   let outcome = Option.get tk.t_outcome in
   Mutex.unlock tk.t_done_mu;
+  (* resolve phase: batch completion to client wake-up *)
+  if tk.t_sampled && Kf_obs.Trace.enabled () then
+    Kf_obs.Trace.complete ~name:"serve.request.resolve"
+      ~args:[ ("rid", string_of_int tk.t_id) ]
+      ~ts_ns:tk.t_done_ns
+      ~dur_ns:(Kf_obs.Clock.now_ns () - tk.t_done_ns)
+      ();
   outcome
 
 let latency_ns tk =
@@ -468,3 +593,29 @@ let stats_json (s : stats) =
       ("latency_us", Histogram.summary_json s.latency_us);
       ("occupancy", Histogram.summary_json s.occupancy);
     ]
+
+let request_id tk = tk.t_id
+
+let model t = t.model
+
+let slo t = t.slo
+
+(* One self-describing JSON view of the live service: the stats
+   snapshot (histograms summarised through the quantile API — p50, p95,
+   p99 — never raw bucket dumps), the model label and the SLO state
+   when one is attached.  `kf serve --json` embeds this under
+   "service". *)
+let snapshot t =
+  let s = stats t in
+  let base =
+    match stats_json s with
+    | Kf_obs.Json.Obj fields -> fields
+    | _ -> assert false
+  in
+  Kf_obs.Json.Obj
+    (("model", Kf_obs.Json.Str t.model)
+     :: base
+    @
+    match t.slo with
+    | Some slo -> [ ("slo", Kf_obs.Slo.to_json slo) ]
+    | None -> [])

@@ -48,6 +48,8 @@ val create :
   ?pool:Par.Pool.t ->
   ?config:config ->
   ?start:bool ->
+  ?model:string ->
+  ?slo:Kf_obs.Slo.t ->
   Gpu_sim.Device.t ->
   algo:(module Kf_ml.Algorithm.S) ->
   weights:Kf_ml.Algorithm.weights ->
@@ -55,7 +57,10 @@ val create :
   t
 (** [create device ~algo ~weights ()] builds the service and (unless
     [~start:false]) spawns its scheduler domain.  [?config] defaults to
-    {!config_of_env}.  Engine defaults to [Fused]. *)
+    {!config_of_env}.  Engine defaults to [Fused].  [?model] labels the
+    service's time-series in the metrics registry (default: the
+    algorithm's name); [?slo] attaches a latency objective — every
+    resolved request is recorded against it. *)
 
 val start : t -> unit
 (** Spawn the scheduler if [create ~start:false] deferred it (tests use
@@ -93,3 +98,22 @@ val stats : t -> stats
 (** Consistent snapshot (histograms are copies). *)
 
 val stats_json : stats -> Kf_obs.Json.t
+(** Histogram fields are quantile summaries ([{count, mean, p50, p95,
+    p99, max}] via {!Kf_obs.Histogram.quantile}), never raw bucket
+    dumps. *)
+
+val request_id : ticket -> int
+(** Process-wide request id — the trace-correlation key ([rid] on the
+    request's spans) and the input to the deterministic trace
+    sampler. *)
+
+val model : t -> string
+(** The service's metric/SLO label. *)
+
+val slo : t -> Kf_obs.Slo.t option
+
+val snapshot : t -> Kf_obs.Json.t
+(** {!stats_json} of a fresh {!stats}, plus the model label and — when
+    an SLO is attached — its state ([slo.error_budget],
+    [slo.violations], …).  What [kf serve --json] embeds under
+    ["service"]. *)

@@ -1,0 +1,193 @@
+(* Self-contained OpenMetrics text-exposition parser used to *validate*
+   what [Kf_obs.Openmetrics.render] emits — deliberately independent of
+   [Kf_obs.Openmetrics.parse] (the kf top client's reader), so the
+   writer and its checker share no code.  Same idea as [Json_helper]
+   for the JSON emitter.
+
+   Parses the subset of the v1 text format the writer produces:
+
+     # TYPE name kind
+     # HELP name text
+     name{label="v",...} number
+     # EOF
+
+   and groups sample lines under their family. *)
+
+type sample = {
+  s_name : string;  (** full series name, e.g. [foo_bucket] *)
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type family = {
+  f_name : string;
+  f_kind : string;  (** counter | gauge | histogram | unknown *)
+  f_help : string option;
+  f_samples : sample list;  (** in exposition order *)
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let parse_sample_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let name_end = ref 0 in
+  while !name_end < n && is_name_char line.[!name_end] do
+    incr name_end
+  done;
+  if !name_end = 0 then fail "sample line without a metric name: %S" line;
+  let name = String.sub line 0 !name_end in
+  pos := !name_end;
+  let labels =
+    if peek () <> Some '{' then []
+    else begin
+      incr pos;
+      let rec labels acc =
+        if peek () = Some '}' then begin
+          incr pos;
+          List.rev acc
+        end
+        else begin
+          let k0 = !pos in
+          while !pos < n && is_name_char line.[!pos] do
+            incr pos
+          done;
+          if !pos = k0 then fail "empty label name in %S" line;
+          let key = String.sub line k0 (!pos - k0) in
+          if peek () <> Some '=' then fail "label without '=' in %S" line;
+          incr pos;
+          if peek () <> Some '"' then fail "unquoted label value in %S" line;
+          incr pos;
+          let b = Buffer.create 16 in
+          let rec value () =
+            match peek () with
+            | None -> fail "unterminated label value in %S" line
+            | Some '"' -> incr pos
+            | Some '\\' -> (
+                incr pos;
+                match peek () with
+                | Some 'n' ->
+                    Buffer.add_char b '\n';
+                    incr pos;
+                    value ()
+                | Some ('"' | '\\') ->
+                    Buffer.add_char b line.[!pos];
+                    incr pos;
+                    value ()
+                | _ -> fail "bad escape in label value in %S" line)
+            | Some c ->
+                Buffer.add_char b c;
+                incr pos;
+                value ()
+          in
+          value ();
+          let acc = (key, Buffer.contents b) :: acc in
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              labels acc
+          | Some '}' -> labels acc
+          | _ -> fail "expected ',' or '}' in %S" line
+        end
+      in
+      labels []
+    end
+  in
+  if peek () <> Some ' ' then fail "expected space before value in %S" line;
+  let value_str = String.trim (String.sub line !pos (n - !pos)) in
+  let value =
+    match value_str with
+    | "+Inf" -> infinity
+    | "-Inf" -> neg_infinity
+    | "NaN" -> nan
+    | v -> (
+        match float_of_string_opt v with
+        | Some f -> f
+        | None -> fail "unparsable value %S in %S" v line)
+  in
+  { s_name = name; s_labels = labels; s_value = value }
+
+(* Family lookup key for a series name: strip the histogram suffixes
+   and the counter's _total so samples attach to their # TYPE line. *)
+let base_of name ~families =
+  let strip suffix =
+    let nl = String.length name and sl = String.length suffix in
+    if nl > sl && String.sub name (nl - sl) sl = suffix then
+      Some (String.sub name 0 (nl - sl))
+    else None
+  in
+  let candidates =
+    name
+    :: List.filter_map strip [ "_total"; "_bucket"; "_count"; "_sum" ]
+  in
+  match List.find_opt (fun c -> List.mem_assoc c !families) candidates with
+  | Some c -> c
+  | None -> name
+
+let parse (text : string) : family list =
+  let families = ref [] in
+  (* assoc name -> family, insertion order kept separately *)
+  let order = ref [] in
+  let ensure name kind help =
+    if not (List.mem_assoc name !families) then begin
+      families :=
+        (name, { f_name = name; f_kind = kind; f_help = help; f_samples = [] })
+        :: !families;
+      order := name :: !order
+    end
+  in
+  let update name f =
+    match List.assoc_opt name !families with
+    | None -> ()
+    | Some fam ->
+        families := (name, f fam) :: List.remove_assoc name !families
+  in
+  let saw_eof = ref false in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if !saw_eof then fail "content after # EOF: %S" line
+      else if line = "# EOF" then saw_eof := true
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+            ensure name kind None;
+            update name (fun f -> { f with f_kind = kind })
+        | _ -> fail "malformed TYPE line %S" line
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        match String.index_opt rest ' ' with
+        | Some i ->
+            let name = String.sub rest 0 i in
+            let help = String.sub rest (i + 1) (String.length rest - i - 1) in
+            ensure name "unknown" (Some help);
+            update name (fun f -> { f with f_help = Some help })
+        | None -> fail "malformed HELP line %S" line
+      end
+      else if String.length line >= 1 && line.[0] = '#' then ()
+      else begin
+        let s = parse_sample_line line in
+        let base = base_of s.s_name ~families in
+        ensure base "unknown" None;
+        update base (fun f -> { f with f_samples = f.f_samples @ [ s ] })
+      end)
+    lines;
+  if not !saw_eof then fail "missing # EOF terminator";
+  List.rev_map (fun name -> List.assoc name !families) !order
+
+let find families name = List.find_opt (fun f -> f.f_name = name) families
+
+let samples_named family name =
+  List.filter (fun s -> s.s_name = name) family.f_samples

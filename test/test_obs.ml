@@ -261,6 +261,433 @@ let test_host_stats_imbalance_and_json () =
         "no sink left installed" true
         (Kf_obs.Host_stats.current () = None)
 
+(* ---- histogram: merge monoid, quantile bounds, diff --------------------- *)
+
+let hist_of vs =
+  let h = Kf_obs.Histogram.create () in
+  List.iter (Kf_obs.Histogram.record h) vs;
+  h
+
+let hist_equal a b =
+  Kf_obs.Histogram.count a = Kf_obs.Histogram.count b
+  && Kf_obs.Histogram.max_value a = Kf_obs.Histogram.max_value b
+  && Kf_obs.Histogram.cumulative_buckets a
+     = Kf_obs.Histogram.cumulative_buckets b
+
+let values_gen = QCheck.Gen.(list_size (int_bound 200) (float_range 0.0 2e6))
+
+let values_print vs =
+  Printf.sprintf "[%s]" (String.concat "; " (List.map string_of_float vs))
+
+let test_hist_merge_monoid =
+  QCheck.Test.make ~count:100
+    ~name:"histogram merge is associative and commutative"
+    (QCheck.make
+       ~print:(fun (a, b, c) ->
+         values_print a ^ " / " ^ values_print b ^ " / " ^ values_print c)
+       QCheck.Gen.(triple values_gen values_gen values_gen))
+    (fun (xs, ys, zs) ->
+      let open Kf_obs.Histogram in
+      (* (x <> y) <> z *)
+      let left = hist_of xs in
+      merge ~into:left (hist_of ys);
+      merge ~into:left (hist_of zs);
+      (* x <> (y <> z) *)
+      let yz = hist_of ys in
+      merge ~into:yz (hist_of zs);
+      let right = hist_of xs in
+      merge ~into:right yz;
+      (* z <> y <> x *)
+      let rev = hist_of zs in
+      merge ~into:rev (hist_of ys);
+      merge ~into:rev (hist_of xs);
+      if not (hist_equal left right) then
+        QCheck.Test.fail_report "merge not associative";
+      if not (hist_equal left rev) then
+        QCheck.Test.fail_report "merge not commutative";
+      if count left <> List.length xs + List.length ys + List.length zs then
+        QCheck.Test.fail_report "merged count wrong";
+      true)
+
+let test_hist_quantile_bounds =
+  QCheck.Test.make ~count:200
+    ~name:"histogram quantile within one geometric bucket of the true value"
+    (QCheck.make
+       ~print:(fun (vs, q) -> Printf.sprintf "%s q=%f" (values_print vs) q)
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 200) (float_range 0.0 2e6))
+           (float_range 0.01 1.0)))
+    (fun (vs, q) ->
+      let h = hist_of vs in
+      let est = Kf_obs.Histogram.quantile h q in
+      let sorted = List.sort compare vs in
+      let n = List.length vs in
+      let rank =
+        Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int n)))
+      in
+      let true_v = List.nth sorted (rank - 1) in
+      if est < true_v -. 1e-9 then
+        QCheck.Test.fail_reportf "estimate %g below true %g" est true_v;
+      if est > Float.max 1.0 (true_v *. 1.25) *. (1. +. 1e-9) then
+        QCheck.Test.fail_reportf "estimate %g > %g * 1.25" est true_v;
+      if est > Kf_obs.Histogram.max_value h then
+        QCheck.Test.fail_reportf "estimate %g above observed max" est;
+      true)
+
+let test_hist_diff_recovers_increment =
+  QCheck.Test.make ~count:100
+    ~name:"histogram diff of cumulative snapshots recovers the increment"
+    (QCheck.make
+       ~print:(fun (a, b) -> values_print a ^ " / " ^ values_print b)
+       QCheck.Gen.(pair values_gen values_gen))
+    (fun (xs, ys) ->
+      let h = hist_of xs in
+      let before = Kf_obs.Histogram.copy h in
+      List.iter (Kf_obs.Histogram.record h) ys;
+      let d = Kf_obs.Histogram.diff ~after:h ~before in
+      let expect = hist_of ys in
+      if Kf_obs.Histogram.count d <> List.length ys then
+        QCheck.Test.fail_reportf "diff count %d <> %d"
+          (Kf_obs.Histogram.count d) (List.length ys);
+      (* bucket-exact: cumulative subtraction loses only the true max *)
+      if
+        Kf_obs.Histogram.cumulative_buckets d
+        <> Kf_obs.Histogram.cumulative_buckets expect
+      then QCheck.Test.fail_report "diff buckets differ from increment";
+      true)
+
+let test_hist_cumulative_roundtrip =
+  QCheck.Test.make ~count:100
+    ~name:"of_cumulative inverts cumulative_buckets"
+    (QCheck.make ~print:values_print values_gen)
+    (fun vs ->
+      let h = hist_of vs in
+      let r =
+        Kf_obs.Histogram.of_cumulative
+          ~buckets:(Kf_obs.Histogram.cumulative_buckets h)
+          ~count:(Kf_obs.Histogram.count h)
+          ~sum:(Kf_obs.Histogram.sum h)
+      in
+      if
+        Kf_obs.Histogram.cumulative_buckets r
+        <> Kf_obs.Histogram.cumulative_buckets h
+      then QCheck.Test.fail_report "bucket series not recovered";
+      if Kf_obs.Histogram.count r <> Kf_obs.Histogram.count h then
+        QCheck.Test.fail_report "count not recovered";
+      true)
+
+(* ---- metrics registry -------------------------------------------------- *)
+
+let with_metrics f =
+  Kf_obs.Metrics.reset ();
+  Fun.protect ~finally:Kf_obs.Metrics.reset f
+
+let test_metrics_cells () =
+  with_metrics @@ fun () ->
+  let c = Kf_obs.Metrics.counter ~labels:[ ("model", "a") ] "t_requests" in
+  (* same name + labels (any order) -> same cell *)
+  let c' = Kf_obs.Metrics.counter ~labels:[ ("model", "a") ] "t_requests" in
+  Kf_obs.Metrics.inc c;
+  Kf_obs.Metrics.inc ~by:2.0 c';
+  Alcotest.(check (float 1e-9))
+    "one cell behind both handles" 3.0
+    (Kf_obs.Metrics.counter_value c);
+  (try
+     Kf_obs.Metrics.inc ~by:(-1.0) c;
+     Alcotest.fail "negative counter increment accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Kf_obs.Metrics.gauge ~labels:[ ("model", "a") ] "t_requests");
+     Alcotest.fail "kind mismatch accepted"
+   with Invalid_argument _ -> ());
+  let g = Kf_obs.Metrics.gauge "t_depth" in
+  Kf_obs.Metrics.set g 7.5;
+  Kf_obs.Metrics.set g 2.5;
+  Alcotest.(check (float 1e-9)) "gauge keeps last" 2.5
+    (Kf_obs.Metrics.gauge_value g);
+  let h = Kf_obs.Metrics.histogram "t_lat" in
+  List.iter (Kf_obs.Metrics.observe h) [ 10.0; 20.0; 30.0 ];
+  Alcotest.(check int) "histogram records" 3
+    (Kf_obs.Histogram.count (Kf_obs.Metrics.histogram_value h));
+  let snap = Kf_obs.Metrics.snapshot () in
+  match
+    Kf_obs.Metrics.find snap ~name:"t_requests"
+      ~labels:[ ("model", "a") ] ()
+  with
+  | Some { s_value = Kf_obs.Metrics.Vcounter v; _ } ->
+      Alcotest.(check (float 1e-9)) "snapshot sees the counter" 3.0 v
+  | _ -> Alcotest.fail "t_requests missing from snapshot"
+
+let test_metrics_snapshot_diff () =
+  with_metrics @@ fun () ->
+  let c = Kf_obs.Metrics.counter "d_total" in
+  let h = Kf_obs.Metrics.histogram "d_lat" in
+  Kf_obs.Metrics.inc ~by:10.0 c;
+  Kf_obs.Metrics.observe h 5.0;
+  let before = Kf_obs.Metrics.snapshot () in
+  Kf_obs.Metrics.inc ~by:5.0 c;
+  List.iter (Kf_obs.Metrics.observe h) [ 50.0; 60.0; 70.0 ];
+  let after = Kf_obs.Metrics.snapshot () in
+  let d = Kf_obs.Metrics.snapshot_diff ~before ~after in
+  (match Kf_obs.Metrics.find d ~name:"d_total" () with
+  | Some { s_value = Kf_obs.Metrics.Vcounter v; _ } ->
+      Alcotest.(check (float 1e-9)) "counter diff is the delta" 5.0 v
+  | _ -> Alcotest.fail "d_total missing from diff");
+  match Kf_obs.Metrics.find d ~name:"d_lat" () with
+  | Some { s_value = Kf_obs.Metrics.Vhist dh; _ } ->
+      Alcotest.(check int) "hist diff holds the increment only" 3
+        (Kf_obs.Histogram.count dh)
+  | _ -> Alcotest.fail "d_lat missing from diff"
+
+let test_metrics_window () =
+  with_metrics @@ fun () ->
+  let c = Kf_obs.Metrics.counter "w_req" in
+  let h = Kf_obs.Metrics.histogram "w_lat" in
+  let w = Kf_obs.Metrics.Window.create ~capacity:4 () in
+  Kf_obs.Metrics.Window.push w (Kf_obs.Metrics.snapshot ());
+  Kf_obs.Metrics.inc ~by:100.0 c;
+  List.iter (Kf_obs.Metrics.observe h) [ 10.0; 20.0; 30.0 ];
+  Kf_obs.Metrics.Window.push w (Kf_obs.Metrics.snapshot ());
+  Alcotest.(check bool)
+    "window spans time" true
+    (Kf_obs.Metrics.Window.span_s w > 0.0);
+  Alcotest.(check bool)
+    "rate positive" true
+    (Kf_obs.Metrics.Window.rate w ~name:"w_req" () > 0.0);
+  (match Kf_obs.Metrics.Window.quantile w ~name:"w_lat" ~q:0.5 () with
+  | Some v ->
+      Alcotest.(check bool) "rolling p50 in range" true (v >= 10.0 && v <= 40.0)
+  | None -> Alcotest.fail "rolling quantile missing");
+  Alcotest.(check bool)
+    "unknown family has no quantile" true
+    (Kf_obs.Metrics.Window.quantile w ~name:"nope" ~q:0.5 () = None)
+
+(* ---- OpenMetrics writer (validated with the independent parser) -------- *)
+
+let test_openmetrics_exposition () =
+  with_metrics @@ fun () ->
+  let c =
+    Kf_obs.Metrics.counter ~help:"requests served"
+      ~labels:[ ("model", "tricky \"name\"\\path\nnewline") ]
+      "om_requests"
+  in
+  Kf_obs.Metrics.inc ~by:3.0 c;
+  let g = Kf_obs.Metrics.gauge "om_depth" in
+  Kf_obs.Metrics.set g 2.5;
+  let h = Kf_obs.Metrics.histogram "om_latency_us" in
+  List.iter (Kf_obs.Metrics.observe h) [ 0.5; 12.0; 12.0; 900.0; 40_000.0 ];
+  let text = Kf_obs.Openmetrics.render (Kf_obs.Metrics.snapshot ()) in
+  let families = Om_helper.parse text in
+  (* counter: TYPE line, _total suffix on the sample, escaping *)
+  (match Om_helper.find families "om_requests" with
+  | None -> Alcotest.fail "om_requests family missing"
+  | Some f -> (
+      Alcotest.(check string) "counter kind" "counter" f.Om_helper.f_kind;
+      Alcotest.(check (option string))
+        "help text" (Some "requests served") f.Om_helper.f_help;
+      Alcotest.(check int)
+        "no unsuffixed counter sample" 0
+        (List.length (Om_helper.samples_named f "om_requests"));
+      match Om_helper.samples_named f "om_requests_total" with
+      | [ s ] ->
+          Alcotest.(check (float 1e-9)) "counter value" 3.0 s.Om_helper.s_value;
+          Alcotest.(check (option string))
+            "label escaping round-trips"
+            (Some "tricky \"name\"\\path\nnewline")
+            (List.assoc_opt "model" s.Om_helper.s_labels)
+      | l -> Alcotest.failf "expected 1 _total sample, got %d" (List.length l)));
+  (* gauge *)
+  (match Om_helper.find families "om_depth" with
+  | Some { Om_helper.f_kind = "gauge"; f_samples = [ s ]; _ } ->
+      Alcotest.(check (float 1e-9)) "gauge value" 2.5 s.Om_helper.s_value
+  | _ -> Alcotest.fail "om_depth gauge malformed");
+  (* histogram: le ascending, cumulative non-decreasing, +Inf = count *)
+  match Om_helper.find families "om_latency_us" with
+  | None -> Alcotest.fail "om_latency_us family missing"
+  | Some f ->
+      Alcotest.(check string) "histogram kind" "histogram" f.Om_helper.f_kind;
+      let buckets = Om_helper.samples_named f "om_latency_us_bucket" in
+      Alcotest.(check bool) "has buckets" true (List.length buckets >= 2);
+      let les =
+        List.map
+          (fun s ->
+            match List.assoc_opt "le" s.Om_helper.s_labels with
+            | Some "+Inf" -> infinity
+            | Some le -> float_of_string le
+            | None -> Alcotest.fail "bucket without le")
+          buckets
+      in
+      Alcotest.(check bool)
+        "le strictly ascending" true
+        (List.for_all2 ( < )
+           (List.filteri (fun i _ -> i < List.length les - 1) les)
+           (List.tl les));
+      let cums = List.map (fun s -> s.Om_helper.s_value) buckets in
+      Alcotest.(check bool)
+        "cumulative non-decreasing" true
+        (List.for_all2 ( <= )
+           (List.filteri (fun i _ -> i < List.length cums - 1) cums)
+           (List.tl cums));
+      Alcotest.(check bool)
+        "last bucket is +Inf" true
+        (List.nth les (List.length les - 1) = infinity);
+      let count =
+        match Om_helper.samples_named f "om_latency_us_count" with
+        | [ s ] -> s.Om_helper.s_value
+        | _ -> Alcotest.fail "missing _count"
+      in
+      Alcotest.(check (float 1e-9))
+        "+Inf bucket equals count" count
+        (List.nth cums (List.length cums - 1));
+      Alcotest.(check (float 1e-9)) "count is 5" 5.0 count;
+      match Om_helper.samples_named f "om_latency_us_sum" with
+      | [ s ] ->
+          Alcotest.(check (float 1e-3))
+            "sum matches" (0.5 +. 12.0 +. 12.0 +. 900.0 +. 40_000.0)
+            s.Om_helper.s_value
+      | _ -> Alcotest.fail "missing _sum"
+
+let test_openmetrics_process_counters () =
+  with_metrics @@ fun () ->
+  let c = Kf_obs.Counter.make "test.dotted.name" in
+  Kf_obs.Counter.incr c;
+  let text =
+    Kf_obs.Openmetrics.render
+      (Kf_obs.Metrics.snapshot ~process_counters:true ())
+  in
+  let families = Om_helper.parse text in
+  match Om_helper.find families "test_dotted_name" with
+  | Some { Om_helper.f_kind = "counter"; f_samples = s :: _; _ } ->
+      Alcotest.(check string)
+        "dotted name sanitised with _total" "test_dotted_name_total"
+        s.Om_helper.s_name
+  | _ -> Alcotest.fail "process counter missing from exposition"
+
+(* ---- SLO error budget -------------------------------------------------- *)
+
+let test_slo_budget_arithmetic () =
+  with_metrics @@ fun () ->
+  (try
+     ignore (Kf_obs.Slo.create ~target_us:100.0 ~objective:1.5 "bad");
+     Alcotest.fail "objective > 1 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Kf_obs.Slo.create ~target_us:(-1.0) ~objective:0.9 "bad");
+     Alcotest.fail "negative target accepted"
+   with Invalid_argument _ -> ());
+  let s = Kf_obs.Slo.create ~window:10 ~target_us:100.0 ~objective:0.9 "m" in
+  Alcotest.(check (float 1e-9))
+    "full budget before traffic" 1.0
+    (Kf_obs.Slo.budget_remaining s);
+  (* 9 fast + 1 slow in a window of 10 at objective 0.9: allowed
+     violations = 0.1 * 10 = 1, so the budget is exactly spent *)
+  for _ = 1 to 9 do
+    Kf_obs.Slo.record s ~latency_us:50.0 ~ok:true
+  done;
+  Kf_obs.Slo.record s ~latency_us:200.0 ~ok:true;
+  Alcotest.(check int) "one violation" 1 (Kf_obs.Slo.window_violations s);
+  Alcotest.(check (float 1e-9))
+    "budget exactly spent" 0.0
+    (Kf_obs.Slo.budget_remaining s);
+  Alcotest.(check bool) "not compliant at zero" false (Kf_obs.Slo.compliant s);
+  (* failures violate even when fast *)
+  Kf_obs.Slo.record s ~latency_us:10.0 ~ok:false;
+  Alcotest.(check int) "failure counts" 2 (Kf_obs.Slo.violations s);
+  (* compliant requests push the violations out of the window *)
+  for _ = 1 to 10 do
+    Kf_obs.Slo.record s ~latency_us:50.0 ~ok:true
+  done;
+  Alcotest.(check int) "window clean again" 0
+    (Kf_obs.Slo.window_violations s);
+  Alcotest.(check (float 1e-9))
+    "budget earned back" 1.0
+    (Kf_obs.Slo.budget_remaining s);
+  Alcotest.(check int) "lifetime total" 21 (Kf_obs.Slo.total s);
+  Alcotest.(check int) "lifetime violations" 2 (Kf_obs.Slo.violations s);
+  (* the registry publishes SLO state without extra wiring *)
+  let snap = Kf_obs.Metrics.snapshot () in
+  (match
+     Kf_obs.Metrics.find snap ~name:"kf_slo_violations"
+       ~labels:[ ("model", "m") ] ()
+   with
+  | Some { s_value = Kf_obs.Metrics.Vcounter v; _ } ->
+      Alcotest.(check (float 1e-9)) "violations metric" 2.0 v
+  | _ -> Alcotest.fail "kf_slo_violations missing");
+  match
+    Kf_obs.Metrics.find snap ~name:"kf_slo_error_budget"
+      ~labels:[ ("model", "m") ] ()
+  with
+  | Some { s_value = Kf_obs.Metrics.Vgauge v; _ } ->
+      Alcotest.(check (float 1e-9)) "budget gauge" 1.0 v
+  | _ -> Alcotest.fail "kf_slo_error_budget missing"
+
+(* ---- trace sampling ---------------------------------------------------- *)
+
+let test_trace_sampling_deterministic () =
+  Fun.protect ~finally:(fun () -> Kf_obs.Trace.set_sample 1.0)
+  @@ fun () ->
+  let n = 10_000 in
+  Kf_obs.Trace.set_sample ~seed:42 0.3;
+  let d1 = List.init n Kf_obs.Trace.sampled in
+  Kf_obs.Trace.set_sample ~seed:42 0.3;
+  let d2 = List.init n Kf_obs.Trace.sampled in
+  Alcotest.(check bool) "same seed, same decisions" true (d1 = d2);
+  let kept = List.length (List.filter Fun.id d1) in
+  let fraction = float_of_int kept /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction %.3f near rate" fraction)
+    true
+    (fraction > 0.25 && fraction < 0.35);
+  Kf_obs.Trace.set_sample ~seed:43 0.3;
+  let d3 = List.init n Kf_obs.Trace.sampled in
+  Alcotest.(check bool) "different seed, different subset" true (d1 <> d3);
+  Kf_obs.Trace.set_sample 0.0;
+  Alcotest.(check bool)
+    "rate 0 keeps nothing" true
+    (not (List.exists Kf_obs.Trace.sampled [ 1; 2; 3; 4; 5 ]));
+  Kf_obs.Trace.set_sample 1.0;
+  Alcotest.(check bool)
+    "rate 1 keeps everything" true
+    (List.for_all Kf_obs.Trace.sampled [ 1; 2; 3; 4; 5 ])
+
+let test_trace_suppression () =
+  with_tracing @@ fun () ->
+  Kf_obs.Trace.with_suppressed (fun () ->
+      Kf_obs.Trace.instant "hidden";
+      Kf_obs.Trace.with_span "hidden-span" (fun () ->
+          ignore (Sys.opaque_identity 1)));
+  Alcotest.(check bool) "flag restored" false (Kf_obs.Trace.suppressed ());
+  Kf_obs.Trace.instant "visible";
+  let names =
+    List.map
+      (function
+        | Kf_obs.Trace.Span { name; _ }
+        | Kf_obs.Trace.Instant { name; _ }
+        | Kf_obs.Trace.Counter_sample { name; _ } ->
+            name)
+      (Kf_obs.Trace.events ())
+  in
+  Alcotest.(check (list string)) "only unsuppressed events" [ "visible" ] names
+
+(* ---- counter snapshot diff --------------------------------------------- *)
+
+let test_counter_snapshot_diff () =
+  let c = Kf_obs.Counter.make "test.diffed" in
+  let other = Kf_obs.Counter.make "test.undisturbed" in
+  ignore other;
+  let before = Kf_obs.Counter.snapshot () in
+  Kf_obs.Counter.add c 7;
+  let d =
+    Kf_obs.Counter.snapshot_diff ~before ~after:(Kf_obs.Counter.snapshot ())
+  in
+  Alcotest.(check (option int))
+    "delta of the bumped counter" (Some 7)
+    (List.assoc_opt "test.diffed" d);
+  Alcotest.(check (option int))
+    "untouched counter reads zero" (Some 0)
+    (List.assoc_opt "test.undisturbed" d)
+
 let suite =
   [
     Alcotest.test_case "span: disabled is free" `Quick
@@ -278,4 +705,25 @@ let suite =
     QCheck_alcotest.to_alcotest test_host_stats_totals;
     Alcotest.test_case "host stats: imbalance + json" `Quick
       test_host_stats_imbalance_and_json;
+    QCheck_alcotest.to_alcotest test_hist_merge_monoid;
+    QCheck_alcotest.to_alcotest test_hist_quantile_bounds;
+    QCheck_alcotest.to_alcotest test_hist_diff_recovers_increment;
+    QCheck_alcotest.to_alcotest test_hist_cumulative_roundtrip;
+    Alcotest.test_case "metrics: cells, kinds, labels" `Quick
+      test_metrics_cells;
+    Alcotest.test_case "metrics: snapshot diff" `Quick
+      test_metrics_snapshot_diff;
+    Alcotest.test_case "metrics: rolling window" `Quick test_metrics_window;
+    Alcotest.test_case "openmetrics: exposition validates" `Quick
+      test_openmetrics_exposition;
+    Alcotest.test_case "openmetrics: process counters folded in" `Quick
+      test_openmetrics_process_counters;
+    Alcotest.test_case "slo: error-budget arithmetic" `Quick
+      test_slo_budget_arithmetic;
+    Alcotest.test_case "trace: sampling deterministic" `Quick
+      test_trace_sampling_deterministic;
+    Alcotest.test_case "trace: suppression scope" `Quick
+      test_trace_suppression;
+    Alcotest.test_case "counter: snapshot diff" `Quick
+      test_counter_snapshot_diff;
   ]

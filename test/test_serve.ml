@@ -329,6 +329,105 @@ let test_driver_closed_loop () =
   Alcotest.(check int) "latency recorded per success" summary.Driver.ok
     (Histogram.count summary.Driver.latency_us)
 
+(* --- telemetry: snapshot JSON, scrape endpoint, SLO ---------------------- *)
+
+let json_num = function
+  | Kf_obs.Json.Float f -> f
+  | Kf_obs.Json.Int i -> float_of_int i
+  | _ -> Alcotest.fail "expected a JSON number"
+
+let json_field obj k =
+  match Kf_obs.Json.member k obj with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" k
+
+let test_service_snapshot_json () =
+  let cols = 16 in
+  let weights = lr_weights ~cols 11 in
+  let slo = Kf_obs.Slo.create ~target_us:1e9 ~objective:0.99 "snap-model" in
+  let svc =
+    Service.create
+      ~config:{ Service.window_us = 100; max_batch = 16; queue_depth = 64 }
+      ~model:"snap-model" ~slo device ~algo:lr ~weights ()
+  in
+  let tickets =
+    Array.init 20 (fun i ->
+        submit_exn svc (Service.Dense_row (dense_row ~cols (400 + i))))
+  in
+  Array.iter (fun t -> ignore (score_exn (Service.await t))) tickets;
+  let snap = Service.snapshot svc in
+  Service.shutdown svc;
+  Alcotest.(check string)
+    "model label" "snap-model"
+    (match json_field snap "model" with
+    | Kf_obs.Json.Str s -> s
+    | _ -> Alcotest.fail "model not a string");
+  Alcotest.(check int) "requests" 20 (int_of_float (json_num (json_field snap "requests")));
+  let lat = json_field snap "latency_us" in
+  let p50 = json_num (json_field lat "p50")
+  and p95 = json_num (json_field lat "p95")
+  and p99 = json_num (json_field lat "p99")
+  and mx = json_num (json_field lat "max") in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %g <= p95 %g <= p99 %g <= max %g" p50 p95 p99 mx)
+    true
+    (p50 <= p95 && p95 <= p99 && p99 <= mx);
+  let sj = json_field snap "slo" in
+  Alcotest.(check int) "slo saw every request" 20
+    (int_of_float (json_num (json_field sj "total")));
+  Alcotest.(check int) "no violations at a huge target" 0
+    (int_of_float (json_num (json_field sj "violations")));
+  Alcotest.(check (float 1e-9))
+    "full error budget" 1.0
+    (json_num (json_field sj "error_budget"))
+
+let test_scrape_roundtrip () =
+  let ep =
+    Kf_serve.Scrape.start ~port:0
+      ~render:(fun () ->
+        Kf_obs.Openmetrics.render
+          (Kf_obs.Metrics.snapshot ~process_counters:true ()))
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Kf_serve.Scrape.stop ep) @@ fun () ->
+  let port = Kf_serve.Scrape.port ep in
+  Alcotest.(check bool) "ephemeral port assigned" true (port > 0);
+  (match Kf_serve.Scrape.fetch ~port ~path:"/metrics" () with
+  | Error e -> Alcotest.failf "/metrics fetch failed: %s" e
+  | Ok body ->
+      (* must parse as valid OpenMetrics, EOF terminator included *)
+      ignore (Om_helper.parse body));
+  (match Kf_serve.Scrape.fetch ~port ~path:"/healthz" () with
+  | Ok body -> Alcotest.(check string) "healthz" "ok" (String.trim body)
+  | Error e -> Alcotest.failf "/healthz fetch failed: %s" e);
+  match Kf_serve.Scrape.fetch ~port ~path:"/nope" () with
+  | Ok _ -> Alcotest.fail "unknown path served a 200"
+  | Error _ -> ()
+
+let test_service_slo_violations () =
+  let cols = 16 in
+  let weights = lr_weights ~cols 12 in
+  (* sub-microsecond target: every request violates *)
+  let slo =
+    Kf_obs.Slo.create ~window:64 ~target_us:1e-3 ~objective:0.9 "slo-model"
+  in
+  let svc =
+    Service.create
+      ~config:{ Service.window_us = 0; max_batch = 8; queue_depth = 64 }
+      ~model:"slo-model" ~slo device ~algo:lr ~weights ()
+  in
+  let tickets =
+    Array.init 12 (fun i ->
+        submit_exn svc (Service.Dense_row (dense_row ~cols (500 + i))))
+  in
+  Array.iter (fun t -> ignore (score_exn (Service.await t))) tickets;
+  Service.shutdown svc;
+  Alcotest.(check int) "every request violated" 12 (Kf_obs.Slo.violations slo);
+  Alcotest.(check (float 1e-9))
+    "budget exhausted" 0.0
+    (Kf_obs.Slo.budget_remaining slo);
+  Alcotest.(check bool) "not compliant" false (Kf_obs.Slo.compliant slo)
+
 let suite =
   [
     Alcotest.test_case "scores match reference" `Quick
@@ -352,4 +451,10 @@ let suite =
     Alcotest.test_case "stats and histograms" `Quick test_stats_histograms;
     Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "driver closed loop" `Quick test_driver_closed_loop;
+    Alcotest.test_case "service snapshot json" `Quick
+      test_service_snapshot_json;
+    Alcotest.test_case "scrape endpoint round-trip" `Quick
+      test_scrape_roundtrip;
+    Alcotest.test_case "slo violations through service" `Quick
+      test_service_slo_violations;
   ]

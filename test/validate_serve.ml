@@ -25,15 +25,17 @@ let as_num what = function
   | JNum f when Float.is_finite f -> f
   | _ -> fail "%s is not a finite number" what
 
-(* {count, mean, p50, p99, max} with 0 <= p50 <= p99 <= max *)
+(* {count, mean, p50, p95, p99, max} with 0 <= p50 <= p95 <= p99 <= max *)
 let check_hist what h =
   let count = as_int (what ^ ".count") (get "count" h) in
   let p50 = as_num (what ^ ".p50") (get "p50" h) in
+  let p95 = as_num (what ^ ".p95") (get "p95" h) in
   let p99 = as_num (what ^ ".p99") (get "p99" h) in
   let mx = as_num (what ^ ".max") (get "max" h) in
   ignore (as_num (what ^ ".mean") (get "mean" h));
-  if p50 < 0.0 || p50 > p99 || p99 > mx then
-    fail "%s: quantiles out of order (p50 %g, p99 %g, max %g)" what p50 p99 mx;
+  if p50 < 0.0 || p50 > p95 || p95 > p99 || p99 > mx then
+    fail "%s: quantiles out of order (p50 %g, p95 %g, p99 %g, max %g)" what
+      p50 p95 p99 mx;
   count
 
 let () =
@@ -66,8 +68,11 @@ let () =
     fail "throughput_rps is not positive";
   ignore (as_num "wall_s" (get "wall_s" doc));
   let p50 = as_num "p50_us" (get "p50_us" doc) in
+  let p95 = as_num "p95_us" (get "p95_us" doc) in
   let p99 = as_num "p99_us" (get "p99_us" doc) in
-  if p50 > p99 then fail "p50_us %g > p99_us %g" p50 p99;
+  if p50 > p95 || p95 > p99 then
+    fail "quantiles out of order (p50_us %g, p95_us %g, p99_us %g)" p50 p95
+      p99;
   if check_hist "latency_us" (get "latency_us" doc) <> ok then
     fail "client latency histogram count does not match ok";
   let svc = get "service" doc in
