@@ -44,10 +44,21 @@ bench-serve:
 bench-serve-small:
 	dune exec bench/serve_suite.exe -- --small
 
+# Sharded multi-process tier: 1D vs 1.5D allreduce bytes and wall clock
+# by worker count, plus the netmodel's layout predictions; writes
+# BENCH_dist.json.
+bench-dist:
+	dune exec bench/dist_suite.exe
+
+bench-dist-small:
+	dune exec bench/dist_suite.exe -- --small
+
 # Refresh the committed bench baselines from quick --small runs.
-bench-baseline: bench-host-small bench-plan-small bench-serve-small
+bench-baseline: bench-host-small bench-plan-small bench-serve-small \
+		bench-dist-small
 	mkdir -p bench/baselines
-	cp BENCH_host.json BENCH_plan.json BENCH_serve.json bench/baselines/
+	cp BENCH_host.json BENCH_plan.json BENCH_serve.json BENCH_dist.json \
+	  bench/baselines/
 
 # Regression gate: fresh --small runs compared against bench/baselines;
 # fails (exit 1) when a metric moves past the noise threshold in the
@@ -56,7 +67,8 @@ bench-baseline: bench-host-small bench-plan-small bench-serve-small
 # Self-test the gate by appending `--inject 0.2` to the regress
 # invocation — it must then fail.
 BENCH_THRESHOLD ?= 0.15
-bench-check: bench-host-small bench-plan-small bench-serve-small
+bench-check: bench-host-small bench-plan-small bench-serve-small \
+		bench-dist-small
 	dune exec bench/regress.exe -- --baseline bench/baselines --fresh . \
 	  --threshold $(BENCH_THRESHOLD)
 
@@ -70,4 +82,5 @@ clean:
 
 .PHONY: all test test-verbose bench bench-full bench-host bench-host-small \
 	bench-plan bench-plan-small bench-resil bench-resil-small \
-	bench-serve bench-serve-small bench-baseline bench-check examples clean
+	bench-serve bench-serve-small bench-dist bench-dist-small \
+	bench-baseline bench-check examples clean

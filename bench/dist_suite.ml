@@ -1,0 +1,305 @@
+(* Distributed-tier benchmark: the sharded multi-process executor swept
+   across worker counts and allreduce layouts, against the sequential
+   reference.
+
+   Three shapes bracket the 1D-vs-1.5D decision the same way the host
+   suite's shapes bracket the variant chooser:
+   - the tall uniform shape scatters non-zeros over every column block,
+     so each worker touches all of them and 1.5D degenerates to 1D plus
+     framing overhead — the layouts tie;
+   - the column-banded shape gives each row shard a narrow column
+     footprint, so 1.5D ships a fraction of the dense partials — the
+     regime the replicated-block layout exists for;
+   - the wide shape is the banded footprint with compute shrunk until
+     the gather dominates the op, so the layout choice is visible in
+     wall clock and not just in the byte accounting.
+
+   After the sweep the suite calibrates the network model against a
+   live cluster and checks its predicted layout winner against the
+   measured one per (shape, workers) cell — the plan-time model is only
+   trustworthy if it gets these easy calls right.  A cell is scored
+   only when the model itself claims the difference is material: the
+   byte volumes must differ by more than 20% AND the predicted transfer
+   delta must exceed 10% of the measured op time.  Below either bar
+   (tall: near-equal bytes; banded: a 90 ms compute op hiding a
+   sub-millisecond transfer delta) the measured winner is scheduler
+   noise, so the cell is recorded but not scored.
+
+   Usage:
+     dune exec bench/dist_suite.exe            # full shapes
+     dune exec bench/dist_suite.exe -- --small # CI-sized quick run
+
+   Emits BENCH_dist.json in the working directory. *)
+
+open Matrix
+module Cluster = Kf_dist.Cluster
+module Nm = Kf_dist.Netmodel
+
+type shape = { sname : string; x : Csr.t; y : Vec.t; v : Vec.t }
+
+type cell = {
+  c_shape : string;
+  c_workers : int;
+  c_mode : string;
+  c_ms : float;
+  c_layout_bytes : int;  (* gather volume of the forced layout *)
+  c_recv_per_op : int;  (* measured bytes received per op *)
+  c_bytes_1d : int;
+  c_bytes_15d : int;
+}
+
+let with_env name value f =
+  let saved = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value saved ~default:""))
+    f
+
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  (Unix.gettimeofday () -. t0) *. 1e3
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let make_shapes ~small =
+  let rng = Rng.create 20250808 in
+  let tall =
+    {
+      sname = "tall";
+      x =
+        Gen.sparse_uniform rng
+          ~rows:(if small then 30_000 else 120_000)
+          ~cols:2048 ~density:0.004;
+      y = Gen.vector rng 2048;
+      v = Gen.vector rng (if small then 30_000 else 120_000);
+    }
+  in
+  let brows = if small then 20_000 else 80_000 in
+  let banded =
+    {
+      sname = "banded";
+      x = Gen.sparse_banded rng ~rows:brows ~cols:8192 ~bandwidth:512;
+      y = Gen.vector rng 8192;
+      v = Gen.vector rng brows;
+    }
+  in
+  (* few rows, huge column space: per-op compute is ~1 ms while the 1D
+     gather is workers * 65536 * 8 B of dense partials — megabytes —
+     against a narrow banded footprint for 1.5D *)
+  let wrows = if small then 2_000 else 8_000 in
+  let wide =
+    {
+      sname = "wide";
+      x = Gen.sparse_banded rng ~rows:wrows ~cols:65_536 ~bandwidth:64;
+      y = Gen.vector rng 65_536;
+      v = Gen.vector rng wrows;
+    }
+  in
+  [ tall; banded; wide ]
+
+let run_pattern sd c =
+  Cluster.pattern_sparse c sd.x ~y:sd.y ~v:sd.v ~alpha:2.0 ()
+
+let measure_cell ~reps sd ~workers ~mode =
+  with_env "KF_DIST_MODE" mode (fun () ->
+      let c = Cluster.create ~workers () in
+      Fun.protect
+        ~finally:(fun () -> Cluster.shutdown c)
+        (fun () ->
+          ignore (run_pattern sd c) (* ships the shards *);
+          let before = (Cluster.stats c).Cluster.st_bytes_received in
+          let ms =
+            median (List.init reps (fun _ -> wall_ms (fun () -> run_pattern sd c)))
+          in
+          let st = Cluster.stats c in
+          {
+            c_shape = sd.sname;
+            c_workers = workers;
+            c_mode = st.Cluster.st_last_mode;
+            c_ms = ms;
+            c_layout_bytes =
+              (if st.Cluster.st_last_mode = "1.5d" then st.Cluster.st_bytes_15d
+               else st.Cluster.st_bytes_1d);
+            c_recv_per_op =
+              (st.Cluster.st_bytes_received - before) / reps;
+            c_bytes_1d = st.Cluster.st_bytes_1d;
+            c_bytes_15d = st.Cluster.st_bytes_15d;
+          }))
+
+let () =
+  Kf_dist.Worker.maybe_run ();
+  let small = Array.exists (( = ) "--small") Sys.argv in
+  let reps = if small then 3 else 7 in
+  let worker_counts = [ 1; 2; 4 ] in
+  let shapes = make_shapes ~small in
+  List.iter
+    (fun sd ->
+      Printf.printf "dist suite (%s): %d x %d CSR, %d nnz\n%!" sd.sname
+        sd.x.Csr.rows sd.x.Csr.cols (Csr.nnz sd.x))
+    shapes;
+  (* sequential baseline per shape *)
+  let seq =
+    List.map
+      (fun sd ->
+        let run () =
+          Blas.pattern_sparse ~alpha:2.0 sd.x ~v:sd.v sd.y ()
+        in
+        ignore (run ());
+        let ms = median (List.init reps (fun _ -> wall_ms run)) in
+        Printf.printf "  %-24s %10.3f ms/run\n%!" (sd.sname ^ ":sequential") ms;
+        (sd.sname, ms))
+      shapes
+  in
+  let seq_ms s = List.assoc s seq in
+  let cells =
+    List.concat_map
+      (fun sd ->
+        List.concat_map
+          (fun workers ->
+            List.map
+              (fun mode ->
+                let cell = measure_cell ~reps sd ~workers ~mode in
+                Printf.printf "  %-24s %10.3f ms/run  (%7d gather B)\n%!"
+                  (Printf.sprintf "%s:w=%d:%s" sd.sname workers mode)
+                  cell.c_ms cell.c_layout_bytes;
+                cell)
+              [ "1d"; "1.5d" ])
+          worker_counts)
+      shapes
+  in
+  (* calibrate the model against a live cluster, then score its layout
+     predictions against the measured winners *)
+  let net =
+    let c = Cluster.create ~workers:2 () in
+    Fun.protect
+      ~finally:(fun () -> Cluster.shutdown c)
+      (fun () -> Cluster.calibrate c)
+  in
+  Printf.printf "calibrated netmodel: %.1f us/msg, %.2f GB/s\n%!"
+    net.Nm.latency_us net.Nm.gbps;
+  let find shape workers mode =
+    List.find
+      (fun c -> c.c_shape = shape && c.c_workers = workers && c.c_mode = mode)
+      cells
+  in
+  let predictions =
+    List.concat_map
+      (fun sd ->
+        List.filter_map
+          (fun workers ->
+            if workers < 2 then None
+            else
+              let c1 = find sd.sname workers "1d" in
+              let c15 = find sd.sname workers "1.5d" in
+              let predicted, us_1d, us_15d =
+                Nm.choose_mode net ~workers ~bytes_1d:c1.c_bytes_1d
+                  ~bytes_15d:c1.c_bytes_15d
+              in
+              let measured = if c15.c_ms < c1.c_ms then "1.5d" else "1d" in
+              let gap =
+                Float.abs (float_of_int (c1.c_bytes_1d - c1.c_bytes_15d))
+                /. Float.max 1.0 (float_of_int c1.c_bytes_1d)
+              in
+              (* score only when the model claims a material difference:
+                 distinct byte volumes AND a transfer delta that is a
+                 visible fraction of the measured op *)
+              let decisive =
+                gap > 0.20
+                && Float.abs (us_1d -. us_15d)
+                   > 0.10 *. Float.min c1.c_ms c15.c_ms *. 1e3
+              in
+              Some
+                ( sd.sname,
+                  workers,
+                  c1.c_bytes_1d,
+                  c1.c_bytes_15d,
+                  Nm.mode_name predicted,
+                  measured,
+                  decisive ))
+          worker_counts)
+      shapes
+  in
+  let all_decisive_match =
+    List.for_all
+      (fun (_, _, _, _, p, m, decisive) -> (not decisive) || p = m)
+      predictions
+  in
+  List.iter
+    (fun (s, w, b1, b15, p, m, decisive) ->
+      Printf.printf
+        "  predict %-8s w=%d: 1d=%d B, 1.5d=%d B -> %s (measured %s%s)\n%!" s w
+        b1 b15 p m
+        (if decisive then "" else ", not scored"))
+    predictions;
+  Printf.printf "prediction match (decisive cells): %b\n%!" all_decisive_match;
+  let cell_json c =
+    Kf_obs.Json.Obj
+      [
+        ("shape", Kf_obs.Json.Str c.c_shape);
+        ("workers", Kf_obs.Json.Int c.c_workers);
+        ("mode", Kf_obs.Json.Str c.c_mode);
+        ("ms", Kf_obs.Json.Float c.c_ms);
+        ("allreduce_bytes", Kf_obs.Json.Int c.c_layout_bytes);
+        ("recv_bytes_per_op", Kf_obs.Json.Int c.c_recv_per_op);
+        ("bytes_1d", Kf_obs.Json.Int c.c_bytes_1d);
+        ("bytes_15d", Kf_obs.Json.Int c.c_bytes_15d);
+        ( "speedup_vs_sequential",
+          Kf_obs.Json.Float (seq_ms c.c_shape /. c.c_ms) );
+      ]
+  in
+  let prediction_json (s, w, b1, b15, p, m, decisive) =
+    Kf_obs.Json.Obj
+      [
+        ("shape", Kf_obs.Json.Str s);
+        ("workers", Kf_obs.Json.Int w);
+        ("bytes_1d", Kf_obs.Json.Int b1);
+        ("bytes_15d", Kf_obs.Json.Int b15);
+        ("predicted", Kf_obs.Json.Str p);
+        ("measured", Kf_obs.Json.Str m);
+        ("decisive", Kf_obs.Json.Bool decisive);
+        ("match", Kf_obs.Json.Bool ((not decisive) || p = m));
+      ]
+  in
+  let doc =
+    Kf_obs.Json.Obj
+      [
+        ( "meta",
+          Kf_obs.Json.Obj
+            [
+              ("ocaml_version", Kf_obs.Json.Str Sys.ocaml_version);
+              ("small", Kf_obs.Json.Bool small);
+              ( "worker_counts",
+                Kf_obs.Json.List
+                  (List.map (fun w -> Kf_obs.Json.Int w) worker_counts) );
+              ("block_cols", Kf_obs.Json.Int (Nm.block_cols_of_env ()));
+              ( "netmodel",
+                Kf_obs.Json.Obj
+                  [
+                    ("latency_us", Kf_obs.Json.Float net.Nm.latency_us);
+                    ("gbps", Kf_obs.Json.Float net.Nm.gbps);
+                  ] );
+            ] );
+        ( "sequential",
+          Kf_obs.Json.List
+            (List.map
+               (fun (s, ms) ->
+                 Kf_obs.Json.Obj
+                   [
+                     ("shape", Kf_obs.Json.Str s);
+                     ("ms", Kf_obs.Json.Float ms);
+                   ])
+               seq) );
+        ("results", Kf_obs.Json.List (List.map cell_json cells));
+        ( "predictions",
+          Kf_obs.Json.List (List.map prediction_json predictions) );
+        ("prediction_match", Kf_obs.Json.Bool all_decisive_match);
+      ]
+  in
+  let oc = open_out "BENCH_dist.json" in
+  Kf_obs.Json.to_channel oc doc;
+  close_out oc;
+  print_endline "wrote BENCH_dist.json"

@@ -297,6 +297,7 @@ let () =
           Kf_obs.Json.Int (Fusion.Host_fused.default_accumulator_budget_bytes ())
         );
         ("l2_bytes", Kf_obs.Json.Int (Fusion.Tuning.host_l2_bytes ()));
+        ("l2_source", Kf_obs.Json.Str (Fusion.Tuning.host_l2_source ()));
         ("tile_rows_default", Kf_obs.Json.Int (Fusion.Tuning.host_tile_rows ()));
         ("tile_cols_default", Kf_obs.Json.Int (Fusion.Tuning.host_tile_cols ()));
         ("scaling_tall", scaling_json "tall");

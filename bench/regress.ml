@@ -14,6 +14,8 @@
      BENCH_serve.json   cells[].throughput_rps            (higher better)
                         cells[].p99_us                    (lower better,
                                                            2x threshold)
+     BENCH_dist.json    results[].allreduce_bytes and
+                        results[].recv_bytes_per_op       (lower better)
 
    A metric regresses when it moves past the noise threshold (default
    15%, doubled for tail latency — p99 of a quarter-second cell is the
@@ -130,11 +132,39 @@ let serve_metrics doc =
         ])
     (items doc "cells")
 
+(* Multi-process wall clock is scheduler noise (worker placement swings
+   it by integer factors on a shared box), so the dist gate watches the
+   deterministic signal instead: the wire-volume accounting.  A layout
+   or codec change that balloons the gather shows up here exactly; a
+   busy machine does not. *)
+let dist_metrics doc =
+  List.concat_map
+    (fun r ->
+      let part k = part_of r k in
+      let base =
+        Printf.sprintf "dist:%s:w%s:%s" (part "shape") (part "workers")
+          (part "mode")
+      in
+      List.filter_map
+        (fun field ->
+          Option.map
+            (fun v ->
+              {
+                key = base ^ ":" ^ field;
+                value = v;
+                dir = Lower_better;
+                scale = 1.0;
+              })
+            (num r field))
+        [ "allreduce_bytes"; "recv_bytes_per_op" ])
+    (items doc "results")
+
 let suites =
   [
     ("BENCH_host.json", host_metrics);
     ("BENCH_plan.json", plan_metrics);
     ("BENCH_serve.json", serve_metrics);
+    ("BENCH_dist.json", dist_metrics);
   ]
 
 let load_metrics dir (file, extract) =
@@ -156,6 +186,8 @@ let load_metrics dir (file, extract) =
 let floor_for key =
   if String.length key >= 5 && String.sub key 0 5 = "host:" then 0.05 (* ms *)
   else if String.length key >= 5 && String.sub key 0 5 = "plan:" then 0.5
+  else if String.length key >= 5 && String.sub key 0 5 = "dist:" then
+    1024.0 (* bytes *)
   else 1.0 (* rps / us *)
 
 type verdict = Ok_same | Improved | Regressed | Skipped

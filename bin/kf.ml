@@ -62,11 +62,11 @@ let domains_arg =
    variable before any host-engine work takes effect process-wide.
 
    [Par.Pool] itself silently falls back to the recommended count on a
-   malformed KF_DOMAINS; the CLI is stricter — a value the user typed
-   that cannot mean anything is an error, and a count beyond the
-   recommended domain count (oversubscription: domains time-share cores
-   and the owner-computes kernels lose their cache affinity) earns a
-   warning but still runs, since CI boxes under-report cores. *)
+   malformed KF_DOMAINS; the CLI is stricter ([Sysml.Env]), and a count
+   beyond the recommended domain count (oversubscription: domains
+   time-share cores and the owner-computes kernels lose their cache
+   affinity) earns a warning but still runs, since CI boxes
+   under-report cores. *)
 let warn_oversubscribed n =
   let rec_n = Domain.recommended_domain_count () in
   if n > rec_n then
@@ -81,20 +81,25 @@ let apply_domains = function
   | Some n ->
       warn_oversubscribed n;
       Unix.putenv "KF_DOMAINS" (string_of_int n)
-  | None -> (
-      match Sys.getenv_opt "KF_DOMAINS" with
-      | None -> ()
-      | Some s -> (
-          match int_of_string_opt (String.trim s) with
-          | Some n when n >= 1 -> warn_oversubscribed n
-          | Some n ->
-              Printf.eprintf
-                "kf: KF_DOMAINS must be a positive domain count, got %d\n%!" n;
-              exit 2
-          | None ->
-              Printf.eprintf
-                "kf: KF_DOMAINS must be a positive domain count, got %S\n%!" s;
-              exit 2))
+  | None -> Option.iter warn_oversubscribed (Sysml.Env.int ~min:1 "KF_DOMAINS")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "workers" ]
+        ~doc:
+          "Worker-process count for the $(b,dist) engine (overrides the \
+           $(b,KF_WORKERS) environment variable; default: the runtime's \
+           recommended domain count).")
+
+(* Like KF_DOMAINS: the shared cluster reads KF_WORKERS lazily on first
+   use, so the flag just sets the variable, and a malformed value the
+   user typed is a CLI error even though [Kf_dist.Cluster] itself would
+   fall back. *)
+let apply_workers = function
+  | Some n -> Unix.putenv "KF_WORKERS" (string_of_int n)
+  | None -> ignore (Sysml.Env.int ~min:1 ~max:64 "KF_WORKERS")
 
 (* ---- observability ---- *)
 
@@ -131,6 +136,8 @@ let json_arg =
    KF_TRACE_SEED) installs the deterministic per-request trace sampler
    for every subcommand. *)
 let with_obs ~trace ~profile f =
+  (* validate before [sample_of_env] quietly clamps *)
+  ignore (Sysml.Env.float ~min:0.0 ~max:1.0 "KF_TRACE_SAMPLE");
   Kf_obs.Trace.sample_of_env ();
   let trace =
     match trace with Some _ as t -> t | None -> Sys.getenv_opt "KF_TRACE"
@@ -171,10 +178,16 @@ let with_obs ~trace ~profile f =
         | None -> f ())
   end
 
+let engine_name = function
+  | Fusion.Executor.Fused -> "fused"
+  | Fusion.Executor.Library -> "library"
+  | Fusion.Executor.Host -> "host"
+  | Fusion.Executor.Dist -> "dist"
+
 let engine_arg =
   let all =
     [ ("fused", Fusion.Executor.Fused); ("library", Fusion.Executor.Library);
-      ("host", Fusion.Executor.Host) ]
+      ("host", Fusion.Executor.Host); ("dist", Fusion.Executor.Dist) ]
   in
   Arg.(
     value
@@ -182,9 +195,10 @@ let engine_arg =
     & info [ "e"; "engine" ]
         ~doc:
           "Execution engine: $(b,fused) (simulated fused kernels), \
-           $(b,library) (simulated cuSPARSE/cuBLAS composition), or \
+           $(b,library) (simulated cuSPARSE/cuBLAS composition), \
            $(b,host) (real multicore execution on OCaml domains; timings \
-           are wall-clock).")
+           are wall-clock), or $(b,dist) (sharded execution across \
+           $(b,--workers) worker processes; timings are wall-clock).")
 
 let make_input ~dense ~rows ~cols ~density ~seed =
   let rng = Rng.create seed in
@@ -462,9 +476,11 @@ let save_model_arg =
            it.")
 
 let train_cmd =
-  let train dense rows cols density seed algo_name engine domains trace_file
-      profile json faults checkpoint every resume max_iterations save_model =
+  let train dense rows cols density seed algo_name engine domains workers
+      trace_file profile json faults checkpoint every resume max_iterations
+      save_model =
     apply_domains domains;
+    apply_workers workers;
     apply_faults faults;
     let (module A : Kf_ml.Algorithm.S) = Kf_ml.Registry.find algo_name in
     let checkpoint =
@@ -498,6 +514,7 @@ let train_cmd =
     let time_label =
       match engine with
       | Fusion.Executor.Host -> "host wall-clock time"
+      | Fusion.Executor.Dist -> "dist wall-clock time"
       | Fusion.Executor.Fused | Fusion.Executor.Library ->
           "simulated device time"
     in
@@ -520,12 +537,7 @@ let train_cmd =
         (Kf_obs.Json.Obj
            ([
               ("algorithm", Kf_obs.Json.Str A.display_name);
-              ( "engine",
-                Kf_obs.Json.Str
-                  (match engine with
-                  | Fusion.Executor.Fused -> "fused"
-                  | Fusion.Executor.Library -> "library"
-                  | Fusion.Executor.Host -> "host") );
+              ("engine", Kf_obs.Json.Str (engine_name engine));
               ("time_ms", Kf_obs.Json.Float r.gpu_ms);
               ("resumed", Kf_obs.Json.Bool (resume <> None));
               ("weights_checksum", Kf_obs.Json.Str checksum);
@@ -562,9 +574,9 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Fit an ML algorithm on synthetic data.")
     Term.(
       const train $ dense_arg $ rows_arg $ cols_arg $ density_arg $ seed_arg
-      $ algo_arg $ engine_arg $ domains_arg $ trace_arg $ profile_arg
-      $ json_arg $ faults_arg $ checkpoint_arg $ every_arg $ resume_arg
-      $ max_iterations_arg $ save_model_arg)
+      $ algo_arg $ engine_arg $ domains_arg $ workers_arg $ trace_arg
+      $ profile_arg $ json_arg $ faults_arg $ checkpoint_arg $ every_arg
+      $ resume_arg $ max_iterations_arg $ save_model_arg)
 
 (* ---- kf serve ---- *)
 
@@ -640,7 +652,6 @@ let serve_cmd =
       value
       & opt (some int) None
       & info [ "metrics-port" ] ~docv:"PORT"
-          ~env:(Cmd.Env.info "KF_METRICS_PORT")
           ~doc:
             "Serve an OpenMetrics scrape endpoint on \
              $(b,127.0.0.1:)$(docv)$(b,/metrics) for the duration of the \
@@ -677,11 +688,17 @@ let serve_cmd =
             "SLO objective: the fraction of requests (over the rolling \
              window) that must meet $(b,--slo-target-us).")
   in
-  let serve verbose model algo engine domains window_us max_batch queue_depth
-      clients rps duration seed json trace profile metrics_port trace_sample
-      slo_target slo_objective =
+  let serve verbose model algo engine domains workers window_us max_batch
+      queue_depth clients rps duration seed json trace profile metrics_port
+      trace_sample slo_target slo_objective =
     setup_logs verbose;
     apply_domains domains;
+    apply_workers workers;
+    let metrics_port =
+      match metrics_port with
+      | Some _ as p -> p
+      | None -> Sysml.Env.int ~min:0 ~max:65535 "KF_METRICS_PORT"
+    in
     with_obs ~trace ~profile @@ fun () ->
     (match trace_sample with
     | Some rate ->
@@ -752,11 +769,7 @@ let serve_cmd =
         | other -> other)
     else begin
       Printf.printf "serving %s model from %s (%d features, %s engine)\n"
-        A.display_name model weights.Kf_ml.Algorithm.cols
-        (match engine with
-        | Fusion.Executor.Fused -> "fused"
-        | Fusion.Executor.Library -> "library"
-        | Fusion.Executor.Host -> "host");
+        A.display_name model weights.Kf_ml.Algorithm.cols (engine_name engine);
       Printf.printf
         "window %d us, max batch %d, queue depth %d, %d client(s), %s\n"
         config.Kf_serve.Service.window_us config.Kf_serve.Service.max_batch
@@ -796,10 +809,10 @@ let serve_cmd =
           drive it with synthetic clients.")
     Term.(
       const serve $ verbose_arg $ model_arg $ serve_algo_arg $ engine_arg
-      $ domains_arg $ window_arg $ max_batch_arg $ queue_depth_arg
-      $ clients_arg $ rps_arg $ duration_arg $ seed_arg $ json_arg $ trace_arg
-      $ profile_arg $ metrics_port_arg $ trace_sample_arg $ slo_target_arg
-      $ slo_objective_arg)
+      $ domains_arg $ workers_arg $ window_arg $ max_batch_arg
+      $ queue_depth_arg $ clients_arg $ rps_arg $ duration_arg $ seed_arg
+      $ json_arg $ trace_arg $ profile_arg $ metrics_port_arg
+      $ trace_sample_arg $ slo_target_arg $ slo_objective_arg)
 
 (* ---- kf top ---- *)
 
@@ -959,13 +972,13 @@ let top_cmd =
   in
   let port_arg =
     Arg.(
-      required
+      value
       & opt (some int) None
       & info [ "port" ] ~docv:"PORT"
-          ~env:(Cmd.Env.info "KF_METRICS_PORT")
           ~doc:
             "Scrape endpoint port — the $(b,--metrics-port) of a running \
-             $(b,kf serve).")
+             $(b,kf serve); $(b,KF_METRICS_PORT) supplies it when the \
+             flag is absent.")
   in
   let interval_arg =
     Arg.(
@@ -982,6 +995,17 @@ let top_cmd =
              uses).")
   in
   let top addr port interval iterations =
+    let port =
+      match port with
+      | Some p -> p
+      | None -> (
+          match Sysml.Env.int ~min:0 ~max:65535 "KF_METRICS_PORT" with
+          | Some p -> p
+          | None ->
+              Printf.eprintf
+                "kf top: --port (or KF_METRICS_PORT) is required\n%!";
+              exit 2)
+    in
     let clear = iterations <> 1 && Unix.isatty Unix.stdout in
     let rec loop i prev =
       match Kf_serve.Scrape.fetch ~addr ~port ~path:"/metrics" () with
@@ -1049,10 +1073,11 @@ let script_cmd =
       & info [ "dump-ir" ] ~docv:"FILE"
           ~doc:"Write the compiled plan IR as JSON to $(docv).")
   in
-  let script verbose dense rows cols density seed file engine domains trace
-      profile plan explain dump_ir =
+  let script verbose dense rows cols density seed file engine domains workers
+      trace profile plan explain dump_ir =
     setup_logs verbose;
     apply_domains domains;
+    apply_workers workers;
     Kf_plan.Compiler.install ();
     with_obs ~trace ~profile @@ fun () ->
     let program =
@@ -1122,9 +1147,13 @@ let script_cmd =
     Term.(
       const script $ verbose_arg $ dense_arg $ rows_arg $ cols_arg
       $ density_arg $ seed_arg $ file_arg $ engine_arg $ domains_arg
-      $ trace_arg $ profile_arg $ plan_arg $ explain_arg $ dump_ir_arg)
+      $ workers_arg $ trace_arg $ profile_arg $ plan_arg $ explain_arg
+      $ dump_ir_arg)
 
 let () =
+  (* a dist worker process never reaches the CLI: this call serves the
+     coordinator's requests and exits when KF_DIST_WORKER is set *)
+  Kf_dist.Worker.maybe_run ();
   let info =
     Cmd.info "kf" ~version:"1.0.0"
       ~doc:"Fused GPU kernels for ML patterns (PPoPP'15 reproduction)."

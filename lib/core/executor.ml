@@ -4,7 +4,7 @@ let log_src = Logs.Src.create "fusion.executor" ~doc:"pattern dispatch"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type engine = Fused | Library | Host
+type engine = Fused | Library | Host | Dist
 
 type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
 
@@ -108,6 +108,26 @@ let finish_host ~op ~input ~t0 ~instantiation ~engine_used ~pool f =
 
 let host_pool = function Some p -> p | None -> Par.Pool.default ()
 
+(* The dist engine runs for real in worker processes, so like [Host] its
+   [time_ms] is wall-clock and it produces no kernel reports; its
+   [engine_used] string (mode + worker count) is read back from the
+   cluster after the op, when the shard map has fixed the 1D/1.5D
+   choice. *)
+let dist_ops_counter = Kf_obs.Counter.make "executor.dist_ops"
+
+let dist_cluster = function
+  | Some c -> c
+  | None -> Kf_dist.Cluster.default ()
+
+let finish_dist ~op ~input ~t0 ~instantiation ~cluster f =
+  let w = f () in
+  let engine_used = Kf_dist.Cluster.describe cluster in
+  let profile = mk_profile ~op ~input ~decision:engine_used ~t0 ~host:None in
+  Kf_obs.Counter.incr dist_ops_counter;
+  let time_ms = Kf_obs.Clock.ns_to_ms profile.wall_ns in
+  Log.debug (fun m -> m "%s: %.3f ms wall-clock" engine_used time_ms);
+  { w; reports = []; time_ms; instantiation; engine_used; profile }
+
 (* --- guarded dispatch ----------------------------------------------------- *)
 
 (* Recovery plumbing: every public op runs through [guarded], which
@@ -129,12 +149,19 @@ let engine_name = function
   | Fused -> "fused"
   | Library -> "library"
   | Host -> "host"
+  | Dist -> "dist"
 
 (* One retry on the engine the caller asked for, then progressively
-   simpler engines.  Library is the floor among engines because it is a
-   chain of independent single-kernel launches. *)
+   simpler engines: the multi-process tier falls back to single-process
+   Host, and Library is the floor among engines because it is a chain of
+   independent single-kernel launches. *)
 let attempt_plan engine =
-  let tail = match engine with Host | Fused -> [ Library ] | Library -> [] in
+  let tail =
+    match engine with
+    | Dist -> [ Host; Library ]
+    | Host | Fused -> [ Library ]
+    | Library -> []
+  in
   engine :: engine :: tail
 
 let describe_failure = function
@@ -218,11 +245,12 @@ let library_epilogue device ~alpha ~beta_z w reports =
       let w, r3 = Gpulibs.Cublas.axpy device 1.0 bz w in
       (w, reports @ r1 @ r2 @ r3)
 
-let xt_y ?(engine = Fused) ?pool device input y ~alpha =
+let xt_y ?(engine = Fused) ?pool ?cluster device input y ~alpha =
   let t0 = Kf_obs.Clock.now_ns () in
   let op = "xt_y" in
   let finish = finish ~op ~input ~t0 in
   let finish_host = finish_host ~op ~input ~t0 in
+  let finish_dist = finish_dist ~op ~input ~t0 in
   let instantiation =
     Some
       (Pattern.classify ~with_first_multiply:false ~with_v:false
@@ -237,8 +265,19 @@ let xt_y ?(engine = Fused) ?pool device input y ~alpha =
     let w = Matrix.Blas.finish_pattern ~alpha ~beta:None ~z:None w in
     reference_result ~op ~input ~t0 ~instantiation w
   in
-  guarded ~op ~engine ~reference ~dispatch:(fun engine ->
+  let rec dispatch engine =
   match (engine, input) with
+  | Dist, _ -> (
+      try
+        let c = dist_cluster cluster in
+        finish_dist ~instantiation ~cluster:c (fun () ->
+            match input with
+            | Sparse x -> Kf_dist.Cluster.xt_y_sparse c x ~y ~alpha
+            | Dense x -> Kf_dist.Cluster.xt_y_dense c x ~y ~alpha)
+      with Kf_dist.Cluster.Unavailable msg ->
+        Log.warn (fun m ->
+            m "dist engine unavailable (%s); falling back to host" msg);
+        dispatch Host)
   | Host, Sparse x ->
       let pool = host_pool pool in
       let variant =
@@ -278,7 +317,9 @@ let xt_y ?(engine = Fused) ?pool device input y ~alpha =
          already a single pass. *)
       let w, reports = Gpulibs.Cublas.gemv_t device x y in
       let w, reports = library_epilogue device ~alpha ~beta_z:None w reports in
-      finish ~instantiation ~engine_used:"cublas gemv (transpose)" w reports)
+      finish ~instantiation ~engine_used:"cublas gemv (transpose)" w reports
+  in
+  guarded ~op ~engine ~reference ~dispatch
 
 let library_pattern device input ~y ?v ?beta_z ~alpha () =
   let p, reports =
@@ -304,11 +345,13 @@ let library_pattern device input ~y ?v ?beta_z ~alpha () =
   in
   library_epilogue device ~alpha ~beta_z w reports
 
-let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
+let pattern ?(engine = Fused) ?pool ?cluster device input ~y ?v ?beta_z ~alpha
+    () =
   let t0 = Kf_obs.Clock.now_ns () in
   let op = "pattern" in
   let finish = finish ~op ~input ~t0 in
   let finish_host = finish_host ~op ~input ~t0 in
+  let finish_dist = finish_dist ~op ~input ~t0 in
   let instantiation =
     Some
       (Pattern.classify ~with_first_multiply:true ~with_v:(v <> None)
@@ -325,8 +368,21 @@ let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
     in
     reference_result ~op ~input ~t0 ~instantiation w
   in
-  guarded ~op ~engine ~reference ~dispatch:(fun engine ->
+  let rec dispatch engine =
   match (engine, input) with
+  | Dist, _ -> (
+      try
+        let c = dist_cluster cluster in
+        finish_dist ~instantiation ~cluster:c (fun () ->
+            match input with
+            | Sparse x ->
+                Kf_dist.Cluster.pattern_sparse c x ~y ?v ?beta_z ~alpha ()
+            | Dense x ->
+                Kf_dist.Cluster.pattern_dense c x ~y ?v ?beta_z ~alpha ())
+      with Kf_dist.Cluster.Unavailable msg ->
+        Log.warn (fun m ->
+            m "dist engine unavailable (%s); falling back to host" msg);
+        dispatch Host)
   | Host, Sparse x ->
       let pool = host_pool pool in
       let variant =
@@ -378,13 +434,16 @@ let pattern ?(engine = Fused) ?pool device input ~y ?v ?beta_z ~alpha () =
         | Sparse _ -> "cusparse csrmv + csrmv_t (+ cublas level-1)"
         | Dense _ -> "cublas gemv + gemv_t (+ level-1)"
       in
-      finish ~instantiation ~engine_used w reports)
+      finish ~instantiation ~engine_used w reports
+  in
+  guarded ~op ~engine ~reference ~dispatch
 
-let x_y ?(engine = Fused) ?pool device input y =
+let x_y ?(engine = Fused) ?pool ?cluster device input y =
   let t0 = Kf_obs.Clock.now_ns () in
   let op = "x_y" in
   let finish = finish ~op ~input ~t0 in
   let finish_host = finish_host ~op ~input ~t0 in
+  let finish_dist = finish_dist ~op ~input ~t0 in
   let instantiation = None in
   let reference () =
     let w =
@@ -394,8 +453,19 @@ let x_y ?(engine = Fused) ?pool device input y =
     in
     reference_result ~op ~input ~t0 ~instantiation w
   in
-  guarded ~op ~engine ~reference ~dispatch:(fun engine ->
+  let rec dispatch engine =
   match (engine, input) with
+  | Dist, _ -> (
+      try
+        let c = dist_cluster cluster in
+        finish_dist ~instantiation ~cluster:c (fun () ->
+            match input with
+            | Sparse x -> Kf_dist.Cluster.x_y_sparse c x y
+            | Dense x -> Kf_dist.Cluster.x_y_dense c x y)
+      with Kf_dist.Cluster.Unavailable msg ->
+        Log.warn (fun m ->
+            m "dist engine unavailable (%s); falling back to host" msg);
+        dispatch Host)
   | Host, Sparse x ->
       let pool = host_pool pool in
       finish_host ~instantiation
@@ -415,4 +485,6 @@ let x_y ?(engine = Fused) ?pool device input y =
       finish ~instantiation ~engine_used:"cusparse csrmv" w reports
   | (Fused | Library), Dense x ->
       let w, reports = Gpulibs.Cublas.gemv device x y in
-      finish ~instantiation ~engine_used:"cublas gemv" w reports)
+      finish ~instantiation ~engine_used:"cublas gemv" w reports
+  in
+  guarded ~op ~engine ~reference ~dispatch

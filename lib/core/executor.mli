@@ -22,6 +22,14 @@ type engine =
           simulated engines, [time_ms] is measured wall-clock and
           [reports] is empty.  The pool defaults to [Par.Pool.default]
           (sized by [KF_DOMAINS]); pass [?pool] to override. *)
+  | Dist
+      (** sharded multi-process execution on a [Kf_dist.Cluster] of
+          worker processes (sized by [KF_WORKERS]); row shards computed
+          with the sequential reference BLAS and allreduced in 1D or
+          1.5D layout as chosen by [Kf_dist.Netmodel].  Wall-clock like
+          [Host].  The cluster defaults to [Kf_dist.Cluster.default];
+          pass [?cluster] to override.  If the cluster cannot be
+          spawned the op falls back to [Host] with a warning. *)
 
 type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
 
@@ -71,6 +79,7 @@ val bytes : input -> int
 val xt_y :
   ?engine:engine ->
   ?pool:Par.Pool.t ->
+  ?cluster:Kf_dist.Cluster.t ->
   Device.t ->
   input ->
   Matrix.Vec.t ->
@@ -82,6 +91,7 @@ val xt_y :
 val pattern :
   ?engine:engine ->
   ?pool:Par.Pool.t ->
+  ?cluster:Kf_dist.Cluster.t ->
   Device.t ->
   input ->
   y:Matrix.Vec.t ->
@@ -94,7 +104,13 @@ val pattern :
     present. *)
 
 val x_y :
-  ?engine:engine -> ?pool:Par.Pool.t -> Device.t -> input -> Matrix.Vec.t -> result
+  ?engine:engine ->
+  ?pool:Par.Pool.t ->
+  ?cluster:Kf_dist.Cluster.t ->
+  Device.t ->
+  input ->
+  Matrix.Vec.t ->
+  result
 (** Plain [X x y] — not part of the fused pattern (the paper leaves it to
     the libraries, which are already optimal for it), provided so that ML
     algorithms can run entirely through this interface. *)

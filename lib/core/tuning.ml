@@ -251,6 +251,8 @@ let pp_dense_plan fmt p =
 
 let host_l2_bytes = Par.Tune.l2_bytes
 
+let host_l2_source = Par.Tune.l2_source
+
 let host_tile_rows = Par.Tune.tile_rows
 
 let host_tile_cols = Par.Tune.tile_cols

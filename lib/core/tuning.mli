@@ -101,6 +101,11 @@ val pp_dense_plan : Format.formatter -> dense_plan -> unit
 
 val host_l2_bytes : unit -> int
 
+val host_l2_source : unit -> string
+(** Provenance of {!host_l2_bytes}: ["env"], ["sysfs"] or ["fallback"];
+    benchmark metadata records it so results tiled against a guessed
+    cache size are distinguishable. *)
+
 val host_tile_rows : unit -> int
 
 val host_tile_cols : unit -> int

@@ -93,6 +93,7 @@ val predict_exec :
   (module S) ->
   ?engine:Fusion.Executor.engine ->
   ?pool:Par.Pool.t ->
+  ?cluster:Kf_dist.Cluster.t ->
   Gpu_sim.Device.t ->
   weights ->
   Fusion.Executor.input ->
@@ -109,6 +110,7 @@ val predict_exec_with :
   scorer ->
   ?engine:Fusion.Executor.engine ->
   ?pool:Par.Pool.t ->
+  ?cluster:Kf_dist.Cluster.t ->
   Gpu_sim.Device.t ->
   Fusion.Executor.input ->
   Matrix.Vec.t * float

@@ -94,7 +94,7 @@ let cg_solve session input ~d ~g ~iterations ~tolerance =
   done;
   (!delta, !count)
 
-let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
+let fit ?engine ?cluster ?(family = poisson) ?(newton_iterations = 10)
     ?(cg_iterations = 20) ?(tolerance = 1e-6) ?checkpoint ?ckpt_meta ?resume
     device input ~targets =
   let m = Fusion.Executor.rows input in
@@ -107,7 +107,7 @@ let fit ?engine ?(family = poisson) ?(newton_iterations = 10)
           (Printf.sprintf "Glm.fit: invalid target for the %s family"
              family.family_name))
     targets;
-  let session = Session.create ?engine device ~algorithm:"GLM" in
+  let session = Session.create ?engine ?cluster device ~algorithm:"GLM" in
   (match checkpoint with
   | Some (path, every) ->
       Session.set_checkpoint ?meta:ckpt_meta session ~path ~every

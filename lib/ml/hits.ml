@@ -10,11 +10,12 @@ type result = {
   timeline : Session.iteration list;
 }
 
-let run ?engine ?(iterations = 50) ?(tolerance = 1e-9) ?checkpoint ?ckpt_meta
+let run ?engine ?cluster ?(iterations = 50) ?(tolerance = 1e-9) ?checkpoint
+    ?ckpt_meta
     ?resume device (adjacency : Csr.t) =
   if adjacency.rows <> adjacency.cols then
     invalid_arg "Hits.run: adjacency matrix must be square";
-  let session = Session.create ?engine device ~algorithm:"HITS" in
+  let session = Session.create ?engine ?cluster device ~algorithm:"HITS" in
   (match checkpoint with
   | Some (path, every) ->
       Session.set_checkpoint ?meta:ckpt_meta session ~path ~every

@@ -18,6 +18,7 @@ type result = {
 
 val run :
   ?engine:Fusion.Executor.engine ->
+  ?cluster:Kf_dist.Cluster.t ->
   ?iterations:int ->
   ?tolerance:float ->
   ?checkpoint:string * int ->

@@ -11,11 +11,12 @@ type result = {
   timeline : Session.iteration list;
 }
 
-let fit ?engine ?(max_iterations = 100) ?(tolerance = 1e-6) ?(eps = 0.001)
+let fit ?engine ?cluster ?(max_iterations = 100) ?(tolerance = 1e-6)
+    ?(eps = 0.001)
     ?checkpoint ?ckpt_meta ?resume device input ~targets =
   if Array.length targets <> Fusion.Executor.rows input then
     invalid_arg "Linreg_cg.fit: one target per row required";
-  let session = Session.create ?engine device ~algorithm:"LR" in
+  let session = Session.create ?engine ?cluster device ~algorithm:"LR" in
   (match checkpoint with
   | Some (path, every) ->
       Session.set_checkpoint ?meta:ckpt_meta session ~path ~every

@@ -19,6 +19,7 @@ type result = {
 
 val fit :
   ?engine:Fusion.Executor.engine ->
+  ?cluster:Kf_dist.Cluster.t ->
   ?max_iterations:int ->
   ?tolerance:float ->
   ?eps:float ->

@@ -66,7 +66,7 @@ let steihaug session input ~d ~g ~lambda ~delta ~iterations ~tolerance =
   done;
   (!s, !count)
 
-let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 15)
+let fit ?engine ?cluster ?(lambda = 1.0) ?(newton_iterations = 15)
     ?(cg_iterations = 25) ?(tolerance = 1e-5) ?checkpoint ?ckpt_meta ?resume
     device input ~labels =
   let m = Fusion.Executor.rows input in
@@ -77,7 +77,7 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 15)
       if l <> 1.0 && l <> -1.0 then
         invalid_arg "Logreg.fit: labels must be +1/-1")
     labels;
-  let session = Session.create ?engine device ~algorithm:"LogReg" in
+  let session = Session.create ?engine ?cluster device ~algorithm:"LogReg" in
   (match checkpoint with
   | Some (path, every) ->
       Session.set_checkpoint ?meta:ckpt_meta session ~path ~every

@@ -16,7 +16,7 @@ let margins input weights =
 
 let algorithm_name = "LogReg-multinomial"
 
-let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
+let fit ?engine ?cluster ?(lambda = 1.0) ?(newton_iterations = 10)
     ?(cg_iterations = 20) ?checkpoint ?(ckpt_meta = []) ?resume device input
     ~labels ~classes =
   if classes < 2 then invalid_arg "Multinomial.fit: need at least 2 classes";
@@ -99,8 +99,8 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
         let r =
           Kf_obs.Trace.with_span ~args:[ ("class", string_of_int k) ]
             "fit.class" (fun () ->
-              Logreg.fit ?engine ~lambda ~newton_iterations ~cg_iterations
-                device input ~labels:binary)
+              Logreg.fit ?engine ?cluster ~lambda ~newton_iterations
+                ~cg_iterations device input ~labels:binary)
         in
         gpu_ms := !gpu_ms +. r.Logreg.gpu_ms;
         timeline_rev := List.rev_append r.Logreg.timeline !timeline_rev;

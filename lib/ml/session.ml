@@ -11,6 +11,7 @@ type t = {
   device : Device.t;
   engine : Fusion.Executor.engine;
   pool : Par.Pool.t option;  (* only consulted by the Host engine *)
+  cluster : Kf_dist.Cluster.t option;  (* only consulted by Dist *)
   trace : Fusion.Pattern.Trace.t;
   mutable gpu_ms : float;
   mutable pattern_ms : float;
@@ -29,11 +30,12 @@ let iterations_counter = Kf_obs.Counter.make "session.iterations"
 
 let ckpt_resumes_counter = Kf_obs.Counter.make "resil.ckpt_resumes"
 
-let create ?(engine = Fusion.Executor.Fused) ?pool device ~algorithm =
+let create ?(engine = Fusion.Executor.Fused) ?pool ?cluster device ~algorithm =
   {
     device;
     engine;
     pool;
+    cluster;
     trace = Fusion.Pattern.Trace.create ~algorithm;
     gpu_ms = 0.0;
     pattern_ms = 0.0;
@@ -77,16 +79,18 @@ let absorb_result t (r : Fusion.Executor.result) =
 
 let xt_y t input y ~alpha =
   absorb_result t
-    (Fusion.Executor.xt_y ~engine:t.engine ?pool:t.pool t.device input y ~alpha)
+    (Fusion.Executor.xt_y ~engine:t.engine ?pool:t.pool ?cluster:t.cluster
+       t.device input y ~alpha)
 
 let pattern t input ~y ?v ?beta_z ~alpha () =
   absorb_result t
-    (Fusion.Executor.pattern ~engine:t.engine ?pool:t.pool t.device input ~y ?v
-       ?beta_z ~alpha ())
+    (Fusion.Executor.pattern ~engine:t.engine ?pool:t.pool ?cluster:t.cluster
+       t.device input ~y ?v ?beta_z ~alpha ())
 
 let x_y t input y =
   absorb_result t
-    (Fusion.Executor.x_y ~engine:t.engine ?pool:t.pool t.device input y)
+    (Fusion.Executor.x_y ~engine:t.engine ?pool:t.pool ?cluster:t.cluster
+       t.device input y)
 
 let absorb_level1 t reports =
   t.gpu_ms <- t.gpu_ms +. Sim.total_ms reports;

@@ -24,12 +24,16 @@ type iteration = {
 val create :
   ?engine:Fusion.Executor.engine ->
   ?pool:Par.Pool.t ->
+  ?cluster:Kf_dist.Cluster.t ->
   Device.t ->
   algorithm:string ->
   t
 (** [pool] selects the domain pool used when [engine] is
     [Fusion.Executor.Host] (default: the shared [Par.Pool.default]
-    pool); it is ignored by the simulated engines. *)
+    pool); [cluster] the worker cluster used when [engine] is
+    [Fusion.Executor.Dist] (default: the shared [Kf_dist.Cluster.default]
+    cluster, sized by [KF_WORKERS]).  Both are ignored by the other
+    engines. *)
 
 val device : t -> Device.t
 

@@ -72,7 +72,7 @@ let cg_solve session sub ~g ~lambda ~iterations ~tolerance =
   done;
   (!s, !count)
 
-let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
+let fit ?engine ?cluster ?(lambda = 1.0) ?(newton_iterations = 10)
     ?(cg_iterations = 20) ?(tolerance = 1e-6) ?checkpoint ?ckpt_meta ?resume
     device input ~labels =
   let m = Fusion.Executor.rows input in
@@ -82,7 +82,7 @@ let fit ?engine ?(lambda = 1.0) ?(newton_iterations = 10)
     (fun l ->
       if l <> 1.0 && l <> -1.0 then invalid_arg "Svm.fit: labels must be +1/-1")
     labels;
-  let session = Session.create ?engine device ~algorithm:"SVM" in
+  let session = Session.create ?engine ?cluster device ~algorithm:"SVM" in
   (match checkpoint with
   | Some (path, every) ->
       Session.set_checkpoint ?meta:ckpt_meta session ~path ~every

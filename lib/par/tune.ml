@@ -42,16 +42,28 @@ let sysfs_l2_bytes () =
 
 let fallback_l2_bytes = 1 lsl 20
 
+(* Where did the L2 figure come from?  Exposed so benchmark metadata
+   can record whether results were tiled against measured hardware or
+   the guess — and so the fallback is a visible one-line warning, not a
+   silent mis-tiling on machines with exotic cache topologies. *)
 let detected_l2 =
   lazy
     (match env_positive "KF_HOST_L2_BYTES" with
-    | Some n -> n
+    | Some n -> (n, "env")
     | None -> (
         match sysfs_l2_bytes () with
-        | Some n -> n
-        | None -> fallback_l2_bytes))
+        | Some n -> (n, "sysfs")
+        | None ->
+            Printf.eprintf
+              "kf: warning: could not read the per-core L2 size from sysfs; \
+               tiling for %d KiB (set KF_HOST_L2_BYTES to override)\n\
+               %!"
+              (fallback_l2_bytes / 1024);
+            (fallback_l2_bytes, "fallback")))
 
-let l2_bytes () = Lazy.force detected_l2
+let l2_bytes () = fst (Lazy.force detected_l2)
+
+let l2_source () = snd (Lazy.force detected_l2)
 
 let clamp lo hi v = Stdlib.max lo (Stdlib.min hi v)
 

@@ -10,7 +10,14 @@
 
 val l2_bytes : unit -> int
 (** Assumed per-core L2 size in bytes: [KF_HOST_L2_BYTES] when set,
-    else the sysfs cache topology, else 1 MiB. *)
+    else the sysfs cache topology, else 1 MiB (with a one-line warning
+    on stderr — a silent fallback would mis-tile machines whose cache
+    topology sysfs cannot describe). *)
+
+val l2_source : unit -> string
+(** Which of the three sources produced {!l2_bytes}: ["env"], ["sysfs"]
+    or ["fallback"].  Benchmark metadata records it ([BENCH_host.json])
+    so results tiled against a guessed cache size are distinguishable. *)
 
 val tile_cols : unit -> int
 (** Column-tile width for owner-computes scatters: [KF_HOST_TILE_COLS]

@@ -59,7 +59,14 @@ let compile ?engine ?pool ?host ?(overhead_ms = 0.05) ?(positional = [])
     | None, Fusion.Executor.Host -> Par.Pool.default_size ()
     | None, _ -> 1
   in
-  let ctx = Cost.create ~host ~overhead_ms ~domains ~engine:cost_engine device in
+  let workers =
+    match cost_engine with
+    | Fusion.Executor.Dist -> Kf_dist.Cluster.default_size ()
+    | _ -> 1
+  in
+  let ctx =
+    Cost.create ~host ~overhead_ms ~domains ~workers ~engine:cost_engine device
+  in
   let groups, ordered_groups =
     Kf_obs.Trace.with_span "plan.cost" (fun () ->
         Fuse.select ctx ~mat_of:(mat_of_node ~inputs ~positional) steps)

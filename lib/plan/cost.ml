@@ -115,11 +115,24 @@ type ctx = {
   host : host_params;
   domains : int;
   overhead_ms : float;  (** per-operator bookkeeping; tie-breaker *)
+  workers : int;
+  net : Kf_dist.Netmodel.t;
 }
 
-let create ?(host = default_host) ?(overhead_ms = 0.05) ?(domains = 1)
-    ~engine device =
-  { engine; device; host; domains; overhead_ms }
+let create ?(host = default_host) ?(overhead_ms = 0.05) ?(domains = 1) ?workers
+    ?net ~engine device =
+  let workers =
+    match workers with
+    | Some w -> max 1 w
+    | None -> (
+        match engine with
+        | Fusion.Executor.Dist -> Kf_dist.Cluster.default_size ()
+        | _ -> 1)
+  in
+  let net =
+    match net with Some n -> n | None -> Kf_dist.Netmodel.of_env ()
+  in
+  { engine; device; host; domains; overhead_ms; workers; net }
 
 (* --- simulated-GPU occupancy --------------------------------------------- *)
 
@@ -193,6 +206,47 @@ let ceil_log2 n =
   let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
   go 0 1
 
+(* --- dist roofline -------------------------------------------------------- *)
+
+(* Busiest worker's shard share in bytes, under the same nnz-balanced
+   row split the cluster uses. *)
+let dist_share ctx m =
+  host_matrix_share { ctx with domains = max 1 ctx.workers } m
+
+(* Gather volume of the cheaper allreduce layout for one length-cols
+   partial per worker — the same [Netmodel.choose_mode] decision the
+   cluster makes from its exact touch maps, priced here from the
+   uniform-occupancy estimate (the compiler costs candidate shards
+   before any data moves). *)
+let dist_gather_bytes ctx s =
+  let w = max 1 ctx.workers in
+  let b1 = Kf_dist.Netmodel.bytes_1d ~workers:w ~cols:s.cols in
+  if s.dense then b1
+  else
+    let b15 =
+      Kf_dist.Netmodel.bytes_15d_estimate ~workers:w ~cols:s.cols ~nnz:s.nnz
+        ~block_cols:(Kf_dist.Netmodel.block_cols_of_env ())
+    in
+    min b1 b15
+
+(* One distributed op end to end: scatter the per-worker inputs, stream
+   the slowest shard sequentially (workers compute with the
+   single-domain reference BLAS — no dispatch charge, no
+   parallel-efficiency discount), gather, and reduce the gathered
+   partials coordinator-side. *)
+let dist_ms ctx m ~scatter_bytes ~gather_bytes ~passes ~vec_bytes =
+  let w = max 1 ctx.workers in
+  (* 1 GB/s streams 1000 bytes per microsecond *)
+  let stream_us bytes = bytes /. (ctx.host.stream_gbs *. 1e3) in
+  let compute_us =
+    stream_us ((float_of_int passes *. dist_share ctx m)
+               +. float_of_int vec_bytes)
+  in
+  (Kf_dist.Netmodel.op_us ctx.net ~workers:w ~scatter_bytes ~gather_bytes
+     ~compute_us
+  +. stream_us (float_of_int gather_bytes))
+  /. 1e3
+
 (* --- operator costs ------------------------------------------------------ *)
 
 (* Streaming vector operation over [n] elements. *)
@@ -200,6 +254,11 @@ let vec_ms ctx ~n ~reads ~writes ~flops =
   match ctx.engine with
   | Fusion.Executor.Host ->
       host_uniform_ms ctx (((reads + writes) * n * 8) + 1)
+  | Fusion.Executor.Dist ->
+      (* vector work stays at the coordinator (epilogues, BLAS-1): a
+         plain sequential stream, no dispatch and no network. *)
+      float_of_int (((reads + writes) * n * 8) + 1)
+      /. (ctx.host.stream_gbs *. 1e6)
   | Fusion.Executor.Fused | Fusion.Executor.Library ->
       let occ = generic_occupancy ctx.device in
       let grid = max 1 (min (device_fill ctx.device occ) (n / 256 + 1)) in
@@ -214,6 +273,14 @@ let x_y_ms ctx m =
       host_job_ms ctx.host
         ~max_share:(host_matrix_share ctx m
                     +. float_of_int ((s.cols + s.rows) * 8 / max 1 ctx.domains))
+  | Fusion.Executor.Dist ->
+      (* every worker needs the full length-cols y; the row-disjoint
+         result gathers without a reduce. *)
+      let w = max 1 ctx.workers in
+      dist_ms ctx m
+        ~scatter_bytes:(w * s.cols * 8)
+        ~gather_bytes:(s.rows * 8) ~passes:1
+        ~vec_bytes:((s.cols + (s.rows / w)) * 8)
   | Fusion.Executor.Fused | Fusion.Executor.Library ->
       let occ = generic_occupancy ctx.device in
       let grid = max 1 (min (device_fill ctx.device occ) (s.rows / 256 + 1)) in
@@ -225,6 +292,15 @@ let x_y_ms ctx m =
 let xt_y_ms ctx m =
   let s = m.shape in
   match ctx.engine with
+  | Fusion.Executor.Dist ->
+      (* y is length-rows, so its slices scatter disjointly; the gather
+         is the 1D-vs-1.5D allreduce choice. *)
+      let w = max 1 ctx.workers in
+      dist_ms ctx m
+        ~scatter_bytes:(s.rows * 8)
+        ~gather_bytes:(dist_gather_bytes ctx s)
+        ~passes:1
+        ~vec_bytes:(((s.rows / w) + s.cols) * 8)
   | Fusion.Executor.Host -> (
       let d = max 1 ctx.domains in
       match host_variant ctx s with
@@ -268,6 +344,27 @@ let fused_ms ctx m (inst : Fusion.Pattern.instantiation) =
     | Fusion.Pattern.Full_pattern -> (true, true, true)
   in
   match ctx.engine with
+  | Fusion.Executor.Dist ->
+      (* the whole instantiation is one distributed op: full y to every
+         worker when the first multiply is present (it is length-cols),
+         a disjoint slice otherwise; v scatters disjointly; two shard
+         passes for X^T(v .* (X y)); the beta*z epilogue is
+         coordinator-side vector work. *)
+      let w = max 1 ctx.workers in
+      let scatter_bytes =
+        (if with_fm then w * s.cols * 8 else s.rows * 8)
+        + if with_v then s.rows * 8 else 0
+      in
+      let vec_bytes =
+        ((s.rows / w * if with_v then 2 else 1) + s.cols) * 8
+      in
+      dist_ms ctx m ~scatter_bytes
+        ~gather_bytes:(dist_gather_bytes ctx s)
+        ~passes:(if with_fm then 2 else 1)
+        ~vec_bytes
+      +.
+      if with_z then vec_ms ctx ~n:s.cols ~reads:2 ~writes:1 ~flops:(2 * s.cols)
+      else 0.0
   | Fusion.Executor.Library ->
       (* the composition Session.pattern would launch *)
       (if with_fm then x_y_ms ctx m else 0.0)

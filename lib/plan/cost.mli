@@ -51,17 +51,25 @@ type ctx = {
   host : host_params;
   domains : int;
   overhead_ms : float;  (** per-operator bookkeeping; tie-breaker *)
+  workers : int;  (** [Dist] engine: cluster size being priced *)
+  net : Kf_dist.Netmodel.t;
+      (** [Dist] engine: the alpha-beta network model ([of_env]
+          defaults, or a calibrated model from a live cluster) *)
 }
 
 val create :
   ?host:host_params ->
   ?overhead_ms:float ->
   ?domains:int ->
+  ?workers:int ->
+  ?net:Kf_dist.Netmodel.t ->
   engine:Fusion.Executor.engine ->
   Gpu_sim.Device.t ->
   ctx
 (** Defaults: [host = default_host], [overhead_ms = 0.05] (the
-    {!Sysml.Runtime} per-operator charge), [domains = 1]. *)
+    {!Sysml.Runtime} per-operator charge), [domains = 1], [workers =
+    Kf_dist.Cluster.default_size ()] under [Dist] (1 otherwise), [net =
+    Kf_dist.Netmodel.of_env ()]. *)
 
 (** {1 Operator costs (milliseconds)} *)
 

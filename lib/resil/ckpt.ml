@@ -16,33 +16,53 @@ let writes = Kf_obs.Counter.make "resil.ckpt_writes"
 let rewrites = Kf_obs.Counter.make "resil.ckpt_rewrites"
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
-(* --- FNV-1a 64 ----------------------------------------------------------- *)
+(* --- FNV-1a 64 -----------------------------------------------------------
 
-let fnv_offset = 0xCBF29CE484222325L
-let fnv_prime = 0x100000001B3L
+   The hash state lives in two untagged 32-bit halves: the FNV prime
+   0x100000001B3 is 2^40 + 0x1b3, so mod 2^64 the per-byte product
+   (hi·2^32 + l)·(2^40 + 0x1b3), with l = lo xor byte, reduces to
+     lo' = (l·0x1b3) mod 2^32
+     hi' = ((l << 8) + hi·0x1b3 + (l·0x1b3 >> 32)) mod 2^32
+   — all intermediates stay below 2^42, inside a native int, keeping
+   megabyte checkpoints (and the dist wire frames that reuse this
+   function) free of per-byte boxed-Int64 multiplies. *)
 
-let fnv_update h byte =
-  Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xff))) fnv_prime
+let fnv_mask = 0xFFFFFFFF
 
 let fnv_string s =
-  let h = ref fnv_offset in
-  String.iter (fun c -> h := fnv_update !h (Char.code c)) s;
-  !h
+  let lo = ref 0x84222325 and hi = ref 0xCBF29CE4 in
+  String.iter
+    (fun c ->
+      let l = !lo lxor Char.code c in
+      let m = l * 0x1b3 in
+      lo := m land fnv_mask;
+      hi := ((l lsl 8) + (!hi * 0x1b3) + (m lsr 32)) land fnv_mask)
+    s;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int !hi) 32)
+    (Int64.of_int !lo)
 
 let hex64 h = Printf.sprintf "%016Lx" h
 
 let checksum_floats v =
-  let h = ref fnv_offset in
+  let lo = ref 0x84222325 and hi = ref 0xCBF29CE4 in
   Array.iter
     (fun x ->
       let bits = Int64.bits_of_float x in
       for k = 0 to 7 do
-        h :=
-          fnv_update !h
-            (Int64.to_int (Int64.shift_right_logical bits (k * 8)))
+        let byte =
+          Int64.to_int (Int64.shift_right_logical bits (k * 8)) land 0xff
+        in
+        let l = !lo lxor byte in
+        let m = l * 0x1b3 in
+        lo := m land fnv_mask;
+        hi := ((l lsl 8) + (!hi * 0x1b3) + (m lsr 32)) land fnv_mask
       done)
     v;
-  hex64 !h
+  hex64
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int !hi) 32)
+       (Int64.of_int !lo))
 
 (* --- payload encoding ----------------------------------------------------- *)
 
@@ -121,13 +141,9 @@ let decode s =
   in
   let i64 what =
     need 8 what;
-    let v = ref 0L in
-    for k = 7 downto 0 do
-      v := Int64.logor (Int64.shift_left !v 8)
-          (Int64.of_int (Char.code s.[!pos + k]))
-    done;
+    let v = String.get_int64_le s !pos in
     pos := !pos + 8;
-    !v
+    v
   in
   let str len what =
     need len what;

@@ -1,0 +1,30 @@
+(** Strict environment-variable parsing for the CLI entry points.
+
+    The libraries themselves stay lenient — [Par.Pool] falls back to the
+    recommended domain count on a malformed [KF_DOMAINS],
+    [Kf_dist.Cluster] clamps [KF_WORKERS] — because a library must not
+    exit the process.  The CLI is stricter: a value the user typed that
+    cannot mean anything is reported once, in one uniform
+    [kf: NAME must be ...] message, and the process exits with status 2
+    (the same contract as every other CLI usage error).
+
+    Used for [KF_DOMAINS], [KF_WORKERS], [KF_METRICS_PORT] and
+    [KF_TRACE_SAMPLE]. *)
+
+val int : ?min:int -> ?max:int -> string -> int option
+(** [int ~min ~max name] is [None] when [name] is unset, [Some v] when
+    it holds an integer within [[min, max]] (each bound optional), and
+    exits 2 with a uniform [kf: NAME must be ...] message on stderr
+    otherwise. *)
+
+val float : ?min:float -> ?max:float -> string -> float option
+(** Same contract for floating-point variables (rates, thresholds). *)
+
+val int_result :
+  ?min:int -> ?max:int -> string -> (int option, string) result
+(** Non-exiting form of {!int}: [Error msg] carries the exact message
+    {!int} would print before exiting — what the tests assert against. *)
+
+val float_result :
+  ?min:float -> ?max:float -> string -> (float option, string) result
+(** Non-exiting form of {!float}. *)

@@ -1,4 +1,7 @@
 let () =
+  (* Dist workers are re-execs of this binary: if we are one, serve and
+     exit before Alcotest touches argv. *)
+  Kf_dist.Worker.maybe_run ();
   Alcotest.run "kernel_fusion"
     [
       ("vec", Test_vec.suite);
@@ -26,4 +29,5 @@ let () =
       ("reproduction", Test_reproduction.suite);
       ("resil", Test_resil.suite);
       ("serve", Test_serve.suite);
+      ("dist", Test_dist.suite);
     ]

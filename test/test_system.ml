@@ -149,6 +149,50 @@ let test_systemml_overheads_shrink_speedup () =
   Alcotest.(check bool) "overheads positive" true (r.Sysml.Runtime.overhead_ms > 0.0);
   Alcotest.(check int) "matrix uploaded once" 1 r.Sysml.Runtime.mm.Sysml.Memmgr.uploads
 
+(* --- strict CLI environment parsing ------------------------------------- *)
+
+let with_env name value f =
+  let saved = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value saved ~default:""))
+    f
+
+let test_env_int () =
+  Alcotest.(check (result (option int) string))
+    "unset is None" (Ok None)
+    (Sysml.Env.int_result "KF_TEST_UNSET_VARIABLE");
+  with_env "KF_TEST_ENV" " 42 " (fun () ->
+      Alcotest.(check (result (option int) string))
+        "whitespace-tolerant parse"
+        (Ok (Some 42))
+        (Sysml.Env.int_result ~min:1 ~max:64 "KF_TEST_ENV"));
+  with_env "KF_TEST_ENV" "three" (fun () ->
+      Alcotest.(check (result (option int) string))
+        "garbage carries the uniform message"
+        (Error "kf: KF_TEST_ENV must be an integer between 1 and 64, got \"three\"")
+        (Sysml.Env.int_result ~min:1 ~max:64 "KF_TEST_ENV"));
+  with_env "KF_TEST_ENV" "0" (fun () ->
+      Alcotest.(check (result (option int) string))
+        "out-of-range names the bound"
+        (Error "kf: KF_TEST_ENV must be an integer >= 1, got 0")
+        (Sysml.Env.int_result ~min:1 "KF_TEST_ENV"))
+
+let test_env_float () =
+  with_env "KF_TEST_ENV" "0.25" (fun () ->
+      Alcotest.(check (result (option (float 1e-12)) string))
+        "a rate parses"
+        (Ok (Some 0.25))
+        (Sysml.Env.float_result ~min:0.0 ~max:1.0 "KF_TEST_ENV"));
+  with_env "KF_TEST_ENV" "nan" (fun () ->
+      Alcotest.(check bool) "non-finite is rejected" true
+        (Result.is_error (Sysml.Env.float_result "KF_TEST_ENV")));
+  with_env "KF_TEST_ENV" "1.5" (fun () ->
+      Alcotest.(check (result (option (float 1e-12)) string))
+        "bounds text for floats"
+        (Error "kf: KF_TEST_ENV must be a number between 0 and 1, got 1.5")
+        (Sysml.Env.float_result ~min:0.0 ~max:1.0 "KF_TEST_ENV"))
+
 let suite =
   [
     Alcotest.test_case "memmgr: upload then hit" `Quick test_mm_upload_then_hit;
@@ -172,4 +216,6 @@ let suite =
       test_standalone_amortisation_helps;
     Alcotest.test_case "runtime: SystemML overheads (Table 6)" `Quick
       test_systemml_overheads_shrink_speedup;
+    Alcotest.test_case "env: strict integers" `Quick test_env_int;
+    Alcotest.test_case "env: strict floats" `Quick test_env_float;
   ]
