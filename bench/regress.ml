@@ -14,6 +14,9 @@
      BENCH_serve.json   cells[].throughput_rps            (higher better)
                         cells[].p99_us                    (lower better,
                                                            2x threshold)
+                        meta.adaptive_vs_best_fixed[]
+                          .ratio                          (higher better,
+                                                           2x threshold)
      BENCH_dist.json    results[].allreduce_bytes and
                         results[].recv_bytes_per_op       (lower better)
 
@@ -102,35 +105,62 @@ let plan_metrics doc =
     (items doc "results")
 
 let serve_metrics doc =
-  List.concat_map
-    (fun c ->
-      let part k = part_of c k in
-      let base =
-        Printf.sprintf "serve:p%s:w%s:c%s" (part "pool") (part "window_us")
-          (part "concurrency")
-      in
-      List.filter_map Fun.id
-        [
-          Option.map
-            (fun v ->
-              {
-                key = base ^ ":throughput_rps";
-                value = v;
-                dir = Higher_better;
-                scale = 1.0;
-              })
-            (num c "throughput_rps");
-          Option.map
-            (fun v ->
-              {
-                key = base ^ ":p99_us";
-                value = v;
-                dir = Lower_better;
-                scale = 2.0;
-              })
-            (num c "p99_us");
-        ])
-    (items doc "cells")
+  let cells =
+    List.concat_map
+      (fun c ->
+        let part k = part_of c k in
+        let base =
+          Printf.sprintf "serve:p%s:w%s:c%s" (part "pool") (part "window_us")
+            (part "concurrency")
+        in
+        List.filter_map Fun.id
+          [
+            Option.map
+              (fun v ->
+                {
+                  key = base ^ ":throughput_rps";
+                  value = v;
+                  dir = Higher_better;
+                  scale = 1.0;
+                })
+              (num c "throughput_rps");
+            Option.map
+              (fun v ->
+                {
+                  key = base ^ ":p99_us";
+                  value = v;
+                  dir = Lower_better;
+                  scale = 2.0;
+                })
+              (num c "p99_us");
+          ])
+      (items doc "cells")
+  in
+  (* the tentpole ratio: adaptive window throughput over the best fixed
+     window, per (pool, concurrency) — the controller must stay within
+     noise of a window someone hand-tuned.  Ratios of two noisy
+     throughputs are twice as noisy, hence the p99-style scale. *)
+  let ratios =
+    match member "meta" doc with
+    | Some meta ->
+        List.filter_map
+          (fun r ->
+            let part k = part_of r k in
+            Option.map
+              (fun v ->
+                {
+                  key =
+                    Printf.sprintf "serve:adaptive_ratio:p%s:c%s" (part "pool")
+                      (part "concurrency");
+                  value = v;
+                  dir = Higher_better;
+                  scale = 2.0;
+                })
+              (num r "ratio"))
+          (items meta "adaptive_vs_best_fixed")
+    | None -> []
+  in
+  cells @ ratios
 
 (* Multi-process wall clock is scheduler noise (worker placement swings
    it by integer factors on a shared box), so the dist gate watches the
@@ -183,11 +213,16 @@ let load_metrics dir (file, extract) =
 
 (* Below these magnitudes the metric is measurement noise, not signal —
    a 0.02 ms cell regressing 20% is one scheduler hiccup. *)
+let starts_with p key =
+  String.length key >= String.length p && String.sub key 0 (String.length p) = p
+
 let floor_for key =
-  if String.length key >= 5 && String.sub key 0 5 = "host:" then 0.05 (* ms *)
-  else if String.length key >= 5 && String.sub key 0 5 = "plan:" then 0.5
-  else if String.length key >= 5 && String.sub key 0 5 = "dist:" then
-    1024.0 (* bytes *)
+  if starts_with "host:" key then 0.05 (* ms *)
+  else if starts_with "plan:" key then 0.5
+  else if starts_with "dist:" key then 1024.0 (* bytes *)
+  else if starts_with "serve:adaptive_ratio:" key then
+    0.01 (* dimensionless ratio near 1.0 — the default rps floor would
+            skip it entirely *)
   else 1.0 (* rps / us *)
 
 type verdict = Ok_same | Improved | Regressed | Skipped

@@ -1,13 +1,19 @@
 (* Serving benchmark: micro-batching window vs throughput and tail
    latency on the Host engine (real wall-clock execution).
 
-   The grid is window {0, 50, 500} us x concurrency {1, 8, 32}, each at
-   pool sizes 1 and 4.  Window 0 scores every request alone — the
-   unbatched baseline the speedup column is measured against.  The pool
-   dispatch (broadcast + join over the worker domains) is the Host
-   backend's per-launch overhead, so the amortisation the paper gets
-   for kernel launches shows up here as the batched/unbatched ratio —
-   largest where concurrency covers the batch cap and the pool is wide.
+   The grid is window {0, 50, 500} us + the adaptive controller, each
+   crossed with concurrency {1, 8, 32} and pool sizes 1 and 4; every
+   cell keeps the best of five interleaved rounds.  Window 0 scores
+   every request alone — the unbatched baseline the speedup column is
+   measured against.  The pool dispatch (broadcast + join
+   over the worker domains) is the Host backend's per-launch overhead,
+   so the amortisation the paper gets for kernel launches shows up here
+   as the batched/unbatched ratio — largest where concurrency covers
+   the batch cap and the pool is wide.  The adaptive cells answer the
+   tuning question the fixed grid poses: the controller should land
+   within a hair of the best fixed window at every concurrency without
+   being told which window that is (the regression gate holds it to
+   >= 0.95x via the adaptive_vs_best_fixed meta ratios).
 
    Usage:
      dune exec bench/serve_suite.exe            # ~1 s per cell
@@ -23,7 +29,23 @@ let cols = 64
 
 let max_batch = 32
 
-let windows_us = [ 0; 50; 500 ]
+(* window cap for the adaptive cells: the largest fixed window in the
+   grid, so the controller roams exactly the range the grid sweeps *)
+let window_cap_us = 500
+
+type win = Fixed of int | Adaptive
+
+let windows = [ Fixed 0; Fixed 50; Fixed 500; Adaptive ]
+
+let win_label = function
+  | Fixed w -> Printf.sprintf "%5dus" w
+  | Adaptive -> "  adapt"
+
+(* the JSON window_us field doubles as the regression-gate cell key, so
+   adaptive cells get a distinct string key, not a fake number *)
+let win_json = function
+  | Fixed w -> Kf_obs.Json.Int w
+  | Adaptive -> Kf_obs.Json.Str "adaptive"
 
 let concurrencies = [ 1; 8; 32 ]
 
@@ -31,34 +53,60 @@ let pool_sizes = [ 1; 4 ]
 
 type cell = {
   pool : int;
-  window_us : int;
+  window : win;
   concurrency : int;
   summary : Kf_serve.Driver.summary;
   stats : Kf_serve.Service.stats;
 }
 
-let run_cell ~pool ~pool_size ~window_us ~concurrency ~duration_s ~weights =
+let config_of_win = function
+  | Fixed window_us ->
+      {
+        Kf_serve.Service.window_us;
+        max_batch;
+        queue_depth = 1024;
+        adaptive = false;
+        window_cap_us;
+        deadline_shed = false;
+      }
+  | Adaptive ->
+      {
+        Kf_serve.Service.window_us = 0;
+        max_batch;
+        queue_depth = 1024;
+        adaptive = true;
+        window_cap_us;
+        deadline_shed = false;
+      }
+
+let run_cell ~pool ~pool_size ~window ~concurrency ~duration_s ~weights =
   let svc =
     Kf_serve.Service.create ~engine:Fusion.Executor.Host ~pool
-      ~config:{ Kf_serve.Service.window_us; max_batch; queue_depth = 1024 }
-      device
+      ~config:(config_of_win window) device
       ~algo:(Kf_ml.Registry.find "lr")
       ~weights ()
   in
+  (* unmeasured warmup: the sleepy low-concurrency window cells let the
+     CPU clock down, and whichever cell runs next would otherwise pay
+     the ramp-up — a systematic bias, not noise, so best-of rounds alone
+     cannot average it away *)
+  ignore
+    (Kf_serve.Driver.run_inflight svc ~cols ~inflight:concurrency
+       ~duration_s:0.05 ~seed:20260805);
   let summary =
     Kf_serve.Driver.run_inflight svc ~cols ~inflight:concurrency ~duration_s
       ~seed:20260805
   in
   let stats = Kf_serve.Service.stats svc in
   Kf_serve.Service.shutdown svc;
-  { pool = pool_size; window_us; concurrency; summary; stats }
+  { pool = pool_size; window; concurrency; summary; stats }
 
 let cell_json ~window0_rps c =
   let q p = Kf_serve.Histogram.quantile c.summary.Kf_serve.Driver.latency_us p in
   Kf_obs.Json.Obj
     [
       ("pool", Kf_obs.Json.Int c.pool);
-      ("window_us", Kf_obs.Json.Int c.window_us);
+      ("window_us", win_json c.window);
       ("concurrency", Kf_obs.Json.Int c.concurrency);
       ("requests", Kf_obs.Json.Int c.summary.Kf_serve.Driver.ok);
       ("wall_s", Kf_obs.Json.Float c.summary.Kf_serve.Driver.wall_s);
@@ -109,6 +157,14 @@ let () =
     }
   in
   Util.header "serving: micro-batch window vs throughput (host engine)";
+  let rps (c : cell) = c.summary.Kf_serve.Driver.throughput_rps in
+  (* Same noise discipline as the telemetry ablation below: one shot per
+     cell is hostage to whatever the GC and the OS scheduler were doing
+     that quarter-second, and the adaptive_vs_best_fixed ratios divide
+     two such shots.  Each (pool, concurrency) group therefore runs its
+     windows interleaved over three rounds and every window keeps its
+     best round — drift taxes all windows of a group equally. *)
+  let rounds = 5 in
   let cells =
     List.concat_map
       (fun pool_size ->
@@ -116,23 +172,32 @@ let () =
         let cells =
           List.concat_map
             (fun concurrency ->
-              List.map
-                (fun window_us ->
-                  let c =
-                    run_cell ~pool ~pool_size ~window_us ~concurrency
-                      ~duration_s ~weights
-                  in
+              let best = Array.make (List.length windows) None in
+              for _round = 1 to rounds do
+                List.iteri
+                  (fun i window ->
+                    let c =
+                      run_cell ~pool ~pool_size ~window ~concurrency
+                        ~duration_s ~weights
+                    in
+                    match best.(i) with
+                    | Some prev when rps prev >= rps c -> ()
+                    | _ -> best.(i) <- Some c)
+                  windows
+              done;
+              let cells = List.filter_map Fun.id (Array.to_list best) in
+              List.iter
+                (fun c ->
                   Util.row
-                    "pool=%d window=%3dus conc=%2d: %8.0f req/s  p99 %6.0f us  \
+                    "pool=%d window=%s conc=%2d: %8.0f req/s  p99 %6.0f us  \
                      mean batch %5.1f"
-                    pool_size window_us concurrency
-                    c.summary.Kf_serve.Driver.throughput_rps
+                    pool_size (win_label c.window) concurrency (rps c)
                     (Kf_serve.Histogram.quantile
                        c.summary.Kf_serve.Driver.latency_us 0.99)
                     (Kf_serve.Histogram.mean
-                       c.stats.Kf_serve.Service.occupancy);
-                  c)
-                windows_us)
+                       c.stats.Kf_serve.Service.occupancy))
+                cells;
+              cells)
             concurrencies
         in
         Par.Pool.shutdown pool;
@@ -143,10 +208,10 @@ let () =
     let c =
       List.find
         (fun c -> c.pool = pool && c.concurrency = concurrency
-                  && c.window_us = 0)
+                  && c.window = Fixed 0)
         cells
     in
-    Float.max 1e-9 c.summary.Kf_serve.Driver.throughput_rps
+    Float.max 1e-9 (rps c)
   in
   List.iter
     (fun pool ->
@@ -154,15 +219,53 @@ let () =
       let best =
         List.fold_left
           (fun acc c ->
-            if c.pool = pool && c.concurrency = 32 && c.window_us > 0 then
-              Float.max acc
-                (c.summary.Kf_serve.Driver.throughput_rps /. base)
-            else acc)
+            match c.window with
+            | Fixed w when c.pool = pool && c.concurrency = 32 && w > 0 ->
+                Float.max acc (rps c /. base)
+            | _ -> acc)
           0.0 cells
       in
       Util.note "pool=%d: best batched speedup at concurrency 32: %.2fx" pool
         best)
     pool_sizes;
+  (* The tentpole's acceptance ratio: adaptive throughput over the best
+     fixed window, per (pool, concurrency).  Landed in the meta block so
+     the regression gate can hold every cell to >= 0.95x without
+     guessing which fixed window won. *)
+  let adaptive_vs_best_fixed =
+    List.concat_map
+      (fun pool ->
+        List.map
+          (fun concurrency ->
+            let select f =
+              List.filter
+                (fun c ->
+                  c.pool = pool && c.concurrency = concurrency && f c.window)
+                cells
+            in
+            let best_fixed =
+              List.fold_left
+                (fun acc c -> Float.max acc (rps c))
+                1e-9
+                (select (function Fixed _ -> true | Adaptive -> false))
+            in
+            let adaptive =
+              match select (function Adaptive -> true | Fixed _ -> false) with
+              | [ c ] -> rps c
+              | _ -> 0.0
+            in
+            let ratio = adaptive /. best_fixed in
+            Util.note "pool=%d conc=%2d: adaptive = %.2fx best fixed" pool
+              concurrency ratio;
+            Kf_obs.Json.Obj
+              [
+                ("pool", Kf_obs.Json.Int pool);
+                ("concurrency", Kf_obs.Json.Int concurrency);
+                ("ratio", Kf_obs.Json.Float ratio);
+              ])
+          concurrencies)
+      pool_sizes
+  in
   (* Telemetry overhead ablation: one fixed cell (pool 1, window 50 us,
      concurrency 8) re-run with the registry off, on, and with tracing
      at full vs 10% sampling.  The acceptance bar is metrics <= 2% and
@@ -178,7 +281,7 @@ let () =
   let overhead_one () =
     let pool = Par.Pool.create ~size:1 () in
     let c =
-      run_cell ~pool ~pool_size:1 ~window_us:50 ~concurrency:8
+      run_cell ~pool ~pool_size:1 ~window:(Fixed 50) ~concurrency:8
         ~duration_s:overhead_duration ~weights
     in
     Par.Pool.shutdown pool;
@@ -249,6 +352,9 @@ let () =
                   ] );
               ("duration_s", Kf_obs.Json.Float duration_s);
               ("max_batch", Kf_obs.Json.Int max_batch);
+              ("window_cap_us", Kf_obs.Json.Int window_cap_us);
+              ( "adaptive_vs_best_fixed",
+                Kf_obs.Json.List adaptive_vs_best_fixed );
               ( "model",
                 Kf_obs.Json.Obj
                   [

@@ -583,12 +583,54 @@ let train_cmd =
 let serve_cmd =
   let model_arg =
     Arg.(
-      required
-      & opt (some file) None
-      & info [ "model" ] ~docv:"FILE"
+      non_empty
+      & opt_all string []
+      & info [ "model" ] ~docv:"[NAME=]FILE"
           ~doc:
             "Model file written by $(b,kf train --save-model) (a \
-             $(b,kf-ckpt/1) checkpoint with $(b,model.*) fields).")
+             $(b,kf-ckpt/1) checkpoint with $(b,model.*) fields).  \
+             Repeatable: each occurrence registers one model under \
+             $(b,NAME) (default: the file's basename), and clients \
+             round-robin across all of them.  A single plain $(b,FILE) \
+             serves that one model as before.")
+  in
+  let window_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window-cap-us" ] ~docv:"US"
+          ~doc:
+            "Upper bound for the adaptive coalescing window.  Default: \
+             $(b,KF_SERVE_WINDOW_CAP_US) or 500.")
+  in
+  let max_resident_arg =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "max-resident-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Weight-residency budget across all models; admitting a \
+             model beyond it evicts the least-recently-used one (its \
+             weights reload from the model file on next use).  Default: \
+             $(b,KF_SERVE_MAX_RESIDENT_BYTES) or unlimited.")
+  in
+  let watch_arg =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Watch every model file for change and hot-swap verified new \
+             weights with zero downtime (old weights serve until the new \
+             checksum verifies).")
+  in
+  let deadline_shed_arg =
+    Arg.(
+      value & flag
+      & info [ "deadline-shed" ]
+          ~doc:
+            "Shed requests predicted to miss the SLO target while the \
+             error budget is nearly spent (needs $(b,--slo-target-us)).  \
+             Default: $(b,KF_SERVE_DEADLINE_SHED).")
   in
   let serve_algo_arg =
     Arg.(
@@ -688,9 +730,10 @@ let serve_cmd =
             "SLO objective: the fraction of requests (over the rolling \
              window) that must meet $(b,--slo-target-us).")
   in
-  let serve verbose model algo engine domains workers window_us max_batch
-      queue_depth clients rps duration seed json trace profile metrics_port
-      trace_sample slo_target slo_objective =
+  let serve verbose models algo engine domains workers window_us window_cap
+      max_batch queue_depth max_resident watch deadline_shed clients rps
+      duration seed json trace profile metrics_port trace_sample slo_target
+      slo_objective =
     setup_logs verbose;
     apply_domains domains;
     apply_workers workers;
@@ -709,12 +752,16 @@ let serve_cmd =
         in
         Kf_obs.Trace.set_sample ~seed rate
     | None -> ());
-    let ck = Kf_resil.Ckpt.read ~path:model in
-    let algo_name =
-      match algo with Some n -> n | None -> ck.Kf_resil.Ckpt.algorithm
+    let specs_raw =
+      List.map
+        (fun s ->
+          match String.index_opt s '=' with
+          | Some i ->
+              ( String.sub s 0 i,
+                String.sub s (i + 1) (String.length s - i - 1) )
+          | None -> (Filename.remove_extension (Filename.basename s), s))
+        models
     in
-    let (module A : Kf_ml.Algorithm.S) = Kf_ml.Registry.find algo_name in
-    let weights = Kf_ml.Algorithm.weights_of_payload ck.Kf_resil.Ckpt.payload in
     let env_cfg = Kf_serve.Service.config_of_env () in
     let config =
       {
@@ -725,54 +772,58 @@ let serve_cmd =
         queue_depth =
           Option.value queue_depth
             ~default:env_cfg.Kf_serve.Service.queue_depth;
+        (* an explicit --window-us pins a fixed window; otherwise the
+           environment decides (adaptive by default) *)
+        adaptive =
+          (match window_us with
+          | Some _ -> false
+          | None -> env_cfg.Kf_serve.Service.adaptive);
+        window_cap_us =
+          Option.value window_cap
+            ~default:env_cfg.Kf_serve.Service.window_cap_us;
+        deadline_shed =
+          deadline_shed || env_cfg.Kf_serve.Service.deadline_shed;
       }
     in
-    let slo =
+    let max_resident =
+      match max_resident with
+      | Some _ as b -> b
+      | None -> Sysml.Env.int ~min:1 ~max:max_int "KF_SERVE_MAX_RESIDENT_BYTES"
+    in
+    let slo_for name =
       Option.map
         (fun target_us ->
-          Kf_obs.Slo.create ~target_us ~objective:slo_objective algo_name)
+          Kf_obs.Slo.create ~target_us ~objective:slo_objective name)
         slo_target
     in
-    let svc =
-      Kf_serve.Service.create ~engine ~config ?slo device ~algo:(module A)
-        ~weights ()
+    let driver_cfg = { Kf_serve.Driver.clients; rps; duration_s = duration; seed } in
+    let with_scrape body =
+      let scrape =
+        Option.map
+          (fun p ->
+            let s =
+              Kf_serve.Scrape.start ~port:p
+                ~render:(fun () ->
+                  Kf_obs.Openmetrics.render
+                    (Kf_obs.Metrics.snapshot ~process_counters:true ()))
+                ()
+            in
+            Printf.eprintf "metrics: http://127.0.0.1:%d/metrics\n%!"
+              (Kf_serve.Scrape.port s);
+            s)
+          metrics_port
+      in
+      Fun.protect ~finally:(fun () -> Option.iter Kf_serve.Scrape.stop scrape)
+        body
     in
-    let scrape =
-      Option.map
-        (fun p ->
-          let s =
-            Kf_serve.Scrape.start ~port:p
-              ~render:(fun () ->
-                Kf_obs.Openmetrics.render
-                  (Kf_obs.Metrics.snapshot ~process_counters:true ()))
-              ()
-          in
-          Printf.eprintf "metrics: http://127.0.0.1:%d/metrics\n%!"
-            (Kf_serve.Scrape.port s);
-          s)
-        metrics_port
-    in
-    Fun.protect ~finally:(fun () -> Option.iter Kf_serve.Scrape.stop scrape)
-    @@ fun () ->
-    let summary =
-      Kf_serve.Driver.run svc ~cols:weights.Kf_ml.Algorithm.cols
-        { Kf_serve.Driver.clients; rps; duration_s = duration; seed }
-    in
-    let st = Kf_serve.Service.stats svc in
-    let service_snapshot = Kf_serve.Service.snapshot svc in
-    Kf_serve.Service.shutdown svc;
-    if json then
-      Kf_obs.Json.to_channel stdout
-        (match Kf_serve.Driver.summary_json summary with
-        | Kf_obs.Json.Obj fields ->
-            Kf_obs.Json.Obj (fields @ [ ("service", service_snapshot) ])
-        | other -> other)
-    else begin
-      Printf.printf "serving %s model from %s (%d features, %s engine)\n"
-        A.display_name model weights.Kf_ml.Algorithm.cols (engine_name engine);
-      Printf.printf
-        "window %d us, max batch %d, queue depth %d, %d client(s), %s\n"
-        config.Kf_serve.Service.window_us config.Kf_serve.Service.max_batch
+    let print_summary (summary : Kf_serve.Driver.summary) =
+      Printf.printf "%s, max batch %d, queue depth %d, %d client(s), %s\n"
+        (if config.Kf_serve.Service.adaptive then
+           Printf.sprintf "adaptive window (cap %d us)"
+             config.Kf_serve.Service.window_cap_us
+         else
+           Printf.sprintf "window %d us" config.Kf_serve.Service.window_us)
+        config.Kf_serve.Service.max_batch
         config.Kf_serve.Service.queue_depth clients
         (if rps > 0.0 then Printf.sprintf "open loop at %g rps" rps
          else "closed loop");
@@ -784,33 +835,130 @@ let serve_cmd =
         (Kf_serve.Histogram.quantile summary.Kf_serve.Driver.latency_us 0.5)
         (Kf_serve.Histogram.quantile summary.Kf_serve.Driver.latency_us 0.95)
         (Kf_serve.Histogram.quantile summary.Kf_serve.Driver.latency_us 0.99)
-        (Kf_serve.Histogram.max_value summary.Kf_serve.Driver.latency_us);
+        (Kf_serve.Histogram.max_value summary.Kf_serve.Driver.latency_us)
+    in
+    let print_slo s =
       Printf.printf
-        "%d batch(es), mean occupancy %.1f rows, %d shed, %d failed\n"
-        st.Kf_serve.Service.batches
-        (Kf_serve.Histogram.mean st.Kf_serve.Service.occupancy)
-        summary.Kf_serve.Driver.shed summary.Kf_serve.Driver.failed;
-      match slo with
-      | Some s ->
-          Printf.printf
-            "slo: %.0f us at %g objective — %d violation(s), error budget \
-             %.2f %s\n"
-            (Kf_obs.Slo.target_us s) (Kf_obs.Slo.objective s)
-            (Kf_obs.Slo.violations s)
-            (Kf_obs.Slo.budget_remaining s)
-            (if Kf_obs.Slo.compliant s then "(compliant)" else "(EXHAUSTED)")
-      | None -> ()
+        "slo %s: %.0f us at %g objective — %d violation(s), error budget \
+         %.2f %s\n"
+        (Kf_obs.Slo.name s) (Kf_obs.Slo.target_us s) (Kf_obs.Slo.objective s)
+        (Kf_obs.Slo.violations s)
+        (Kf_obs.Slo.budget_remaining s)
+        (if Kf_obs.Slo.compliant s then "(compliant)" else "(EXHAUSTED)")
+    in
+    let registry_mode =
+      watch || max_resident <> None
+      || List.length specs_raw > 1
+      || List.exists (fun s -> String.contains s '=') models
+    in
+    if registry_mode then begin
+      (* multi-model (or watched) serving through the registry *)
+      if algo <> None then
+        Printf.eprintf
+          "warning: --algorithm is ignored in registry mode (each model \
+           file names its own)\n%!";
+      let specs =
+        List.map
+          (fun (name, path) ->
+            { Kf_serve.Models.name; path; slo = slo_for name })
+          specs_raw
+      in
+      let registry =
+        Kf_serve.Models.create ~engine ~config
+          ?max_resident_bytes:max_resident device specs
+      in
+      if watch then Kf_serve.Models.watch registry;
+      with_scrape @@ fun () ->
+      let summary = Kf_serve.Driver.run_models registry driver_cfg in
+      let per_model =
+        List.map
+          (fun (name, svc) ->
+            ( name,
+              Kf_serve.Service.stats svc,
+              Kf_serve.Service.live_generation svc,
+              Kf_serve.Service.slo svc ))
+          (Kf_serve.Models.services registry)
+      in
+      let registry_snapshot = Kf_serve.Models.snapshot registry in
+      Kf_serve.Models.shutdown registry;
+      if json then
+        Kf_obs.Json.to_channel stdout
+          (match Kf_serve.Driver.summary_json summary with
+          | Kf_obs.Json.Obj fields ->
+              Kf_obs.Json.Obj (fields @ [ ("registry", registry_snapshot) ])
+          | other -> other)
+      else begin
+        Printf.printf "serving %d model(s) (%s engine)%s\n"
+          (List.length specs) (engine_name engine)
+          (if watch then ", hot-swap watch on" else "");
+        print_summary summary;
+        List.iter
+          (fun (name, st, gen, slo) ->
+            Printf.printf
+              "  %-12s gen %d, %d request(s), %d batch(es), %d swap(s), %d \
+               shed, %d failed\n"
+              name
+              (Option.value gen ~default:0)
+              st.Kf_serve.Service.accepted st.Kf_serve.Service.batches
+              st.Kf_serve.Service.swaps st.Kf_serve.Service.shed
+              st.Kf_serve.Service.failures;
+            Option.iter print_slo slo)
+          per_model
+      end
+    end
+    else begin
+      (* single model file, no registry features: serve it directly *)
+      let model = snd (List.hd specs_raw) in
+      let ck = Kf_resil.Ckpt.read ~path:model in
+      let algo_name =
+        match algo with Some n -> n | None -> ck.Kf_resil.Ckpt.algorithm
+      in
+      let (module A : Kf_ml.Algorithm.S) = Kf_ml.Registry.find algo_name in
+      let weights =
+        Kf_ml.Algorithm.weights_of_payload ck.Kf_resil.Ckpt.payload
+      in
+      let slo = slo_for algo_name in
+      let svc =
+        Kf_serve.Service.create ~engine ~config ?slo device ~algo:(module A)
+          ~weights ()
+      in
+      with_scrape @@ fun () ->
+      let summary =
+        Kf_serve.Driver.run svc ~cols:weights.Kf_ml.Algorithm.cols driver_cfg
+      in
+      let st = Kf_serve.Service.stats svc in
+      let service_snapshot = Kf_serve.Service.snapshot svc in
+      Kf_serve.Service.shutdown svc;
+      if json then
+        Kf_obs.Json.to_channel stdout
+          (match Kf_serve.Driver.summary_json summary with
+          | Kf_obs.Json.Obj fields ->
+              Kf_obs.Json.Obj (fields @ [ ("service", service_snapshot) ])
+          | other -> other)
+      else begin
+        Printf.printf "serving %s model from %s (%d features, %s engine)\n"
+          A.display_name model weights.Kf_ml.Algorithm.cols
+          (engine_name engine);
+        print_summary summary;
+        Printf.printf
+          "%d batch(es), mean occupancy %.1f rows, %d shed, %d failed\n"
+          st.Kf_serve.Service.batches
+          (Kf_serve.Histogram.mean st.Kf_serve.Service.occupancy)
+          summary.Kf_serve.Driver.shed summary.Kf_serve.Driver.failed;
+        Option.iter print_slo slo
+      end
     end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the micro-batched scoring service on a trained model and \
-          drive it with synthetic clients.")
+         "Run the micro-batched scoring service on one or more trained \
+          models and drive it with synthetic clients.")
     Term.(
       const serve $ verbose_arg $ model_arg $ serve_algo_arg $ engine_arg
-      $ domains_arg $ workers_arg $ window_arg $ max_batch_arg
-      $ queue_depth_arg $ clients_arg $ rps_arg $ duration_arg $ seed_arg
+      $ domains_arg $ workers_arg $ window_arg $ window_cap_arg
+      $ max_batch_arg $ queue_depth_arg $ max_resident_arg $ watch_arg
+      $ deadline_shed_arg $ clients_arg $ rps_arg $ duration_arg $ seed_arg
       $ json_arg $ trace_arg $ profile_arg $ metrics_port_arg
       $ trace_sample_arg $ slo_target_arg $ slo_objective_arg)
 

@@ -56,6 +56,30 @@ end
 
 let flat_weights w = Array.concat (Array.to_list w.vecs)
 
+let weights_checksum w = Kf_resil.Ckpt.checksum_floats (flat_weights w)
+
+(* Resident footprint of a loaded model, as the serving registry's byte
+   budget counts it: the weight vectors dominate (8 bytes per float);
+   [extra] fields are charged by their serialised size, a faithful
+   stand-in for the strings/scalars they decode to. *)
+let weights_bytes w =
+  let vecs =
+    Array.fold_left (fun a v -> a + (8 * Array.length v)) 0 w.vecs
+  in
+  let extra =
+    List.fold_left
+      (fun a (name, f) ->
+        a + String.length name
+        +
+        match f with
+        | Kf_resil.Ckpt.Int _ | Kf_resil.Ckpt.Float _ -> 8
+        | Kf_resil.Ckpt.Str s -> String.length s
+        | Kf_resil.Ckpt.Floats v -> 8 * Array.length v
+        | Kf_resil.Ckpt.Ints v -> 8 * Array.length v)
+      0 w.extra
+  in
+  vecs + extra
+
 (* --- model (de)serialisation ------------------------------------------- *)
 
 (* A model file is an ordinary [kf-ckpt/1] checkpoint whose algorithm

@@ -73,6 +73,14 @@ end
 val flat_weights : weights -> Matrix.Vec.t
 (** All weight vectors concatenated — the checksum input. *)
 
+val weights_checksum : weights -> string
+(** FNV-1a 64 of {!flat_weights} as 16 hex digits — the generation
+    fingerprint the CLI prints and hot-swap equality proofs compare. *)
+
+val weights_bytes : weights -> int
+(** Resident footprint as the serving registry's byte budget counts it:
+    8 bytes per weight float plus the serialised size of [extra]. *)
+
 val matvec : Fusion.Executor.input -> Matrix.Vec.t -> Matrix.Vec.t
 (** [X x y] through the sequential reference BLAS — the building block
     the per-algorithm [predict] functions share. *)

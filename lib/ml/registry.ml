@@ -20,3 +20,10 @@ let find name =
       invalid_arg
         (Printf.sprintf "Registry.find: unknown algorithm %S (available: %s)"
            name (String.concat ", " names))
+
+(* A model file names its own algorithm, so loading one is a single
+   call: checkpoint in, (module, weights) out.  The serving layer's
+   registry and `kf serve` both materialise models through here. *)
+let of_ckpt (ck : Kf_resil.Ckpt.t) =
+  (find ck.Kf_resil.Ckpt.algorithm,
+   Algorithm.weights_of_payload ck.Kf_resil.Ckpt.payload)

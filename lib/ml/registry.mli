@@ -15,3 +15,9 @@ val find : string -> (module Algorithm.S)
     key is unknown. *)
 
 val find_opt : string -> (module Algorithm.S) option
+
+val of_ckpt : Kf_resil.Ckpt.t -> (module Algorithm.S) * Algorithm.weights
+(** Materialise a model file: the checkpoint's [algorithm] field picks
+    the module, its [model.*] fields decode to weights.  Raises
+    [Invalid_argument] on an unknown algorithm,
+    {!Kf_resil.Ckpt.Corrupt} on malformed weight fields. *)

@@ -134,6 +134,21 @@ let budget_remaining t =
 
 let compliant t = budget_remaining t > 0.0
 
+(* Deadline-aware shedding decision.  Two conditions must both hold:
+   the request is *predicted* to violate (its estimated completion time
+   exceeds the target), and the rolling budget lacks the headroom to
+   absorb one more violation.  Predicted-compliant requests are never
+   shed (shedding them buys nothing), and a healthy budget absorbs
+   predicted violations rather than turning them away — the budget
+   exists to be spent on exactly this.  Answering [true] means the
+   caller should fail fast now (a shed costs the client microseconds)
+   instead of slowly (a served violation costs the full queue wait and
+   then still misses the deadline). *)
+let deadline_shed ?(headroom = 0.25) t ~estimated_us =
+  if not (headroom >= 0.0 && headroom <= 1.0) then
+    invalid_arg "Slo.deadline_shed: headroom must be in [0, 1]";
+  estimated_us > t.target_us && budget_remaining t < headroom
+
 let to_json t =
   Mutex.lock t.mu;
   let budget = budget_remaining_locked t in

@@ -51,4 +51,13 @@ val budget_remaining : t -> float
 val compliant : t -> bool
 (** [budget_remaining t > 0]. *)
 
+val deadline_shed : ?headroom:float -> t -> estimated_us:float -> bool
+(** Deadline-aware shedding decision: [true] when the request's
+    [estimated_us] completion time exceeds the target {e and} the
+    rolling budget has less than [headroom] (default 0.25) remaining —
+    fail fast now rather than slowly.  Predicted-compliant requests are
+    never shed, and a healthy budget absorbs predicted violations
+    instead of turning them away.  Raises [Invalid_argument] unless
+    [headroom] is in [0, 1]. *)
+
 val to_json : t -> Json.t

@@ -251,14 +251,17 @@ let parse_file path raw =
       path;
   body
 
-let read ~path =
+let read_with_checksum ~path =
   let body = parse_file path (read_file path) in
   let payload = decode body in
-  {
-    algorithm = get_str payload "ckpt.algorithm";
-    iteration = get_int payload "ckpt.iteration";
-    payload;
-  }
+  ( {
+      algorithm = get_str payload "ckpt.algorithm";
+      iteration = get_int payload "ckpt.iteration";
+      payload;
+    },
+    hex64 (fnv_string body) )
+
+let read ~path = fst (read_with_checksum ~path)
 
 let render ~algorithm ~iteration payload =
   let body =

@@ -45,6 +45,10 @@ val read : path:string -> t
 (** Raises {!Corrupt} on any malformed/damaged file, [Sys_error] if
     unreadable. *)
 
+val read_with_checksum : path:string -> t * string
+(** {!read} plus the file's verified payload checksum (16 hex digits) —
+    the generation fingerprint hot-swap watchers dedup on. *)
+
 (** {2 Field accessors} — raise {!Corrupt} naming the missing or
     mistyped field, so callers surface actionable errors. *)
 

@@ -1,0 +1,63 @@
+(* Checkpoint watch/verify for zero-downtime weight hot-swap.
+
+   The protocol is publish-by-rename: a trainer writes a fresh
+   [kf-ckpt/1] file over the watched path (Ckpt.write is atomic —
+   temp + verified rename), and the serving side polls for change.  The
+   safety property the poller enforces is "old weights serve until the
+   new checksum verifies": a candidate file is fully read and its
+   FNV-1a checksum checked *before* the caller hears [Swapped]; a torn,
+   truncated, version-skewed or half-copied file yields [Rejected] and
+   the previous generation keeps serving untouched.
+
+   [check] is a pure-ish step function (state in, state out, one stat +
+   at most one read) rather than a daemon, so tests can drive it over
+   hand-made file histories — torn writes, rewinds, disappearing files
+   — without threads or sleeps.  The serving layer owns the polling
+   thread and cadence.
+
+   Change detection is by stat fingerprint (mtime, size, inode): a
+   rename publishes a new inode, so even a same-size same-mtime rewrite
+   is seen.  A rejected fingerprint is remembered too — a bad file is
+   diagnosed once, not re-read every poll until it changes again.  Two
+   accepted files with identical payload checksums dedup to [Unchanged]
+   (e.g. a trainer republishing unchanged weights). *)
+
+type outcome =
+  | Unchanged
+  | Swapped of Ckpt.t * string  (** verified checkpoint, payload checksum *)
+  | Rejected of string  (** reason; the previous generation keeps serving *)
+
+type fingerprint = { mtime : float; size : int; inode : int }
+
+type state = {
+  fp : fingerprint option;  (** last fingerprint examined (good or bad) *)
+  checksum : string option;  (** payload checksum of the last accepted file *)
+}
+
+let initial = { fp = None; checksum = None }
+
+let checksum state = state.checksum
+
+let fingerprint_of path =
+  let st = Unix.stat path in
+  { mtime = st.Unix.st_mtime; size = st.Unix.st_size; inode = st.Unix.st_ino }
+
+let check state ~path =
+  match fingerprint_of path with
+  | exception Unix.Unix_error (e, _, _) ->
+      (* a vanished file is a rejection, not a swap: the old weights
+         keep serving, and a reappearing file (new inode) is re-read *)
+      ( { state with fp = None },
+        Rejected (Printf.sprintf "%s: %s" path (Unix.error_message e)) )
+  | fp when state.fp = Some fp -> (state, Unchanged)
+  | fp -> (
+      match Ckpt.read_with_checksum ~path with
+      | ck, sum ->
+          if state.checksum = Some sum then
+            (* same payload republished: nothing to swap *)
+            ({ state with fp = Some fp }, Unchanged)
+          else ({ fp = Some fp; checksum = Some sum }, Swapped (ck, sum))
+      | exception Ckpt.Corrupt msg ->
+          (* remember the bad fingerprint: diagnose once, not per poll *)
+          ({ state with fp = Some fp }, Rejected msg)
+      | exception Sys_error msg -> ({ state with fp = Some fp }, Rejected msg))

@@ -1,0 +1,217 @@
+(* Adaptive micro-batching window: an AIMD controller over dispatch
+   observations.
+
+   The fixed window is a footgun (BENCH_serve.json): waiting [w] us for
+   co-arrivals that never come taxes every sparse-traffic request by
+   [w], while under load the same [w] is what lets batches fill.  The
+   controller resolves the tension by watching what each dispatched
+   batch actually looked like:
+
+   - a batch of one with nothing left behind means the window bought no
+     coalescing — traffic is sparse, so the window decays
+     multiplicatively (and snaps to 0 below [floor_us]: a window shorter
+     than the scheduler's own wake-up latency is indistinguishable from
+     none, so stop paying the timer);
+   - a partial batch *larger than the last one* means the window is
+     actively coalescing more co-arrivals — additive increase toward
+     [cap_us] keeps probing;
+   - a partial batch that did NOT grow is the tell that the window has
+     stopped paying: the requests it holds would have co-arrived anyway
+     (they accumulate while the server executes), so every further
+     microsecond of window is pure latency — decay;
+   - a batch that filled to [target] closed on the cap, not the clock:
+     the window was not binding, so it is left alone.
+
+   The growth gate is the load-bearing subtlety.  A closed-loop client
+   population of k < target produces endless batches of k; "under-filled
+   means wait longer" would ratchet the window to the cap while the
+   batch stays k forever — every request then pays the full cap for
+   nothing (a 10x throughput hole at k = 8 in BENCH_serve).  Requiring
+   growth makes the controller an experimenter: push the window up only
+   while batches respond, collapse it the moment they stop.
+
+   This is TCP's congestion-control shape applied to batching: probe
+   upward linearly while the signal says "more coalescing available",
+   collapse geometrically the moment it stops, so one lone request
+   after a burst pays at most one decayed window, the next almost
+   nothing.
+
+   The controller is a pure fold over observations — no clock, no
+   globals — so property tests can drive it over synthetic traces and
+   check its invariants exhaustively.  [Sim] below gives those tests
+   (and anyone sizing a deployment) a discrete-event model of the whole
+   scheduler loop: the same dispatch rule the live service uses, an
+   affine batch cost, and per-request latencies out. *)
+
+type params = {
+  cap_us : int;  (** window never exceeds this *)
+  floor_us : int;  (** windows below this snap to 0 *)
+  incr_us : int;  (** additive increase per under-filled co-arrival batch *)
+  decay : float;  (** multiplicative decrease factor, in [0, 1) *)
+  target : int;  (** batch size that counts as "filled" (the batch cap) *)
+}
+
+let default_params ?(cap_us = 500) ~max_batch () =
+  if cap_us < 0 then invalid_arg "Controller.default_params: cap_us < 0";
+  if max_batch < 1 then invalid_arg "Controller.default_params: max_batch < 1";
+  {
+    cap_us;
+    floor_us = 5;
+    incr_us = Stdlib.max 1 (cap_us / 25);
+    decay = 0.5;
+    target = max_batch;
+  }
+
+let validate_params p =
+  if p.cap_us < 0 then invalid_arg "Controller: cap_us must be >= 0";
+  if p.floor_us < 0 then invalid_arg "Controller: floor_us must be >= 0";
+  if p.incr_us < 1 then invalid_arg "Controller: incr_us must be >= 1";
+  if not (p.decay >= 0.0 && p.decay < 1.0) then
+    invalid_arg "Controller: decay must be in [0, 1)";
+  if p.target < 1 then invalid_arg "Controller: target must be >= 1"
+
+type state = {
+  window_us : float;
+  last_batch : int;  (** size of the previous dispatch — the growth gate *)
+}
+
+let initial = { window_us = 0.0; last_batch = 0 }
+
+let window_us s =
+  (* round toward zero: a fractional window is noise, not signal *)
+  int_of_float s.window_us
+
+type obs = {
+  batch : int;  (** rows in the dispatched batch *)
+  queued : int;  (** requests still waiting after the dispatch *)
+}
+
+let observe p s { batch; queued } =
+  validate_params p;
+  if batch < 1 then invalid_arg "Controller.observe: batch must be >= 1";
+  if queued < 0 then invalid_arg "Controller.observe: queued must be >= 0";
+  let decayed () =
+    let w = s.window_us *. p.decay in
+    if w < float_of_int p.floor_us then 0.0 else w
+  in
+  if batch >= p.target then
+    (* closed on the cap: the window was not binding *)
+    { s with last_batch = batch }
+  else if batch > s.last_batch && not (batch = 1 && queued = 0) then
+    (* coalescing improved since the last dispatch: keep probing upward *)
+    { window_us =
+        Float.min (float_of_int p.cap_us)
+          (s.window_us +. float_of_int p.incr_us);
+      last_batch = batch }
+  else
+    (* batch of one, or no growth: the window is not paying for its
+       latency — decay, snap to 0 at the floor *)
+    { window_us = decayed (); last_batch = batch }
+
+(* --- discrete-event model of the batching scheduler ---------------------- *)
+
+module Sim = struct
+  type cost = { overhead_us : float; per_row_us : float }
+
+  type policy = Fixed of int | Adaptive of params
+
+  type result = {
+    latency_us : float array;  (** per request, arrival order *)
+    batches : int;
+    mean_us : float;
+    p99_us : float;
+    max_window_us : int;  (** largest window the policy ever held *)
+  }
+
+  (* One server, FIFO queue, the live scheduler's dispatch rule: a batch
+     goes when it holds [max_batch] rows or its oldest request has
+     waited out the window — and the server is free (the scheduler
+     executes synchronously).  Batch cost is affine: [overhead_us] (the
+     launch/dispatch price batching amortises) plus [per_row_us] per
+     row. *)
+  let run ?(max_batch = 32) ~cost ~policy arrivals =
+    if max_batch < 1 then invalid_arg "Sim.run: max_batch must be >= 1";
+    if cost.overhead_us < 0.0 || cost.per_row_us < 0.0 then
+      invalid_arg "Sim.run: costs must be >= 0";
+    let n = Array.length arrivals in
+    for i = 1 to n - 1 do
+      if arrivals.(i) < arrivals.(i - 1) then
+        invalid_arg "Sim.run: arrivals must be sorted"
+    done;
+    let latency_us = Array.make n 0.0 in
+    let state = ref initial in
+    let window () =
+      match policy with
+      | Fixed w -> float_of_int w
+      | Adaptive p ->
+          validate_params p;
+          float_of_int (window_us !state)
+    in
+    let max_window = ref (int_of_float (window ())) in
+    let head = ref 0 (* oldest queued request *)
+    and next = ref 0 (* next arrival not yet queued *)
+    and server_free = ref 0.0
+    and batches = ref 0
+    and t = ref 0.0 in
+    while !head < n do
+      (* admit everything that has arrived by [t] *)
+      while !next < n && arrivals.(!next) <= !t do
+        incr next
+      done;
+      let len = !next - !head in
+      if len = 0 then t := arrivals.(!next)
+      else begin
+        let w = window () in
+        let oldest = arrivals.(!head) in
+        let ready = len >= max_batch || !t -. oldest >= w in
+        if ready && !t >= !server_free then begin
+          let k = Stdlib.min max_batch len in
+          let exec =
+            cost.overhead_us +. (float_of_int k *. cost.per_row_us)
+          in
+          let done_t = !t +. exec in
+          for i = !head to !head + k - 1 do
+            latency_us.(i) <- done_t -. arrivals.(i)
+          done;
+          head := !head + k;
+          incr batches;
+          server_free := done_t;
+          (match policy with
+          | Fixed _ -> ()
+          | Adaptive p ->
+              state := observe p !state { batch = k; queued = !next - !head };
+              max_window := Stdlib.max !max_window (window_us !state));
+          t := done_t
+        end
+        else begin
+          (* advance to the next event: window expiry, next arrival, or
+             the server freeing up *)
+          let candidates =
+            (if ready then [ !server_free ] else [ oldest +. w ])
+            @ (if !next < n then [ arrivals.(!next) ] else [])
+            @ if !server_free > !t then [ !server_free ] else []
+          in
+          let t' = List.fold_left Float.min Float.infinity candidates in
+          (* guard against a stall: time must advance *)
+          t := if t' > !t then t' else !t +. 1e-9
+        end
+      end
+    done;
+    let mean_us =
+      if n = 0 then 0.0
+      else Array.fold_left ( +. ) 0.0 latency_us /. float_of_int n
+    in
+    let p99_us =
+      if n = 0 then 0.0
+      else begin
+        let sorted = Array.copy latency_us in
+        Array.sort compare sorted;
+        sorted.(Stdlib.min (n - 1) (int_of_float (0.99 *. float_of_int n)))
+      end
+    in
+    { latency_us;
+      batches = !batches;
+      mean_us;
+      p99_us;
+      max_window_us = !max_window }
+end

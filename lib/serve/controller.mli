@@ -1,0 +1,76 @@
+(** Adaptive micro-batching window: AIMD over dispatch observations.
+
+    A pure fold — no clock, no globals — so the property suite can
+    drive it over synthetic traces.  The service feeds one {!obs} per
+    dispatched batch; the controller answers with the window the {e
+    next} partial batch should wait:
+
+    - batch of one, nothing queued → multiplicative decay (snapping to
+      0 below [floor_us]): the window bought no coalescing;
+    - under-filled batch {e larger than the previous one} → additive
+      increase toward [cap_us]: the window is coalescing more
+      co-arrivals, keep probing;
+    - under-filled batch that did not grow → decay: more window is not
+      buying more batch (a closed-loop population of k < target sends
+      batches of k forever — waiting longer only adds latency);
+    - batch closed on the cap → unchanged: the window was not binding.
+
+    Invariants (property-tested): the window never exceeds [cap_us],
+    and under sparse traffic it shrinks monotonically to 0. *)
+
+type params = {
+  cap_us : int;  (** window never exceeds this *)
+  floor_us : int;  (** windows below this snap to 0 *)
+  incr_us : int;  (** additive increase per under-filled co-arrival batch *)
+  decay : float;  (** multiplicative decrease factor, in [0, 1) *)
+  target : int;  (** batch size that counts as "filled" (the batch cap) *)
+}
+
+val default_params : ?cap_us:int -> max_batch:int -> unit -> params
+(** [cap_us] defaults to 500; [floor_us] 5, [decay] 0.5, [incr_us]
+    [max 1 (cap_us / 25)], [target = max_batch]. *)
+
+type state
+
+val initial : state
+(** Window 0: a cold service assumes sparse traffic and earns its
+    window from observed co-arrival, never the other way around. *)
+
+val window_us : state -> int
+
+type obs = {
+  batch : int;  (** rows in the dispatched batch *)
+  queued : int;  (** requests still waiting after the dispatch *)
+}
+
+val observe : params -> state -> obs -> state
+(** Raises [Invalid_argument] on malformed params or observations. *)
+
+(** Discrete-event model of the batching scheduler: one server, FIFO
+    queue, the live dispatch rule (batch goes when full or its oldest
+    request waited out the window, server executes synchronously),
+    affine batch cost.  The property suite compares adaptive against
+    fixed windows on generated traces with it; it is also the sizing
+    model for picking [cap_us]. *)
+module Sim : sig
+  type cost = {
+    overhead_us : float;  (** per-batch price batching amortises *)
+    per_row_us : float;
+  }
+
+  type policy = Fixed of int | Adaptive of params
+
+  type result = {
+    latency_us : float array;  (** per request, arrival order *)
+    batches : int;
+    mean_us : float;
+    p99_us : float;
+    max_window_us : int;  (** largest window the policy ever held *)
+  }
+
+  val run :
+    ?max_batch:int -> cost:cost -> policy:policy -> float array -> result
+  (** [run ~cost ~policy arrivals] — [arrivals] are request times in
+      microseconds, sorted ascending.  Raises [Invalid_argument] on
+      unsorted input or negative costs. *)
+end

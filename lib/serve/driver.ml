@@ -73,7 +73,7 @@ let run_client svc ~cols ~cfg ~client ~tally =
   in
   loop ()
 
-let run svc ~cols cfg =
+let spawn_clients ~cfg ~run_one =
   if cfg.clients < 1 then invalid_arg "Driver.run: need at least one client";
   if cfg.duration_s <= 0.0 then invalid_arg "Driver.run: duration must be > 0";
   let tallies =
@@ -85,7 +85,7 @@ let run svc ~cols cfg =
   let threads =
     Array.mapi
       (fun client tally ->
-        Thread.create (fun () -> run_client svc ~cols ~cfg ~client ~tally) ())
+        Thread.create (fun () -> run_one ~client ~tally) ())
       tallies
   in
   Array.iter Thread.join threads;
@@ -105,6 +105,53 @@ let run svc ~cols cfg =
     throughput_rps = (if wall_s > 0.0 then float_of_int ok /. wall_s else 0.0);
     latency_us;
   }
+
+let run svc ~cols cfg =
+  spawn_clients ~cfg ~run_one:(fun ~client ~tally ->
+      run_client svc ~cols ~cfg ~client ~tally)
+
+(* Multi-model load: each client round-robins across every registered
+   model (starting offset staggered by client id so model 0 is not
+   systematically favoured), submitting through the registry so the
+   residency LRU sees every request.  One tally per client as in [run];
+   the summary aggregates over models — per-model numbers live in the
+   registry's own stats. *)
+let run_models models cfg =
+  let targets = Array.of_list (Models.services models) in
+  if Array.length targets = 0 then invalid_arg "Driver.run_models: no models";
+  let interval =
+    if cfg.rps > 0.0 then float_of_int cfg.clients /. cfg.rps else 0.0
+  in
+  spawn_clients ~cfg ~run_one:(fun ~client ~tally ->
+      let gens =
+        Array.map
+          (fun (name, svc) ->
+            (name, row_gen ~seed:cfg.seed ~client ~cols:(Service.cols svc)))
+          targets
+      in
+      let stop_ns =
+        Kf_obs.Clock.now_ns () + int_of_float (cfg.duration_s *. 1e9)
+      in
+      let turn = ref client in
+      let rec loop () =
+        if Kf_obs.Clock.now_ns () < stop_ns then begin
+          let name, make_row = gens.(!turn mod Array.length gens) in
+          incr turn;
+          tally.c_sent <- tally.c_sent + 1;
+          (match Models.submit models name (make_row ()) with
+          | None -> tally.c_shed <- tally.c_shed + 1
+          | Some ticket -> (
+              match Service.await ticket with
+              | Service.Score _ ->
+                  tally.c_ok <- tally.c_ok + 1;
+                  Histogram.record tally.c_hist
+                    (Kf_obs.Clock.ns_to_us (Service.latency_ns ticket))
+              | Service.Failed _ -> tally.c_failed <- tally.c_failed + 1));
+          if interval > 0.0 then Unix.sleepf interval;
+          loop ()
+        end
+      in
+      loop ())
 
 (* Pipelined single-thread load: keep [inflight] requests outstanding
    by submitting a burst and awaiting it before the next.  One thread

@@ -26,6 +26,13 @@ val run : Service.t -> cols:int -> cfg -> summary
 (** Blocks until [duration_s] elapses and all clients finish.  Does not
     shut the service down — callers own its lifecycle. *)
 
+val run_models : Models.t -> cfg -> summary
+(** Like {!run}, but each client round-robins across every model in the
+    registry (start offset staggered by client id), submitting through
+    {!Models.submit} so the residency LRU sees every request.  The
+    summary aggregates over models; per-model numbers are in
+    {!Models.snapshot}. *)
+
 val run_inflight :
   Service.t -> cols:int -> inflight:int -> duration_s:float -> seed:int ->
   summary

@@ -23,6 +23,7 @@ type t = {
   device : Device.t;
   ledger : Xfer.t;
   jni_gbs : float;
+  on_evict : key:string -> unit;
   blocks : (string, block) Hashtbl.t;
   mutable clock : int;
   mutable used_bytes : int;
@@ -33,11 +34,12 @@ type t = {
   mutable conversion_ms : float;
 }
 
-let create ?(jni_gbs = 2.0) device =
+let create ?(jni_gbs = 2.0) ?(on_evict = fun ~key:_ -> ()) device =
   {
     device;
     ledger = Xfer.create device;
     jni_gbs;
+    on_evict;
     blocks = Hashtbl.create 64;
     clock = 0;
     used_bytes = 0;
@@ -77,6 +79,7 @@ let evict_lru t =
       t.used_bytes <- t.used_bytes - block.bytes;
       t.evictions <- t.evictions + 1;
       if block.device_dirty then t.downloads <- t.downloads + 1;
+      t.on_evict ~key;
       cost
 
 let alloc_recoveries = Kf_obs.Counter.make "resil.alloc_recoveries"

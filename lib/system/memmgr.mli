@@ -21,8 +21,12 @@ type stats = {
   transfer_ms : float;  (** PCIe time *)
 }
 
-val create : ?jni_gbs:float -> Device.t -> t
-(** [jni_gbs] (default 2.0) is the JVM-heap-to-native copy bandwidth. *)
+val create : ?jni_gbs:float -> ?on_evict:(key:string -> unit) -> Device.t -> t
+(** [jni_gbs] (default 2.0) is the JVM-heap-to-native copy bandwidth.
+    [on_evict] is called with each victim's key after it leaves the
+    residency table — callers holding parallel state per block (the
+    serving layer's model registry) stay in sync with the LRU without
+    polling. *)
 
 val ensure_resident :
   t -> key:string -> bytes:int -> needs_conversion:bool -> float

@@ -29,5 +29,7 @@ let () =
       ("reproduction", Test_reproduction.suite);
       ("resil", Test_resil.suite);
       ("serve", Test_serve.suite);
+      ("adaptive", Test_adaptive.suite);
+      ("chaos", Test_chaos.suite);
       ("dist", Test_dist.suite);
     ]

@@ -24,10 +24,19 @@ let reference_score weights row =
   (Kf_ml.Algorithm.predict lr weights input).(0)
 
 let mk_service ?engine ?pool ?(window_us = 200) ?(max_batch = 32)
-    ?(queue_depth = 1024) ?start weights =
+    ?(queue_depth = 1024) ?(adaptive = false) ?(window_cap_us = 500)
+    ?(deadline_shed = false) ?start ?model ?slo weights =
   Service.create ?engine ?pool
-    ~config:{ Service.window_us; max_batch; queue_depth }
-    ?start device ~algo:lr ~weights ()
+    ~config:
+      {
+        Service.window_us;
+        max_batch;
+        queue_depth;
+        adaptive;
+        window_cap_us;
+        deadline_shed;
+      }
+    ?start ?model ?slo device ~algo:lr ~weights ()
 
 let score_exn = function
   | Service.Score s -> s
@@ -347,7 +356,15 @@ let test_service_snapshot_json () =
   let slo = Kf_obs.Slo.create ~target_us:1e9 ~objective:0.99 "snap-model" in
   let svc =
     Service.create
-      ~config:{ Service.window_us = 100; max_batch = 16; queue_depth = 64 }
+      ~config:
+        {
+          Service.window_us = 100;
+          max_batch = 16;
+          queue_depth = 64;
+          adaptive = false;
+          window_cap_us = 500;
+          deadline_shed = false;
+        }
       ~model:"snap-model" ~slo device ~algo:lr ~weights ()
   in
   let tickets =
@@ -413,7 +430,15 @@ let test_service_slo_violations () =
   in
   let svc =
     Service.create
-      ~config:{ Service.window_us = 0; max_batch = 8; queue_depth = 64 }
+      ~config:
+        {
+          Service.window_us = 0;
+          max_batch = 8;
+          queue_depth = 64;
+          adaptive = false;
+          window_cap_us = 500;
+          deadline_shed = false;
+        }
       ~model:"slo-model" ~slo device ~algo:lr ~weights ()
   in
   let tickets =
@@ -427,6 +452,254 @@ let test_service_slo_violations () =
     "budget exhausted" 0.0
     (Kf_obs.Slo.budget_remaining slo);
   Alcotest.(check bool) "not compliant" false (Kf_obs.Slo.compliant slo)
+
+(* --- weight hot-swap ---------------------------------------------------- *)
+
+let test_hot_swap_basic () =
+  let cols = 16 in
+  let w1 = lr_weights ~cols 21 and w2 = lr_weights ~cols 22 in
+  let svc = mk_service ~window_us:0 w1 in
+  let row = dense_row ~cols 600 in
+  let t = submit_exn svc (Service.Dense_row row) in
+  Alcotest.(check bool)
+    "initial weights score" true
+    (Float.abs (score_exn (Service.await t) -. reference_score w1 row) <= 1e-9);
+  Alcotest.(check int) "initial generation is 1" 1 (Service.generation t);
+  Alcotest.(check (option int))
+    "live generation" (Some 1)
+    (Service.live_generation svc);
+  let gen = Service.swap svc w2 in
+  Alcotest.(check int) "swap publishes generation 2" 2 gen;
+  Alcotest.(check (option string))
+    "live checksum follows the swap"
+    (Some (Kf_ml.Algorithm.weights_checksum w2))
+    (Service.live_checksum svc);
+  let t = submit_exn svc (Service.Dense_row row) in
+  Alcotest.(check bool)
+    "new weights score after the swap" true
+    (Float.abs (score_exn (Service.await t) -. reference_score w2 row) <= 1e-9);
+  Alcotest.(check int) "ticket carries the new generation" 2
+    (Service.generation t);
+  (* a swap that changes the feature count is a deployment error *)
+  Alcotest.match_raises "column-count mismatch rejected"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Service.swap svc (lr_weights ~cols:(cols + 1) 23)));
+  Alcotest.(check int) "rejected swap publishes nothing" 2
+    (match Service.live_generation svc with Some g -> g | None -> -1);
+  Service.shutdown svc
+
+let test_unload_and_provider () =
+  let cols = 16 in
+  let w = lr_weights ~cols 24 in
+  let svc = mk_service ~window_us:0 w in
+  Alcotest.(check bool) "starts loaded" true (Service.loaded svc);
+  Alcotest.(check bool) "unload drops the weights" true (Service.unload svc);
+  Alcotest.(check bool) "second unload is a no-op" false (Service.unload svc);
+  Alcotest.(check bool) "not loaded" false (Service.loaded svc);
+  Alcotest.(check (option int))
+    "no live generation when unloaded" None
+    (Service.live_generation svc);
+  (* no provider: the batch cannot re-materialise and must fail — the
+     request resolves, it is not dropped *)
+  let row = dense_row ~cols 601 in
+  (match Service.await (submit_exn svc (Service.Dense_row row)) with
+  | Service.Failed _ -> ()
+  | Service.Score _ -> Alcotest.fail "scored without resident weights");
+  (* with a provider the next batch re-materialises bit-exactly *)
+  Service.set_provider svc (fun () ->
+      (w, Kf_ml.Algorithm.weights_checksum w));
+  let t = submit_exn svc (Service.Dense_row row) in
+  Alcotest.(check bool)
+    "re-materialised weights score bit-exactly" true
+    (score_exn (Service.await t) = reference_score w row);
+  Alcotest.(check bool) "loaded again" true (Service.loaded svc);
+  Service.shutdown svc
+
+(* --- multi-model registry ----------------------------------------------- *)
+
+let write_ckpt path weights =
+  Kf_resil.Ckpt.write ~path ~algorithm:"lr" ~iteration:0
+    (Kf_ml.Algorithm.weights_payload weights)
+
+let with_model_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kf-models-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let registry_config =
+  {
+    Service.window_us = 0;
+    max_batch = 8;
+    queue_depth = 64;
+    adaptive = false;
+    window_cap_us = 500;
+    deadline_shed = false;
+  }
+
+let probe_model registry name weights =
+  let row = dense_row ~cols:weights.Kf_ml.Algorithm.cols 777 in
+  match Models.submit registry name (Service.Dense_row row) with
+  | None -> Alcotest.failf "%s: probe shed" name
+  | Some t -> (
+      match Service.await t with
+      | Service.Failed msg -> Alcotest.failf "%s: probe failed: %s" name msg
+      | Service.Score got ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s scores its own weights bit-exactly" name)
+            true
+            (got = reference_score weights row))
+
+let test_models_lru_order () =
+  with_model_dir @@ fun dir ->
+  let cols = 16 in
+  let mk name seed =
+    let path = Filename.concat dir (name ^ ".ckpt") in
+    let w = lr_weights ~cols seed in
+    write_ckpt path w;
+    ({ Models.name; path; slo = None }, w)
+  in
+  let (sa, wa), (sb, wb), (sg, wg) = (mk "alpha" 31, mk "beta" 32, mk "gamma" 33) in
+  (* budget holds exactly two 128-byte models: admitting in spec order
+     makes the earliest spec the first LRU victim *)
+  let budget = 2 * 8 * cols in
+  let registry =
+    Models.create ~config:registry_config ~max_resident_bytes:budget device
+      [ sa; sb; sg ]
+  in
+  Fun.protect ~finally:(fun () -> Models.shutdown registry) @@ fun () ->
+  Alcotest.(check (list string))
+    "names in spec order" [ "alpha"; "beta"; "gamma" ]
+    (Models.names registry);
+  let resident () =
+    List.map (Models.resident registry) [ "alpha"; "beta"; "gamma" ]
+  in
+  Alcotest.(check (list bool))
+    "create evicts the earliest spec first" [ false; true; true ]
+    (resident ());
+  Alcotest.(check int) "budget fully charged" budget
+    (Models.resident_bytes registry);
+  (* touching alpha re-admits it; beta is now the least recently used *)
+  probe_model registry "alpha" wa;
+  Alcotest.(check (list bool))
+    "re-admitting alpha evicts beta" [ true; false; true ]
+    (resident ());
+  (* touching beta evicts gamma (alpha was touched more recently) *)
+  probe_model registry "beta" wb;
+  Alcotest.(check (list bool))
+    "re-admitting beta evicts gamma" [ true; true; false ]
+    (resident ());
+  (* the evicted model still serves — eviction costs latency, never
+     correctness *)
+  probe_model registry "gamma" wg;
+  Alcotest.(check bool)
+    "residency never exceeds the budget" true
+    (Models.resident_bytes registry <= budget)
+
+let test_models_poll_outcomes () =
+  with_model_dir @@ fun dir ->
+  let cols = 16 in
+  let path = Filename.concat dir "m.ckpt" in
+  let w1 = lr_weights ~cols 41 and w2 = lr_weights ~cols 42 in
+  write_ckpt path w1;
+  let registry =
+    Models.create ~config:registry_config device
+      [ { Models.name = "pm"; path; slo = None } ]
+  in
+  Fun.protect ~finally:(fun () -> Models.shutdown registry) @@ fun () ->
+  let svc = Models.service registry "pm" in
+  let outcome () =
+    match Models.poll registry with
+    | [ ("pm", o) ] -> o
+    | _ -> Alcotest.fail "poll must report exactly the one model"
+  in
+  (match outcome () with
+  | Kf_resil.Reload.Unchanged -> ()
+  | _ -> Alcotest.fail "untouched file must dedup to Unchanged");
+  (* a torn file is rejected and the old generation keeps serving *)
+  write_ckpt path w2;
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd ((Unix.fstat fd).Unix.st_size / 2);
+  Unix.close fd;
+  (match outcome () with
+  | Kf_resil.Reload.Rejected _ -> ()
+  | _ -> Alcotest.fail "torn file must be rejected");
+  Alcotest.(check (option int))
+    "old generation keeps serving after a rejection" (Some 1)
+    (Service.live_generation svc);
+  probe_model registry "pm" w1;
+  (* a decodable checkpoint with the wrong shape is rejected at
+     publication, not published half-way *)
+  write_ckpt path (lr_weights ~cols:(cols + 4) 43);
+  (match outcome () with
+  | Kf_resil.Reload.Rejected _ -> ()
+  | _ -> Alcotest.fail "column-count change must be rejected");
+  Alcotest.(check (option int))
+    "still on generation 1" (Some 1)
+    (Service.live_generation svc);
+  (* the healed file swaps in, verified, and serves *)
+  write_ckpt path w2;
+  (match outcome () with
+  | Kf_resil.Reload.Swapped (_, sum) ->
+      Alcotest.(check (option string))
+        "published checksum is the file's" (Some sum)
+        (Service.live_checksum svc)
+  | _ -> Alcotest.fail "healed file must swap in");
+  Alcotest.(check (option int))
+    "swap bumped the generation" (Some 2)
+    (Service.live_generation svc);
+  probe_model registry "pm" w2
+
+let test_models_metric_labels () =
+  with_model_dir @@ fun dir ->
+  let cols = 16 in
+  let mk name seed =
+    let path = Filename.concat dir (name ^ ".ckpt") in
+    let w = lr_weights ~cols seed in
+    write_ckpt path w;
+    { Models.name; path; slo = None }
+  in
+  let specs = [ mk "lbl-a" 51; mk "lbl-b" 52 ] in
+  let budget = 8 * cols in
+  (* budget holds one model: every cross-model submit evicts, so both
+     eviction and re-materialisation counters move *)
+  let registry =
+    Models.create ~config:registry_config ~max_resident_bytes:budget device
+      specs
+  in
+  Fun.protect ~finally:(fun () -> Models.shutdown registry) @@ fun () ->
+  List.iter
+    (fun name ->
+      match Models.submit registry name (Service.Dense_row (dense_row ~cols 88)) with
+      | None -> Alcotest.failf "%s shed" name
+      | Some t -> ignore (score_exn (Service.await t)))
+    [ "lbl-a"; "lbl-b"; "lbl-a" ];
+  let body =
+    Kf_obs.Openmetrics.render (Kf_obs.Metrics.snapshot ())
+  in
+  ignore (Om_helper.parse body);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scrape carries %s" needle)
+        true
+        (Astring.String.is_infix ~affix:needle body))
+    [
+      "kf_serve_evictions";
+      "kf_serve_rematerializations";
+      "kf_serve_resident_bytes";
+      "model=\"lbl-a\"";
+      "model=\"lbl-b\"";
+    ]
 
 let suite =
   [
@@ -457,4 +730,13 @@ let suite =
       test_scrape_roundtrip;
     Alcotest.test_case "slo violations through service" `Quick
       test_service_slo_violations;
+    Alcotest.test_case "hot swap: atomic generation publication" `Quick
+      test_hot_swap_basic;
+    Alcotest.test_case "unload and provider re-materialisation" `Quick
+      test_unload_and_provider;
+    Alcotest.test_case "models: LRU residency order" `Quick
+      test_models_lru_order;
+    Alcotest.test_case "models: poll outcomes" `Quick test_models_poll_outcomes;
+    Alcotest.test_case "models: per-model metric labels" `Quick
+      test_models_metric_labels;
   ]

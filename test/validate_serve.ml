@@ -75,24 +75,104 @@ let () =
       p99;
   if check_hist "latency_us" (get "latency_us" doc) <> ok then
     fail "client latency histogram count does not match ok";
-  let svc = get "service" doc in
-  let requests = as_int "service.requests" (get "requests" svc) in
-  if requests <> ok + failed then
-    fail "service accepted %d but clients saw %d replies" requests (ok + failed);
-  if as_int "service.shed" (get "shed" svc) <> shed then
-    fail "service and client shed counts disagree";
-  let batches = as_int "service.batches" (get "batches" svc) in
-  if batches < 1 || batches > requests then
-    fail "implausible batch count %d for %d requests" batches requests;
-  if as_int "service.failures" (get "failures" svc) <> failed then
-    fail "service and client failure counts disagree";
-  ignore (as_int "service.batch_retries" (get "batch_retries" svc));
-  ignore (as_num "service.exec_ms" (get "exec_ms" svc));
-  if check_hist "service.latency_us" (get "latency_us" svc) <> requests then
-    fail "service latency histogram count does not match requests";
-  if check_hist "service.queue_us" (get "queue_us" svc) <> requests then
-    fail "queue-latency histogram count does not match requests";
-  if check_hist "service.occupancy" (get "occupancy" svc) <> batches then
-    fail "occupancy histogram count does not match batches";
-  Printf.printf "validate_serve: %s ok (%d requests, %d batches, p99 %g us)\n"
-    path requests batches p99
+  (* one service snapshot: internal consistency; returns the counters so
+     the caller can cross-check against the client summary *)
+  let check_service what svc =
+    let requests = as_int (what ^ ".requests") (get "requests" svc) in
+    let svc_shed = as_int (what ^ ".shed") (get "shed" svc) in
+    let batches = as_int (what ^ ".batches") (get "batches" svc) in
+    let failures = as_int (what ^ ".failures") (get "failures" svc) in
+    if batches > requests || (requests > 0 && batches < 1) then
+      fail "%s: implausible batch count %d for %d requests" what batches
+        requests;
+    ignore (as_int (what ^ ".batch_retries") (get "batch_retries" svc));
+    ignore (as_num (what ^ ".exec_ms") (get "exec_ms" svc));
+    if as_int (what ^ ".window_us") (get "window_us" svc) < 0 then
+      fail "%s: negative window" what;
+    if check_hist (what ^ ".latency_us") (get "latency_us" svc) <> requests
+    then fail "%s: latency histogram count does not match requests" what;
+    if check_hist (what ^ ".queue_us") (get "queue_us" svc) <> requests then
+      fail "%s: queue-latency histogram count does not match requests" what;
+    if check_hist (what ^ ".occupancy") (get "occupancy" svc) <> batches then
+      fail "%s: occupancy histogram count does not match batches" what;
+    (requests, svc_shed, batches, failures)
+  in
+  match (member "service" doc, member "registry" doc) with
+  | Some svc, _ ->
+      (* single-model report: the service must account for the clients *)
+      let requests, svc_shed, batches, failures =
+        check_service "service" svc
+      in
+      if requests <> ok + failed then
+        fail "service accepted %d but clients saw %d replies" requests
+          (ok + failed);
+      if svc_shed <> shed then fail "service and client shed counts disagree";
+      if failures <> failed then
+        fail "service and client failure counts disagree";
+      Printf.printf
+        "validate_serve: %s ok (%d requests, %d batches, p99 %g us)\n" path
+        requests batches p99
+  | None, Some reg ->
+      (* multi-model report: the registry's models jointly account for
+         the clients, and residency respects the byte budget *)
+      let budget = as_int "registry.budget_bytes" (get "budget_bytes" reg) in
+      let resident_bytes =
+        as_int "registry.resident_bytes" (get "resident_bytes" reg)
+      in
+      if resident_bytes < 0 || resident_bytes > budget then
+        fail "resident bytes %d outside [0, budget %d]" resident_bytes budget;
+      let models =
+        match get "models" reg with
+        | JList (_ :: _ as l) -> l
+        | JList [] -> fail "registry has no models"
+        | _ -> fail "registry.models is not a list"
+      in
+      let requests_sum, shed_sum, failed_sum, bytes_sum =
+        List.fold_left
+          (fun (rq, sh, fl, by) m ->
+            let name =
+              match get "name" m with
+              | JStr s -> s
+              | _ -> fail "model name is not a string"
+            in
+            let what = Printf.sprintf "registry.models[%s]" name in
+            let resident =
+              match get "resident" m with
+              | JBool b -> b
+              | _ -> fail "%s.resident is not a bool" what
+            in
+            let bytes = as_int (what ^ ".bytes") (get "bytes" m) in
+            if bytes < 1 then fail "%s: empty weights" what;
+            if as_int (what ^ ".generation") (get "generation" m) < 0 then
+              fail "%s: negative generation" what;
+            List.iter
+              (fun field ->
+                if as_int (what ^ "." ^ field) (get field m) < 0 then
+                  fail "%s: negative %s" what field)
+              [ "evictions"; "rematerializations"; "swaps_rejected" ];
+            let requests, svc_shed, _batches, failures =
+              check_service (what ^ ".service") (get "service" m)
+            in
+            ( rq + requests,
+              sh + svc_shed,
+              fl + failures,
+              by + if resident then bytes else 0 ))
+          (0, 0, 0, 0) models
+      in
+      if requests_sum <> ok + failed then
+        fail "registry models accepted %d but clients saw %d replies"
+          requests_sum (ok + failed);
+      if shed_sum <> shed then
+        fail "registry and client shed counts disagree (%d vs %d)" shed_sum
+          shed;
+      if failed_sum <> failed then
+        fail "registry and client failure counts disagree (%d vs %d)"
+          failed_sum failed;
+      if bytes_sum <> resident_bytes then
+        fail "resident model bytes sum to %d but registry reports %d"
+          bytes_sum resident_bytes;
+      Printf.printf
+        "validate_serve: %s ok (%d models, %d requests, %d resident bytes, \
+         p99 %g us)\n"
+        path (List.length models) requests_sum resident_bytes p99
+  | None, None -> fail "missing field %S or %S" "service" "registry"
