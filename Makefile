@@ -53,12 +53,21 @@ bench-dist:
 bench-dist-small:
 	dune exec bench/dist_suite.exe -- --small
 
+# FusedMM graph workloads: fused SDDMM+SpMM vs the unfused two-kernel
+# composition, host wall-clock and simulated device time; writes
+# BENCH_graph.json.
+bench-graph:
+	dune exec bench/graph_suite.exe
+
+bench-graph-small:
+	dune exec bench/graph_suite.exe -- --small
+
 # Refresh the committed bench baselines from quick --small runs.
 bench-baseline: bench-host-small bench-plan-small bench-serve-small \
-		bench-dist-small
+		bench-dist-small bench-graph-small
 	mkdir -p bench/baselines
 	cp BENCH_host.json BENCH_plan.json BENCH_serve.json BENCH_dist.json \
-	  bench/baselines/
+	  BENCH_graph.json bench/baselines/
 
 # Regression gate: fresh --small runs compared against bench/baselines;
 # fails (exit 1) when a metric moves past the noise threshold in the
@@ -68,7 +77,7 @@ bench-baseline: bench-host-small bench-plan-small bench-serve-small \
 # invocation — it must then fail.
 BENCH_THRESHOLD ?= 0.15
 bench-check: bench-host-small bench-plan-small bench-serve-small \
-		bench-dist-small
+		bench-dist-small bench-graph-small
 	dune exec bench/regress.exe -- --baseline bench/baselines --fresh . \
 	  --threshold $(BENCH_THRESHOLD)
 

@@ -1,0 +1,145 @@
+(* Graph-workload benchmark (Bechamel): the fusedmm family's fused
+   SDDMM+SpMM chain against the unfused two-kernel composition, per
+   semiring, on the simulated device (deterministic cost-model ms) and
+   on the real multicore host tier (wall-clock).
+
+   Usage:
+     dune exec bench/graph_suite.exe            # default shapes
+     dune exec bench/graph_suite.exe -- --small # CI-sized quick run
+
+   Emits BENCH_graph.json in the working directory. *)
+
+open Bechamel
+open Toolkit
+open Matrix
+module Executor = Fusion.Executor
+module Fusedmm = Fusion.Fusedmm
+module Semiring = Fusion.Semiring
+
+let device = Gpu_sim.Device.gtx_titan
+
+type shape = { sh_name : string; nodes : int; out_degree : int; dim : int }
+
+let shapes ~small =
+  if small then
+    [
+      { sh_name = "web-small"; nodes = 2_000; out_degree = 8; dim = 16 };
+      { sh_name = "emb-small"; nodes = 1_000; out_degree = 16; dim = 64 };
+    ]
+  else
+    [
+      { sh_name = "web"; nodes = 30_000; out_degree = 12; dim = 32 };
+      { sh_name = "embed"; nodes = 10_000; out_degree = 24; dim = 128 };
+      { sh_name = "dense-nbrs"; nodes = 4_000; out_degree = 64; dim = 64 };
+    ]
+
+let measure_ms name f =
+  let test = Test.make ~name (Staged.stage (fun () -> ignore (f ()))) in
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Benchmark.all cfg instances test in
+  let analyzed = Analyze.all ols Instance.monotonic_clock results in
+  let estimate = ref None in
+  Hashtbl.iter
+    (fun _name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> estimate := Some est
+      | _ -> ())
+    analyzed;
+  match !estimate with Some ns -> ns /. 1e6 | None -> Float.nan
+
+(* Simulated device time for one call, taken from a single run (the
+   cost model is deterministic). *)
+let sim_ms engine sr g h =
+  let r = Executor.fusedmm ~engine ~semiring:sr device Fusedmm.Sddmm_spmm g h in
+  r.Executor.m_time_ms
+
+let () =
+  let small = Array.exists (( = ) "--small") Sys.argv in
+  let semirings = [ Semiring.sigmoid; Semiring.plain ] in
+  let results =
+    List.concat_map
+      (fun sh ->
+        let rng = Rng.create (sh.nodes + sh.dim) in
+        let g =
+          Kf_ml.Dataset.adjacency rng ~nodes:sh.nodes ~out_degree:sh.out_degree
+        in
+        let h = Gen.dense rng ~rows:sh.nodes ~cols:sh.dim in
+        Printf.printf "graph suite: %s — %d nodes, %d nnz, dim %d\n%!"
+          sh.sh_name sh.nodes (Csr.nnz g) sh.dim;
+        List.map
+          (fun sr ->
+            (* fused chain vs the materialise-S composition, host tier *)
+            let fused_host () =
+              Executor.fusedmm ~engine:Executor.Host ~semiring:sr device
+                Fusedmm.Sddmm_spmm g h
+            in
+            let unfused_host () =
+              let s =
+                Executor.sddmm ~engine:Executor.Host ~semiring:sr device g h
+              in
+              match s.Executor.m_value with
+              | Executor.Sparse s ->
+                  Executor.spmm ~engine:Executor.Host ~semiring:sr device s h
+              | Executor.Dense _ -> assert false
+            in
+            (* agreement gate before the times mean anything *)
+            let zf = (fused_host ()).Executor.m_value in
+            let zu = (unfused_host ()).Executor.m_value in
+            (match (zf, zu) with
+            | Executor.Dense a, Executor.Dense b ->
+                Array.iteri
+                  (fun i x ->
+                    if Float.abs (x -. b.Dense.data.(i)) > 1e-9 then
+                      failwith
+                        (Printf.sprintf "%s/%s: fused host result diverges"
+                           sh.sh_name sr.Semiring.name))
+                  a.Dense.data
+            | _ -> failwith "fusedmm/spmm returned sparse");
+            let id = Printf.sprintf "%s:%s" sh.sh_name sr.Semiring.name in
+            let fused_ms = measure_ms (id ^ ":fused") fused_host in
+            let unfused_ms = measure_ms (id ^ ":unfused") unfused_host in
+            let fused_sim = sim_ms Executor.Fused sr g h in
+            let unfused_sim = sim_ms Executor.Library sr g h in
+            Printf.printf
+              "  %-24s host fused %8.3f ms  unfused %8.3f ms  | sim fused \
+               %8.4f ms  unfused %8.4f ms\n\
+               %!"
+              id fused_ms unfused_ms fused_sim unfused_sim;
+            Kf_obs.Json.Obj
+              [
+                ("shape", Kf_obs.Json.Str sh.sh_name);
+                ("semiring", Kf_obs.Json.Str sr.Semiring.name);
+                ("nodes", Kf_obs.Json.Int sh.nodes);
+                ("nnz", Kf_obs.Json.Int (Csr.nnz g));
+                ("dim", Kf_obs.Json.Int sh.dim);
+                ("fused_host_ms", Kf_obs.Json.Float fused_ms);
+                ("unfused_host_ms", Kf_obs.Json.Float unfused_ms);
+                ("fused_sim_ms", Kf_obs.Json.Float fused_sim);
+                ("unfused_sim_ms", Kf_obs.Json.Float unfused_sim);
+              ])
+          semirings)
+      (shapes ~small)
+  in
+  let doc =
+    Kf_obs.Json.Obj
+      [
+        ( "meta",
+          Kf_obs.Json.Obj
+            [
+              ("ocaml_version", Kf_obs.Json.Str Sys.ocaml_version);
+              ("small", Kf_obs.Json.Bool small);
+              ("recommended_domains", Kf_obs.Json.Int (Par.Pool.default_size ()));
+            ] );
+        ("results", Kf_obs.Json.List results);
+      ]
+  in
+  let oc = open_out "BENCH_graph.json" in
+  Kf_obs.Json.to_channel oc doc;
+  close_out oc;
+  print_endline "wrote BENCH_graph.json"

@@ -75,11 +75,13 @@ let measure_ms name f =
   match !estimate with Some ns -> ns /. 1e6 | None -> Float.nan
 
 let engines =
-  [
-    ("fused", Fusion.Executor.Fused);
-    ("library", Fusion.Executor.Library);
-    ("host", Fusion.Executor.Host);
-  ]
+  (* dist excluded: worker processes dwarf the per-script timings *)
+  List.filter_map
+    (fun e ->
+      match e with
+      | Fusion.Executor.Dist -> None
+      | e -> Some (Fusion.Executor.engine_to_string e, e))
+    Fusion.Executor.engines
 
 let () =
   let small = Array.exists (( = ) "--small") Sys.argv in

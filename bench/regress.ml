@@ -19,6 +19,8 @@
                                                            2x threshold)
      BENCH_dist.json    results[].allreduce_bytes and
                         results[].recv_bytes_per_op       (lower better)
+     BENCH_graph.json   results[].{fused,unfused}_host_ms and
+                        results[].{fused,unfused}_sim_ms  (lower better)
 
    A metric regresses when it moves past the noise threshold (default
    15%, doubled for tail latency — p99 of a quarter-second cell is the
@@ -189,12 +191,38 @@ let dist_metrics doc =
         [ "allreduce_bytes"; "recv_bytes_per_op" ])
     (items doc "results")
 
+(* Host wall times gate the real kernels; the simulated ms are
+   deterministic cost-model outputs, so any drift there is a cost-model
+   change, not noise — still gated at the same threshold. *)
+let graph_metrics doc =
+  List.concat_map
+    (fun r ->
+      let part k = part_of r k in
+      let base =
+        Printf.sprintf "graph:%s:%s:d%s" (part "shape") (part "semiring")
+          (part "dim")
+      in
+      List.filter_map
+        (fun field ->
+          Option.map
+            (fun v ->
+              {
+                key = base ^ ":" ^ field;
+                value = v;
+                dir = Lower_better;
+                scale = 1.0;
+              })
+            (num r field))
+        [ "fused_host_ms"; "unfused_host_ms"; "fused_sim_ms"; "unfused_sim_ms" ])
+    (items doc "results")
+
 let suites =
   [
     ("BENCH_host.json", host_metrics);
     ("BENCH_plan.json", plan_metrics);
     ("BENCH_serve.json", serve_metrics);
     ("BENCH_dist.json", dist_metrics);
+    ("BENCH_graph.json", graph_metrics);
   ]
 
 let load_metrics dir (file, extract) =
@@ -218,6 +246,7 @@ let starts_with p key =
 
 let floor_for key =
   if starts_with "host:" key then 0.05 (* ms *)
+  else if starts_with "graph:" key then 0.05 (* ms *)
   else if starts_with "plan:" key then 0.5
   else if starts_with "dist:" key then 1024.0 (* bytes *)
   else if starts_with "serve:adaptive_ratio:" key then

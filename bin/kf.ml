@@ -178,21 +178,32 @@ let with_obs ~trace ~profile f =
         | None -> f ())
   end
 
-let engine_name = function
-  | Fusion.Executor.Fused -> "fused"
-  | Fusion.Executor.Library -> "library"
-  | Fusion.Executor.Host -> "host"
-  | Fusion.Executor.Dist -> "dist"
+let engine_name = Fusion.Executor.engine_to_string
+
+(* one spelling authority for engines: [--engine] and [KF_ENGINE] both
+   parse through {!Fusion.Executor.engine_of_string} *)
+let engine_conv =
+  let parse s =
+    match Fusion.Executor.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid engine %S, expected one of %s" s
+                (String.concat ", "
+                   (List.map Fusion.Executor.engine_to_string
+                      Fusion.Executor.engines))))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf (Fusion.Executor.engine_to_string e)
+  in
+  Arg.conv (parse, print)
 
 let engine_arg =
-  let all =
-    [ ("fused", Fusion.Executor.Fused); ("library", Fusion.Executor.Library);
-      ("host", Fusion.Executor.Host); ("dist", Fusion.Executor.Dist) ]
-  in
   Arg.(
     value
-    & opt (enum all) Fusion.Executor.Fused
-    & info [ "e"; "engine" ]
+    & opt engine_conv Fusion.Executor.Fused
+    & info [ "e"; "engine" ] ~env:(Cmd.Env.info "KF_ENGINE")
         ~doc:
           "Execution engine: $(b,fused) (simulated fused kernels), \
            $(b,library) (simulated cuSPARSE/cuBLAS composition), \
@@ -547,11 +558,9 @@ let train_cmd =
                ( "pattern_instantiations",
                  Kf_obs.Json.Obj
                    (List.map
-                      (fun inst ->
-                        ( Fusion.Pattern.name inst,
-                          Kf_obs.Json.Int
-                            (Fusion.Pattern.Trace.count r.trace inst) ))
-                      (Fusion.Pattern.Trace.instantiations r.trace)) );
+                      (fun (d, n) ->
+                        (d.Fusion.Pattern_family.label, Kf_obs.Json.Int n))
+                      (Fusion.Pattern.Trace.entries r.trace)) );
                ( "timeline",
                  Kf_obs.Json.List
                    (List.map Kf_ml.Session.iteration_json r.timeline) );
@@ -563,11 +572,9 @@ let train_cmd =
       Printf.printf "%s: %.2f ms\n" time_label r.gpu_ms;
       print_endline "pattern instantiations:";
       List.iter
-        (fun inst ->
-          Printf.printf "  %-28s x%d\n"
-            (Fusion.Pattern.name inst)
-            (Fusion.Pattern.Trace.count r.trace inst))
-        (Fusion.Pattern.Trace.instantiations r.trace)
+        (fun (d, n) ->
+          Printf.printf "  %-28s x%d\n" d.Fusion.Pattern_family.label n)
+        (Fusion.Pattern.Trace.entries r.trace)
     end
   in
   Cmd.v
@@ -1221,8 +1228,25 @@ let script_cmd =
       & info [ "dump-ir" ] ~docv:"FILE"
           ~doc:"Write the compiled plan IR as JSON to $(docv).")
   in
+  let graph_arg =
+    Arg.(
+      value & flag
+      & info [ "graph" ]
+          ~doc:
+            "Bind graph-workload inputs instead of regression ones: $(b,\\$1) \
+             becomes a sparse adjacency matrix over $(b,--rows) nodes and \
+             $(b,\\$2) a dense $(b,--rows) x $(b,--dim) embedding.  Without \
+             $(b,--file) the default program becomes the SDDMM+SpMM graph \
+             listing rather than the paper's Listing 1.")
+  in
+  let dim_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "dim" ] ~docv:"D"
+          ~doc:"Embedding width for $(b,--graph) inputs.")
+  in
   let script verbose dense rows cols density seed file engine domains workers
-      trace profile plan explain dump_ir =
+      trace profile plan explain dump_ir graph dim =
     setup_logs verbose;
     apply_domains domains;
     apply_workers workers;
@@ -1231,18 +1255,32 @@ let script_cmd =
     let program =
       match file with
       | Some path -> Sysml.Dml.parse_file path
-      | None -> Sysml.Dml.parse Sysml.Dml.listing1
-    in
-    let input = make_input ~dense ~rows ~cols ~density ~seed in
-    let rng = Rng.create (seed + 2) in
-    let truth = Gen.vector rng cols in
-    let targets =
-      match input with
-      | Fusion.Executor.Sparse x -> Blas.csrmv x truth
-      | Fusion.Executor.Dense x -> Blas.gemv x truth
+      | None ->
+          Sysml.Dml.parse
+            (if graph then Sysml.Dml.graph_listing else Sysml.Dml.listing1)
     in
     let positional =
-      [ Sysml.Script.Matrix input; Sysml.Script.Vector targets ]
+      if graph then begin
+        let rng = Rng.create seed in
+        let out_degree = max 1 (int_of_float (density *. float rows)) in
+        let g = Kf_ml.Dataset.adjacency rng ~nodes:rows ~out_degree in
+        let h = Gen.dense rng ~rows ~cols:dim in
+        [
+          Sysml.Script.Matrix (Fusion.Executor.Sparse g);
+          Sysml.Script.Matrix (Fusion.Executor.Dense h);
+        ]
+      end
+      else begin
+        let input = make_input ~dense ~rows ~cols ~density ~seed in
+        let rng = Rng.create (seed + 2) in
+        let truth = Gen.vector rng cols in
+        let targets =
+          match input with
+          | Fusion.Executor.Sparse x -> Blas.csrmv x truth
+          | Fusion.Executor.Dense x -> Blas.gemv x truth
+        in
+        [ Sysml.Script.Matrix input; Sysml.Script.Vector targets ]
+      end
     in
     let mode =
       if explain then Sysml.Runtime.Plan_explain
@@ -1270,12 +1308,11 @@ let script_cmd =
       r.Sysml.Script.gpu_ms r.Sysml.Script.fused_launches;
     print_endline "pattern instantiations:";
     List.iter
-      (fun inst ->
+      (fun (d, n) ->
         Printf.printf "  %-28s x%d
 "
-          (Fusion.Pattern.name inst)
-          (Fusion.Pattern.Trace.count r.Sysml.Script.trace inst))
-      (Fusion.Pattern.Trace.instantiations r.Sysml.Script.trace);
+          d.Fusion.Pattern_family.label n)
+      (Fusion.Pattern.Trace.entries r.Sysml.Script.trace);
     List.iter
       (fun (name, v) ->
         match v with
@@ -1296,7 +1333,7 @@ let script_cmd =
       const script $ verbose_arg $ dense_arg $ rows_arg $ cols_arg
       $ density_arg $ seed_arg $ file_arg $ engine_arg $ domains_arg
       $ workers_arg $ trace_arg $ profile_arg $ plan_arg $ explain_arg
-      $ dump_ir_arg)
+      $ dump_ir_arg $ graph_arg $ dim_arg)
 
 let () =
   (* a dist worker process never reaches the CLI: this call serves the

@@ -145,11 +145,26 @@ let fallbacks_counter = Kf_obs.Counter.make "resil.fallbacks"
 
 let reference_counter = Kf_obs.Counter.make "resil.reference_runs"
 
-let engine_name = function
+(* The one spelling of engine names: [bin/kf]'s flag parsing, the
+   KF_ENGINE environment handling and the bench suites all go through
+   this pair rather than keeping private copies. *)
+let engines = [ Fused; Library; Host; Dist ]
+
+let engine_to_string = function
   | Fused -> "fused"
   | Library -> "library"
   | Host -> "host"
   | Dist -> "dist"
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fused" -> Some Fused
+  | "library" -> Some Library
+  | "host" -> Some Host
+  | "dist" -> Some Dist
+  | _ -> None
+
+let engine_name = engine_to_string
 
 (* One retry on the engine the caller asked for, then progressively
    simpler engines: the multi-process tier falls back to single-process
@@ -184,7 +199,10 @@ let reference_result ~op ~input ~t0 ~instantiation w =
     profile;
   }
 
-let guarded ~op ~engine ~dispatch ~reference =
+(* Polymorphic over the result record — Equation-1 ops guard a vector
+   result, the graph ops a matrix one; [vec_of] projects the raw float
+   payload the fault injector poisons and the guard inspects. *)
+let guarded ~op ~engine ~vec_of ~dispatch ~reference =
   let faults = Kf_resil.Fault.active () in
   if not (faults || Kf_resil.Guard.enabled ()) then dispatch engine
   else
@@ -193,8 +211,8 @@ let guarded ~op ~engine ~dispatch ~reference =
       Kf_resil.Fault.with_arm @@ fun () ->
       Kf_resil.Fault.check Kf_resil.Fault.Launch ~point;
       let r = dispatch e in
-      if faults then Kf_resil.Fault.poison ~point r.w;
-      Kf_resil.Guard.check_vec ~point r.w;
+      if faults then Kf_resil.Fault.poison ~point (vec_of r);
+      Kf_resil.Guard.check_vec ~point (vec_of r);
       r
     in
     let note verb e exn =
@@ -209,7 +227,7 @@ let guarded ~op ~engine ~dispatch ~reference =
           let r = reference () in
           (* if even the reference output is unhealthy the data itself is
              bad: surface it rather than return garbage *)
-          Kf_resil.Guard.check_vec ~point:(point ^ ".reference") r.w;
+          Kf_resil.Guard.check_vec ~point:(point ^ ".reference") (vec_of r);
           r
       | e :: rest -> (
           try attempt e
@@ -253,8 +271,8 @@ let xt_y ?(engine = Fused) ?pool ?cluster device input y ~alpha =
   let finish_dist = finish_dist ~op ~input ~t0 in
   let instantiation =
     Some
-      (Pattern.classify ~with_first_multiply:false ~with_v:false
-         ~with_z:false)
+      (Pattern.classify_shape
+         { first_multiply = false; weighted = false; additive_tail = false })
   in
   let reference () =
     let w =
@@ -319,7 +337,7 @@ let xt_y ?(engine = Fused) ?pool ?cluster device input y ~alpha =
       let w, reports = library_epilogue device ~alpha ~beta_z:None w reports in
       finish ~instantiation ~engine_used:"cublas gemv (transpose)" w reports
   in
-  guarded ~op ~engine ~reference ~dispatch
+  guarded ~op ~engine ~vec_of:(fun r -> r.w) ~reference ~dispatch
 
 let library_pattern device input ~y ?v ?beta_z ~alpha () =
   let p, reports =
@@ -354,8 +372,12 @@ let pattern ?(engine = Fused) ?pool ?cluster device input ~y ?v ?beta_z ~alpha
   let finish_dist = finish_dist ~op ~input ~t0 in
   let instantiation =
     Some
-      (Pattern.classify ~with_first_multiply:true ~with_v:(v <> None)
-         ~with_z:(beta_z <> None))
+      (Pattern.classify_shape
+         {
+           first_multiply = true;
+           weighted = v <> None;
+           additive_tail = beta_z <> None;
+         })
   in
   let beta, z =
     match beta_z with None -> (None, None) | Some (b, z) -> (Some b, Some z)
@@ -436,7 +458,7 @@ let pattern ?(engine = Fused) ?pool ?cluster device input ~y ?v ?beta_z ~alpha
       in
       finish ~instantiation ~engine_used w reports
   in
-  guarded ~op ~engine ~reference ~dispatch
+  guarded ~op ~engine ~vec_of:(fun r -> r.w) ~reference ~dispatch
 
 let x_y ?(engine = Fused) ?pool ?cluster device input y =
   let t0 = Kf_obs.Clock.now_ns () in
@@ -487,4 +509,198 @@ let x_y ?(engine = Fused) ?pool ?cluster device input y =
       let w, reports = Gpulibs.Cublas.gemv device x y in
       finish ~instantiation ~engine_used:"cublas gemv" w reports
   in
-  guarded ~op ~engine ~reference ~dispatch
+  guarded ~op ~engine ~vec_of:(fun r -> r.w) ~reference ~dispatch
+
+(* --- graph ops: the fusedmm family ----------------------------------------- *)
+
+(* The graph entry points return matrices (sparse S or dense Z) rather
+   than a vector, and carry a family-generic descriptor instead of an
+   Equation-1 instantiation; everything else — profiles, engine
+   strings, the guarded recovery chain — is shared with the vector
+   ops. *)
+type mat_result = {
+  m_value : input;
+  m_reports : Sim.report list;
+  m_time_ms : float;
+  m_desc : Pattern_family.descriptor option;
+  m_engine_used : string;
+  m_profile : profile;
+}
+
+let mat_vec r =
+  match r.m_value with
+  | Sparse s -> s.Matrix.Csr.values
+  | Dense d -> d.Matrix.Dense.data
+
+let finish_mat ~op ~input ~t0 ~desc ~engine_used value reports =
+  let time_ms = Sim.total_ms reports in
+  Log.debug (fun m ->
+      m "%s: %d kernel(s), %.3f ms" engine_used (List.length reports) time_ms);
+  let profile = mk_profile ~op ~input ~decision:engine_used ~t0 ~host:None in
+  {
+    m_value = value;
+    m_reports = reports;
+    m_time_ms = time_ms;
+    m_desc = desc;
+    m_engine_used = engine_used;
+    m_profile = profile;
+  }
+
+let finish_mat_host ~op ~input ~t0 ~desc ~engine_used ~pool f =
+  let stats = Kf_obs.Host_stats.create ~domains:(Par.Pool.size pool) in
+  let value = Kf_obs.Host_stats.with_sink stats f in
+  (match Kf_obs.Host_stats.current () with
+  | Some outer -> Kf_obs.Host_stats.accumulate ~into:outer stats
+  | None -> ());
+  let profile =
+    mk_profile ~op ~input ~decision:engine_used ~t0 ~host:(Some stats)
+  in
+  Kf_obs.Host_stats.emit_trace_counters stats;
+  Kf_obs.Counter.incr host_ops_counter;
+  let time_ms = Kf_obs.Clock.ns_to_ms profile.wall_ns in
+  Log.debug (fun m -> m "%s: %.3f ms wall-clock" engine_used time_ms);
+  {
+    m_value = value;
+    m_reports = [];
+    m_time_ms = time_ms;
+    m_desc = desc;
+    m_engine_used = engine_used;
+    m_profile = profile;
+  }
+
+let reference_mat ~op ~input ~t0 ~desc value =
+  let engine_used = "reference sequential fusedmm" in
+  let profile = mk_profile ~op ~input ~decision:engine_used ~t0 ~host:None in
+  {
+    m_value = value;
+    m_reports = [];
+    m_time_ms = Kf_obs.Clock.ns_to_ms profile.wall_ns;
+    m_desc = desc;
+    m_engine_used = engine_used;
+    m_profile = profile;
+  }
+
+let graph_host_used ~kernel ~pool =
+  Printf.sprintf "host %s [row-disjoint, %d domain%s]" kernel
+    (Par.Pool.size pool)
+    (if Par.Pool.size pool = 1 then "" else "s")
+
+let fusedmm ?(engine = Fused) ?pool ?(semiring = Semiring.plain) device inst
+    (g : Matrix.Csr.t) (h : Matrix.Dense.t) =
+  Fusedmm.check ~name:"Executor.fusedmm" inst g h;
+  let t0 = Kf_obs.Clock.now_ns () in
+  let op = "fusedmm" in
+  let input = Sparse g in
+  let desc = Some (Fusedmm.descriptor ~semiring:semiring.Semiring.name inst) in
+  let reference () =
+    reference_mat ~op ~input ~t0 ~desc
+      (Dense (Fusedmm.fused ~semiring inst g h))
+  in
+  let rec dispatch engine =
+    match engine with
+    | Dist ->
+        (* graph ops are not sharded yet: the multi-process tier defers
+           to the host kernels with a warning, like an unavailable
+           cluster does for the vector ops *)
+        Log.warn (fun m ->
+            m "dist engine has no fusedmm kernels; falling back to host");
+        dispatch Host
+    | Host ->
+        let pool = host_pool pool in
+        finish_mat_host ~op ~input ~t0 ~desc
+          ~engine_used:
+            (graph_host_used
+               ~kernel:("fusedmm " ^ Fusedmm.inst_key inst)
+               ~pool)
+          ~pool
+          (fun () -> Dense (Host_fused.fusedmm ~pool ~semiring inst g h))
+    | Fused ->
+        let z, reports, _plan = Fusedmm.sim_fused device semiring inst g h in
+        finish_mat ~op ~input ~t0 ~desc
+          ~engine_used:
+            (Printf.sprintf "fused %s [%s]"
+               (match inst with
+               | Fusedmm.Sddmm_spmm -> "sddmm+spmm"
+               | Fusedmm.Spmm -> "spmm")
+               semiring.Semiring.name)
+          (Dense z) reports
+    | Library -> (
+        (* the unfused composition the paper argues against:
+           materialise S, then aggregate it in a second launch *)
+        match inst with
+        | Fusedmm.Spmm ->
+            let z, reports, _ = Fusedmm.sim_spmm device semiring g h in
+            finish_mat ~op ~input ~t0 ~desc ~engine_used:"cusparse-style spmm"
+              (Dense z) reports
+        | Fusedmm.Sddmm_spmm ->
+            let s, r1, plan = Fusedmm.sim_sddmm device semiring g h in
+            let z, r2, _ = Fusedmm.sim_spmm ~plan device semiring s h in
+            finish_mat ~op ~input ~t0 ~desc
+              ~engine_used:"sddmm + spmm (two launches, S materialised)"
+              (Dense z) (r1 @ r2))
+  in
+  guarded ~op ~engine ~vec_of:mat_vec ~reference ~dispatch
+
+let sddmm ?(engine = Fused) ?pool ?(semiring = Semiring.plain) device
+    (g : Matrix.Csr.t) (h : Matrix.Dense.t) =
+  let t0 = Kf_obs.Clock.now_ns () in
+  let op = "sddmm" in
+  let input = Sparse g in
+  (* standalone SDDMM is a building block, not a family instantiation:
+     the trace records nothing for it *)
+  let desc = None in
+  let reference () =
+    reference_mat ~op ~input ~t0 ~desc (Sparse (Fusedmm.sddmm ~semiring g h))
+  in
+  let rec dispatch engine =
+    match engine with
+    | Dist ->
+        Log.warn (fun m ->
+            m "dist engine has no sddmm kernel; falling back to host");
+        dispatch Host
+    | Host ->
+        let pool = host_pool pool in
+        finish_mat_host ~op ~input ~t0 ~desc
+          ~engine_used:(graph_host_used ~kernel:"sddmm" ~pool)
+          ~pool
+          (fun () -> Sparse (Host_fused.sddmm ~pool ~semiring g h))
+    | Fused | Library ->
+        (* one kernel either way: there is nothing to fuse until the
+           consumer is known (that is the plan compiler's job) *)
+        let s, reports, _ = Fusedmm.sim_sddmm device semiring g h in
+        finish_mat ~op ~input ~t0 ~desc
+          ~engine_used:("sddmm [" ^ semiring.Semiring.name ^ "]")
+          (Sparse s) reports
+  in
+  guarded ~op ~engine ~vec_of:mat_vec ~reference ~dispatch
+
+let spmm ?(engine = Fused) ?pool ?(semiring = Semiring.plain) device
+    (s : Matrix.Csr.t) (h : Matrix.Dense.t) =
+  let t0 = Kf_obs.Clock.now_ns () in
+  let op = "spmm" in
+  let input = Sparse s in
+  let desc =
+    Some (Fusedmm.descriptor ~semiring:semiring.Semiring.name Fusedmm.Spmm)
+  in
+  let reference () =
+    reference_mat ~op ~input ~t0 ~desc (Dense (Fusedmm.spmm ~semiring s h))
+  in
+  let rec dispatch engine =
+    match engine with
+    | Dist ->
+        Log.warn (fun m ->
+            m "dist engine has no spmm kernel; falling back to host");
+        dispatch Host
+    | Host ->
+        let pool = host_pool pool in
+        finish_mat_host ~op ~input ~t0 ~desc
+          ~engine_used:(graph_host_used ~kernel:"spmm" ~pool)
+          ~pool
+          (fun () -> Dense (Host_fused.spmm ~pool ~semiring s h))
+    | Fused | Library ->
+        let z, reports, _ = Fusedmm.sim_spmm device semiring s h in
+        finish_mat ~op ~input ~t0 ~desc
+          ~engine_used:("spmm [" ^ semiring.Semiring.name ^ "]")
+          (Dense z) reports
+  in
+  guarded ~op ~engine ~vec_of:mat_vec ~reference ~dispatch

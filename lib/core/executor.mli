@@ -31,6 +31,19 @@ type engine =
           pass [?cluster] to override.  If the cluster cannot be
           spawned the op falls back to [Host] with a warning. *)
 
+val engines : engine list
+(** All engines, in dispatch-preference order:
+    [[Fused; Library; Host; Dist]]. *)
+
+val engine_to_string : engine -> string
+(** ["fused"], ["library"], ["host"], ["dist"] — the one spelling used
+    by the CLI flags, the KF_ENGINE environment variable and the bench
+    suites. *)
+
+val engine_of_string : string -> engine option
+(** Inverse of {!engine_to_string} (case-insensitive, trimmed); [None]
+    for unknown names. *)
+
 type input = Sparse of Matrix.Csr.t | Dense of Matrix.Dense.t
 
 (** Unified per-operation observability record, populated for {e all
@@ -114,3 +127,63 @@ val x_y :
 (** Plain [X x y] — not part of the fused pattern (the paper leaves it to
     the libraries, which are already optimal for it), provided so that ML
     algorithms can run entirely through this interface. *)
+
+(** {1 Graph ops — the ["fusedmm"] pattern family}
+
+    Matrix-valued entry points for semiring-parameterised SDDMM ⊕ SpMM
+    ([Fusedmm]).  Same engine/recovery story as the vector ops:
+    [Fused] runs the single fused simulated kernel, [Library] the
+    unfused two-launch composition with [S] materialised, [Host] the
+    row-parallel multicore kernels, and [Dist] (which has no graph
+    shards yet) defers to [Host] with a warning. *)
+
+(** Matrix-valued result: the payload is an {!input} ([Sparse] for
+    SDDMM's sampled matrix, [Dense] for aggregated embeddings), and the
+    pattern identity is a family-generic descriptor rather than an
+    Equation-1 instantiation. *)
+type mat_result = {
+  m_value : input;
+  m_reports : Sim.report list;
+  m_time_ms : float;
+  m_desc : Pattern_family.descriptor option;
+      (** what a [Pattern.Trace] should record; [None] for standalone
+          SDDMM, which is a building block rather than an
+          instantiation *)
+  m_engine_used : string;
+  m_profile : profile;
+}
+
+val fusedmm :
+  ?engine:engine ->
+  ?pool:Par.Pool.t ->
+  ?semiring:Semiring.t ->
+  Device.t ->
+  Fusedmm.instantiation ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  mat_result
+(** [fusedmm device inst g h]: the fused chain
+    [Z_i = op_j (G_ij * edge(<H_i,H_j>) * H_j)] (or its SpMM floor)
+    without materialising [S].  Default semiring: [Semiring.plain]. *)
+
+val sddmm :
+  ?engine:engine ->
+  ?pool:Par.Pool.t ->
+  ?semiring:Semiring.t ->
+  Device.t ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  mat_result
+(** Standalone SDDMM: [S_ij = G_ij * edge(<H_i,H_j>)], same sparsity as
+    [G] ([m_value] is [Sparse]). *)
+
+val spmm :
+  ?engine:engine ->
+  ?pool:Par.Pool.t ->
+  ?semiring:Semiring.t ->
+  Device.t ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  mat_result
+(** Standalone SpMM: [Z_i = op_j (S_ij * H_j)] ([m_value] is
+    [Dense]). *)

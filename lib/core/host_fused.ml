@@ -530,3 +530,147 @@ let pattern_dense ?pool ?variant ?tile_rows ?tile_cols ~alpha
         let beta_z = epilogue_of ~beta ~z in
         dense_blocked pool ?tile_rows ?tile_cols x ~p_of ~alpha ~beta_z
   end
+
+(* ---- FusedMM graph kernels ------------------------------------------------ *)
+
+(* Sampled dense-row dot product with four independent accumulators
+   (differs from [Fusedmm.dot_rows] by reassociation only). *)
+let graph_row_dot (h : Matrix.Dense.t) i j =
+  let data = h.data and d = h.cols in
+  let bi = i * d and bj = j * d in
+  let acc0 = ref 0.0 and acc1 = ref 0.0 in
+  let acc2 = ref 0.0 and acc3 = ref 0.0 in
+  let c = ref 0 in
+  while !c + 4 <= d do
+    let c0 = !c in
+    acc0 :=
+      !acc0
+      +. (Array.unsafe_get data (bi + c0) *. Array.unsafe_get data (bj + c0));
+    acc1 :=
+      !acc1
+      +. Array.unsafe_get data (bi + c0 + 1)
+         *. Array.unsafe_get data (bj + c0 + 1);
+    acc2 :=
+      !acc2
+      +. Array.unsafe_get data (bi + c0 + 2)
+         *. Array.unsafe_get data (bj + c0 + 2);
+    acc3 :=
+      !acc3
+      +. Array.unsafe_get data (bi + c0 + 3)
+         *. Array.unsafe_get data (bj + c0 + 3);
+    c := c0 + 4
+  done;
+  let acc = ref (!acc0 +. !acc1 +. (!acc2 +. !acc3)) in
+  while !c < d do
+    acc :=
+      !acc +. (Array.unsafe_get data (bi + !c) *. Array.unsafe_get data (bj + !c));
+    incr c
+  done;
+  !acc
+
+(* Fold one scaled neighbour row into the semiring accumulator: the Sum
+   path is the 4-way unrolled axpy; Max keeps a plain loop ([Float.max]
+   matches the sequential reference exactly, NaN handling included). *)
+let graph_accumulate (sr : Semiring.t) acc (h : Matrix.Dense.t) ~j ~a ~d =
+  let data = h.data in
+  let base = j * d in
+  match sr.op with
+  | Semiring.Sum ->
+      let c = ref 0 in
+      while !c + 4 <= d do
+        let c0 = !c in
+        Array.unsafe_set acc c0
+          (Array.unsafe_get acc c0 +. (a *. Array.unsafe_get data (base + c0)));
+        Array.unsafe_set acc (c0 + 1)
+          (Array.unsafe_get acc (c0 + 1)
+          +. (a *. Array.unsafe_get data (base + c0 + 1)));
+        Array.unsafe_set acc (c0 + 2)
+          (Array.unsafe_get acc (c0 + 2)
+          +. (a *. Array.unsafe_get data (base + c0 + 2)));
+        Array.unsafe_set acc (c0 + 3)
+          (Array.unsafe_get acc (c0 + 3)
+          +. (a *. Array.unsafe_get data (base + c0 + 3)));
+        c := c0 + 4
+      done;
+      while !c < d do
+        Array.unsafe_set acc !c
+          (Array.unsafe_get acc !c +. (a *. Array.unsafe_get data (base + !c)));
+        incr c
+      done
+  | Semiring.Max ->
+      for c = 0 to d - 1 do
+        Array.unsafe_set acc c
+          (Float.max (Array.unsafe_get acc c)
+             (a *. Array.unsafe_get data (base + c)))
+      done
+
+(* Output rows of Z are disjoint, so the per-domain-accumulator/merge
+   machinery above has nothing to do here: one row-parallel pass, the
+   per-row accumulator in locals, each domain writing only the rows it
+   owns. *)
+let fusedmm ?pool ?(semiring = Semiring.plain) inst (g : Matrix.Csr.t)
+    (h : Matrix.Dense.t) =
+  Fusedmm.check ~name:"Host_fused.fusedmm" inst g h;
+  let d = h.cols in
+  let z = Matrix.Dense.create g.rows d in
+  if g.rows = 0 || d = 0 || Matrix.Csr.nnz g = 0 then z
+  else begin
+    Kf_resil.Fault.check Kf_resil.Fault.Launch ~point:"host_fused.graph";
+    let pool = get_pool pool in
+    Kf_obs.Host_stats.set_variant "row-disjoint";
+    let ident = Semiring.identity semiring in
+    Par.Pool.parallel_for pool ~lo:0 ~hi:g.rows (fun lo hi ->
+        if Kf_obs.Host_stats.profiling () then
+          Kf_obs.Host_stats.add_work ~rows:(hi - lo)
+            ~nnz:(g.row_off.(hi) - g.row_off.(lo));
+        let acc = Array.make d 0.0 in
+        for row = lo to hi - 1 do
+          let s = Array.unsafe_get g.row_off row
+          and e = Array.unsafe_get g.row_off (row + 1) in
+          if e > s then begin
+            Array.fill acc 0 d ident;
+            for k = s to e - 1 do
+              let j = Array.unsafe_get g.col_idx k in
+              let a =
+                match inst with
+                | Fusedmm.Spmm -> Array.unsafe_get g.values k
+                | Fusedmm.Sddmm_spmm ->
+                    Array.unsafe_get g.values k
+                    *. semiring.edge (graph_row_dot h row j)
+              in
+              graph_accumulate semiring acc h ~j ~a ~d
+            done;
+            Array.blit acc 0 z.data (row * d) d
+          end
+        done);
+    z
+  end
+
+let sddmm ?pool ?(semiring = Semiring.plain) (g : Matrix.Csr.t)
+    (h : Matrix.Dense.t) =
+  Fusedmm.check ~name:"Host_fused.sddmm" Fusedmm.Sddmm_spmm g h;
+  let nnz = Matrix.Csr.nnz g in
+  let values = Array.make nnz 0.0 in
+  if g.rows > 0 && nnz > 0 then begin
+    Kf_resil.Fault.check Kf_resil.Fault.Launch ~point:"host_fused.graph";
+    let pool = get_pool pool in
+    Kf_obs.Host_stats.set_variant "row-disjoint";
+    Par.Pool.parallel_for pool ~lo:0 ~hi:g.rows (fun lo hi ->
+        if Kf_obs.Host_stats.profiling () then
+          Kf_obs.Host_stats.add_work ~rows:(hi - lo)
+            ~nnz:(g.row_off.(hi) - g.row_off.(lo));
+        for row = lo to hi - 1 do
+          for k = g.row_off.(row) to g.row_off.(row + 1) - 1 do
+            let j = Array.unsafe_get g.col_idx k in
+            values.(k) <-
+              Array.unsafe_get g.values k
+              *. semiring.edge (graph_row_dot h row j)
+          done
+        done)
+  end;
+  Matrix.Csr.create ~rows:g.rows ~cols:g.cols ~values ~col_idx:g.col_idx
+    ~row_off:g.row_off
+
+let spmm ?pool ?semiring (s : Matrix.Csr.t) (h : Matrix.Dense.t) =
+  Fusedmm.check ~name:"Host_fused.spmm" Fusedmm.Spmm s h;
+  fusedmm ?pool ?semiring Fusedmm.Spmm s h

@@ -115,3 +115,42 @@ val xt_p :
 (** [xt_p ~alpha x p = alpha * X^T p] — Algorithm 1's host analogue,
     where the per-row scalar arrives precomputed and only the scatter
     (with its hierarchical aggregation) remains. *)
+
+(** {1 FusedMM graph kernels}
+
+    Host execution of the ["fusedmm"] family ([Fusedmm]): semiring-
+    parameterised SDDMM ⊕ SpMM.  Unlike Equation 1's column scatter,
+    the output rows of [Z] are disjoint, so the per-domain-accumulator
+    and merge tiers vanish: one row-parallel pass, the per-row
+    accumulator in locals (4-way unrolled sampled dot and axpy), each
+    domain writing only the rows it owns. *)
+
+val fusedmm :
+  ?pool:Par.Pool.t ->
+  ?semiring:Semiring.t ->
+  Fusedmm.instantiation ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  Matrix.Dense.t
+(** The fused chain without materialising [S]; matches [Fusedmm.fused]
+    within floating-point reassociation error.  Degenerate shapes
+    return the zero matrix without touching the pool.  Default
+    semiring: [Semiring.plain]. *)
+
+val sddmm :
+  ?pool:Par.Pool.t ->
+  ?semiring:Semiring.t ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  Matrix.Csr.t
+(** Standalone row-parallel SDDMM (the unfused composition's first
+    kernel); same structure as [G], sampled values. *)
+
+val spmm :
+  ?pool:Par.Pool.t ->
+  ?semiring:Semiring.t ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  Matrix.Dense.t
+(** Standalone row-parallel SpMM (the unfused composition's second
+    kernel). *)

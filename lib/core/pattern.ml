@@ -14,15 +14,35 @@ let name = function
   | Xt_X_y_plus_z -> "X^T*(X*y) + b*z"
   | Full_pattern -> "a*X^T*(v.(X*y)) + b*z"
 
-let classify ~with_first_multiply ~with_v ~with_z =
-  match (with_first_multiply, with_v, with_z) with
-  | false, false, false -> Xt_y
-  | true, false, false -> Xt_X_y
-  | true, true, false -> Xt_v_X_y
-  | true, false, true -> Xt_X_y_plus_z
-  | true, true, true -> Full_pattern
-  | false, true, _ | false, _, true ->
+type shape = {
+  first_multiply : bool;
+  weighted : bool;
+  additive_tail : bool;
+}
+
+let classify_shape = function
+  | { first_multiply = false; weighted = false; additive_tail = false } ->
+      Xt_y
+  | { first_multiply = true; weighted = false; additive_tail = false } ->
+      Xt_X_y
+  | { first_multiply = true; weighted = true; additive_tail = false } ->
+      Xt_v_X_y
+  | { first_multiply = true; weighted = false; additive_tail = true } ->
+      Xt_X_y_plus_z
+  | { first_multiply = true; weighted = true; additive_tail = true } ->
+      Full_pattern
+  | { first_multiply = false; _ } ->
       invalid_arg "Pattern.classify: v or z without the first multiply"
+
+(* Deprecated positional-bool arity, kept one release for callers that
+   have not migrated to the self-describing [shape] record. *)
+let classify ~with_first_multiply ~with_v ~with_z =
+  classify_shape
+    {
+      first_multiply = with_first_multiply;
+      weighted = with_v;
+      additive_tail = with_z;
+    }
 
 (* A fused call can stop partway down the chain and leave the rest to
    separate kernels: the only valid cut points are below the additive
@@ -44,18 +64,73 @@ let paper_algorithms = function
   | Xt_X_y_plus_z -> [ "LR"; "SVM" ]
   | Full_pattern -> [ "LogReg" ]
 
+(* ---- pattern-family registration ---------------------------------------- *)
+
+let family_id = "eq1"
+
+let inst_key = function
+  | Xt_y -> "xt_y"
+  | Xt_X_y -> "xt_x_y"
+  | Xt_v_X_y -> "xt_v_x_y"
+  | Xt_X_y_plus_z -> "xt_x_y_plus_z"
+  | Full_pattern -> "full"
+
+let descriptor inst =
+  {
+    Pattern_family.family = family_id;
+    inst = inst_key inst;
+    label = name inst;
+  }
+
+let of_descriptor (d : Pattern_family.descriptor) =
+  if d.family <> family_id then None
+  else List.find_opt (fun i -> inst_key i = d.inst) all
+
+module Family = struct
+  let family = family_id
+
+  let instantiations = List.map descriptor all
+
+  let as_inst d =
+    match of_descriptor d with
+    | Some i -> i
+    | None -> invalid_arg ("Pattern.Family: not an eq1 descriptor: " ^ d.inst)
+
+  let partials d = List.map descriptor (partials (as_inst d))
+
+  let paper_algorithms d = paper_algorithms (as_inst d)
+end
+
+let () = Pattern_family.register (module Family)
+
 module Trace = struct
-  type t = { algorithm : string; counts : (instantiation, int) Hashtbl.t }
+  (* Counts are keyed by the family-qualified descriptor key, so one
+     trace covers every registered family; the Equation-1 accessors
+     below keep their original closed-enum signatures on top. *)
+  type t = { algorithm : string; counts : (string, int) Hashtbl.t }
 
   let create ~algorithm = { algorithm; counts = Hashtbl.create 8 }
 
-  let record t inst =
-    let current = Option.value ~default:0 (Hashtbl.find_opt t.counts inst) in
-    Hashtbl.replace t.counts inst (current + 1)
+  let record_desc t (d : Pattern_family.descriptor) =
+    let k = Pattern_family.key d in
+    let current = Option.value ~default:0 (Hashtbl.find_opt t.counts k) in
+    Hashtbl.replace t.counts k (current + 1)
+
+  let record t inst = record_desc t (descriptor inst)
 
   let algorithm t = t.algorithm
 
-  let instantiations t = List.filter (Hashtbl.mem t.counts) all
+  let desc_count t d =
+    Option.value ~default:0 (Hashtbl.find_opt t.counts (Pattern_family.key d))
 
-  let count t inst = Option.value ~default:0 (Hashtbl.find_opt t.counts inst)
+  let count t inst = desc_count t (descriptor inst)
+
+  let instantiations t =
+    List.filter (fun i -> count t i > 0) all
+
+  let entries t =
+    List.filter_map
+      (fun d ->
+        match desc_count t d with 0 -> None | n -> Some (d, n))
+      (Pattern_family.all_instantiations ())
 end

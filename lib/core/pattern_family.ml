@@ -1,0 +1,37 @@
+type descriptor = { family : string; inst : string; label : string }
+
+let key d = d.family ^ "/" ^ d.inst
+
+module type S = sig
+  val family : string
+  val instantiations : descriptor list
+  val partials : descriptor -> descriptor list
+  val paper_algorithms : descriptor -> string list
+end
+
+(* Registration order is the presentation order everywhere (traces,
+   tables, plan reports), so keep it a list rather than a hashtable. *)
+let registry : (module S) list ref = ref []
+
+let register (module F : S) =
+  let others =
+    List.filter (fun (module G : S) -> G.family <> F.family) !registry
+  in
+  registry := others @ [ (module F : S) ]
+
+let families () = !registry
+
+let find family =
+  List.find_opt (fun (module F : S) -> F.family = family) !registry
+
+let all_instantiations () =
+  List.concat_map (fun (module F : S) -> F.instantiations) !registry
+
+let of_key k =
+  match String.index_opt k '/' with
+  | None -> None
+  | Some i ->
+      let family = String.sub k 0 i in
+      let inst = String.sub k (i + 1) (String.length k - i - 1) in
+      Option.bind (find family) (fun (module F : S) ->
+          List.find_opt (fun d -> d.inst = inst) F.instantiations)

@@ -1,0 +1,56 @@
+(** First-class pattern families — the fusion core's generalisation
+    point.
+
+    The paper fuses exactly one pattern (Equation 1) and the original
+    code baked that assumption into a closed enum.  A {e pattern
+    family} abstracts what the fusion layers actually need from a
+    pattern: a finite set of named instantiations, the partial-prefix
+    structure a plan compiler enumerates over, and the Table-1 style
+    algorithm attribution.  [Pattern] (Equation 1) and [Fusedmm]
+    (SDDMM⊕SpMM) both register here; [Executor], [Kf_ml.Session]
+    traces, [Kf_plan] candidate enumeration/costing, and the bench
+    tables are threaded through descriptors instead of the enum, so a
+    third family needs no changes outside its own module. *)
+
+type descriptor = {
+  family : string;  (** family id, e.g. ["eq1"] or ["fusedmm"] *)
+  inst : string;
+      (** stable machine key within the family, e.g. ["xt_y"] or
+          ["sddmm_spmm:sigmoid"] — used in checkpoints and JSON *)
+  label : string;
+      (** human rendering, e.g. ["a*X^T(v.(Xy)) + b*z"] or
+          ["sddmm+spmm[sigmoid]"] *)
+}
+
+val key : descriptor -> string
+(** [family ^ "/" ^ inst] — globally unique, checkpoint-stable. *)
+
+module type S = sig
+  val family : string
+
+  val instantiations : descriptor list
+  (** Every instantiation, in a stable order (checkpoints serialise
+      trace counts positionally against this list). *)
+
+  val partials : descriptor -> descriptor list
+  (** Fusable prefixes, largest first; the descriptor itself is always
+      included.  Mirrors [Pattern.partials] for Equation 1. *)
+
+  val paper_algorithms : descriptor -> string list
+  (** Which studied algorithms exercise the instantiation (the marks of
+      the regenerated Table 1). *)
+end
+
+val register : (module S) -> unit
+(** Idempotent by family id; later registrations replace earlier ones. *)
+
+val families : unit -> (module S) list
+(** All registered families, in registration order. *)
+
+val find : string -> (module S) option
+
+val all_instantiations : unit -> descriptor list
+(** Concatenation over {!families}, family registration order. *)
+
+val of_key : string -> descriptor option
+(** Inverse of {!key} over registered families. *)

@@ -1,6 +1,6 @@
 let is_power_of_two w = w > 0 && w land (w - 1) = 0
 
-let tree_reduce lanes ~width =
+let tree_reduce_op ~op lanes ~width =
   if not (is_power_of_two width) then
     invalid_arg "Warp.tree_reduce: width must be a power of two";
   if width > Array.length lanes then
@@ -11,12 +11,14 @@ let tree_reduce lanes ~width =
     let step = ref (width / 2) in
     while !step >= 1 do
       for i = 0 to !step - 1 do
-        scratch.(i) <- scratch.(i) +. scratch.(i + !step)
+        scratch.(i) <- op scratch.(i) scratch.(i + !step)
       done;
       step := !step / 2
     done;
     scratch.(0)
   end
+
+let tree_reduce lanes ~width = tree_reduce_op ~op:( +. ) lanes ~width
 
 let steps ~width =
   if not (is_power_of_two width) then

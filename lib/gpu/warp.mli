@@ -17,6 +17,15 @@ val tree_reduce : float array -> width:int -> float
     [step = width/2, width/4, ..., 1]; the array is not modified.
     [width] must be a power of two no larger than the array. *)
 
+val tree_reduce_op :
+  op:(float -> float -> float) -> float array -> width:int -> float
+(** {!tree_reduce} with a caller-supplied combiner, in the same
+    butterfly order — e.g. [Float.max] for the fusedmm family's Max
+    semiring, where the per-lane partials aggregate a MaxPool rather
+    than a sum.  The combiner should be associative and commutative
+    (the semiring laws); the tree order is only {e observable} when it
+    is not. *)
+
 val steps : width:int -> int
 (** Number of shuffle steps, [log2 width]. *)
 

@@ -6,6 +6,8 @@ let all : (module Algorithm.S) list =
     (module Multinomial.Algo);
     (module Svm.Algo);
     (module Hits.Algo);
+    (module Graphemb.Algo);
+    (module Pagerank.Algo);
   ]
 
 let names = List.map (fun (module A : Algorithm.S) -> A.name) all

@@ -53,10 +53,7 @@ let engine t = t.engine
 
 let algorithm t = Fusion.Pattern.Trace.algorithm t.trace
 
-let absorb_result t (r : Fusion.Executor.result) =
-  t.gpu_ms <- t.gpu_ms +. r.time_ms;
-  t.launches <- t.launches + List.length r.reports;
-  (match r.profile.Fusion.Executor.host with
+let absorb_host_stats t = function
   | None -> ()
   | Some stats ->
       let agg =
@@ -69,13 +66,32 @@ let absorb_result t (r : Fusion.Executor.result) =
             t.host_stats <- Some agg;
             agg
       in
-      Kf_obs.Host_stats.accumulate ~into:agg stats);
+      Kf_obs.Host_stats.accumulate ~into:agg stats
+
+let absorb_result t (r : Fusion.Executor.result) =
+  t.gpu_ms <- t.gpu_ms +. r.time_ms;
+  t.launches <- t.launches + List.length r.reports;
+  absorb_host_stats t r.profile.Fusion.Executor.host;
   (match r.instantiation with
   | Some inst ->
       t.pattern_ms <- t.pattern_ms +. r.time_ms;
       Fusion.Pattern.Trace.record t.trace inst
   | None -> ());
   r.w
+
+(* Matrix-valued twin of [absorb_result] for the graph ops, recording
+   the family-generic descriptor instead of an Equation-1
+   instantiation. *)
+let absorb_mat t (r : Fusion.Executor.mat_result) =
+  t.gpu_ms <- t.gpu_ms +. r.m_time_ms;
+  t.launches <- t.launches + List.length r.m_reports;
+  absorb_host_stats t r.m_profile.Fusion.Executor.host;
+  (match r.m_desc with
+  | Some d ->
+      t.pattern_ms <- t.pattern_ms +. r.m_time_ms;
+      Fusion.Pattern.Trace.record_desc t.trace d
+  | None -> ());
+  r.m_value
 
 let xt_y t input y ~alpha =
   absorb_result t
@@ -91,6 +107,34 @@ let x_y t input y =
   absorb_result t
     (Fusion.Executor.x_y ~engine:t.engine ?pool:t.pool ?cluster:t.cluster
        t.device input y)
+
+(* Every executor graph op returns the matrix flavour its signature
+   promises on all engines, so these projections cannot fail. *)
+let expect_sparse = function
+  | Fusion.Executor.Sparse s -> s
+  | Fusion.Executor.Dense _ -> assert false
+
+let expect_dense = function
+  | Fusion.Executor.Dense d -> d
+  | Fusion.Executor.Sparse _ -> assert false
+
+let sddmm ?semiring t g h =
+  expect_sparse
+    (absorb_mat t
+       (Fusion.Executor.sddmm ~engine:t.engine ?pool:t.pool ?semiring t.device
+          g h))
+
+let spmm ?semiring t s h =
+  expect_dense
+    (absorb_mat t
+       (Fusion.Executor.spmm ~engine:t.engine ?pool:t.pool ?semiring t.device s
+          h))
+
+let fusedmm ?semiring t inst g h =
+  expect_dense
+    (absorb_mat t
+       (Fusion.Executor.fusedmm ~engine:t.engine ?pool:t.pool ?semiring
+          t.device inst g h))
 
 let absorb_level1 t reports =
   t.gpu_ms <- t.gpu_ms +. Sim.total_ms reports;
@@ -130,12 +174,27 @@ let set_checkpoint ?(meta = []) t ~path ~every =
 let set_state_fn t f = t.state_fn <- Some f
 
 (* Session-side state rides in the same checkpoint as the algorithm's:
-   device/pattern-time accounting plus the pattern-trace counts (in
-   [Pattern.all] order), so a resumed run reports the same Table 1 row
-   and the same simulated totals as an uninterrupted one. *)
+   device/pattern-time accounting plus the pattern-trace counts, so a
+   resumed run reports the same Table 1 row and the same simulated
+   totals as an uninterrupted one.  Equation-1 counts keep the original
+   ["session.trace"] array (in [Pattern.all] order — old checkpoints
+   stay loadable); every other family's counts travel as one
+   ["session.trace.<family>/<inst>"] field each, keyed so the order in
+   the file does not matter. *)
+let trace_key_prefix = "session.trace."
+
 let session_payload t =
   let counts =
     List.map (fun i -> Fusion.Pattern.Trace.count t.trace i) Fusion.Pattern.all
+  in
+  let family_counts =
+    List.filter_map
+      (fun ((d : Fusion.Pattern_family.descriptor), n) ->
+        if d.family = "eq1" then None
+        else
+          Some
+            (trace_key_prefix ^ Fusion.Pattern_family.key d, Kf_resil.Ckpt.Int n))
+      (Fusion.Pattern.Trace.entries t.trace)
   in
   [
     ("session.gpu_ms", Kf_resil.Ckpt.Float t.gpu_ms);
@@ -144,6 +203,7 @@ let session_payload t =
     ("session.iters", Kf_resil.Ckpt.Int t.iters);
     ("session.trace", Kf_resil.Ckpt.Ints (Array.of_list counts));
   ]
+  @ family_counts
 
 let write_checkpoint t =
   match (t.ckpt, t.state_fn) with
@@ -178,6 +238,19 @@ let resume t ~path =
           Fusion.Pattern.Trace.record t.trace inst
         done)
     Fusion.Pattern.all;
+  let plen = String.length trace_key_prefix in
+  List.iter
+    (fun (name, field) ->
+      if String.length name > plen && String.sub name 0 plen = trace_key_prefix
+      then
+        let key = String.sub name plen (String.length name - plen) in
+        match (field, Fusion.Pattern_family.of_key key) with
+        | Kf_resil.Ckpt.Int n, Some d when d.family <> "eq1" ->
+            for _ = 1 to n do
+              Fusion.Pattern.Trace.record_desc t.trace d
+            done
+        | _ -> ())
+    p;
   Kf_obs.Counter.incr ckpt_resumes_counter;
   Kf_obs.Trace.instant "ckpt.resume"
     ~args:

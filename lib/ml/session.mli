@@ -105,6 +105,36 @@ val pattern :
 
 val x_y : t -> Fusion.Executor.input -> Matrix.Vec.t -> Matrix.Vec.t
 
+(** {1 Graph operations} (traced through family-generic descriptors —
+    the ["fusedmm"] family of [Fusion.Fusedmm]).  [Dist] sessions run
+    these on the host tier, see [Fusion.Executor]. *)
+
+val sddmm :
+  ?semiring:Fusion.Semiring.t ->
+  t ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  Matrix.Csr.t
+(** [S_ij = G_ij * edge(<H_i,H_j>)] — untraced (a building block, not a
+    family instantiation). *)
+
+val spmm :
+  ?semiring:Fusion.Semiring.t ->
+  t ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  Matrix.Dense.t
+(** [Z_i = op_j (S_ij * H_j)] — the family's fusable floor. *)
+
+val fusedmm :
+  ?semiring:Fusion.Semiring.t ->
+  t ->
+  Fusion.Fusedmm.instantiation ->
+  Matrix.Csr.t ->
+  Matrix.Dense.t ->
+  Matrix.Dense.t
+(** The fused SDDMM ⊕ SpMM chain without materialising [S]. *)
+
 (** {1 Level-1 operations} (timed, not traced — they are outside the
     pattern, the "BLAS-Level 1" column of Table 2) *)
 

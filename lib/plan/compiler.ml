@@ -109,8 +109,15 @@ let hoisted t =
 
 let groups t = t.ordered_groups
 
+let chosen_descriptors t =
+  List.map (fun g -> g.Fuse.g_chosen.Fuse.c_desc) t.ordered_groups
+
 let chosen_instantiations t =
-  List.map (fun g -> g.Fuse.g_chosen.Fuse.c_inst) t.ordered_groups
+  (* family-generic plans report eq1 groups here; other families appear
+     only through [chosen_descriptors] *)
+  List.filter_map
+    (fun g -> Fusion.Pattern.of_descriptor g.Fuse.g_chosen.Fuse.c_desc)
+    t.ordered_groups
 
 (* --- explain -------------------------------------------------------------- *)
 
@@ -138,11 +145,12 @@ let explain t =
   List.iter
     (fun g ->
       let chosen = g.Fuse.g_chosen in
-      pf "fusion group at node #%d (anchor matmul_t #%d):\n"
-        chosen.Fuse.c_root.id g.Fuse.g_anchor.id;
+      pf "fusion group at node #%d (anchor %s #%d):\n" chosen.Fuse.c_root.id
+        (op_name g.Fuse.g_anchor.op)
+        g.Fuse.g_anchor.id;
       let line mark (c : Fuse.candidate) =
         pf "  %s %-24s covers %2d nodes, %d op%s, est %.4f ms\n" mark
-          (Fusion.Pattern.name c.Fuse.c_inst)
+          c.Fuse.c_desc.Fusion.Pattern_family.label
           (1 + List.length c.Fuse.c_absorbed)
           c.Fuse.c_ops
           (if c.Fuse.c_ops = 1 then "" else "s")
@@ -215,7 +223,10 @@ let rec step_json = function
 let candidate_json (c : Fuse.candidate) =
   Kf_obs.Json.Obj
     [
-      ("instantiation", Kf_obs.Json.Str (Fusion.Pattern.name c.Fuse.c_inst));
+      ( "instantiation",
+        Kf_obs.Json.Str c.Fuse.c_desc.Fusion.Pattern_family.label );
+      ( "family",
+        Kf_obs.Json.Str c.Fuse.c_desc.Fusion.Pattern_family.family );
       ("root", Kf_obs.Json.Int c.Fuse.c_root.id);
       ("covers", Kf_obs.Json.Int (1 + List.length c.Fuse.c_absorbed));
       ("operators", Kf_obs.Json.Int c.Fuse.c_ops);

@@ -63,8 +63,14 @@ val hoisted : t -> (int * int) list
 
 val groups : t -> Fuse.group list
 
+val chosen_descriptors : t -> Fusion.Pattern_family.descriptor list
+(** One family-qualified descriptor per fusion group, in step order —
+    covers every pattern family. *)
+
 val chosen_instantiations : t -> Fusion.Pattern.instantiation list
-(** One entry per fusion group, in step order. *)
+(** The Equation-1 groups' instantiations, in step order.  Groups from
+    other families are omitted; use {!chosen_descriptors} for the
+    family-generic view. *)
 
 val install : unit -> unit
 (** Register this compiler as {!Sysml.Runtime}'s planner, enabling

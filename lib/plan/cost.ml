@@ -421,6 +421,70 @@ let fused_ms ctx m (inst : Fusion.Pattern.instantiation) =
            ~flops ())
           .total_ms
 
+(* --- graph operator costs (the fusedmm family) ----------------------------
+
+   Rooflines over a sparse nodes x nodes graph and a width-[d] dense
+   embedding.  The dominant terms: every kernel walks the CSR structure
+   once and gathers width-[d] embedding rows per edge; SDDMM stores one
+   sampled value per edge, SpMM stores one width-[d] row per node.  The
+   fused chain pays the structure walk and the gathers once and never
+   touches an S array — exactly the traffic the unfused composition
+   spends on materialising and re-reading it. *)
+
+let gather_bytes s ~d = s.nnz * d * 8
+
+let graph_sim ctx s ~load ~store ~flops =
+  let occ = generic_occupancy ctx.device in
+  let grid = max 1 (min (device_fill ctx.device occ) ((s.rows / 256) + 1)) in
+  (Cost_model.estimate ctx.device ~occupancy:occ ~grid_blocks:grid
+     ~load_bytes:load ~store_bytes:store ~flops ())
+    .total_ms
+
+(* [Host] streams the same bytes through the domain pool; [Dist] has no
+   cluster graph kernels and dispatches the host tier at runtime, so it
+   is priced identically. *)
+let graph_ms ctx s ~load ~store ~flops =
+  match ctx.engine with
+  | Fusion.Executor.Host | Fusion.Executor.Dist ->
+      host_uniform_ms ctx (load + store)
+  | Fusion.Executor.Fused | Fusion.Executor.Library ->
+      graph_sim ctx s ~load ~store ~flops
+
+let sddmm_ms ctx m ~d =
+  let s = m.shape in
+  graph_ms ctx s
+    ~load:(matrix_bytes s + (2 * gather_bytes s ~d))
+    ~store:(s.nnz * 8)
+    ~flops:(s.nnz * ((2 * d) + 4))
+
+let spmm_ms ctx m ~d =
+  let s = m.shape in
+  graph_ms ctx s
+    ~load:(matrix_bytes s + gather_bytes s ~d)
+    ~store:(s.rows * d * 8)
+    ~flops:(2 * s.nnz * d)
+
+let fusedmm_ms ctx m ~d (inst : Fusion.Fusedmm.instantiation) =
+  match inst with
+  | Fusion.Fusedmm.Spmm -> spmm_ms ctx m ~d
+  | Fusion.Fusedmm.Sddmm_spmm -> (
+      match ctx.engine with
+      | Fusion.Executor.Library ->
+          (* the two-launch composition a library backend would run,
+             S materialised in between *)
+          sddmm_ms ctx m ~d +. spmm_ms ctx m ~d
+      | Fusion.Executor.Fused | Fusion.Executor.Host
+      | Fusion.Executor.Dist ->
+          let s = m.shape in
+          graph_ms ctx s
+            ~load:(matrix_bytes s + (2 * gather_bytes s ~d))
+            ~store:(s.rows * d * 8)
+            ~flops:(s.nnz * ((4 * d) + 4)))
+
+(* Embedding width of a dense Matrix_ref argument. *)
+let emb_width (n : Ir.node) =
+  match n.Ir.ty with Ir.Matrix_ref { cols; _ } -> cols | _ -> 0
+
 (* Cost of executing one DAG node as its own operator (what the fusion
    enumerator charges for the parts of a chain a candidate leaves
    unfused).  Scalar arithmetic is interpreter-side and free. *)
@@ -446,6 +510,14 @@ let op_ms ctx (n : Ir.node) ~mat_of =
       match n.Ir.args with m :: _ -> x_y_ms ctx (mat_of m) | [] -> 0.0)
   | Ir.Matmul_t, _ -> (
       match n.Ir.args with m :: _ -> xt_y_ms ctx (mat_of m) | [] -> 0.0)
+  | Ir.Sddmm _, _ -> (
+      match n.Ir.args with
+      | [ g; h ] -> sddmm_ms ctx (mat_of g) ~d:(emb_width h)
+      | _ -> 0.0)
+  | Ir.Spmm _, _ -> (
+      match n.Ir.args with
+      | [ s; h ] -> spmm_ms ctx (mat_of s) ~d:(emb_width h)
+      | _ -> 0.0)
   | Ir.Transpose, _ -> 0.0
   | Ir.Neg, _ -> 0.0
 
@@ -457,4 +529,4 @@ let is_operator (n : Ir.node) =
   | (Ir.Ones | Ir.Zero_vec | Ir.Transpose), _ -> false
   | (Ir.Neg | Ir.Bin _), Ir.Scalar -> false
   | (Ir.Neg | Ir.Bin _), _ -> true
-  | (Ir.Dot | Ir.Matmul | Ir.Matmul_t), _ -> true
+  | (Ir.Dot | Ir.Matmul | Ir.Matmul_t | Ir.Sddmm _ | Ir.Spmm _), _ -> true

@@ -89,6 +89,21 @@ val fused_ms : ctx -> mat -> Fusion.Pattern.instantiation -> float
     single pass over the matrix under [Fused] and [Host]; the library
     composition it stands for under [Library]. *)
 
+(** {1 Graph operator costs (the ["fusedmm"] family)} — over a sparse
+    graph/sampled matrix [mat] and a width-[d] dense embedding *)
+
+val sddmm_ms : ctx -> mat -> d:int -> float
+(** One sampled dense-dense product onto the graph's sparsity
+    (materialises the nnz sampled values). *)
+
+val spmm_ms : ctx -> mat -> d:int -> float
+(** One semiring SpMM aggregation. *)
+
+val fusedmm_ms : ctx -> mat -> d:int -> Fusion.Fusedmm.instantiation -> float
+(** One fused family call: a single structure walk under [Fused] /
+    [Host] / [Dist] (the host tier serves [Dist]); the SDDMM-then-SpMM
+    two-launch composition, S materialised, under [Library]. *)
+
 val op_ms : ctx -> Ir.node -> mat_of:(Ir.node -> mat) -> float
 (** Cost of executing one DAG node as its own operator (what the fusion
     enumerator charges for the parts of a chain a candidate leaves

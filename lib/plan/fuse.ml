@@ -19,14 +19,24 @@ open Ir
 
 type factor = F_neg | F_scalar of node
 
-type body = Direct of node | Chain of { y : node; v : node option }
+type graph = {
+  gr_g : node;  (** sparse operand: the adjacency (fused) or S (floor) *)
+  gr_h : node;  (** dense embedding *)
+  gr_semiring : string;
+  gr_inst : Fusion.Fusedmm.instantiation;
+}
+
+type body =
+  | Direct of node
+  | Chain of { y : node; v : node option }
+  | Fused_graph of graph
 
 type candidate = {
   c_root : node;  (** the node whose value the fused call produces *)
   c_body : body;
   c_alpha : factor list;  (** innermost first; empty = 1.0 *)
   c_beta_z : (node option * node) option;  (** (scalar factor, z) *)
-  c_inst : Fusion.Pattern.instantiation;  (** what the trace will show *)
+  c_desc : Fusion.Pattern_family.descriptor;  (** what the trace will show *)
   c_absorbed : node list;  (** interior nodes covered by the call *)
   c_kernels_ms : float;
   c_ops : int;  (** operators issued for the whole chain region *)
@@ -134,11 +144,16 @@ let candidates ctx ~mat_of ch =
       match body with
       | Chain { v; _ } -> (true, v <> None)
       | Direct _ -> (false, false)
+      | Fused_graph _ -> assert false (* graph bodies never reach here *)
     in
     let inst =
       if chainlike then
-        Fusion.Pattern.classify ~with_first_multiply:true ~with_v
-          ~with_z:(beta_z <> None)
+        Fusion.Pattern.classify_shape
+          {
+            first_multiply = true;
+            weighted = with_v;
+            additive_tail = beta_z <> None;
+          }
       else Fusion.Pattern.Xt_y
     in
     let kernel = Cost.fused_ms ctx mat inst in
@@ -167,7 +182,7 @@ let candidates ctx ~mat_of ch =
       c_body = body;
       c_alpha = List.map snd level;
       c_beta_z = beta_z;
-      c_inst = inst;
+      c_desc = Fusion.Pattern.descriptor inst;
       c_absorbed = absorbed;
       c_kernels_ms = kernels_ms;
       c_ops = ops;
@@ -186,6 +201,68 @@ let candidates ctx ~mat_of ch =
     (fun bodyspec ->
       List.map (fun (l, wb) -> mk_candidate bodyspec l wb) (plain @ with_beta_levels))
     bodies
+
+(* --- graph anchors (the fusedmm family) -----------------------------------
+
+   Every [Spmm] node is an anchor.  When its sparse operand is an
+   exclusively-consumed same-semiring [Sddmm] over the same embedding
+   node, the full SDDMM ⊕ SpMM chain is a candidate beside the
+   aggregation-only floor (which then pays the SDDMM as a separate
+   operator); otherwise the floor is the only candidate — the family
+   analogue of [Pattern.partials]. *)
+let graph_candidates ctx ~uses ~mat_of (n : node) =
+  match (n.op, n.args) with
+  | Spmm sr, [ s; h ] ->
+      let d = match h.ty with Matrix_ref { cols; _ } -> cols | _ -> 0 in
+      let use_count x = Option.value ~default:0 (Hashtbl.find_opt uses x.id) in
+      let fusable =
+        match (s.op, s.args) with
+        | Sddmm sr', [ g; h' ] when sr' = sr && h' == h && use_count s = 1 ->
+            Some g
+        | _ -> None
+      in
+      let candidate ~g_node ~inst ~absorbed ~separate =
+        let kernel = Cost.fusedmm_ms ctx (mat_of g_node) ~d inst in
+        let sep_ms =
+          List.fold_left
+            (fun acc x -> acc +. Cost.op_ms ctx x ~mat_of)
+            0.0 separate
+        in
+        let ops = 1 + List.length (List.filter Cost.is_operator separate) in
+        let kernels_ms = kernel +. sep_ms in
+        {
+          c_root = n;
+          c_body =
+            Fused_graph
+              { gr_g = g_node; gr_h = h; gr_semiring = sr; gr_inst = inst };
+          c_alpha = [];
+          c_beta_z = None;
+          c_desc = Fusion.Fusedmm.descriptor ~semiring:sr inst;
+          c_absorbed = absorbed;
+          c_kernels_ms = kernels_ms;
+          c_ops = ops;
+          c_total_ms = kernels_ms +. (ctx.Cost.overhead_ms *. float_of_int ops);
+        }
+      in
+      let x, cands =
+        match fusable with
+        | Some g ->
+            ( g,
+              [
+                candidate ~g_node:g ~inst:Fusion.Fusedmm.Sddmm_spmm
+                  ~absorbed:[ s ] ~separate:[];
+                candidate ~g_node:s ~inst:Fusion.Fusedmm.Spmm ~absorbed:[]
+                  ~separate:[ s ];
+              ] )
+        | None ->
+            ( s,
+              [
+                candidate ~g_node:s ~inst:Fusion.Fusedmm.Spmm ~absorbed:[]
+                  ~separate:[];
+              ] )
+      in
+      Some (x, cands)
+  | _ -> None
 
 let choose cands =
   List.fold_left
@@ -225,6 +302,24 @@ let select ctx ~mat_of steps =
               in
               Hashtbl.replace groups chosen.c_root.id g;
               ordered := g :: !ordered
+          | None -> ())
+      | Spmm _ -> (
+          match graph_candidates ctx ~uses ~mat_of n with
+          | Some (x, cands) -> (
+              match choose cands with
+              | Some chosen ->
+                  let g =
+                    {
+                      g_anchor = n;
+                      g_x = x;
+                      g_chosen = chosen;
+                      g_rejected =
+                        List.filter (fun c -> not (c == chosen)) cands;
+                    }
+                  in
+                  Hashtbl.replace groups chosen.c_root.id g;
+                  ordered := g :: !ordered
+              | None -> ())
           | None -> ())
       | _ -> ())
     (reachable steps);

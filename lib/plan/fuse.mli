@@ -17,17 +17,33 @@
     root: a sign flip or a scalar-valued node. *)
 type factor = F_neg | F_scalar of Ir.node
 
-(** What feeds the transpose product: the materialised right-hand side
-    itself ([Direct]), or the absorbed inner product [X %*% y] with its
-    optional element-wise weight [v] ([Chain]). *)
-type body = Direct of Ir.node | Chain of { y : Ir.node; v : Ir.node option }
+type graph = {
+  gr_g : Ir.node;
+      (** sparse operand: the adjacency (fused chain) or S (floor) *)
+  gr_h : Ir.node;  (** dense embedding *)
+  gr_semiring : string;
+  gr_inst : Fusion.Fusedmm.instantiation;
+}
+(** A ["fusedmm"]-family group body: one semiring SpMM aggregation,
+    optionally with the feeding SDDMM absorbed ([Sddmm_spmm]). *)
+
+(** What the fused call executes: for Equation-1 groups, the
+    materialised right-hand side itself ([Direct]) or the absorbed inner
+    product [X %*% y] with its optional element-wise weight [v]
+    ([Chain]); for graph groups, a [Fused_graph] family call. *)
+type body =
+  | Direct of Ir.node
+  | Chain of { y : Ir.node; v : Ir.node option }
+  | Fused_graph of graph
 
 type candidate = {
   c_root : Ir.node;  (** the node whose value the fused call produces *)
   c_body : body;
   c_alpha : factor list;  (** innermost first; empty = 1.0 *)
   c_beta_z : (Ir.node option * Ir.node) option;  (** (scalar factor, z) *)
-  c_inst : Fusion.Pattern.instantiation;  (** what the trace will show *)
+  c_desc : Fusion.Pattern_family.descriptor;
+      (** what the trace will show — an ["eq1"] or ["fusedmm"]
+          descriptor *)
   c_absorbed : Ir.node list;  (** interior nodes covered by the call *)
   c_kernels_ms : float;
   c_ops : int;  (** operators issued for the whole chain region *)
@@ -46,6 +62,6 @@ val select :
   mat_of:(Ir.node -> Cost.mat) ->
   Ir.step list ->
   (int, group) Hashtbl.t * group list
-(** [(by_root, ordered)]: one group per reachable [Matmul_t] anchor,
-    keyed by the chosen candidate's root node id, plus the same groups
-    in deterministic discovery order (for explain output). *)
+(** [(by_root, ordered)]: one group per reachable [Matmul_t] or [Spmm]
+    anchor, keyed by the chosen candidate's root node id, plus the same
+    groups in deterministic discovery order (for explain output). *)

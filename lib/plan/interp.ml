@@ -44,13 +44,38 @@ let matrix = function
   | S.Num _ -> type_error "expected a matrix, got a scalar"
   | S.Vector _ -> type_error "expected a matrix, got a vector"
 
+let sparse v =
+  match matrix v with
+  | Fusion.Executor.Sparse g -> g
+  | Fusion.Executor.Dense _ ->
+      type_error "sddmm/spmm need a sparse (CSR) left operand"
+
+let dense v =
+  match matrix v with
+  | Fusion.Executor.Dense h -> h
+  | Fusion.Executor.Sparse _ ->
+      type_error "sddmm/spmm need a dense embedding right operand"
+
+let semiring name =
+  match Fusion.Semiring.find name with
+  | Some sr -> sr
+  | None -> type_error "unknown semiring %S" name
+
+(* The float payload a guard can health-check, whatever the value's
+   flavour. *)
+let value_floats = function
+  | S.Num f -> [| f |]
+  | S.Vector v -> v
+  | S.Matrix (Fusion.Executor.Dense d) -> d.Matrix.Dense.data
+  | S.Matrix (Fusion.Executor.Sparse c) -> c.Matrix.Csr.values
+
 let rec force st n =
   match Hashtbl.find_opt st.cache n.id with
   | Some v -> v
   | None ->
       let v =
         match Hashtbl.find_opt st.groups n.id with
-        | Some g -> S.Vector (exec_group st g)
+        | Some g -> exec_group st g
         | None -> eval_node st n
       in
       Hashtbl.replace st.cache n.id v;
@@ -100,6 +125,20 @@ and eval_node st n =
       S.Vector
         (Kf_ml.Session.xt_y st.session (matrix (force st m))
            (vector (force st p)) ~alpha:1.0)
+  | Sddmm sr, [ g; h ] ->
+      S.Matrix
+        (Fusion.Executor.Sparse
+           (Kf_ml.Session.sddmm ~semiring:(semiring sr) st.session
+              (sparse (force st g))
+              (dense (force st h))))
+  | Spmm sr, [ s; h ] ->
+      (* every Spmm anchor normally executes through its group; this is
+         the floor behaviour should one ever be forced bare *)
+      S.Matrix
+        (Fusion.Executor.Dense
+           (Kf_ml.Session.spmm ~semiring:(semiring sr) st.session
+              (sparse (force st s))
+              (dense (force st h))))
   | Transpose, _ -> type_error "t() is only valid inside a matrix product"
   | _ -> assert false
 
@@ -145,7 +184,8 @@ and exec_group st g =
         Kf_resil.Fault.with_arm (fun () ->
             Kf_resil.Fault.check Kf_resil.Fault.Launch ~point:"plan.exec_group";
             let w = exec_group_body st g in
-            Kf_resil.Guard.check_vec ~point:"plan.exec_group" w;
+            Kf_resil.Guard.check_vec ~point:"plan.exec_group"
+              (value_floats w);
             w)
       with
       | w -> w
@@ -164,34 +204,56 @@ and exec_group st g =
 
 and exec_group_body st g =
   let c = g.Fuse.g_chosen in
-  let x = matrix (force st g.Fuse.g_x) in
-  let alpha =
-    List.fold_left
-      (fun a f ->
-        match f with
-        | Fuse.F_neg -> -.a
-        | Fuse.F_scalar s -> a *. scalar (force st s))
-      1.0 c.Fuse.c_alpha
-  in
-  let beta_of s = match s with None -> 1.0 | Some s -> scalar (force st s) in
-  st.fused <- st.fused + 1;
   match c.Fuse.c_body with
-  | Fuse.Direct p -> (
-      let pv = vector (force st p) in
-      let w = Kf_ml.Session.xt_y st.session x pv ~alpha in
-      match c.Fuse.c_beta_z with
-      | None -> w
-      | Some (s, z) ->
-          Kf_ml.Session.axpy st.session (beta_of s) (vector (force st z)) w)
-  | Fuse.Chain { y; v } ->
-      let yv = vector (force st y) in
-      let vv = Option.map (fun v -> vector (force st v)) v in
-      let beta_z =
-        Option.map
-          (fun (s, z) -> (beta_of s, vector (force st z)))
-          c.Fuse.c_beta_z
+  | Fuse.Fused_graph gr ->
+      (* a fusedmm-family call: the chain counts as a fused launch, the
+         aggregation-only floor is a plain operator (matching the
+         eval-time recognizer's accounting) *)
+      let gm = sparse (force st gr.Fuse.gr_g) in
+      let hm = dense (force st gr.Fuse.gr_h) in
+      if gr.Fuse.gr_inst = Fusion.Fusedmm.Sddmm_spmm then
+        st.fused <- st.fused + 1;
+      S.Matrix
+        (Fusion.Executor.Dense
+           (Kf_ml.Session.fusedmm
+              ~semiring:(semiring gr.Fuse.gr_semiring)
+              st.session gr.Fuse.gr_inst gm hm))
+  | Fuse.Direct _ | Fuse.Chain _ -> (
+      let x = matrix (force st g.Fuse.g_x) in
+      let alpha =
+        List.fold_left
+          (fun a f ->
+            match f with
+            | Fuse.F_neg -> -.a
+            | Fuse.F_scalar s -> a *. scalar (force st s))
+          1.0 c.Fuse.c_alpha
       in
-      Kf_ml.Session.pattern st.session x ~y:yv ?v:vv ?beta_z ~alpha ()
+      let beta_of s =
+        match s with None -> 1.0 | Some s -> scalar (force st s)
+      in
+      st.fused <- st.fused + 1;
+      match c.Fuse.c_body with
+      | Fuse.Direct p -> (
+          let pv = vector (force st p) in
+          let w = Kf_ml.Session.xt_y st.session x pv ~alpha in
+          match c.Fuse.c_beta_z with
+          | None -> S.Vector w
+          | Some (s, z) ->
+              S.Vector
+                (Kf_ml.Session.axpy st.session (beta_of s)
+                   (vector (force st z))
+                   w))
+      | Fuse.Chain { y; v } ->
+          let yv = vector (force st y) in
+          let vv = Option.map (fun v -> vector (force st v)) v in
+          let beta_z =
+            Option.map
+              (fun (s, z) -> (beta_of s, vector (force st z)))
+              c.Fuse.c_beta_z
+          in
+          S.Vector
+            (Kf_ml.Session.pattern st.session x ~y:yv ?v:vv ?beta_z ~alpha ())
+      | Fuse.Fused_graph _ -> assert false)
 
 let flush st loop_id =
   match Hashtbl.find_opt st.flush_by_loop loop_id with

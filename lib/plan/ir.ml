@@ -38,6 +38,12 @@ type op =
   | Transpose
       (** explicit [t(X)]; the pushdown pass folds every reachable one
           into {!Matmul_t}, after which it is dead *)
+  | Sddmm of string
+      (** [sddmm(G, H, sr)]: sampled product onto [G]'s sparsity, edge
+          weights from the named semiring *)
+  | Spmm of string
+      (** [spmm(S, H, sr)]: semiring aggregation; the fusion anchor of
+          the ["fusedmm"] family *)
 
 type node = {
   id : int;
@@ -79,6 +85,8 @@ let op_name = function
   | Matmul -> "matmul"
   | Matmul_t -> "matmul_t"
   | Transpose -> "transpose"
+  | Sddmm sr -> Printf.sprintf "sddmm[%s]" sr
+  | Spmm sr -> Printf.sprintf "spmm[%s]" sr
 
 let ty_name = function
   | Scalar -> "scalar"

@@ -35,6 +35,12 @@ type op =
   | Transpose
       (** explicit [t(X)]; the pushdown pass folds every reachable one
           into {!Matmul_t}, after which it is dead *)
+  | Sddmm of string
+      (** [sddmm(G, H, sr)]: sampled product onto [G]'s sparsity, edge
+          weights from the named semiring *)
+  | Spmm of string
+      (** [spmm(S, H, sr)]: semiring aggregation; the fusion anchor of
+          the ["fusedmm"] family *)
 
 type node = {
   id : int;

@@ -38,6 +38,11 @@ let ty_of_value = function
 
 let const ctx f = mk ctx.b (Const f) [] Scalar
 
+let check_semiring sr =
+  if Fusion.Semiring.find sr = None then
+    type_error "unknown semiring %S (available: %s)" sr
+      (String.concat ", " Fusion.Semiring.names)
+
 let fold ctx f =
   ctx.b.const_folds <- ctx.b.const_folds + 1;
   const ctx f
@@ -150,6 +155,45 @@ let rec lower_expr ctx vars (e : S.expr) : node =
       | _ ->
           type_error
             "matrix(0, rows=...): the length is not a plan-time constant")
+  | S.Sddmm (ge, he, sr) -> (
+      check_semiring sr;
+      let g = lower_expr ctx vars ge in
+      let h = lower_expr ctx vars he in
+      match (g.ty, h.ty) with
+      | ( Matrix_ref { rows; cols; nnz; dense = false },
+          Matrix_ref { rows = hr; dense = true; _ } ) ->
+          if rows <> cols then
+            type_error "sddmm: the graph must be square, got %dx%d" rows cols;
+          if rows <> hr then
+            type_error
+              "sddmm: the embedding must have one row per node (%d vs %d)"
+              rows hr;
+          (* the sampled product shares G's sparsity structure *)
+          mk ctx.b (Sddmm sr) [ g; h ]
+            (Matrix_ref { rows; cols; nnz; dense = false })
+      | Matrix_ref { dense = true; _ }, _ ->
+          type_error "sddmm: the graph must be sparse"
+      | _, Matrix_ref { dense = false; _ } ->
+          type_error "sddmm: the embedding must be dense"
+      | _ -> type_error "sddmm expects a sparse graph and a dense embedding")
+  | S.Spmm (se, he, sr) -> (
+      check_semiring sr;
+      let s = lower_expr ctx vars se in
+      let h = lower_expr ctx vars he in
+      match (s.ty, h.ty) with
+      | ( Matrix_ref { rows; cols; dense = false; _ },
+          Matrix_ref { rows = hr; cols = hc; dense = true; _ } ) ->
+          if cols <> hr then
+            type_error
+              "spmm: S columns must match the embedding's rows (%d vs %d)"
+              cols hr;
+          mk ctx.b (Spmm sr) [ s; h ]
+            (Matrix_ref { rows; cols = hc; nnz = rows * hc; dense = true })
+      | Matrix_ref { dense = true; _ }, _ ->
+          type_error "spmm: the left operand must be sparse"
+      | _, Matrix_ref { dense = false; _ } ->
+          type_error "spmm: the embedding must be dense"
+      | _ -> type_error "spmm expects a sparse matrix and a dense embedding")
 
 and lower_bin ctx vars op x y =
   let a = lower_expr ctx vars x in

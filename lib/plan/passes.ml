@@ -27,7 +27,9 @@ type hoist = { h_loop : int; h_nodes : node list }
 let nontrivial n =
   match n.op with
   | Const _ | Input_named _ | Input_pos _ | Var_at _ -> false
-  | Ones | Zero_vec | Neg | Bin _ | Dot | Matmul | Matmul_t | Transpose -> true
+  | Ones | Zero_vec | Neg | Bin _ | Dot | Matmul | Matmul_t | Transpose
+  | Sddmm _ | Spmm _ ->
+      true
 
 let hoist_invariants steps =
   Kf_obs.Trace.with_span "plan.pass.hoist" @@ fun () ->

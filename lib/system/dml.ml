@@ -248,6 +248,26 @@ and parse_atom p =
       in
       expect p RPAREN ")";
       e
+  | IDENT (("sddmm" | "spmm") as word), _ ->
+      advance p;
+      expect p LPAREN ("( after " ^ word);
+      let a = parse_expr p in
+      expect p COMMA ",";
+      let b = parse_expr p in
+      let semiring =
+        match current p with
+        | COMMA, _ -> (
+            advance p;
+            match current p with
+            | STRING s, _ ->
+                advance p;
+                s
+            | _, line -> fail line "%s expects a quoted semiring name" word)
+        | _ -> "plain"
+      in
+      expect p RPAREN ")";
+      if word = "sddmm" then Script.Sddmm (a, b, semiring)
+      else Script.Spmm (a, b, semiring)
   | IDENT "matrix", line ->
       advance p;
       expect p LPAREN "( after matrix";
@@ -379,6 +399,20 @@ let rec print_expr buf e =
       p "matrix(0, rows=";
       print_expr buf e;
       p ", cols=1)"
+  | Sddmm (a, b, semiring) ->
+      p "sddmm";
+      Buffer.add_char buf '(';
+      print_expr buf a;
+      p ", ";
+      print_expr buf b;
+      p ", \"%s\")" semiring
+  | Spmm (a, b, semiring) ->
+      p "spmm";
+      Buffer.add_char buf '(';
+      print_expr buf a;
+      p ", ";
+      print_expr buf b;
+      p ", \"%s\")" semiring
 
 let rec print_stmt buf indent stmt =
   let open Script in
@@ -484,6 +518,21 @@ write(w, "w");
    with the identity link (the DML subset has no exp).  The residual
    [(X %*% w) - y] is not part of the fusable chain, so the gradient is
    the *partial* prefix Xt_y over a separately materialised vector. *)
+(* The graph workloads of the FusedMM family in one script: the fused
+   force2vec-style attraction pass (the nested sddmm/spmm collapses into
+   a single sigmoid-semiring SDDMM+SpMM launch) and the PageRank-style
+   aggregation-only floor (plain-semiring SpMM over the adjacency).
+   Inputs: [$1] sparse nodes x nodes adjacency, [$2] dense nodes x d
+   embedding. *)
+let graph_listing =
+  {|
+G = read($1); H = read($2);
+Z = spmm(sddmm(G, H, "sigmoid"), H, "sigmoid");
+R = spmm(G, H, "plain");
+write(Z, "Z");
+write(R, "R");
+|}
+
 let logreg_listing =
   {|
 X = read($1); y = read($2); step = read($3);

@@ -18,6 +18,8 @@
     atom   ::= number | ident | ( expr ) | $k
              | t(expr) | sum(expr) | ncol(expr) | nrow(expr) | read($k)
              | matrix(0, rows=expr, cols=1)
+             | sddmm(expr, expr [, "semiring"])
+             | spmm(expr, expr [, "semiring"])
     v}
 
     Comments run from [#] to end of line.  [matrix(0, ...)] with [cols=1]
@@ -44,6 +46,12 @@ val glm_listing : string
     each iteration runs the full Equation 1 pattern
     [scale * t(X) %*% (v * (X %*% p)) + lambda * p].  Inputs:
     [$1] matrix, [$2] targets vector, [$3] scalar lambda. *)
+
+val graph_listing : string
+(** The FusedMM graph workloads: a fused sigmoid SDDMM ⊕ SpMM
+    attraction pass ([Z]) and the plain-semiring SpMM floor ([R]).
+    Inputs: [$1] sparse square adjacency, [$2] dense embedding.  The
+    semiring argument defaults to ["plain"] when omitted. *)
 
 val logreg_listing : string
 (** Gradient descent on least squares (the LogReg skeleton with the

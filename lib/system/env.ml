@@ -40,6 +40,17 @@ let exit_2 = function
       Printf.eprintf "%s\n%!" msg;
       exit 2
 
+let engine_result name =
+  parse
+    ~kind:
+      (Printf.sprintf "one of %s"
+         (String.concat ", "
+            (List.map Fusion.Executor.engine_to_string Fusion.Executor.engines)))
+    ~of_string:Fusion.Executor.engine_of_string
+    ~to_string:Fusion.Executor.engine_to_string name
+
 let int ?min ?max name = exit_2 (int_result ?min ?max name)
 
 let float ?min ?max name = exit_2 (float_result ?min ?max name)
+
+let engine name = exit_2 (engine_result name)

@@ -8,8 +8,8 @@
     [kf: NAME must be ...] message, and the process exits with status 2
     (the same contract as every other CLI usage error).
 
-    Used for [KF_DOMAINS], [KF_WORKERS], [KF_METRICS_PORT] and
-    [KF_TRACE_SAMPLE]. *)
+    Used for [KF_DOMAINS], [KF_WORKERS], [KF_METRICS_PORT],
+    [KF_TRACE_SAMPLE] and [KF_ENGINE]. *)
 
 val int : ?min:int -> ?max:int -> string -> int option
 (** [int ~min ~max name] is [None] when [name] is unset, [Some v] when
@@ -28,3 +28,12 @@ val int_result :
 val float_result :
   ?min:float -> ?max:float -> string -> (float option, string) result
 (** Non-exiting form of {!float}. *)
+
+val engine : string -> Fusion.Executor.engine option
+(** Same contract for engine-valued variables ([KF_ENGINE]): parsed with
+    {!Fusion.Executor.engine_of_string}, so the accepted spellings are
+    exactly the CLI's [--engine] values. *)
+
+val engine_result :
+  string -> (Fusion.Executor.engine option, string) result
+(** Non-exiting form of {!engine}. *)

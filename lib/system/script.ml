@@ -17,6 +17,8 @@ type expr =
   | Zero_vector of expr
   | Pow of expr * expr
   | Read of int
+  | Sddmm of expr * expr * string  (* G, H, semiring name *)
+  | Spmm of expr * expr * string  (* S, H, semiring name *)
 
 type stmt =
   | Assign of string * expr
@@ -64,6 +66,23 @@ let matrix = function
   | Matrix m -> m
   | Num _ -> type_error "expected a matrix, got a scalar"
   | Vector _ -> type_error "expected a matrix, got a vector"
+
+let graph_sparse v =
+  match matrix v with
+  | Fusion.Executor.Sparse g -> g
+  | Fusion.Executor.Dense _ ->
+      type_error "sddmm/spmm need a sparse (CSR) left operand"
+
+let graph_dense v =
+  match matrix v with
+  | Fusion.Executor.Dense h -> h
+  | Fusion.Executor.Sparse _ ->
+      type_error "sddmm/spmm need a dense embedding right operand"
+
+let semiring_named name =
+  match Fusion.Semiring.find name with
+  | Some sr -> sr
+  | None -> type_error "unknown semiring %S" name
 
 let same_matrix a b =
   match (a, b) with
@@ -215,6 +234,39 @@ and eval st = function
   | Zero_vector e ->
       Vector (Matrix.Vec.create (int_of_float (scalar (eval st e))))
   | Pow (a, b) -> Num (scalar (eval st a) ** scalar (eval st b))
+  | Sddmm (ge, he, sr) ->
+      let g = graph_sparse (eval st ge) in
+      let h = graph_dense (eval st he) in
+      Matrix
+        (Fusion.Executor.Sparse
+           (Kf_ml.Session.sddmm ~semiring:(semiring_named sr) st.session g h))
+  | Spmm (se, he, sr) -> (
+      let sem = semiring_named sr in
+      let h = graph_dense (eval st he) in
+      (* the graph analogue of the Equation-1 recognizer: an SpMM whose
+         sparse operand is a same-semiring SDDMM over the same embedding
+         is the family's fused chain — one launch, S never materialised *)
+      let fused =
+        match se with
+        | Sddmm (ge, he', sr') when sr' = sr -> (
+            match eval st he' with
+            | Matrix (Fusion.Executor.Dense h') when h' == h ->
+                let g = graph_sparse (eval st ge) in
+                st.fused <- st.fused + 1;
+                Some
+                  (Kf_ml.Session.fusedmm ~semiring:sem st.session
+                     Fusion.Fusedmm.Sddmm_spmm g h)
+            | _ -> None
+            | exception Type_error _ -> None)
+        | _ -> None
+      in
+      match fused with
+      | Some z -> Matrix (Fusion.Executor.Dense z)
+      | None ->
+          let s = graph_sparse (eval st se) in
+          Matrix
+            (Fusion.Executor.Dense
+               (Kf_ml.Session.spmm ~semiring:sem st.session s h)))
   | Read k ->
       if k < 1 || k > Array.length st.positional then
         type_error "read($%d): no such positional input" k

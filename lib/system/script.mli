@@ -12,7 +12,9 @@
     The subset implemented is exactly what the studied algorithms need:
     scalars, vectors and matrices; arithmetic; comparisons and [&];
     [t(X)], [%*%], element-wise [*], [sum], [ncol], [zero_vector];
-    assignment, [while] and [if]. *)
+    assignment, [while] and [if]; plus the graph operators
+    [sddmm]/[spmm] of the ["fusedmm"] pattern family (sparse adjacency
+    x dense embedding, semiring-parameterised). *)
 
 (** Expressions.  Infix smart constructors are provided below; [Var]
     resolves in the program environment, [Input] in the initial
@@ -36,6 +38,16 @@ type expr =
   | Zero_vector of expr  (** zero vector of the given (scalar) length *)
   | Pow of expr * expr  (** scalar exponentiation, [^] *)
   | Read of int  (** positional input, DML's [read($k)] *)
+  | Sddmm of expr * expr * string
+      (** [sddmm(G, H, "semiring")]: the sampled product
+          [S_ij = G_ij * edge(<H_i,H_j>)] over a sparse graph and a
+          dense embedding; the string names a [Fusion.Semiring] *)
+  | Spmm of expr * expr * string
+      (** [spmm(S, H, "semiring")]: the aggregation
+          [Z_i = op_j (S_ij * H_j)].  When the sparse operand is
+          syntactically a same-semiring [Sddmm] over the same embedding,
+          the evaluator issues the family's single fused SDDMM ⊕ SpMM
+          launch instead of materialising [S] *)
 
 type stmt =
   | Assign of string * expr

@@ -18,7 +18,9 @@ let sparse_case seed ~rows ~cols ~density =
 
 (* --- Pattern classification --- *)
 
-let test_classify () =
+(* The positional-bool arity is deprecated (use [classify_shape]) but
+   must keep working for one release; acknowledge the alert here only. *)
+let[@alert "-deprecated"] test_classify () =
   let open Fusion.Pattern in
   Alcotest.(check string) "xty" "a*X^T*y"
     (name (classify ~with_first_multiply:false ~with_v:false ~with_z:false));

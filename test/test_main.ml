@@ -24,6 +24,7 @@ let () =
       ("host", Test_host.suite);
       ("obs", Test_obs.suite);
       ("plan", Test_plan.suite);
+      ("graph", Test_graph.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("consistency", Test_consistency.suite);
       ("reproduction", Test_reproduction.suite);

@@ -237,8 +237,17 @@ let test_classification_targets () =
 (* --- Algorithm API: registry and batched prediction --- *)
 
 let test_registry_names () =
-  Alcotest.(check (list string)) "six algorithms, CLI order"
-    [ "lr"; "glm"; "logreg"; "multinomial"; "svm"; "hits" ]
+  Alcotest.(check (list string)) "eight algorithms, CLI order"
+    [
+      "lr";
+      "glm";
+      "logreg";
+      "multinomial";
+      "svm";
+      "hits";
+      "graphemb";
+      "pagerank";
+    ]
     Kf_ml.Registry.names;
   List.iter
     (fun n ->
